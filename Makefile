@@ -1,0 +1,36 @@
+# Convenience targets for the VSAN reproduction.
+
+.PHONY: install test bench bench-full experiments examples clean
+
+install:
+	python setup.py develop
+
+test:
+	pytest tests/
+
+test-log:
+	pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-log:
+	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+bench-full:
+	REPRO_FULL=1 pytest benchmarks/ --benchmark-only -s
+
+experiments:
+	python -m repro.experiments --save benchmarks/results
+
+examples:
+	python examples/quickstart.py
+	python examples/beauty_marketplace.py --fast
+	python examples/movielens_sessions.py --fast
+	python examples/uncertainty_demo.py --fast
+	python examples/attention_heatmap.py --fast
+	python examples/custom_csv_pipeline.py
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} +
+	rm -rf src/repro.egg-info .pytest_cache

@@ -1,0 +1,54 @@
+"""Shared benchmark configuration.
+
+Every ``test_table*.py`` / ``test_fig*.py`` module regenerates one table
+or figure of the paper, prints the same rows the paper reports, and saves
+a JSON copy under ``benchmarks/results/``.
+
+Scale control: by default the *fast* datasets and training budgets are
+used so the whole suite completes on a laptop in minutes.  Set
+``REPRO_FULL=1`` to regenerate at full scale (the numbers quoted in
+EXPERIMENTS.md were produced that way).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_FULL", "") not in ("", "0")
+
+
+@pytest.fixture(scope="session")
+def fast() -> bool:
+    """False when REPRO_FULL=1 (paper-scale runs)."""
+    return not full_scale()
+
+
+@pytest.fixture()
+def report():
+    """Print a rendered experiment table and archive its JSON."""
+
+    def _report(result):
+        print()
+        print(result.render())
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        result.save(RESULTS_DIR)
+        return result
+
+    return _report
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    Training-heavy experiments are far too expensive for statistical
+    repetition; ``pedantic`` with one round records wall-clock without
+    re-running.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,54 @@
+"""Extra ablations from DESIGN.md §5: output-projection tying and
+evaluation-time latent choice."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_ablation_output_tying(benchmark, fast, report):
+    result = run_once(
+        benchmark, lambda: run_experiment("ablation_tying", fast=fast)
+    )
+    report(result)
+    assert set(result.column("variant")) == {"separate-Wg", "tied"}
+
+
+def test_ablation_eval_z(benchmark, fast, report):
+    result = run_once(
+        benchmark, lambda: run_experiment("ablation_eval_z", fast=fast)
+    )
+    report(result)
+    assert set(result.column("variant")) == {"mean", "sampled"}
+
+
+def test_ablation_positions(benchmark, fast, report):
+    result = run_once(
+        benchmark, lambda: run_experiment("ablation_positions", fast=fast)
+    )
+    report(result)
+    assert set(result.column("variant")) == {"learnable", "sinusoidal"}
+
+
+def test_significance_vsan_vs_sasrec(benchmark, fast, report):
+    result = run_once(
+        benchmark, lambda: run_experiment("significance", fast=fast)
+    )
+    report(result)
+    assert set(result.column("metric")) >= {"ndcg@10", "recall@20"}
+
+
+def test_ablation_elbo_samples(benchmark, fast, report):
+    result = run_once(
+        benchmark, lambda: run_experiment("ablation_samples", fast=fast)
+    )
+    report(result)
+    assert set(result.column("samples")) == {1, 4}
+
+
+def test_ablation_protocol(benchmark, fast, report):
+    result = run_once(
+        benchmark, lambda: run_experiment("ablation_protocol", fast=fast)
+    )
+    report(result)
+    assert set(result.column("protocol")) == {"strong", "weak"}

@@ -1,0 +1,36 @@
+"""Section IV-F complexity claims, measured on the numpy substrate."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_complexity_scaling(benchmark, fast, report):
+    result = run_once(
+        benchmark, lambda: run_experiment("complexity", fast=fast)
+    )
+    report(result)
+    by_model: dict[str, dict[int, float]] = {}
+    params: dict[str, dict[int, int]] = {}
+    for model, n, seconds, parameters in result.rows:
+        by_model.setdefault(model, {})[n] = seconds
+        params.setdefault(model, {})[n] = parameters
+
+    lengths = sorted(next(iter(by_model.values())))
+    shortest, longest = lengths[0], lengths[-1]
+
+    # Every architecture's step time grows with the window.
+    for model, curve in by_model.items():
+        assert curve[longest] > curve[shortest], (model, curve)
+
+    # Space claim: parameter counts grow only through the positional
+    # table (O(n d)), far slower than the item embedding (O(N d)).
+    for model, counts in params.items():
+        growth = counts[longest] - counts[shortest]
+        assert growth < 0.25 * counts[shortest], (model, counts)
+
+    # VSAN tracks SASRec's order of magnitude at every length (the
+    # paper's "no extra asymptotic time for uncertainty" claim).
+    for n in lengths:
+        ratio = by_model["VSAN"][n] / by_model["SASRec"][n]
+        assert ratio < 4.0, (n, ratio)

@@ -1,0 +1,37 @@
+"""Figure 4: embedding-dimension sweep, VSAN vs SASRec."""
+
+from conftest import full_scale, run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig4_embedding_dim(benchmark, fast, report):
+    result = run_once(benchmark, lambda: run_experiment("fig4", fast=fast))
+    report(result)
+    from repro.experiments.plotting import chart_from_result
+
+    for dataset in sorted(set(result.column("dataset"))):
+        print(f"\n[{dataset}] ndcg@20 vs d")
+        print(chart_from_result(result, "d", "ndcg@20",
+                                series_header="model", dataset=dataset))
+    assert set(result.column("model")) == {"VSAN", "SASRec"}
+
+    if full_scale():
+        ndcg = result.headers.index("ndcg@20")
+        for dataset in ("beauty", "ml1m"):
+            by_model = {}
+            for row in result.rows:
+                if row[0] == dataset:
+                    by_model.setdefault(row[1], {})[row[2]] = row[ndcg]
+            dims = sorted(by_model["VSAN"])
+            # Rising-then-saturating shape: the smallest dimension is
+            # never the best choice for either model.
+            for model, curve in by_model.items():
+                assert curve[dims[0]] < max(curve.values()), (
+                    dataset, model, curve
+                )
+            # VSAN at or above SASRec for the majority of dimensions.
+            wins = sum(
+                by_model["VSAN"][d] > by_model["SASRec"][d] for d in dims
+            )
+            assert wins >= len(dims) / 2, (dataset, by_model)

@@ -1,0 +1,33 @@
+"""Figure 5: dropout-rate sweep for VSAN."""
+
+from conftest import full_scale, run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig5_dropout(benchmark, fast, report):
+    result = run_once(benchmark, lambda: run_experiment("fig5", fast=fast))
+    report(result)
+    from repro.experiments.plotting import chart_from_result
+
+    for dataset in sorted(set(result.column("dataset"))):
+        print(f"\n[{dataset}] recall@20 vs dropout")
+        print(chart_from_result(result, "dropout", "recall@20",
+                                dataset=dataset))
+    rates = sorted(set(result.column("dropout")))
+    assert rates[0] == 0.0
+
+    if full_scale():
+        recall = result.headers.index("recall@20")
+        for dataset in ("beauty", "ml1m"):
+            curve = {
+                row[1]: row[recall]
+                for row in result.rows
+                if row[0] == dataset
+            }
+            # Paper's shape: moderate dropout beats none, and extreme
+            # dropout collapses below the optimum.
+            best_rate = max(curve, key=curve.get)
+            assert 0.0 < best_rate < 0.9, (dataset, curve)
+            assert curve[best_rate] > curve[0.0], (dataset, curve)
+            assert curve[best_rate] > curve[max(rates)], (dataset, curve)

@@ -1,0 +1,84 @@
+"""Micro-benchmarks of the substrate (true pytest-benchmark timing with
+repetition): attention forward/backward, GRU unrolling, Adam steps, and
+evaluation throughput.  These track the engine's performance rather than
+paper numbers — the complexity claims of Section IV-F (self-attention
+O(n^2 d) vs RNN O(n d^2) sequential steps) become observable here."""
+
+import numpy as np
+import pytest
+
+from repro.core import VSAN
+from repro.models import SASRec
+from repro.nn import GRU, CausalSelfAttention, Parameter
+from repro.optim import Adam
+from repro.tensor import Tensor
+
+RNG = np.random.default_rng(0)
+
+
+@pytest.fixture(scope="module")
+def attention():
+    return CausalSelfAttention(64, np.random.default_rng(1))
+
+
+def test_attention_forward(benchmark, attention):
+    x = Tensor(RNG.normal(size=(8, 50, 64)))
+    out = benchmark(lambda: attention(x))
+    assert out.shape == (8, 50, 64)
+
+
+def test_attention_forward_backward(benchmark, attention):
+    data = RNG.normal(size=(8, 50, 64))
+
+    def step():
+        x = Tensor(data, requires_grad=True)
+        attention(x).sum().backward()
+        return x.grad
+
+    grad = benchmark(step)
+    assert np.isfinite(grad).all()
+
+
+def test_gru_unroll_forward(benchmark):
+    gru = GRU(64, 64, np.random.default_rng(2))
+    x = Tensor(RNG.normal(size=(8, 50, 64)))
+
+    def step():
+        outputs, _ = gru(x)
+        return outputs
+
+    out = benchmark(step)
+    assert out.shape == (8, 50, 64)
+
+
+def test_adam_step(benchmark):
+    params = [Parameter(RNG.normal(size=(200, 64))) for _ in range(10)]
+    for param in params:
+        param.grad = RNG.normal(size=param.shape)
+    optimizer = Adam(params)
+    benchmark(optimizer.step)
+
+
+def test_vsan_training_step(benchmark):
+    model = VSAN(500, 30, dim=48, h1=1, h2=1, seed=0)
+    model.train()
+    padded = np.zeros((64, 31), dtype=np.int64)
+    padded[:, -10:] = RNG.integers(1, 501, size=(64, 10))
+
+    def step():
+        model.zero_grad()
+        loss = model.training_loss(padded)
+        loss.backward()
+        return loss.item()
+
+    loss = benchmark(step)
+    assert np.isfinite(loss)
+
+
+def test_sasrec_scoring_throughput(benchmark):
+    model = SASRec(500, 30, dim=48, num_blocks=2, seed=0)
+    histories = [
+        RNG.integers(1, 501, size=RNG.integers(3, 30)) for _ in range(64)
+    ]
+    scores = benchmark(lambda: model.score_batch(histories))
+    assert scores.shape == (64, 501)

@@ -1,0 +1,18 @@
+"""Table II: dataset statistics after preprocessing."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_table2_dataset_statistics(benchmark, fast, report):
+    result = run_once(
+        benchmark, lambda: run_experiment("table2", fast=fast)
+    )
+    report(result)
+    keys = result.column("dataset")
+    sparsity = dict(zip(keys, result.column("sparsity(%)")))
+    # The paper's structural contrast: Beauty much sparser than ML-1M.
+    assert sparsity["beauty"] > sparsity["ml1m"]
+    for row in result.rows:
+        assert row[1] > 0 and row[2] > 0 and row[3] > 0

@@ -1,0 +1,31 @@
+"""Table IV: Recall@20 over the (h1, h2) block grid."""
+
+from conftest import full_scale, run_once
+
+from repro.experiments import run_experiment
+
+
+def test_table4_block_grid(benchmark, fast, report):
+    result = run_once(
+        benchmark, lambda: run_experiment("table4", fast=fast)
+    )
+    report(result)
+    h1_columns = [h for h in result.headers if h.startswith("h1=")]
+    assert len(result.rows) == 2 * (len(result.headers) - 2)
+    for row in result.rows:
+        for value in row[2:]:
+            assert 0.0 <= value <= 100.0
+
+    if full_scale():
+        # Shape claim: some attention beats none — the best grid cell is
+        # never in the (h1=0, h2=0) corner.
+        for dataset in ("beauty", "ml1m"):
+            grid = {
+                (row[1], header): row[2 + i]
+                for row in result.rows
+                if row[0] == dataset
+                for i, header in enumerate(h1_columns)
+            }
+            corner = grid[(0, "h1=0")]
+            best = max(grid.values())
+            assert best > corner, dataset

@@ -1,0 +1,47 @@
+"""Table V: VSAN vs VSAN-z (latent variable removed)."""
+
+from conftest import full_scale, run_once
+
+from repro.experiments import run_experiment
+
+
+def test_table5_latent_variable(benchmark, fast, report):
+    # The VSAN/VSAN-z gap is a few relative percent, below single-run
+    # variance at this scale, so the full-scale run averages seeds (the
+    # paper averages five runs).
+    num_seeds = 1 if fast else 2
+    result = run_once(
+        benchmark,
+        lambda: run_experiment("table5", fast=fast, num_seeds=num_seeds),
+    )
+    report(result)
+    methods = result.column("method")
+    assert methods.count("VSAN") == 2
+    assert methods.count("VSAN-z") == 2
+
+    if full_scale():
+        metric_columns = [
+            result.headers.index(m)
+            for m in ("ndcg@10", "recall@10", "ndcg@20", "recall@20")
+        ]
+        for dataset in ("beauty", "ml1m"):
+            scores = {
+                row[1]: [row[c] for c in metric_columns]
+                for row in result.rows
+                if row[0] == dataset and row[1] != "Improv.(%)"
+            }
+            # What our scale supports (EXPERIMENTS.md, Table V): the
+            # paper's VSAN-over-VSAN-z margin is a few relative percent —
+            # smaller than cross-dataset-draw variance here.  Assert the
+            # robust version of the claim: the latent never costs more
+            # than a small fraction of the metric average, and it leads
+            # on at least one metric.  (Dedicated tuned-setting runs in
+            # EXPERIMENTS.md show VSAN ahead on both headline metrics.)
+            mean_vsan = sum(scores["VSAN"]) / len(metric_columns)
+            mean_z = sum(scores["VSAN-z"]) / len(metric_columns)
+            assert mean_vsan > 0.95 * mean_z, (dataset, scores)
+            wins = sum(
+                ours > theirs
+                for ours, theirs in zip(scores["VSAN"], scores["VSAN-z"])
+            )
+            assert wins >= 1, (dataset, scores)

@@ -1,0 +1,30 @@
+"""Table VI: feed-forward network ablations."""
+
+from conftest import full_scale, run_once
+
+from repro.experiments import run_experiment
+from repro.experiments.table6 import VARIANTS
+
+
+def test_table6_feedforward_ablation(benchmark, fast, report):
+    result = run_once(
+        benchmark, lambda: run_experiment("table6", fast=fast)
+    )
+    report(result)
+    labels = {label for label, _, _ in VARIANTS}
+    assert set(result.column("method")) == labels
+
+    if full_scale():
+        ndcg10 = result.headers.index("ndcg@10")
+        for dataset in ("beauty", "ml1m"):
+            scores = {
+                row[1]: row[ndcg10]
+                for row in result.rows
+                if row[0] == dataset
+            }
+            # Paper's shape: full VSAN best; removing every FFN is worse
+            # than the full model.
+            assert scores["VSAN"] > scores["VSAN-all-feed"], dataset
+            assert scores["VSAN"] >= max(
+                scores["VSAN-infer-feed"], scores["VSAN-gene-feed"]
+            ), (dataset, scores)

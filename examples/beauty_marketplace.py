@@ -1,0 +1,56 @@
+"""E-commerce scenario (the paper's motivating Beauty example).
+
+The synthetic Beauty-like dataset encodes "routine chains" — the
+shampoo -> conditioner -> hair-mask -> hair-oil pattern from the paper's
+introduction — plus multi-modal user preferences.  This script trains
+POP, SASRec, and VSAN on it and shows why sequential models win: the
+popularity baseline recommends bestsellers, while the attention models
+follow the user's routine.
+
+    python examples/beauty_marketplace.py        # ~5-10 minutes
+    python examples/beauty_marketplace.py --fast # ~1 minute, smaller data
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.eval import evaluate_recommender
+from repro.experiments import build_model, load_dataset
+from repro.experiments.zoo import fit_model
+
+
+def main(fast: bool):
+    dataset = load_dataset("beauty", fast=fast)
+    stats = dataset.corpus.statistics()
+    print(f"beauty-like: {stats.num_users} users, {stats.num_items} items, "
+          f"sparsity {100 * stats.sparsity:.2f}%")
+
+    results = {}
+    for name in ("POP", "SASRec", "VSAN"):
+        model = build_model(name, dataset, fast=fast)
+        fit_model(model, dataset, fast=fast)
+        results[name] = (model, evaluate_recommender(model,
+                                                     dataset.split.test))
+        print(f"{name:8s} {results[name][1]}")
+
+    # Inspect one held-out shopper: what does each model suggest after
+    # their fold-in purchase history?
+    user = dataset.split.test[0]
+    print(f"\nshopper {user.user_id}: last purchases "
+          f"{user.fold_in[-5:].tolist()}, "
+          f"later bought {user.targets[:5].tolist()}")
+    for name, (model, _) in results.items():
+        scores = model.score(user.fold_in)
+        scores[user.fold_in] = -np.inf  # don't re-recommend owned items
+        top = np.argsort(-scores[1:])[:5] + 1
+        hits = set(top.tolist()) & set(user.targets.tolist())
+        print(f"  {name:8s} suggests {top.tolist()}"
+              f"  (hits: {sorted(hits) if hits else 'none'})")
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--fast", action="store_true",
+                        help="smaller data and training budget")
+    main(parser.parse_args().fast)

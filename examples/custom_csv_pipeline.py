@@ -1,0 +1,81 @@
+"""Bring-your-own-data: the full pipeline on a CSV interaction log.
+
+If you have the real Amazon Beauty / MovieLens-1M dumps (or any
+interaction log), export them as ``user,item,rating,timestamp`` rows and
+this exact pipeline reproduces the paper's protocol on them.  The script
+demonstrates it end-to-end using a synthetic CSV standing in for your
+file, including checkpointing and reloading the trained model.
+
+    python examples/custom_csv_pipeline.py [path/to/your.csv]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.core import VSAN, importance_weighted_log_likelihood
+from repro.data import (
+    generate,
+    prepare_corpus,
+    read_interactions_csv,
+    split_strong_generalization,
+    tiny_config,
+    write_interactions_csv,
+)
+from repro.data.analysis import bigram_predictability
+from repro.eval import evaluate_recommender
+from repro.nn import load_checkpoint, save_checkpoint
+from repro.tensor.random import make_rng
+from repro.train import Trainer, TrainerConfig
+
+
+def demo_csv(directory: Path) -> Path:
+    """Write a synthetic stand-in for the user's own export."""
+    path = directory / "interactions.csv"
+    write_interactions_csv(
+        generate(tiny_config(num_users=250, num_items=70), seed=11), path
+    )
+    return path
+
+
+def main(csv_path: str | None):
+    workdir = Path(tempfile.mkdtemp(prefix="vsan-csv-"))
+    path = Path(csv_path) if csv_path else demo_csv(workdir)
+    print(f"reading {path}")
+
+    # 1. Load + the paper's preprocessing (ratings >= 4, 5-core).
+    corpus = prepare_corpus(read_interactions_csv(path))
+    print(f"corpus: {corpus.num_users} users x {corpus.num_items} items")
+
+    # 2. Sanity-check the data actually rewards sequential modeling.
+    report = bigram_predictability(corpus)
+    print(f"bigram-over-popularity lift: {report.lift:.1f}x "
+          f"({'good' if report.lift > 1.5 else 'weak'} sequential signal)")
+
+    # 3. Split, train, evaluate.
+    split = split_strong_generalization(corpus, num_heldout=30,
+                                        rng=make_rng(7))
+    config = dict(num_items=corpus.num_items, max_length=12, dim=32,
+                  h1=1, h2=1, seed=0)
+    model = VSAN(**config)
+    Trainer(TrainerConfig(epochs=20, batch_size=64, patience=4,
+                          eval_every=2)).fit(
+        model, split.train, validation=split.validation
+    )
+    print("test:", evaluate_recommender(model, split.test))
+
+    # Likelihood view (importance-weighted bound, tighter than the ELBO):
+    batch = model.padded_training_rows(split.train)[:16]
+    bound = importance_weighted_log_likelihood(model, batch, num_samples=8)
+    print(f"IWAE log-likelihood: {bound:.3f} nats per position")
+
+    # 4. Persist and reload — the checkpoint carries its own config.
+    checkpoint = workdir / "vsan.npz"
+    save_checkpoint(model, checkpoint, config=config)
+    reloaded = load_checkpoint(checkpoint, registry={"VSAN": VSAN})
+    print(f"checkpoint round-trip OK: {checkpoint} "
+          f"({reloaded.num_parameters():,} parameters)")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else None)

@@ -1,0 +1,94 @@
+"""The paper's Figure 1 story, made observable.
+
+VSAN's pitch: a deterministic model represents a user as a fixed point,
+which cannot express *uncertainty*; VSAN represents them as a Gaussian
+whose variance widens when preferences are ambiguous.  This script
+trains VSAN on the Beauty-like data and then compares the learned
+posterior scale sigma for two kinds of held-out users:
+
+- *focused* users, whose fold-in history concentrates on few items
+  repeated from a narrow pool (low preference uncertainty), and
+- *scattered* users, whose history spreads over many distinct items
+  (high preference uncertainty).
+
+It prints the average posterior sigma of the last position for each
+group — the variance VSAN assigns to "where this user is" in latent
+space — along with per-user detail.
+
+    python examples/uncertainty_demo.py        # ~3 minutes
+    python examples/uncertainty_demo.py --fast # ~40 seconds
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.data import generate_with_info
+from repro.eval import history_diversity, posterior_summary
+from repro.experiments import build_model, load_dataset
+from repro.experiments.zoo import fit_model
+
+
+def posterior_sigma(model, history):
+    """Mean posterior scale at the user's current position."""
+    return posterior_summary(model, history).mean_sigma
+
+
+def main(fast: bool):
+    dataset = load_dataset("beauty", fast=fast)
+    model = build_model("VSAN", dataset, fast=fast)
+    fit_model(model, dataset, fast=fast)
+
+    users = [u for u in dataset.split.test if len(u.fold_in) >= 5]
+    scored = sorted(users, key=lambda u: history_diversity(u.fold_in))
+    third = max(1, len(scored) // 3)
+    focused, scattered = scored[:third], scored[-third:]
+
+    def group_sigma(group):
+        return np.mean([posterior_sigma(model, u.fold_in) for u in group])
+
+    sigma_focused = group_sigma(focused)
+    sigma_scattered = group_sigma(scattered)
+
+    print(f"{len(users)} held-out users, grouped by history diversity")
+    print(f"  focused   (diversity <= "
+          f"{history_diversity(focused[-1].fold_in):.2f}): "
+          f"mean posterior sigma = {sigma_focused:.4f}")
+    print(f"  scattered (diversity >= "
+          f"{history_diversity(scattered[0].fold_in):.2f}): "
+          f"mean posterior sigma = {sigma_scattered:.4f}")
+    ratio = sigma_scattered / sigma_focused
+    print(f"  scattered / focused sigma ratio: {ratio:.2f}x")
+    print()
+    print("sample users (diversity -> sigma):")
+    for user in [*focused[:3], *scattered[-3:]]:
+        print(f"  user {user.user_id:5d}: "
+              f"diversity {history_diversity(user.fold_in):.2f} -> "
+              f"sigma {posterior_sigma(model, user.fold_in):.4f}")
+    if ratio > 1.0:
+        print("\n=> VSAN assigns wider posteriors to ambiguous histories —")
+        print("   the uncertainty behaviour Figure 1 motivates.")
+    else:
+        print("\n=> No clear widening on this run; try the full-scale "
+              "dataset (drop --fast) or another seed.")
+
+    # Because the data is synthetic, the *true* preference uncertainty of
+    # every user is known: the entropy of their category mixture.  A real
+    # log can only proxy it (diversity above); here we can correlate the
+    # model's sigma with the ground truth directly.
+    _, info = generate_with_info(
+        dataset.spec.config, dataset.spec.generation_seed
+    )
+    entropies, sigmas = [], []
+    for user in users:
+        entropies.append(info.mixture_entropy(user.user_id))
+        sigmas.append(posterior_summary(model, user.fold_in).mean_sigma)
+    correlation = np.corrcoef(entropies, sigmas)[0, 1]
+    print(f"\nground truth: corr(true mixture entropy, posterior sigma) "
+          f"= {correlation:+.2f} over {len(users)} users")
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--fast", action="store_true")
+    main(parser.parse_args().fast)

@@ -1,0 +1,34 @@
+"""Reproduction of *Variational Self-attention Network for Sequential
+Recommendation* (Zhao et al., ICDE 2021).
+
+Public API tour:
+
+- :mod:`repro.core` — the VSAN model (the paper's contribution).
+- :mod:`repro.models` — all eight Table III baselines.
+- :mod:`repro.data` — synthetic Beauty-like / ML1M-like datasets,
+  preprocessing, strong-generalization splits, batching.
+- :mod:`repro.train` — Trainer + KL-annealing schedules.
+- :mod:`repro.eval` — Precision/Recall/NDCG@N and the held-out protocol.
+- :mod:`repro.tensor`, :mod:`repro.nn`, :mod:`repro.optim` — the
+  from-scratch autodiff/NN/optimizer substrate everything runs on.
+- :mod:`repro.experiments` — registry regenerating every paper table and
+  figure.
+"""
+
+from .core import VSAN
+from .data import BEAUTY_LIKE, ML1M_LIKE
+from .eval import evaluate_recommender
+from .train import KLAnnealing, Trainer, TrainerConfig
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "BEAUTY_LIKE",
+    "KLAnnealing",
+    "ML1M_LIKE",
+    "Trainer",
+    "TrainerConfig",
+    "VSAN",
+    "evaluate_recommender",
+    "__version__",
+]

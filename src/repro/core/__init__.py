@@ -1,0 +1,17 @@
+"""The paper's primary contribution: the VSAN model and its ELBO pieces."""
+
+from ..train.annealing import BetaSchedule, ConstantBeta, KLAnnealing
+from .bounds import importance_weighted_log_likelihood
+from .elbo import ELBOTerms, elbo_terms, reconstruction_targets
+from .vsan import VSAN
+
+__all__ = [
+    "BetaSchedule",
+    "ConstantBeta",
+    "ELBOTerms",
+    "KLAnnealing",
+    "VSAN",
+    "elbo_terms",
+    "importance_weighted_log_likelihood",
+    "reconstruction_targets",
+]

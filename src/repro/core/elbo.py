@@ -1,0 +1,110 @@
+"""The β-ELBO of Eq. 20, factored out of the models.
+
+Both VAEs in this repository (VSAN and the SVAE baseline) minimize
+
+    L_β = β · KL(q_λ(z|S) || N(0, I)) − E_q[log p_θ(S|z)]
+
+where the reconstruction term is a softmax cross-entropy against the
+next item (one-hot) or the next ``k`` items (multi-hot, Eq. 18), averaged
+over the non-padded sequence positions; the KL term is the closed-form
+Gaussian divergence summed over latent dimensions and averaged over the
+same positions.
+
+:func:`elbo_terms` returns the pieces separately so callers can log the
+reconstruction/KL trade-off (and so tests can check each in isolation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.batching import next_k_multi_hot, shift_targets
+from ..tensor import (
+    Tensor,
+    cross_entropy,
+    gaussian_kl_standard_normal,
+    multi_hot_cross_entropy,
+)
+
+__all__ = ["ELBOTerms", "elbo_terms", "reconstruction_targets"]
+
+
+@dataclass
+class ELBOTerms:
+    """The two terms of Eq. 20 plus the β in force at this step."""
+
+    reconstruction: Tensor
+    kl: Tensor | None
+    beta: float
+
+    @property
+    def loss(self) -> Tensor:
+        """``reconstruction + beta * kl`` (just reconstruction when the
+        model has no latent variable)."""
+        if self.kl is None or self.beta == 0.0:
+            return self.reconstruction
+        return self.reconstruction + self.beta * self.kl
+
+    @property
+    def reconstruction_value(self) -> float:
+        return self.reconstruction.item()
+
+    @property
+    def kl_value(self) -> float:
+        return 0.0 if self.kl is None else self.kl.item()
+
+
+def reconstruction_targets(
+    padded: np.ndarray, k: int, num_items: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, bool]:
+    """Derive training targets from a padded batch.
+
+    Returns ``(inputs, targets, weights, multi_hot)``: one-hot integer
+    targets for ``k == 1`` (the paper's Eq. 14 mode) or a {0,1} multi-hot
+    tensor over the catalogue for ``k > 1`` (Eq. 18).
+    """
+    if k == 1:
+        inputs, targets, weights = shift_targets(padded)
+        return inputs, targets, weights, False
+    inputs, targets, weights = next_k_multi_hot(padded, k, num_items)
+    return inputs, targets, weights, True
+
+
+def elbo_terms(
+    logits: Tensor,
+    targets: np.ndarray,
+    weights: np.ndarray,
+    mu: Tensor | None,
+    sigma: Tensor | None,
+    beta: float,
+    multi_hot: bool,
+) -> ELBOTerms:
+    """Assemble Eq. 20 from model outputs.
+
+    Args:
+        logits: ``(batch, length, num_items + 1)`` prediction scores.
+        targets: integer next-item ids, or a multi-hot array when
+            ``multi_hot`` is True.
+        weights: per-position supervision weights (0 at padding).
+        mu, sigma: posterior parameters (both None for latent-free
+            ablations such as VSAN-z — the KL term is then omitted).
+        beta: the KL weight in force (from a
+            :class:`repro.train.annealing.BetaSchedule`).
+        multi_hot: selects the reconstruction form.
+    """
+    if multi_hot:
+        reconstruction = multi_hot_cross_entropy(
+            logits, targets, weights=weights
+        )
+    else:
+        reconstruction = cross_entropy(logits, targets, weights=weights)
+    if (mu is None) != (sigma is None):
+        raise ValueError("mu and sigma must both be given or both None")
+    kl = (
+        gaussian_kl_standard_normal(mu, sigma, weights=weights)
+        if mu is not None
+        else None
+    )
+    return ELBOTerms(reconstruction=reconstruction, kl=kl, beta=beta)

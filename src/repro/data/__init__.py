@@ -1,0 +1,70 @@
+"""Data substrate: logs, synthetic generators, preprocessing, splits,
+and batching — everything Section V-A of the paper describes."""
+
+from .analysis import (
+    BigramReport,
+    SequenceLengthSummary,
+    bigram_predictability,
+    gini_coefficient,
+    popularity_counts,
+    sequence_length_summary,
+)
+from .batching import (
+    build_training_matrix,
+    minibatch_indices,
+    next_k_multi_hot,
+    pad_left,
+    shift_targets,
+)
+from .interactions import PAD_ID, DatasetStatistics, InteractionLog, SequenceCorpus
+from .io import read_interactions_csv, write_interactions_csv
+from .preprocess import binarize, k_core, prepare_corpus
+from .splits import (
+    FoldInUser,
+    StrongGeneralizationSplit,
+    split_strong_generalization,
+    split_weak_generalization,
+)
+from .synthetic import (
+    BEAUTY_LIKE,
+    ML1M_LIKE,
+    SyntheticConfig,
+    WorldInfo,
+    generate,
+    generate_with_info,
+    tiny_config,
+)
+
+__all__ = [
+    "BEAUTY_LIKE",
+    "BigramReport",
+    "SequenceLengthSummary",
+    "bigram_predictability",
+    "gini_coefficient",
+    "popularity_counts",
+    "sequence_length_summary",
+    "DatasetStatistics",
+    "FoldInUser",
+    "InteractionLog",
+    "ML1M_LIKE",
+    "PAD_ID",
+    "SequenceCorpus",
+    "StrongGeneralizationSplit",
+    "SyntheticConfig",
+    "WorldInfo",
+    "binarize",
+    "build_training_matrix",
+    "generate",
+    "generate_with_info",
+    "k_core",
+    "minibatch_indices",
+    "next_k_multi_hot",
+    "pad_left",
+    "prepare_corpus",
+    "read_interactions_csv",
+    "shift_targets",
+    "split_strong_generalization",
+    "split_weak_generalization",
+    "tiny_config",
+    "write_interactions_csv",
+]

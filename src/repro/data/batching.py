@@ -1,0 +1,108 @@
+"""Fixed-length sequence batching for the attention/RNN models.
+
+Implements Section IV-A of the paper: sequences longer than the maximum
+length ``n`` keep their most recent ``n`` items; shorter sequences are
+left-padded with the padding id 0.  For training, the input at position
+``t`` predicts the item at ``t+1`` (one-hot targets), or the next ``k``
+items as a multi-hot target per Eq. 18.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from .interactions import PAD_ID
+
+__all__ = [
+    "pad_left",
+    "shift_targets",
+    "next_k_multi_hot",
+    "minibatch_indices",
+    "build_training_matrix",
+]
+
+
+def pad_left(sequence: np.ndarray, length: int) -> np.ndarray:
+    """Most recent ``length`` items, left-padded with ``PAD_ID``."""
+    sequence = np.asarray(sequence, dtype=np.int64)
+    if len(sequence) >= length:
+        return sequence[-length:].copy()
+    out = np.full(length, PAD_ID, dtype=np.int64)
+    if len(sequence):
+        out[length - len(sequence):] = sequence
+    return out
+
+
+def build_training_matrix(
+    sequences: list[np.ndarray], max_length: int
+) -> np.ndarray:
+    """Stack sequences into a ``(num_users, max_length)`` padded matrix.
+
+    Each row keeps the most recent ``max_length`` items of the full
+    sequence (inputs and targets are later derived by shifting).
+    """
+    return np.stack(
+        [pad_left(seq, max_length) for seq in sequences], axis=0
+    )
+
+
+def shift_targets(padded: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Derive (inputs, targets, weights) for next-item training.
+
+    ``inputs[:, t] = padded[:, t]`` predicts ``targets[:, t] =
+    padded[:, t+1]``; the last column of ``padded`` is never an input.
+    ``weights`` is 1 where the target is a real item and the input
+    position exists (non-pad target), else 0.
+    """
+    inputs = padded[:, :-1]
+    targets = padded[:, 1:]
+    weights = (targets != PAD_ID).astype(np.float64)
+    return inputs, targets, weights
+
+
+def next_k_multi_hot(
+    padded: np.ndarray, k: int, num_items: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Inputs plus multi-hot targets over the next ``k`` items (Eq. 18).
+
+    Returns ``(inputs, multi_hot, weights)`` where ``multi_hot`` has shape
+    ``(batch, length-1, num_items + 1)`` ({0,1}, column 0 = padding is
+    always 0) and ``weights[b, t]`` is 1 iff at least one of the next
+    ``k`` positions holds a real item.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    inputs = padded[:, :-1]
+    batch, length = inputs.shape
+    multi_hot = np.zeros((batch, length, num_items + 1), dtype=np.float64)
+    for offset in range(1, k + 1):
+        future = np.full((batch, length), PAD_ID, dtype=np.int64)
+        stop = padded.shape[1] - offset
+        if stop > 0:
+            future[:, :stop] = padded[:, offset:offset + stop]
+        rows, cols = np.nonzero(future != PAD_ID)
+        multi_hot[rows, cols, future[rows, cols]] = 1.0
+    multi_hot[:, :, PAD_ID] = 0.0
+    weights = (multi_hot.sum(axis=-1) > 0).astype(np.float64)
+    return inputs, multi_hot, weights
+
+
+def minibatch_indices(
+    num_rows: int,
+    batch_size: int,
+    rng: np.random.Generator | None = None,
+) -> Iterator[np.ndarray]:
+    """Yield index arrays covering ``range(num_rows)`` in batches.
+
+    Shuffled when ``rng`` is given (training), sequential otherwise
+    (evaluation).
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    order = (
+        rng.permutation(num_rows) if rng is not None else np.arange(num_rows)
+    )
+    for start in range(0, num_rows, batch_size):
+        yield order[start:start + batch_size]

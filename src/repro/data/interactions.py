@@ -1,0 +1,199 @@
+"""Core data structures: raw interaction logs and per-user sequences.
+
+An :class:`InteractionLog` is the columnar form of a ratings file
+(``user, item, rating, timestamp``); a :class:`SequenceCorpus` is the
+model-facing form — per-user chronological item-id sequences with items
+remapped to ``1..N`` (id 0 is reserved for padding, matching the paper's
+"zero vector" padding item).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["InteractionLog", "SequenceCorpus", "DatasetStatistics", "PAD_ID"]
+
+PAD_ID = 0
+"""Reserved item id for left-padding; never a real item."""
+
+
+@dataclass
+class DatasetStatistics:
+    """The quantities reported in Table II of the paper."""
+
+    num_users: int
+    num_items: int
+    num_interactions: int
+    sparsity: float
+
+    def as_row(self) -> dict[str, float]:
+        return {
+            "#user": self.num_users,
+            "#item": self.num_items,
+            "#interactions": self.num_interactions,
+            "sparsity": self.sparsity,
+        }
+
+
+@dataclass
+class InteractionLog:
+    """Columnar interaction records.
+
+    All four arrays must share one length; rows need not be sorted (use
+    :meth:`sorted_chronologically` before sequence extraction).
+    """
+
+    users: np.ndarray
+    items: np.ndarray
+    ratings: np.ndarray
+    timestamps: np.ndarray
+
+    def __post_init__(self):
+        self.users = np.asarray(self.users, dtype=np.int64)
+        self.items = np.asarray(self.items, dtype=np.int64)
+        self.ratings = np.asarray(self.ratings, dtype=np.float64)
+        self.timestamps = np.asarray(self.timestamps, dtype=np.float64)
+        lengths = {
+            len(self.users),
+            len(self.items),
+            len(self.ratings),
+            len(self.timestamps),
+        }
+        if len(lengths) != 1:
+            raise ValueError(f"column lengths differ: {lengths}")
+
+    def __len__(self) -> int:
+        return len(self.users)
+
+    @property
+    def num_users(self) -> int:
+        return len(np.unique(self.users))
+
+    @property
+    def num_items(self) -> int:
+        return len(np.unique(self.items))
+
+    def statistics(self) -> DatasetStatistics:
+        """Compute the Table II summary (sparsity = 1 - |R|/(M*N))."""
+        users = self.num_users
+        items = self.num_items
+        interactions = len(self)
+        sparsity = 1.0 - interactions / (users * items) if interactions else 1.0
+        return DatasetStatistics(users, items, interactions, sparsity)
+
+    def select(self, mask: np.ndarray) -> "InteractionLog":
+        """Row-subset by boolean mask (used by filtering passes)."""
+        mask = np.asarray(mask, dtype=bool)
+        return InteractionLog(
+            self.users[mask],
+            self.items[mask],
+            self.ratings[mask],
+            self.timestamps[mask],
+        )
+
+    def sorted_chronologically(self) -> "InteractionLog":
+        """Stable sort by (user, timestamp) so ties keep input order."""
+        order = np.lexsort((self.timestamps, self.users))
+        return InteractionLog(
+            self.users[order],
+            self.items[order],
+            self.ratings[order],
+            self.timestamps[order],
+        )
+
+
+@dataclass
+class SequenceCorpus:
+    """Per-user chronological item sequences with a dense item vocabulary.
+
+    Attributes:
+        sequences: one int array per user, values in ``1..num_items``.
+        num_items: vocabulary size N (excluding the padding id 0).
+        user_ids: original user id per sequence (parallel to sequences).
+        item_to_index: original item id -> dense id in ``1..num_items``.
+    """
+
+    sequences: list[np.ndarray]
+    num_items: int
+    user_ids: list[int] = field(default_factory=list)
+    item_to_index: dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self):
+        for i, seq in enumerate(self.sequences):
+            seq = np.asarray(seq, dtype=np.int64)
+            if len(seq) and (seq.min() < 1 or seq.max() > self.num_items):
+                raise ValueError(
+                    f"sequence {i} has ids outside [1, {self.num_items}]"
+                )
+            self.sequences[i] = seq
+        if not self.user_ids:
+            self.user_ids = list(range(len(self.sequences)))
+
+    def __len__(self) -> int:
+        return len(self.sequences)
+
+    @property
+    def num_users(self) -> int:
+        return len(self.sequences)
+
+    @property
+    def num_interactions(self) -> int:
+        return int(sum(len(seq) for seq in self.sequences))
+
+    @property
+    def index_to_item(self) -> dict[int, int]:
+        return {v: k for k, v in self.item_to_index.items()}
+
+    @classmethod
+    def from_log(cls, log: InteractionLog) -> "SequenceCorpus":
+        """Group a log into per-user sequences, remapping item ids.
+
+        Items are numbered ``1..N`` in first-appearance order of the
+        chronologically sorted log; users keep their original ids in
+        ``user_ids``.
+        """
+        ordered = log.sorted_chronologically()
+        item_to_index: dict[int, int] = {}
+        sequences: list[np.ndarray] = []
+        user_ids: list[int] = []
+        current_user = None
+        current_items: list[int] = []
+        for user, item in zip(ordered.users, ordered.items):
+            if user != current_user:
+                if current_user is not None:
+                    sequences.append(np.array(current_items, dtype=np.int64))
+                    user_ids.append(int(current_user))
+                current_user = user
+                current_items = []
+            dense = item_to_index.setdefault(int(item), len(item_to_index) + 1)
+            current_items.append(dense)
+        if current_user is not None:
+            sequences.append(np.array(current_items, dtype=np.int64))
+            user_ids.append(int(current_user))
+        return cls(
+            sequences=sequences,
+            num_items=len(item_to_index),
+            user_ids=user_ids,
+            item_to_index=item_to_index,
+        )
+
+    def subset(self, indices: np.ndarray) -> "SequenceCorpus":
+        """A corpus containing only the given user rows (shared vocab)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return SequenceCorpus(
+            sequences=[self.sequences[i] for i in indices],
+            num_items=self.num_items,
+            user_ids=[self.user_ids[i] for i in indices],
+            item_to_index=self.item_to_index,
+        )
+
+    def statistics(self) -> DatasetStatistics:
+        """Table II summary over the corpus."""
+        interactions = self.num_interactions
+        denom = self.num_users * self.num_items
+        sparsity = 1.0 - interactions / denom if denom else 1.0
+        return DatasetStatistics(
+            self.num_users, self.num_items, interactions, sparsity
+        )

@@ -1,0 +1,71 @@
+"""Reading and writing interaction logs as CSV.
+
+Lets users run every experiment on the *real* Amazon Beauty / ML-1M dumps
+when they have them on disk: the expected format is one interaction per
+line, ``user,item,rating,timestamp`` with an optional header.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from .interactions import InteractionLog
+
+__all__ = ["read_interactions_csv", "write_interactions_csv"]
+
+_HEADER = ("user", "item", "rating", "timestamp")
+
+
+def read_interactions_csv(path: str | Path) -> InteractionLog:
+    """Parse a ``user,item,rating,timestamp`` CSV into a log.
+
+    A first line matching the canonical header is skipped; all other
+    lines must have exactly four numeric fields.
+    """
+    users: list[int] = []
+    items: list[int] = []
+    ratings: list[float] = []
+    timestamps: list[float] = []
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        for line_number, row in enumerate(reader, start=1):
+            if not row:
+                continue
+            if line_number == 1 and tuple(
+                field.strip().lower() for field in row
+            ) == _HEADER:
+                continue
+            if len(row) != 4:
+                raise ValueError(
+                    f"{path}:{line_number}: expected 4 fields, got {len(row)}"
+                )
+            try:
+                users.append(int(row[0]))
+                items.append(int(row[1]))
+                ratings.append(float(row[2]))
+                timestamps.append(float(row[3]))
+            except ValueError as error:
+                raise ValueError(
+                    f"{path}:{line_number}: non-numeric field ({error})"
+                ) from None
+    return InteractionLog(
+        users=np.array(users, dtype=np.int64),
+        items=np.array(items, dtype=np.int64),
+        ratings=np.array(ratings),
+        timestamps=np.array(timestamps),
+    )
+
+
+def write_interactions_csv(log: InteractionLog, path: str | Path) -> None:
+    """Write a log with the canonical header (inverse of the reader)."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_HEADER)
+        for user, item, rating, timestamp in zip(
+            log.users, log.items, log.ratings, log.timestamps
+        ):
+            writer.writerow([int(user), int(item), float(rating),
+                             float(timestamp)])

@@ -1,0 +1,186 @@
+"""Strong-generalization evaluation split (Section V-A of the paper).
+
+Users — not interactions — are partitioned into train / validation /
+test sets.  Training users contribute their *full* click histories to
+model fitting.  Each held-out (validation or test) user is evaluated by
+folding in the first 80% of their chronological history to build a
+representation and scoring the remaining 20% as targets, exactly the
+protocol the paper adopts from Sachdeva et al. (SVAE).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .interactions import SequenceCorpus
+
+__all__ = [
+    "FoldInUser",
+    "StrongGeneralizationSplit",
+    "split_strong_generalization",
+    "split_weak_generalization",
+]
+
+
+@dataclass
+class FoldInUser:
+    """One held-out user: the visible prefix and the hidden targets."""
+
+    user_id: int
+    fold_in: np.ndarray
+    targets: np.ndarray
+
+    def __post_init__(self):
+        self.fold_in = np.asarray(self.fold_in, dtype=np.int64)
+        self.targets = np.asarray(self.targets, dtype=np.int64)
+        if len(self.fold_in) == 0 or len(self.targets) == 0:
+            raise ValueError(
+                f"held-out user {self.user_id} needs non-empty fold-in "
+                "and target portions"
+            )
+
+
+@dataclass
+class StrongGeneralizationSplit:
+    """Train corpus plus held-out validation/test users."""
+
+    train: SequenceCorpus
+    validation: list[FoldInUser]
+    test: list[FoldInUser]
+
+    @property
+    def num_items(self) -> int:
+        return self.train.num_items
+
+
+def _fold_in_user(
+    user_id: int, sequence: np.ndarray, fraction: float
+) -> FoldInUser:
+    boundary = int(np.floor(len(sequence) * fraction))
+    boundary = min(max(boundary, 1), len(sequence) - 1)
+    return FoldInUser(
+        user_id=user_id,
+        fold_in=sequence[:boundary],
+        targets=sequence[boundary:],
+    )
+
+
+def split_strong_generalization(
+    corpus: SequenceCorpus,
+    num_heldout: int,
+    rng: np.random.Generator,
+    fold_in_fraction: float = 0.8,
+    min_sequence_length: int = 3,
+) -> StrongGeneralizationSplit:
+    """Partition users into train + ``num_heldout`` validation users +
+    ``num_heldout`` test users (the paper holds out equal-sized sets).
+
+    Args:
+        corpus: full preprocessed corpus.
+        num_heldout: held-out users *per* evaluation set.
+        rng: generator controlling the user shuffle.
+        fold_in_fraction: share of a held-out history that is visible.
+        min_sequence_length: users shorter than this are never held out
+            (they could not produce both a fold-in and a target).
+    """
+    if not 0.0 < fold_in_fraction < 1.0:
+        raise ValueError("fold_in_fraction must be in (0, 1)")
+    total = corpus.num_users
+    eligible = np.array(
+        [
+            i
+            for i, seq in enumerate(corpus.sequences)
+            if len(seq) >= min_sequence_length
+        ]
+    )
+    if 2 * num_heldout > len(eligible):
+        raise ValueError(
+            f"cannot hold out 2x{num_heldout} users from "
+            f"{len(eligible)} eligible (of {total})"
+        )
+    shuffled = rng.permutation(eligible)
+    validation_rows = shuffled[:num_heldout]
+    test_rows = shuffled[num_heldout:2 * num_heldout]
+    heldout = set(validation_rows.tolist()) | set(test_rows.tolist())
+    train_rows = np.array(
+        [i for i in range(total) if i not in heldout], dtype=np.int64
+    )
+
+    def build(rows: np.ndarray) -> list[FoldInUser]:
+        return [
+            _fold_in_user(
+                corpus.user_ids[i], corpus.sequences[i], fold_in_fraction
+            )
+            for i in rows
+        ]
+
+    return StrongGeneralizationSplit(
+        train=corpus.subset(train_rows),
+        validation=build(validation_rows),
+        test=build(test_rows),
+    )
+
+
+def split_weak_generalization(
+    corpus: SequenceCorpus,
+    min_sequence_length: int = 3,
+) -> StrongGeneralizationSplit:
+    """The *weak* generalization protocol the paper contrasts against
+    (Section V-A): the same users appear in training and evaluation.
+
+    This is the classic leave-one-out split of SASRec and friends: for
+    each user with at least ``min_sequence_length`` interactions, the
+    last item is the test target, the second-to-last the validation
+    target, and everything before trains the model.  Users shorter than
+    the minimum contribute their full history to training and are not
+    evaluated.
+
+    Returns the same container as the strong split so every downstream
+    component (Trainer, evaluator, experiments) works unchanged — only
+    the user overlap semantics differ.
+    """
+    if min_sequence_length < 3:
+        raise ValueError(
+            "min_sequence_length must be >= 3 (train + val + test items)"
+        )
+    train_sequences: list[np.ndarray] = []
+    train_user_ids: list[int] = []
+    validation: list[FoldInUser] = []
+    test: list[FoldInUser] = []
+    for row, sequence in enumerate(corpus.sequences):
+        user_id = corpus.user_ids[row]
+        if len(sequence) < min_sequence_length:
+            train_sequences.append(sequence)
+            train_user_ids.append(user_id)
+            continue
+        train_sequences.append(sequence[:-2])
+        train_user_ids.append(user_id)
+        validation.append(
+            FoldInUser(
+                user_id=user_id,
+                fold_in=sequence[:-2],
+                targets=sequence[-2:-1],
+            )
+        )
+        test.append(
+            FoldInUser(
+                user_id=user_id,
+                fold_in=sequence[:-1],
+                targets=sequence[-1:],
+            )
+        )
+    if not validation:
+        raise ValueError(
+            "no user is long enough to evaluate under weak generalization"
+        )
+    train = SequenceCorpus(
+        sequences=train_sequences,
+        num_items=corpus.num_items,
+        user_ids=train_user_ids,
+        item_to_index=corpus.item_to_index,
+    )
+    return StrongGeneralizationSplit(
+        train=train, validation=validation, test=test
+    )

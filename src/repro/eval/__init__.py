@@ -1,0 +1,31 @@
+"""Evaluation: the paper's metrics and held-out-user protocol."""
+
+from .evaluator import EvaluationResult, evaluate_recommender
+from .inspection import (
+    PosteriorSummary,
+    attention_map,
+    history_diversity,
+    posterior_summary,
+)
+from .significance import (
+    BootstrapReport,
+    paired_bootstrap,
+    per_user_metric,
+)
+from .metrics import ndcg_at_n, precision_at_n, rank_items, recall_at_n
+
+__all__ = [
+    "EvaluationResult",
+    "PosteriorSummary",
+    "BootstrapReport",
+    "attention_map",
+    "evaluate_recommender",
+    "history_diversity",
+    "ndcg_at_n",
+    "paired_bootstrap",
+    "per_user_metric",
+    "posterior_summary",
+    "precision_at_n",
+    "rank_items",
+    "recall_at_n",
+]

@@ -1,0 +1,86 @@
+"""Held-out-user evaluation implementing the paper's protocol.
+
+For each held-out user the first 80% of their history (the *fold-in*
+portion, already split by :mod:`repro.data.splits`) is shown to the
+model, which scores every item; the last 20% are the relevance targets.
+Items from the fold-in portion are excluded from the ranked list, as in
+the SVAE protocol the paper follows.  Metrics are averaged over users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.splits import FoldInUser
+from .metrics import ndcg_at_n, precision_at_n, rank_items, recall_at_n
+
+__all__ = ["EvaluationResult", "evaluate_recommender"]
+
+
+@dataclass
+class EvaluationResult:
+    """Average metric values keyed like ``ndcg@10`` / ``recall@20``."""
+
+    values: dict[str, float] = field(default_factory=dict)
+    num_users: int = 0
+
+    def __getitem__(self, key: str) -> float:
+        return self.values[key]
+
+    def as_percentages(self) -> dict[str, float]:
+        """The paper reports all metrics in percentage points."""
+        return {key: 100.0 * value for key, value in self.values.items()}
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{key}={100 * value:.3f}%" for key, value in sorted(self.values.items())
+        )
+        return f"EvaluationResult({parts}, users={self.num_users})"
+
+
+def evaluate_recommender(
+    recommender,
+    heldout: list[FoldInUser],
+    cutoffs: tuple[int, ...] = (10, 20),
+    exclude_fold_in: bool = True,
+    batch_size: int = 64,
+) -> EvaluationResult:
+    """Score every held-out user and average the Section V-C metrics.
+
+    Args:
+        recommender: any object with ``score_batch(histories)`` returning
+            an ``(len(histories), num_items + 1)`` score matrix (see
+            :class:`repro.models.base.Recommender`).
+        heldout: fold-in/target users from the strong-generalization split.
+        cutoffs: the ``N`` values (paper: 10 and 20).
+        exclude_fold_in: drop already-seen items from the ranked list.
+        batch_size: users scored per forward pass.
+    """
+    if not heldout:
+        raise ValueError("no held-out users to evaluate")
+    max_cutoff = max(cutoffs)
+    sums = {
+        f"{metric}@{n}": 0.0
+        for metric in ("ndcg", "recall", "precision")
+        for n in cutoffs
+    }
+    for start in range(0, len(heldout), batch_size):
+        chunk = heldout[start:start + batch_size]
+        scores = recommender.score_batch([user.fold_in for user in chunk])
+        scores = np.asarray(scores, dtype=np.float64)
+        for user, user_scores in zip(chunk, scores):
+            exclude = user.fold_in if exclude_fold_in else None
+            ranked = rank_items(user_scores, max_cutoff, exclude=exclude)
+            for n in cutoffs:
+                sums[f"ndcg@{n}"] += ndcg_at_n(ranked, user.targets, n)
+                sums[f"recall@{n}"] += recall_at_n(ranked, user.targets, n)
+                sums[f"precision@{n}"] += precision_at_n(
+                    ranked, user.targets, n
+                )
+    count = len(heldout)
+    return EvaluationResult(
+        values={key: total / count for key, total in sums.items()},
+        num_users=count,
+    )

@@ -1,0 +1,123 @@
+"""Model introspection: attention maps and posterior statistics.
+
+The paper argues two qualitative points — self-attention reaches
+arbitrarily far back (Section I), and the posterior variance captures
+preference uncertainty (Figure 1).  These helpers make both observable
+on a trained model, and power ``examples/uncertainty_demo.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..tensor import no_grad
+
+__all__ = [
+    "attention_map",
+    "PosteriorSummary",
+    "posterior_summary",
+    "history_diversity",
+]
+
+
+def attention_map(model, history: np.ndarray, block: int = 0,
+                  stack: str = "inference") -> np.ndarray:
+    """Attention weights of one self-attention block for one user.
+
+    Args:
+        model: a trained :class:`repro.core.VSAN` (or SASRec — anything
+            exposing ``embedding`` and a block stack attribute).
+        history: raw item-id history.
+        block: which block of the stack to inspect.
+        stack: ``"inference"`` or ``"generative"`` (VSAN) / ``"blocks"``
+            (SASRec).
+
+    Returns:
+        ``(heads, n, n)`` array of attention distributions for the padded
+        window; rows are query positions.
+    """
+    stacks = {
+        "inference": "inference_stack",
+        "generative": "generative_stack",
+        "blocks": "blocks",
+    }
+    if stack not in stacks:
+        raise KeyError(f"stack must be one of {sorted(stacks)}")
+    stack_module = getattr(model, stacks[stack])
+    if block >= len(stack_module):
+        raise IndexError(
+            f"{stack} stack has {len(stack_module)} blocks, asked for "
+            f"{block}"
+        )
+    model.eval()
+    padded = model.padded_input(np.asarray(history, dtype=np.int64))[None, :]
+    with no_grad():
+        embedded, timeline_mask, key_padding_mask = model.embedding(padded)
+        x = embedded
+        if stack == "generative":
+            # VSAN's generative stack attends over the latent sequence,
+            # not the raw embeddings: run the inference side first.
+            x = model.inference_stack(
+                embedded,
+                key_padding_mask=key_padding_mask,
+                timeline_mask=timeline_mask,
+            )
+            if getattr(model, "use_latent", False):
+                mu, _ = model.posterior(x)
+                x = mu  # evaluation-time latent (posterior mean)
+        for index, module in enumerate(stack_module.blocks):
+            if index == block:
+                _, weights = module.attention(
+                    x, key_padding_mask=key_padding_mask,
+                    return_weights=True,
+                )
+                return weights.numpy()[0]
+            x = module(
+                x,
+                key_padding_mask=key_padding_mask,
+                timeline_mask=timeline_mask,
+            )
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+@dataclass
+class PosteriorSummary:
+    """Posterior statistics for one user's current position."""
+
+    mean_norm: float
+    mean_sigma: float
+    max_sigma: float
+
+    def __repr__(self) -> str:
+        return (
+            f"PosteriorSummary(|mu|={self.mean_norm:.3f}, "
+            f"sigma mean={self.mean_sigma:.4f} max={self.max_sigma:.4f})"
+        )
+
+
+def posterior_summary(model, history: np.ndarray) -> PosteriorSummary:
+    """Summarize VSAN's posterior q(z|S) at the user's last position."""
+    if not getattr(model, "use_latent", False):
+        raise ValueError("model has no latent variable (use_latent=False)")
+    model.eval()
+    padded = model.padded_input(np.asarray(history, dtype=np.int64))[None, :]
+    with no_grad():
+        encoded, _, _ = model.inference_layer(padded)
+        mu, sigma = model.posterior(encoded)
+    mu_last = mu.numpy()[0, -1, :]
+    sigma_last = sigma.numpy()[0, -1, :]
+    return PosteriorSummary(
+        mean_norm=float(np.linalg.norm(mu_last)),
+        mean_sigma=float(sigma_last.mean()),
+        max_sigma=float(sigma_last.max()),
+    )
+
+
+def history_diversity(history: np.ndarray) -> float:
+    """Distinct-item ratio of a history: 1.0 = all distinct items."""
+    history = np.asarray(history)
+    if len(history) == 0:
+        raise ValueError("empty history")
+    return len(np.unique(history)) / len(history)

@@ -1,0 +1,75 @@
+"""Ranking metrics from Section V-C of the paper.
+
+All three treat the recommendation list ``R_N`` (top-``N`` predicted
+items) against the user's test set ``T``:
+
+- ``Precision@N = |T ∩ R_N| / N``            (Eq. 21)
+- ``Recall@N    = |T ∩ R_N| / |T|``          (Eq. 22)
+- ``NDCG@N``: DCG with 1/log2(rank+1) gains over hits, normalized by the
+  ideal DCG of min(|T|, N) hits (the definition of Sachdeva et al. that
+  the paper adopts).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["precision_at_n", "recall_at_n", "ndcg_at_n", "rank_items"]
+
+
+def _as_sets(recommended, relevant) -> tuple[list[int], set[int]]:
+    recommended = [int(item) for item in recommended]
+    relevant = {int(item) for item in relevant}
+    if not relevant:
+        raise ValueError("relevant set must be non-empty")
+    return recommended, relevant
+
+
+def precision_at_n(recommended, relevant, n: int) -> float:
+    """Fraction of the top-``n`` list that is relevant."""
+    recommended, relevant = _as_sets(recommended, relevant)
+    hits = sum(1 for item in recommended[:n] if item in relevant)
+    return hits / n
+
+
+def recall_at_n(recommended, relevant, n: int) -> float:
+    """Fraction of the relevant set found in the top-``n`` list."""
+    recommended, relevant = _as_sets(recommended, relevant)
+    hits = sum(1 for item in recommended[:n] if item in relevant)
+    return hits / len(relevant)
+
+
+def ndcg_at_n(recommended, relevant, n: int) -> float:
+    """Position-discounted gain, normalized by the ideal ordering."""
+    recommended, relevant = _as_sets(recommended, relevant)
+    dcg = sum(
+        1.0 / np.log2(rank + 2)
+        for rank, item in enumerate(recommended[:n])
+        if item in relevant
+    )
+    ideal_hits = min(len(relevant), n)
+    idcg = sum(1.0 / np.log2(rank + 2) for rank in range(ideal_hits))
+    return dcg / idcg
+
+
+def rank_items(
+    scores: np.ndarray,
+    top_n: int,
+    exclude: np.ndarray | None = None,
+) -> np.ndarray:
+    """Item ids of the ``top_n`` highest scores, best first.
+
+    Args:
+        scores: 1-D array indexed by item id (index 0 is the padding slot
+            and is always excluded).
+        top_n: list length.
+        exclude: item ids to remove from consideration (e.g. the user's
+            fold-in items).
+    """
+    scores = np.asarray(scores, dtype=np.float64).copy()
+    scores[0] = -np.inf
+    if exclude is not None:
+        scores[np.asarray(exclude, dtype=np.int64)] = -np.inf
+    top_n = min(top_n, len(scores) - 1)
+    candidates = np.argpartition(-scores, top_n)[:top_n]
+    return candidates[np.argsort(-scores[candidates], kind="stable")]

@@ -1,0 +1,22 @@
+"""Experiment harness: regenerate every table and figure of Section V."""
+
+from .datasets import BEAUTY, DATASETS, ML1M, LoadedDataset, load_dataset
+from .registry import EXPERIMENTS, ExperimentSpec, run_experiment
+from .reporting import ExperimentResult
+from .zoo import MODEL_NAMES, build_model, fit_model, train_and_evaluate
+
+__all__ = [
+    "BEAUTY",
+    "DATASETS",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "LoadedDataset",
+    "ML1M",
+    "MODEL_NAMES",
+    "build_model",
+    "fit_model",
+    "load_dataset",
+    "run_experiment",
+    "train_and_evaluate",
+]

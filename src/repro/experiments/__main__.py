@@ -1,0 +1,49 @@
+"""Command-line entry: ``python -m repro.experiments [ids...]``.
+
+Runs the requested experiments (default: all) and prints each table.
+``--fast`` uses the reduced-scale datasets/budgets; ``--save DIR`` also
+writes one JSON per experiment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .registry import EXPERIMENTS, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=sorted(EXPERIMENTS),
+        help=f"experiment ids (default: all of {sorted(EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="reduced-scale datasets and training budgets",
+    )
+    parser.add_argument(
+        "--save", metavar="DIR", default=None,
+        help="also write <id>.json files into DIR",
+    )
+    args = parser.parse_args(argv)
+
+    for experiment_id in args.experiments:
+        started = time.time()
+        result = run_experiment(experiment_id, fast=args.fast)
+        print(result.render())
+        print(f"({time.time() - started:.1f}s)\n")
+        if args.save:
+            result.save(args.save)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,179 @@
+"""Extra ablations beyond the paper's own (DESIGN.md §5):
+
+- **weight tying**: Eq. 19 uses a separate output projection ``W_g``;
+  SASRec ties scoring to the item embedding table.  Which matters?
+- **evaluation-time z**: the paper scores from the posterior mean; how
+  much is lost by sampling at evaluation instead?
+"""
+
+from __future__ import annotations
+
+from ..eval import evaluate_recommender
+from .datasets import DATASETS, load_dataset
+from .reporting import ExperimentResult
+from .zoo import build_model, fit_model
+
+__all__ = [
+    "run_tying",
+    "run_eval_z",
+    "run_positions",
+    "run_samples",
+    "run_protocol",
+]
+
+_METRICS = ("ndcg@10", "ndcg@20", "recall@10", "recall@20")
+
+
+def run_tying(
+    fast: bool = False,
+    datasets: tuple[str, ...] = tuple(DATASETS),
+    seed: int = 0,
+) -> ExperimentResult:
+    """Separate W_g (paper, Eq. 19) vs tied item-embedding scoring."""
+    result = ExperimentResult(
+        experiment_id="ablation_tying",
+        title="VSAN output projection: separate W_g vs tied embeddings",
+        headers=["dataset", "variant", *_METRICS],
+    )
+    for dataset_key in datasets:
+        dataset = load_dataset(dataset_key, fast=fast)
+        for label, tie in (("separate-Wg", False), ("tied", True)):
+            model = build_model(
+                "VSAN", dataset, seed=seed, fast=fast, tie_weights=tie
+            )
+            fit_model(model, dataset, fast=fast, seed=seed, sweep=True)
+            values = evaluate_recommender(
+                model, dataset.split.test
+            ).as_percentages()
+            result.rows.append(
+                [dataset_key, label] + [values[m] for m in _METRICS]
+            )
+    return result
+
+
+def run_eval_z(
+    fast: bool = False,
+    datasets: tuple[str, ...] = tuple(DATASETS),
+    seed: int = 0,
+) -> ExperimentResult:
+    """Posterior mean vs sampled z at evaluation (same trained weights)."""
+    result = ExperimentResult(
+        experiment_id="ablation_eval_z",
+        title="VSAN evaluation-time latent: posterior mean vs sample",
+        headers=["dataset", "variant", *_METRICS],
+    )
+    for dataset_key in datasets:
+        dataset = load_dataset(dataset_key, fast=fast)
+        model = build_model("VSAN", dataset, seed=seed, fast=fast)
+        fit_model(model, dataset, fast=fast, seed=seed, sweep=True)
+        for label, sample in (("mean", False), ("sampled", True)):
+            model.sample_at_eval = sample
+            values = evaluate_recommender(
+                model, dataset.split.test
+            ).as_percentages()
+            result.rows.append(
+                [dataset_key, label] + [values[m] for m in _METRICS]
+            )
+        model.sample_at_eval = False
+    return result
+
+
+def run_positions(
+    fast: bool = False,
+    datasets: tuple[str, ...] = tuple(DATASETS),
+    seed: int = 0,
+) -> ExperimentResult:
+    """Learnable positional matrix (paper, Eq. 4) vs fixed sinusoidal."""
+    result = ExperimentResult(
+        experiment_id="ablation_positions",
+        title="VSAN positional encoding: learnable P vs sinusoidal",
+        headers=["dataset", "variant", *_METRICS],
+    )
+    for dataset_key in datasets:
+        dataset = load_dataset(dataset_key, fast=fast)
+        for variant in ("learnable", "sinusoidal"):
+            model = build_model(
+                "VSAN", dataset, seed=seed, fast=fast, positions=variant
+            )
+            fit_model(model, dataset, fast=fast, seed=seed, sweep=True)
+            values = evaluate_recommender(
+                model, dataset.split.test
+            ).as_percentages()
+            result.rows.append(
+                [dataset_key, variant] + [values[m] for m in _METRICS]
+            )
+    return result
+
+
+def run_samples(
+    fast: bool = False,
+    datasets: tuple[str, ...] = tuple(DATASETS),
+    sample_counts: tuple[int, ...] = (1, 4),
+    seed: int = 0,
+) -> ExperimentResult:
+    """Single-sample ELBO (paper) vs multi-sample Monte-Carlo average."""
+    result = ExperimentResult(
+        experiment_id="ablation_samples",
+        title="VSAN ELBO samples per step: 1 (paper) vs L > 1",
+        headers=["dataset", "samples", *_METRICS],
+    )
+    for dataset_key in datasets:
+        dataset = load_dataset(dataset_key, fast=fast)
+        for count in sample_counts:
+            model = build_model(
+                "VSAN", dataset, seed=seed, fast=fast, num_samples=count
+            )
+            fit_model(model, dataset, fast=fast, seed=seed, sweep=True)
+            values = evaluate_recommender(
+                model, dataset.split.test
+            ).as_percentages()
+            result.rows.append(
+                [dataset_key, count] + [values[m] for m in _METRICS]
+            )
+    return result
+
+
+def run_protocol(
+    fast: bool = False,
+    datasets: tuple[str, ...] = tuple(DATASETS),
+    seed: int = 0,
+) -> ExperimentResult:
+    """Strong vs weak generalization (the paper's Section V-A choice).
+
+    The paper argues strong generalization — evaluating on users never
+    seen in training — is "more robust and realistic" than the common
+    weak protocol where the same user appears in both.  This experiment
+    trains VSAN under both protocols on the same corpus and reports the
+    gap (weak numbers are typically higher: the model has seen the very
+    user it is ranking for).
+    """
+    from ..data import split_weak_generalization
+    from ..train import Trainer
+    from .zoo import default_trainer_config
+
+    result = ExperimentResult(
+        experiment_id="ablation_protocol",
+        title="VSAN under strong vs weak generalization",
+        headers=["dataset", "protocol", "#eval users", *_METRICS],
+    )
+    for dataset_key in datasets:
+        dataset = load_dataset(dataset_key, fast=fast)
+        protocols = (
+            ("strong", dataset.split),
+            ("weak", split_weak_generalization(dataset.corpus)),
+        )
+        for label, split in protocols:
+            model = build_model("VSAN", dataset, seed=seed, fast=fast)
+            config = default_trainer_config(fast, seed=seed, sweep=True)
+            validation = (
+                split.validation if config.patience is not None else None
+            )
+            Trainer(config).fit(model, split.train, validation=validation)
+            values = evaluate_recommender(
+                model, split.test
+            ).as_percentages()
+            result.rows.append(
+                [dataset_key, label, len(split.test)]
+                + [values[m] for m in _METRICS]
+            )
+    return result

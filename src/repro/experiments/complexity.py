@@ -1,0 +1,86 @@
+"""Section IV-F: time and space complexity, measured.
+
+The paper argues VSAN's cost is O(n^2 d + n d^2) per layer — the same
+order as SASRec, i.e. handling uncertainty costs no extra asymptotic
+time — while RNNs pay O(n d^2) *sequential* steps that cannot be
+parallelized.  This experiment measures wall-clock per training step as
+the window ``n`` grows for VSAN, SASRec, and GRU4Rec, plus parameter
+counts (the space side: O(Nd + nd + d^2)).
+
+These are substrate-relative numbers (a numpy engine, not a GPU), so the
+claim checked is *relative scaling*: VSAN tracks SASRec closely, and the
+GRU's step time grows linearly in ``n`` with a large sequential constant.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..core import VSAN
+from ..models import SASRec, GRU4Rec
+from .reporting import ExperimentResult
+
+__all__ = ["run"]
+
+
+def _step_time(model, padded: np.ndarray, repeats: int) -> float:
+    model.train()
+    # One warmup step, then the timed median.
+    times = []
+    for _ in range(repeats + 1):
+        model.zero_grad()
+        started = time.perf_counter()
+        loss = model.training_loss(padded)
+        loss.backward()
+        times.append(time.perf_counter() - started)
+    return float(np.median(times[1:]))
+
+
+def run(
+    fast: bool = False,
+    lengths: tuple[int, ...] | None = None,
+    dim: int = 48,
+    num_items: int = 500,
+    batch_size: int = 32,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Measure per-step wall clock vs window length for the three
+    architectures the complexity analysis compares."""
+    if lengths is None:
+        lengths = (10, 20) if fast else (10, 20, 40, 80)
+    if fast:
+        batch_size = min(batch_size, 16)
+    repeats = 2 if fast else 3
+    rng = np.random.default_rng(seed)
+    result = ExperimentResult(
+        experiment_id="complexity",
+        title="Section IV-F: training-step time (s) and parameters vs n",
+        headers=["model", "n", "step_seconds", "parameters"],
+        notes=(
+            "Relative scaling on the numpy substrate; the paper's claim "
+            "is that VSAN matches SASRec's O(n^2 d) order while RNNs pay "
+            "O(n d^2) sequential steps."
+        ),
+    )
+    builders = {
+        "VSAN": lambda n: VSAN(num_items, n, dim=dim, h1=1, h2=1,
+                               seed=seed),
+        "SASRec": lambda n: SASRec(num_items, n, dim=dim, num_blocks=2,
+                                   seed=seed),
+        "GRU4Rec": lambda n: GRU4Rec(num_items, n, dim=dim, seed=seed),
+    }
+    for name, build in builders.items():
+        for length in lengths:
+            model = build(length)
+            padded = np.zeros((batch_size, length + 1), dtype=np.int64)
+            fill = max(2, length // 2)
+            padded[:, -fill:] = rng.integers(
+                1, num_items + 1, size=(batch_size, fill)
+            )
+            seconds = _step_time(model, padded, repeats)
+            result.rows.append(
+                [name, length, seconds, model.num_parameters()]
+            )
+    return result

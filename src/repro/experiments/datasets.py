@@ -1,0 +1,103 @@
+"""Standard experiment datasets (the scaled Beauty-like / ML1M-like
+pairs) with process-level caching so the table/figure runners and
+benchmarks share one generation + preprocessing pass.
+
+``fast=True`` shrinks users/held-out counts so a full table regenerates
+in seconds — used by default in the benchmark suite (set
+``REPRO_FULL=1`` for the full scale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..data import (
+    BEAUTY_LIKE,
+    ML1M_LIKE,
+    SequenceCorpus,
+    StrongGeneralizationSplit,
+    generate,
+    prepare_corpus,
+    split_strong_generalization,
+)
+from ..data.synthetic import SyntheticConfig
+from ..tensor.random import make_rng
+
+__all__ = ["DatasetSpec", "LoadedDataset", "BEAUTY", "ML1M", "DATASETS",
+           "load_dataset"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A named dataset plus the paper's per-dataset protocol constants."""
+
+    key: str
+    config: SyntheticConfig
+    max_length: int
+    num_heldout: int
+    generation_seed: int = 11
+    split_seed: int = 7
+
+
+@dataclass
+class LoadedDataset:
+    """Generated, preprocessed, and split — ready for model fitting."""
+
+    spec: DatasetSpec
+    corpus: SequenceCorpus
+    split: StrongGeneralizationSplit
+
+    @property
+    def key(self) -> str:
+        return self.spec.key
+
+    @property
+    def num_items(self) -> int:
+        return self.corpus.num_items
+
+    @property
+    def max_length(self) -> int:
+        return self.spec.max_length
+
+
+# n is 50/200 in the paper; both synthetic sets have shorter histories so
+# the window scales with them (still covering the longest sequences).
+BEAUTY = DatasetSpec(
+    key="beauty", config=BEAUTY_LIKE, max_length=30, num_heldout=100
+)
+ML1M = DatasetSpec(
+    key="ml1m", config=ML1M_LIKE, max_length=60, num_heldout=50
+)
+
+DATASETS: dict[str, DatasetSpec] = {spec.key: spec for spec in (BEAUTY, ML1M)}
+
+_CACHE: dict[tuple[str, bool], LoadedDataset] = {}
+
+
+def _fast_spec(spec: DatasetSpec) -> DatasetSpec:
+    return DatasetSpec(
+        key=spec.key,
+        config=spec.config.scaled(0.35),
+        max_length=spec.max_length,
+        num_heldout=max(12, spec.num_heldout // 4),
+        generation_seed=spec.generation_seed,
+        split_seed=spec.split_seed,
+    )
+
+
+def load_dataset(key: str, fast: bool = False) -> LoadedDataset:
+    """Build (or fetch from cache) one of the standard datasets."""
+    if key not in DATASETS:
+        raise KeyError(f"unknown dataset {key!r}; have {sorted(DATASETS)}")
+    cache_key = (key, fast)
+    if cache_key not in _CACHE:
+        spec = _fast_spec(DATASETS[key]) if fast else DATASETS[key]
+        log = generate(spec.config, seed=spec.generation_seed)
+        corpus = prepare_corpus(log)
+        split = split_strong_generalization(
+            corpus, spec.num_heldout, rng=make_rng(spec.split_seed)
+        )
+        _CACHE[cache_key] = LoadedDataset(
+            spec=spec, corpus=corpus, split=split
+        )
+    return _CACHE[cache_key]

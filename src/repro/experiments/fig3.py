@@ -1,0 +1,52 @@
+"""Figure 3: performance of VSAN and SVAE under different next-``k``.
+
+Both models support predicting the next ``k`` items per position
+(Eq. 18 for VSAN; native to SVAE).  The paper's claims: VSAN beats SVAE
+at every ``k``, and performance rises then falls in ``k`` (best around
+k=2 for VSAN, k=4 for SVAE).
+"""
+
+from __future__ import annotations
+
+from ..eval import evaluate_recommender
+from .datasets import DATASETS, load_dataset
+from .reporting import ExperimentResult
+from .zoo import build_model, fit_model
+
+__all__ = ["run"]
+
+
+def run(
+    fast: bool = False,
+    k_values: tuple[int, ...] = (1, 2, 3, 4, 5),
+    datasets: tuple[str, ...] = tuple(DATASETS),
+    seed: int = 0,
+) -> ExperimentResult:
+    if fast:
+        k_values = tuple(k for k in k_values if k <= 2)
+    result = ExperimentResult(
+        experiment_id="fig3",
+        title="Performance under different k (percent)",
+        headers=["dataset", "model", "k", "ndcg@20", "recall@20"],
+    )
+    for dataset_key in datasets:
+        dataset = load_dataset(dataset_key, fast=fast)
+        for model_name in ("VSAN", "SVAE"):
+            for k in k_values:
+                model = build_model(
+                    model_name, dataset, seed=seed, fast=fast, k=k
+                )
+                fit_model(model, dataset, fast=fast, seed=seed, sweep=True)
+                values = evaluate_recommender(
+                    model, dataset.split.test
+                ).as_percentages()
+                result.rows.append(
+                    [
+                        dataset_key,
+                        model_name,
+                        k,
+                        values["ndcg@20"],
+                        values["recall@20"],
+                    ]
+                )
+    return result

@@ -1,0 +1,51 @@
+"""Figure 4: performance of VSAN and SASRec under different embedding
+dimension ``d`` (the paper sweeps 10..400; we sweep a scaled range).
+
+Claims to reproduce: VSAN above SASRec across the sweep; performance
+rises with ``d`` then saturates / dips (overfitting at large ``d``).
+"""
+
+from __future__ import annotations
+
+from ..eval import evaluate_recommender
+from .datasets import DATASETS, load_dataset
+from .reporting import ExperimentResult
+from .zoo import build_model, fit_model
+
+__all__ = ["run"]
+
+
+def run(
+    fast: bool = False,
+    dims: tuple[int, ...] = (8, 16, 32, 48, 96),
+    datasets: tuple[str, ...] = tuple(DATASETS),
+    seed: int = 0,
+) -> ExperimentResult:
+    if fast:
+        dims = (8, 32)
+    result = ExperimentResult(
+        experiment_id="fig4",
+        title="Performance under different embedding dimension d (percent)",
+        headers=["dataset", "model", "d", "ndcg@20", "recall@20"],
+    )
+    for dataset_key in datasets:
+        dataset = load_dataset(dataset_key, fast=fast)
+        for model_name in ("VSAN", "SASRec"):
+            for dim in dims:
+                model = build_model(
+                    model_name, dataset, seed=seed, fast=fast, dim=dim
+                )
+                fit_model(model, dataset, fast=fast, seed=seed, sweep=True)
+                values = evaluate_recommender(
+                    model, dataset.split.test
+                ).as_percentages()
+                result.rows.append(
+                    [
+                        dataset_key,
+                        model_name,
+                        dim,
+                        values["ndcg@20"],
+                        values["recall@20"],
+                    ]
+                )
+    return result

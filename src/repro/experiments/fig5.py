@@ -1,0 +1,44 @@
+"""Figure 5: VSAN performance under different dropout rates.
+
+Claim to reproduce: no dropout is suboptimal, moderate dropout is best
+(0.5 on sparse Beauty, 0.2 on dense ML-1M in the paper), and large rates
+collapse performance.
+"""
+
+from __future__ import annotations
+
+from ..eval import evaluate_recommender
+from .datasets import DATASETS, load_dataset
+from .reporting import ExperimentResult
+from .zoo import build_model, fit_model
+
+__all__ = ["run"]
+
+
+def run(
+    fast: bool = False,
+    rates: tuple[float, ...] = (0.0, 0.1, 0.3, 0.5, 0.7, 0.9),
+    datasets: tuple[str, ...] = tuple(DATASETS),
+    seed: int = 0,
+) -> ExperimentResult:
+    if fast:
+        rates = (0.0, 0.3, 0.9)
+    result = ExperimentResult(
+        experiment_id="fig5",
+        title="VSAN performance under different dropout rates (percent)",
+        headers=["dataset", "dropout", "ndcg@20", "recall@20"],
+    )
+    for dataset_key in datasets:
+        dataset = load_dataset(dataset_key, fast=fast)
+        for rate in rates:
+            model = build_model(
+                "VSAN", dataset, seed=seed, fast=fast, dropout_rate=rate
+            )
+            fit_model(model, dataset, fast=fast, seed=seed, sweep=True)
+            values = evaluate_recommender(
+                model, dataset.split.test
+            ).as_percentages()
+            result.rows.append(
+                [dataset_key, rate, values["ndcg@20"], values["recall@20"]]
+            )
+    return result

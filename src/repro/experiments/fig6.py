@@ -1,0 +1,46 @@
+"""Figure 6: VSAN performance under different (fixed) β vs KL annealing.
+
+The paper fixes β at values in [0, 0.9] and shows the annealed schedule
+(dotted line) beating every fixed setting on both datasets.
+"""
+
+from __future__ import annotations
+
+from ..eval import evaluate_recommender
+from ..train.annealing import ConstantBeta
+from .datasets import DATASETS, load_dataset
+from .reporting import ExperimentResult
+from .zoo import build_model, default_annealing, fit_model
+
+__all__ = ["run"]
+
+
+def run(
+    fast: bool = False,
+    betas: tuple[float, ...] = (0.0, 0.1, 0.3, 0.5, 0.7, 0.9),
+    datasets: tuple[str, ...] = tuple(DATASETS),
+    seed: int = 0,
+) -> ExperimentResult:
+    if fast:
+        betas = (0.0, 0.5)
+    result = ExperimentResult(
+        experiment_id="fig6",
+        title="VSAN performance under different beta (percent)",
+        headers=["dataset", "beta", "ndcg@20", "recall@20"],
+    )
+    for dataset_key in datasets:
+        dataset = load_dataset(dataset_key, fast=fast)
+        schedules = [(str(beta), ConstantBeta(beta)) for beta in betas]
+        schedules.append(("annealed", default_annealing(fast)))
+        for label, schedule in schedules:
+            model = build_model(
+                "VSAN", dataset, seed=seed, fast=fast, annealing=schedule
+            )
+            fit_model(model, dataset, fast=fast, seed=seed, sweep=True)
+            values = evaluate_recommender(
+                model, dataset.split.test
+            ).as_percentages()
+            result.rows.append(
+                [dataset_key, label, values["ndcg@20"], values["recall@20"]]
+            )
+    return result

@@ -1,0 +1,152 @@
+"""Terminal line charts for the figure reproductions.
+
+The paper's Figures 3–6 are line charts; the benchmark harness renders
+each regenerated figure as an ASCII chart (one glyph per series) next to
+the numeric table, so the *shape* claims — crossings, peaks, orderings —
+are visible at a glance in CI logs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ascii_line_chart", "chart_from_result"]
+
+_GLYPHS = "o*x+#@%&"
+
+
+def ascii_line_chart(
+    series: dict[str, list[tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named (x, y) series on one shared-axis ASCII grid.
+
+    Args:
+        series: label -> list of (x, y) points (need not be sorted).
+        width, height: plot area in characters.
+        x_label, y_label: axis captions.
+
+    Returns:
+        A multi-line string: legend, y-axis ticks, grid, x-axis ticks.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    if width < 10 or height < 4:
+        raise ValueError("chart needs at least 10x4 characters")
+    points = [
+        (x, y) for values in series.values() for x, y in values
+    ]
+    if not points:
+        raise ValueError("series contain no points")
+    xs = np.array([p[0] for p in points], dtype=np.float64)
+    ys = np.array([p[1] for p in points], dtype=np.float64)
+    x_low, x_high = float(xs.min()), float(xs.max())
+    y_low, y_high = float(ys.min()), float(ys.max())
+    if x_high == x_low:
+        x_high = x_low + 1.0
+    if y_high == y_low:
+        y_high = y_low + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_column(x: float) -> int:
+        return int(round((x - x_low) / (x_high - x_low) * (width - 1)))
+
+    def to_row(y: float) -> int:
+        return (height - 1) - int(
+            round((y - y_low) / (y_high - y_low) * (height - 1))
+        )
+
+    for index, (label, values) in enumerate(series.items()):
+        glyph = _GLYPHS[index % len(_GLYPHS)]
+        ordered = sorted(values)
+        # Connect consecutive points with interpolated glyph dots.
+        for (x1, y1), (x2, y2) in zip(ordered, ordered[1:]):
+            steps = max(abs(to_column(x2) - to_column(x1)), 1)
+            for step in range(steps + 1):
+                t = step / steps
+                column = to_column(x1 + t * (x2 - x1))
+                row = to_row(y1 + t * (y2 - y1))
+                if grid[row][column] == " ":
+                    grid[row][column] = "." if 0 < step < steps else glyph
+        for x, y in ordered:
+            grid[to_row(y)][to_column(x)] = glyph
+
+    legend = "   ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]} {label}"
+        for i, label in enumerate(series)
+    )
+    lines = [legend]
+    if y_label:
+        lines.append(y_label)
+    top_tick = f"{y_high:.2f}"
+    bottom_tick = f"{y_low:.2f}"
+    margin = max(len(top_tick), len(bottom_tick))
+    for row_number, row in enumerate(grid):
+        if row_number == 0:
+            tick = top_tick.rjust(margin)
+        elif row_number == height - 1:
+            tick = bottom_tick.rjust(margin)
+        else:
+            tick = " " * margin
+        lines.append(f"{tick} |{''.join(row)}")
+    axis = " " * margin + " +" + "-" * width
+    lines.append(axis)
+    x_ticks = (
+        " " * margin
+        + "  "
+        + f"{x_low:g}".ljust(width - len(f"{x_high:g}"))
+        + f"{x_high:g}"
+    )
+    lines.append(x_ticks + (f"  ({x_label})" if x_label else ""))
+    return "\n".join(lines)
+
+
+def chart_from_result(
+    result,
+    x_header: str,
+    y_header: str,
+    series_header: str | None = None,
+    dataset: str | None = None,
+    **chart_kwargs,
+) -> str:
+    """Build a chart from an :class:`ExperimentResult`'s rows.
+
+    Args:
+        result: the experiment result (figure sweeps).
+        x_header / y_header: column names for the axes.
+        series_header: column that names the series (e.g. ``"model"``);
+            None puts everything in one series.
+        dataset: filter rows to one dataset (column ``"dataset"``).
+    """
+    x_index = result.headers.index(x_header)
+    y_index = result.headers.index(y_header)
+    series_index = (
+        result.headers.index(series_header) if series_header else None
+    )
+    dataset_index = (
+        result.headers.index("dataset") if "dataset" in result.headers
+        else None
+    )
+    series: dict[str, list[tuple[float, float]]] = {}
+    for row in result.rows:
+        if dataset is not None and dataset_index is not None:
+            if row[dataset_index] != dataset:
+                continue
+        label = (
+            str(row[series_index]) if series_index is not None else y_header
+        )
+        x_value = row[x_index]
+        if isinstance(x_value, str):
+            # e.g. fig6's "annealed" label — skip non-numeric x points.
+            try:
+                x_value = float(x_value)
+            except ValueError:
+                continue
+        series.setdefault(label, []).append((float(x_value), float(row[y_index])))
+    return ascii_line_chart(
+        series, x_label=x_header, y_label=y_header, **chart_kwargs
+    )

@@ -1,0 +1,93 @@
+"""Registry mapping every paper table/figure (plus extra ablations) to
+its runner.  ``run_experiment("table3")`` regenerates Table III;
+``python -m repro.experiments table3`` does the same from the shell.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from . import (
+    ablations,
+    complexity,
+    significance,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+)
+from .reporting import ExperimentResult
+
+__all__ = ["ExperimentSpec", "EXPERIMENTS", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered experiment."""
+
+    experiment_id: str
+    title: str
+    runner: Callable[..., ExperimentResult]
+
+
+EXPERIMENTS: dict[str, ExperimentSpec] = {
+    spec.experiment_id: spec
+    for spec in (
+        ExperimentSpec("table2", "Dataset statistics", table2.run),
+        ExperimentSpec("table3", "Overall performance", table3.run),
+        ExperimentSpec(
+            "table4", "Self-attention block grid (h1, h2)", table4.run
+        ),
+        ExperimentSpec("table5", "Latent variable ablation", table5.run),
+        ExperimentSpec("table6", "Feed-forward ablation", table6.run),
+        ExperimentSpec("fig3", "Next-k sweep (VSAN vs SVAE)", fig3.run),
+        ExperimentSpec(
+            "fig4", "Embedding-dimension sweep (VSAN vs SASRec)", fig4.run
+        ),
+        ExperimentSpec("fig5", "Dropout sweep", fig5.run),
+        ExperimentSpec("fig6", "Beta / KL-annealing sweep", fig6.run),
+        ExperimentSpec(
+            "ablation_tying", "Output-projection tying", ablations.run_tying
+        ),
+        ExperimentSpec(
+            "ablation_eval_z", "Evaluation-time latent", ablations.run_eval_z
+        ),
+        ExperimentSpec(
+            "ablation_positions", "Positional-encoding ablation",
+            ablations.run_positions,
+        ),
+        ExperimentSpec(
+            "ablation_samples", "Multi-sample ELBO ablation",
+            ablations.run_samples,
+        ),
+        ExperimentSpec(
+            "ablation_protocol", "Strong vs weak generalization",
+            ablations.run_protocol,
+        ),
+        ExperimentSpec(
+            "complexity", "Section IV-F complexity measurements",
+            complexity.run,
+        ),
+        ExperimentSpec(
+            "significance", "Paired bootstrap: VSAN vs SASRec",
+            significance.run,
+        ),
+    )
+}
+
+
+def run_experiment(experiment_id: str, fast: bool = False,
+                   **kwargs) -> ExperimentResult:
+    """Look up and run one experiment by id."""
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"have {sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[experiment_id].runner(fast=fast, **kwargs)

@@ -1,0 +1,97 @@
+"""Result containers and plain-text table rendering for the experiment
+harness.  Every table/figure runner returns an :class:`ExperimentResult`
+that renders the same rows the paper reports and serializes to JSON for
+EXPERIMENTS.md bookkeeping.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["ExperimentResult", "format_cell"]
+
+
+def format_cell(value) -> str:
+    """Human formatting: floats to 3 decimals, everything else via str."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table or figure.
+
+    Attributes:
+        experiment_id: e.g. ``"table3"`` or ``"fig5"``.
+        title: what the paper calls it.
+        headers: column names.
+        rows: list of row value lists (floats are metric percentages).
+        notes: free-form commentary (e.g. which shape claims held).
+    """
+
+    experiment_id: str
+    title: str
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: str = ""
+
+    def render(self) -> str:
+        """Fixed-width text table (the benchmark harness prints this)."""
+        table = [self.headers] + [
+            [format_cell(value) for value in row] for row in self.rows
+        ]
+        widths = [
+            max(len(row[col]) for row in table)
+            for col in range(len(self.headers))
+        ]
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        for row_number, row in enumerate(table):
+            lines.append(
+                "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+            )
+            if row_number == 0:
+                lines.append("  ".join("-" * width for width in widths))
+        if self.notes:
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "headers": self.headers,
+            "rows": self.rows,
+            "notes": self.notes,
+        }
+
+    def save(self, directory: str | Path) -> Path:
+        """Write ``<experiment_id>.json`` into ``directory``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{self.experiment_id}.json"
+        with open(path, "w") as handle:
+            json.dump(self.to_json(), handle, indent=2)
+        return path
+
+    def column(self, header: str) -> list:
+        """Extract one column by header name (for assertions in benches)."""
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ExperimentResult":
+        """Read a result previously written by :meth:`save`."""
+        with open(path) as handle:
+            payload = json.load(handle)
+        return cls(
+            experiment_id=payload["experiment_id"],
+            title=payload["title"],
+            headers=payload["headers"],
+            rows=payload["rows"],
+            notes=payload.get("notes", ""),
+        )

@@ -1,0 +1,83 @@
+"""Table III: overall performance of all nine models on both datasets.
+
+Reports NDCG / Recall / Precision at 10 and 20 (in percentage points)
+per model per dataset, plus the paper's "Improv." row — VSAN's relative
+improvement over the strongest baseline per metric.
+"""
+
+from __future__ import annotations
+
+from .datasets import DATASETS, load_dataset
+from .reporting import ExperimentResult
+from .zoo import MODEL_NAMES, train_and_evaluate
+
+__all__ = ["run", "METRICS"]
+
+METRICS = (
+    "ndcg@10",
+    "ndcg@20",
+    "recall@10",
+    "recall@20",
+    "precision@10",
+    "precision@20",
+)
+
+
+def run(
+    fast: bool = False,
+    models: tuple[str, ...] = MODEL_NAMES,
+    datasets: tuple[str, ...] = tuple(DATASETS),
+    seed: int = 0,
+    num_seeds: int = 1,
+) -> ExperimentResult:
+    """Train and evaluate every model on every dataset.
+
+    ``num_seeds > 1`` trains each model that many times (seeds
+    ``seed .. seed + num_seeds - 1``) and reports the mean, mirroring the
+    paper's averaging over five runs.
+    """
+    result = ExperimentResult(
+        experiment_id="table3",
+        title="Overall performance of all models (percent)",
+        headers=["dataset", "model", *METRICS],
+    )
+    if num_seeds > 1:
+        result.notes = f"mean over {num_seeds} seeds"
+    per_dataset: dict[str, dict[str, dict[str, float]]] = {}
+    for dataset_key in datasets:
+        dataset = load_dataset(dataset_key, fast=fast)
+        per_dataset[dataset_key] = {}
+        for model_name in models:
+            runs = [
+                train_and_evaluate(
+                    model_name, dataset, seed=seed + offset, fast=fast
+                ).as_percentages()
+                for offset in range(num_seeds)
+            ]
+            values = {
+                metric: sum(run[metric] for run in runs) / len(runs)
+                for metric in METRICS
+            }
+            per_dataset[dataset_key][model_name] = values
+            result.rows.append(
+                [dataset_key, model_name]
+                + [values[metric] for metric in METRICS]
+            )
+    if "VSAN" in models and len(models) > 1:
+        for dataset_key in datasets:
+            scores = per_dataset[dataset_key]
+            improvements = []
+            for metric in METRICS:
+                best_baseline = max(
+                    scores[name][metric]
+                    for name in models
+                    if name != "VSAN"
+                )
+                ours = scores["VSAN"][metric]
+                improvements.append(
+                    100.0 * (ours - best_baseline) / best_baseline
+                    if best_baseline > 0
+                    else float("nan")
+                )
+            result.rows.append([dataset_key, "Improv.(%)"] + improvements)
+    return result

@@ -1,0 +1,47 @@
+"""Table IV: Recall@20 over the (h1, h2) self-attention block grid.
+
+``h1`` is the number of inference blocks, ``h2`` the number of
+generative blocks; 0 means the corresponding stack is skipped (inference:
+raw input embedding; generative: the latent feeds the prediction layer
+directly), exactly as the paper defines the 0 rows/columns.
+"""
+
+from __future__ import annotations
+
+from ..eval import evaluate_recommender
+from .datasets import DATASETS, load_dataset
+from .reporting import ExperimentResult
+from .zoo import build_model, default_trainer_config, fit_model
+
+__all__ = ["run"]
+
+
+def run(
+    fast: bool = False,
+    block_counts: tuple[int, ...] = (0, 1, 2, 3),
+    datasets: tuple[str, ...] = tuple(DATASETS),
+    seed: int = 0,
+) -> ExperimentResult:
+    """Sweep the block grid; one row per (dataset, h2), one column per h1."""
+    if fast:
+        block_counts = tuple(h for h in block_counts if h <= 1)
+    result = ExperimentResult(
+        experiment_id="table4",
+        title="Recall@20 vs number of self-attention blocks (percent)",
+        headers=["dataset", "h2"] + [f"h1={h}" for h in block_counts],
+    )
+    config = default_trainer_config(fast, seed=seed, sweep=True)
+    for dataset_key in datasets:
+        dataset = load_dataset(dataset_key, fast=fast)
+        for h2 in block_counts:
+            row: list = [dataset_key, h2]
+            for h1 in block_counts:
+                model = build_model(
+                    "VSAN", dataset, seed=seed, fast=fast, h1=h1, h2=h2
+                )
+                fit_model(model, dataset, fast=fast, seed=seed,
+                          trainer_config=config)
+                evaluation = evaluate_recommender(model, dataset.split.test)
+                row.append(100.0 * evaluation["recall@20"])
+            result.rows.append(row)
+    return result

@@ -1,0 +1,57 @@
+"""Table VI: influence of the point-wise feed-forward network.
+
+Four variants: VSAN-all-feed (FFN removed from both stacks),
+VSAN-infer-feed (removed from the inference stack only), VSAN-gene-feed
+(removed from the generative stack only), and the full VSAN.
+"""
+
+from __future__ import annotations
+
+from ..eval import evaluate_recommender
+from .datasets import DATASETS, load_dataset
+from .reporting import ExperimentResult
+from .zoo import build_model, fit_model
+
+__all__ = ["run", "METRICS", "VARIANTS"]
+
+METRICS = ("ndcg@10", "recall@10", "ndcg@20", "recall@20")
+
+# label -> (inference_feedforward, generative_feedforward); the paper's
+# names describe which FFN was *removed*.
+VARIANTS: tuple[tuple[str, bool, bool], ...] = (
+    ("VSAN-all-feed", False, False),
+    ("VSAN-infer-feed", False, True),
+    ("VSAN-gene-feed", True, False),
+    ("VSAN", True, True),
+)
+
+
+def run(
+    fast: bool = False,
+    datasets: tuple[str, ...] = tuple(DATASETS),
+    seed: int = 0,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="table6",
+        title="Influence of the point-wise feed-forward network (percent)",
+        headers=["dataset", "method", *METRICS],
+    )
+    for dataset_key in datasets:
+        dataset = load_dataset(dataset_key, fast=fast)
+        for label, infer_ffn, gene_ffn in VARIANTS:
+            model = build_model(
+                "VSAN",
+                dataset,
+                seed=seed,
+                fast=fast,
+                inference_feedforward=infer_ffn,
+                generative_feedforward=gene_ffn,
+            )
+            fit_model(model, dataset, fast=fast, seed=seed, sweep=True)
+            values = evaluate_recommender(
+                model, dataset.split.test
+            ).as_percentages()
+            result.rows.append(
+                [dataset_key, label] + [values[m] for m in METRICS]
+            )
+    return result

@@ -1,0 +1,213 @@
+"""Model zoo: per-dataset hyperparameters and a uniform fit interface.
+
+Mirrors Section V-D (scaled to the synthetic datasets): Adam with lr
+0.001 and batch size 128 for every neural model; VSAN uses ``h1=1, h2=1``
+on Beauty and ``h1=3, h2=1`` on ML-1M; dropout 0.5 on Beauty and 0.2 on
+ML-1M for the attention models; embedding dimensions scale the paper's
+200 down to the synthetic catalogue sizes.
+"""
+
+from __future__ import annotations
+
+from ..core import VSAN
+from ..eval import EvaluationResult, evaluate_recommender
+from ..models import (
+    BPR,
+    FPMC,
+    POP,
+    SASRec,
+    SVAE,
+    Caser,
+    GRU4Rec,
+    Recommender,
+    TransRec,
+)
+from ..train import KLAnnealing, Trainer, TrainerConfig
+from .datasets import LoadedDataset
+
+__all__ = [
+    "MODEL_NAMES",
+    "build_model",
+    "fit_model",
+    "train_and_evaluate",
+    "default_trainer_config",
+    "default_annealing",
+    "vsan_defaults",
+]
+
+MODEL_NAMES = (
+    "POP",
+    "BPR",
+    "FPMC",
+    "TransRec",
+    "GRU4Rec",
+    "Caser",
+    "SVAE",
+    "SASRec",
+    "VSAN",
+)
+
+# Per-dataset widths / dropout, scaled analogues of Section V-D.  The
+# paper uses d=200 and dropout 0.5/0.2 at Amazon/ML-1M scale; at our
+# scaled-down d=48 the tuned optimum shifts to 0.3/0.2 (Figure 5's sweep
+# regenerates the full curve).
+_DIM = {"beauty": 48, "ml1m": 48}
+_DROPOUT = {"beauty": 0.3, "ml1m": 0.2}
+# VSAN's reparameterization noise already regularizes, so its tuned
+# dropout sits below the deterministic models' (the paper likewise tunes
+# dropout per model; Figure 5 regenerates VSAN's full curve).
+_VSAN_DROPOUT = {"beauty": 0.2, "ml1m": 0.2}
+# Paper: (1,1) on Beauty, (3,1) on ML-1M.  At our scale the ML-1M grid
+# is a near-tie between (3,1) and (1,1) — exactly as in the paper's own
+# Table IV — so the paper's choices are kept (the grid regenerates via
+# the table4 experiment).
+_VSAN_BLOCKS = {"beauty": (1, 1), "ml1m": (3, 1)}
+_CLASSIC_EPOCHS = {"beauty": 40, "ml1m": 40}
+
+
+def default_annealing(fast: bool = False) -> KLAnnealing:
+    """The KL schedule used by VSAN/SVAE unless an experiment overrides
+    it: hold β=0 briefly, then ramp to a small target.
+
+    The target is small because Eq. 20 sums the KL over all ``d`` latent
+    dimensions — at d=48 a KL weight of ~0.005 balances a reconstruction
+    term of ~ln(N); larger targets collapse the posterior (Figure 6
+    regenerates the full sweep).
+    """
+    if fast:
+        return KLAnnealing(target=0.005, warmup_steps=10, anneal_steps=60)
+    return KLAnnealing(target=0.005, warmup_steps=50, anneal_steps=300)
+
+
+def default_trainer_config(
+    fast: bool = False, seed: int = 0, sweep: bool = False
+) -> TrainerConfig:
+    """Training budget.
+
+    - full (Table III): early-stopped 60 epochs;
+    - sweep (Tables IV–VI, Figures 3–6: dozens of configurations where
+      only *relative* ordering matters): early-stopped 30 epochs;
+    - fast: 8 epochs, no early stopping (smoke scale).
+    """
+    if fast:
+        return TrainerConfig(epochs=8, batch_size=128, seed=seed)
+    return TrainerConfig(
+        epochs=30 if sweep else 80,
+        batch_size=128,
+        seed=seed,
+        patience=4 if sweep else 5,
+        eval_every=2,
+    )
+
+
+def vsan_defaults(dataset: LoadedDataset, fast: bool = False,
+                  seed: int = 0) -> dict:
+    """Constructor kwargs for the paper's per-dataset VSAN setting."""
+    h1, h2 = _VSAN_BLOCKS[dataset.key]
+    return {
+        "num_items": dataset.num_items,
+        "max_length": dataset.max_length,
+        "dim": _DIM[dataset.key],
+        "h1": h1,
+        "h2": h2,
+        "k": 1,
+        "dropout_rate": _VSAN_DROPOUT[dataset.key],
+        "annealing": default_annealing(fast),
+        "seed": seed,
+    }
+
+
+def build_model(
+    name: str, dataset: LoadedDataset, seed: int = 0, fast: bool = False,
+    **overrides,
+) -> Recommender:
+    """Instantiate a Table III model with its per-dataset defaults."""
+    num_items = dataset.num_items
+    max_length = dataset.max_length
+    dim = _DIM[dataset.key]
+    dropout = _DROPOUT[dataset.key]
+    classic_epochs = 10 if fast else _CLASSIC_EPOCHS[dataset.key]
+    if name == "POP":
+        return POP(num_items)
+    classic_defaults = {"dim": 32, "epochs": classic_epochs, "seed": seed}
+    neural_defaults: dict = {"seed": seed}
+    if name == "BPR":
+        return BPR(num_items, **{**classic_defaults, **overrides})
+    if name == "FPMC":
+        return FPMC(num_items, **{**classic_defaults, **overrides})
+    if name == "TransRec":
+        return TransRec(num_items, **{**classic_defaults, **overrides})
+    if name == "GRU4Rec":
+        params = {**neural_defaults, "dim": dim, "dropout_rate": 0.2}
+        params.update(overrides)
+        return GRU4Rec(num_items, max_length, **params)
+    if name == "Caser":
+        params = {
+            **neural_defaults, "dim": dim, "window": 5, "dropout_rate": 0.2
+        }
+        params.update(overrides)
+        return Caser(num_items, max_length, **params)
+    if name == "SVAE":
+        params = {
+            **neural_defaults,
+            "dim": dim,
+            "k": 2,
+            "dropout_rate": 0.2,
+            "annealing": default_annealing(fast),
+        }
+        params.update(overrides)
+        return SVAE(num_items, max_length, **params)
+    if name == "SASRec":
+        params = {
+            **neural_defaults,
+            "dim": dim,
+            "num_blocks": 2,
+            "dropout_rate": dropout,
+        }
+        params.update(overrides)
+        return SASRec(num_items, max_length, **params)
+    if name == "VSAN":
+        params = vsan_defaults(dataset, fast=fast, seed=seed)
+        params.update(overrides)
+        return VSAN(**params)
+    raise KeyError(f"unknown model {name!r}; have {MODEL_NAMES}")
+
+
+def fit_model(
+    model: Recommender,
+    dataset: LoadedDataset,
+    fast: bool = False,
+    seed: int = 0,
+    trainer_config: TrainerConfig | None = None,
+    use_validation: bool = True,
+    sweep: bool = False,
+) -> Recommender:
+    """Fit any zoo model: classic models self-train, neural ones use the
+    Trainer with early stopping on the validation users."""
+    from ..models.base import NeuralSequentialRecommender
+
+    if isinstance(model, NeuralSequentialRecommender):
+        config = trainer_config or default_trainer_config(
+            fast, seed=seed, sweep=sweep
+        )
+        validation = (
+            dataset.split.validation
+            if use_validation and config.patience is not None
+            else None
+        )
+        Trainer(config).fit(model, dataset.split.train, validation=validation)
+        return model
+    return model.fit(dataset.split.train)
+
+
+def train_and_evaluate(
+    name: str,
+    dataset: LoadedDataset,
+    seed: int = 0,
+    fast: bool = False,
+    **overrides,
+) -> EvaluationResult:
+    """Build + fit + evaluate on the dataset's test users."""
+    model = build_model(name, dataset, seed=seed, fast=fast, **overrides)
+    fit_model(model, dataset, fast=fast, seed=seed)
+    return evaluate_recommender(model, dataset.split.test)

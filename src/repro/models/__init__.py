@@ -1,0 +1,24 @@
+"""All eight baselines of Table III plus the shared recommender interfaces."""
+
+from .base import NeuralSequentialRecommender, Recommender
+from .bpr import BPR
+from .caser import Caser
+from .fpmc import FPMC
+from .gru4rec import GRU4Rec
+from .pop import POP
+from .sasrec import SASRec
+from .svae import SVAE
+from .transrec import TransRec
+
+__all__ = [
+    "BPR",
+    "Caser",
+    "FPMC",
+    "GRU4Rec",
+    "NeuralSequentialRecommender",
+    "POP",
+    "Recommender",
+    "SASRec",
+    "SVAE",
+    "TransRec",
+]

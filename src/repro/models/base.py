@@ -1,0 +1,117 @@
+"""Recommender interfaces shared by VSAN and all eight baselines.
+
+Two tiers:
+
+- :class:`Recommender` — anything that can ``fit`` on a training corpus
+  and ``score`` a (possibly unseen) user's item history, producing one
+  score per item id.  This is all the evaluator needs.
+- :class:`NeuralSequentialRecommender` — the common machinery for the
+  deep sequence models (GRU4Rec, Caser, SVAE, SASRec, VSAN): fixed-length
+  left padding, batched scoring from the last sequence position, and a
+  ``training_loss`` hook consumed by :class:`repro.train.Trainer`.
+
+Held-out users come from a strong-generalization split, so models that
+learn per-user parameters (BPR, FPMC, TransRec) implement *fold-in
+adaptation*: they estimate an unseen user's representation from the items
+in the fold-in portion (documented on each model).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..data.batching import build_training_matrix, pad_left
+from ..data.interactions import SequenceCorpus
+from ..nn.module import Module
+from ..tensor import Tensor, no_grad
+
+__all__ = ["Recommender", "NeuralSequentialRecommender"]
+
+
+class Recommender(ABC):
+    """Minimal interface: fit on a corpus, score item histories."""
+
+    name: str = "recommender"
+
+    @abstractmethod
+    def fit(self, corpus: SequenceCorpus) -> "Recommender":
+        """Train on the full histories of the training users."""
+
+    @abstractmethod
+    def score(self, history: np.ndarray) -> np.ndarray:
+        """Score every item for a user whose chronological history is
+        ``history`` (dense ids in ``1..num_items``).
+
+        Returns an array of length ``num_items + 1``; index 0 is the
+        padding slot and is ignored by the evaluator.
+        """
+
+    def score_batch(self, histories: list[np.ndarray]) -> np.ndarray:
+        """Score several histories; default loops over :meth:`score`."""
+        return np.stack([self.score(history) for history in histories])
+
+
+class NeuralSequentialRecommender(Module, Recommender):
+    """Shared padding/scoring logic for the deep sequence models.
+
+    Subclasses implement:
+
+    - ``forward_scores(padded)``: logits ``(batch, length, num_items+1)``
+      for every position of a padded batch;
+    - ``training_loss(padded)``: scalar loss tensor for a padded batch
+      (consumed by :class:`repro.train.Trainer`).
+    """
+
+    def __init__(self, num_items: int, max_length: int):
+        Module.__init__(self)
+        if num_items < 1:
+            raise ValueError("need at least one item")
+        if max_length < 2:
+            raise ValueError("max_length must be >= 2 (input + target)")
+        self.num_items = num_items
+        self.max_length = max_length
+
+    # ------------------------------------------------------------------
+    # Hooks for subclasses
+    # ------------------------------------------------------------------
+    def forward_scores(self, padded: np.ndarray) -> Tensor:
+        raise NotImplementedError
+
+    def training_loss(self, padded: np.ndarray) -> Tensor:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Recommender protocol
+    # ------------------------------------------------------------------
+    def fit(self, corpus: SequenceCorpus, trainer=None) -> "Recommender":
+        """Train with a default :class:`repro.train.Trainer` (or a
+        caller-supplied one)."""
+        from ..train.trainer import Trainer  # local import to avoid a cycle
+
+        trainer = trainer or Trainer()
+        trainer.fit(self, corpus)
+        return self
+
+    def padded_input(self, history: np.ndarray) -> np.ndarray:
+        """Left-pad a raw history to the model's window (keeping the most
+        recent ``max_length`` items, per Section IV-A)."""
+        return pad_left(np.asarray(history, dtype=np.int64), self.max_length)
+
+    def score(self, history: np.ndarray) -> np.ndarray:
+        return self.score_batch([history])[0]
+
+    def score_batch(self, histories: list[np.ndarray]) -> np.ndarray:
+        self.eval()
+        padded = np.stack([self.padded_input(h) for h in histories])
+        with no_grad():
+            logits = self.forward_scores(padded)
+        scores = logits.numpy()[:, -1, :].copy()
+        scores[:, 0] = -np.inf
+        return scores
+
+    def padded_training_rows(self, corpus: SequenceCorpus) -> np.ndarray:
+        """All training users as one padded matrix (plus one extra column
+        so the final position still has a target)."""
+        return build_training_matrix(corpus.sequences, self.max_length + 1)

@@ -1,0 +1,93 @@
+"""Pieces shared by the attention-based models (SASRec and VSAN).
+
+The Embedding Layer of Section IV-A: item embeddings plus a learnable
+positional matrix (Eq. 4), input dropout, and zeroing of left-padded
+positions so they contribute nothing downstream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.interactions import PAD_ID
+from ..nn import Dropout, Embedding, Parameter
+from ..nn.module import Module
+from ..nn.positional import sinusoidal_positions
+from ..tensor import Tensor
+
+__all__ = ["SequenceEmbedding"]
+
+
+class SequenceEmbedding(Module):
+    """Item + position embedding with padding-aware masking.
+
+    Produces the input matrix ``I`` of Eq. 4 for a padded id batch, plus
+    the boolean masks downstream attention blocks need.
+
+    ``positions="learnable"`` is the paper's choice (a trainable matrix
+    P); ``positions="sinusoidal"`` substitutes the Transformer's fixed
+    table for the ablation.
+    """
+
+    def __init__(
+        self,
+        num_items: int,
+        max_length: int,
+        dim: int,
+        rng: np.random.Generator,
+        dropout_rate: float = 0.0,
+        dropout_rng: np.random.Generator | None = None,
+        scale_by_sqrt_dim: bool = True,
+        positions: str = "learnable",
+    ):
+        super().__init__()
+        self.num_items = num_items
+        self.max_length = max_length
+        self.dim = dim
+        self.scale = np.sqrt(dim) if scale_by_sqrt_dim else 1.0
+        self.item_embedding = Embedding(
+            num_items + 1, dim, rng, padding_idx=PAD_ID
+        )
+        if positions == "learnable":
+            self.position_embedding = Parameter(
+                rng.normal(0.0, 0.01, size=(max_length, dim))
+            )
+        elif positions == "sinusoidal":
+            self.position_embedding = Tensor(
+                sinusoidal_positions(max_length, dim)
+            )
+        else:
+            raise ValueError(
+                f"positions must be 'learnable' or 'sinusoidal', "
+                f"got {positions!r}"
+            )
+        self.dropout = Dropout(
+            dropout_rate, dropout_rng if dropout_rng is not None else rng
+        )
+
+    def forward(
+        self, padded: np.ndarray
+    ) -> tuple[Tensor, np.ndarray, np.ndarray]:
+        """Embed a padded id batch.
+
+        Args:
+            padded: ``(batch, max_length)`` int array, PAD_ID on the left.
+
+        Returns:
+            ``(embedded, timeline_mask, key_padding_mask)`` where
+            ``embedded`` is ``(batch, max_length, dim)``, ``timeline_mask``
+            is {0,1} float with 1 at real positions, and
+            ``key_padding_mask`` is boolean with True at padded positions.
+        """
+        padded = np.asarray(padded, dtype=np.int64)
+        if padded.ndim != 2 or padded.shape[1] != self.max_length:
+            raise ValueError(
+                f"expected (batch, {self.max_length}) ids, got {padded.shape}"
+            )
+        key_padding_mask = padded == PAD_ID
+        timeline_mask = (~key_padding_mask).astype(np.float64)
+        embedded = self.item_embedding(padded) * self.scale
+        embedded = embedded + self.position_embedding
+        embedded = self.dropout(embedded)
+        embedded = embedded * Tensor(timeline_mask[..., None])
+        return embedded, timeline_mask, key_padding_mask

@@ -1,0 +1,42 @@
+"""POP baseline: rank items by global training popularity."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.interactions import SequenceCorpus
+from .base import Recommender
+
+__all__ = ["POP"]
+
+
+class POP(Recommender):
+    """Recommend the most popular items to everybody.
+
+    The paper's weakest baseline; it carries no personalization and no
+    sequential signal, so every sequence-aware model should beat it.
+    """
+
+    name = "POP"
+
+    def __init__(self, num_items: int):
+        self.num_items = num_items
+        self._counts: np.ndarray | None = None
+
+    def fit(self, corpus: SequenceCorpus) -> "POP":
+        if corpus.num_items != self.num_items:
+            raise ValueError(
+                f"corpus has {corpus.num_items} items, model expects "
+                f"{self.num_items}"
+            )
+        counts = np.zeros(self.num_items + 1, dtype=np.float64)
+        for sequence in corpus.sequences:
+            np.add.at(counts, sequence, 1.0)
+        counts[0] = -np.inf
+        self._counts = counts
+        return self
+
+    def score(self, history: np.ndarray) -> np.ndarray:
+        if self._counts is None:
+            raise RuntimeError("POP.fit must be called before scoring")
+        return self._counts.copy()

@@ -1,0 +1,44 @@
+"""Neural-network layers built on the :mod:`repro.tensor` engine.
+
+Everything VSAN and the eight baselines need: linear/embedding layers,
+layer norm, dropout, causal self-attention blocks (Eq. 5–9), GRUs (for
+GRU4Rec / SVAE), and Caser's horizontal/vertical convolutions.
+"""
+
+from . import init
+from .attention import CausalSelfAttention, causal_mask
+from .blocks import SelfAttentionBlock, SelfAttentionStack
+from .convolution import HorizontalConvolution, VerticalConvolution
+from .dropout import Dropout
+from .embedding import Embedding
+from .feedforward import PointWiseFeedForward
+from .linear import Linear
+from .module import Module, ModuleList, Parameter
+from .normalization import LayerNorm
+from .positional import sinusoidal_positions
+from .recurrent import GRU, GRUCell
+from .serialization import load_checkpoint, load_state, save_checkpoint
+
+__all__ = [
+    "CausalSelfAttention",
+    "Dropout",
+    "Embedding",
+    "GRU",
+    "GRUCell",
+    "HorizontalConvolution",
+    "LayerNorm",
+    "Linear",
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "PointWiseFeedForward",
+    "SelfAttentionBlock",
+    "SelfAttentionStack",
+    "VerticalConvolution",
+    "causal_mask",
+    "init",
+    "load_checkpoint",
+    "load_state",
+    "save_checkpoint",
+    "sinusoidal_positions",
+]

@@ -1,0 +1,121 @@
+"""Scaled dot-product causal self-attention (Eq. 5–6 / 15 of the paper).
+
+The paper's inference and generative layers both use single-head
+dot-product attention with ``d x d`` projection matrices and a causal
+mask that "prohibits all links between Q_i and K_j for j > i" so position
+``i`` never sees future items.  Multi-head operation is supported as a
+configurable extension (``num_heads=1`` reproduces the paper exactly).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor, softmax
+from . import init
+from .module import Module, Parameter
+
+__all__ = ["CausalSelfAttention", "causal_mask"]
+
+
+def causal_mask(length: int) -> np.ndarray:
+    """Boolean mask of shape ``(length, length)``; True where j > i
+    (positions that must be hidden from the query at i)."""
+    return np.triu(np.ones((length, length), dtype=bool), k=1)
+
+
+class CausalSelfAttention(Module):
+    """Causal self-attention: ``softmax(Q K^T / sqrt(d)) V``.
+
+    Args:
+        dim: model width ``d``; queries/keys/values are all ``d x d``
+            projections of the input, as in Eq. 6.
+        rng: generator for weight init.
+        num_heads: number of attention heads (1 = the paper's setting).
+        use_bias: include bias terms on the projections (paper uses none).
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        rng: np.random.Generator,
+        num_heads: int = 1,
+        use_bias: bool = False,
+    ):
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by heads {num_heads}")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.w_query = Parameter(init.xavier_uniform(rng, (dim, dim)))
+        self.w_key = Parameter(init.xavier_uniform(rng, (dim, dim)))
+        self.w_value = Parameter(init.xavier_uniform(rng, (dim, dim)))
+        if use_bias:
+            self.b_query = Parameter(init.zeros((dim,)))
+            self.b_key = Parameter(init.zeros((dim,)))
+            self.b_value = Parameter(init.zeros((dim,)))
+        else:
+            self.b_query = self.b_key = self.b_value = None
+
+    def forward(
+        self,
+        x: Tensor,
+        key_padding_mask: np.ndarray | None = None,
+        return_weights: bool = False,
+    ):
+        """Attend causally over the sequence axis.
+
+        Args:
+            x: input of shape ``(batch, length, dim)``.
+            key_padding_mask: optional boolean ``(batch, length)`` array,
+                True at *padded* key positions.  The diagonal is always
+                left attendable so fully-padded prefixes cannot produce an
+                all-masked (NaN) softmax row; padded query outputs are
+                zeroed by callers via the timeline mask.
+            return_weights: also return the attention distribution
+                ``(batch, heads, length, length)`` for inspection.
+        """
+        batch, length, dim = x.shape
+        if dim != self.dim:
+            raise ValueError(f"expected last dim {self.dim}, got {dim}")
+
+        queries = x @ self.w_query
+        keys = x @ self.w_key
+        values = x @ self.w_value
+        if self.b_query is not None:
+            queries = queries + self.b_query
+            keys = keys + self.b_key
+            values = values + self.b_value
+
+        heads = self.num_heads
+        head_dim = self.head_dim
+        # (batch, length, dim) -> (batch, heads, length, head_dim)
+        queries = queries.reshape(batch, length, heads, head_dim).swapaxes(1, 2)
+        keys = keys.reshape(batch, length, heads, head_dim).swapaxes(1, 2)
+        values = values.reshape(batch, length, heads, head_dim).swapaxes(1, 2)
+
+        scores = (queries @ keys.swapaxes(-1, -2)) * (1.0 / np.sqrt(head_dim))
+
+        mask = causal_mask(length)[None, None, :, :]
+        if key_padding_mask is not None:
+            pad = np.asarray(key_padding_mask, dtype=bool)
+            if pad.shape != (batch, length):
+                raise ValueError(
+                    f"key_padding_mask shape {pad.shape} != "
+                    f"{(batch, length)}"
+                )
+            pad = pad[:, None, None, :] | mask
+            # Keep the diagonal attendable to avoid all-masked rows.
+            diagonal = np.eye(length, dtype=bool)[None, None, :, :]
+            mask = pad & ~diagonal
+        else:
+            mask = np.broadcast_to(mask, (batch, heads, length, length))
+
+        scores = scores.masked_fill(mask, -1e30)
+        weights = softmax(scores, axis=-1)
+        attended = weights @ values
+        out = attended.swapaxes(1, 2).reshape(batch, length, dim)
+        if return_weights:
+            return out, weights
+        return out

@@ -1,0 +1,115 @@
+"""Caser-style sequence convolutions.
+
+Caser (Tang & Wang, WSDM 2018) treats the last ``L`` item embeddings as an
+``L x d`` "image" and applies two kinds of filters:
+
+- *horizontal* filters of shape ``(h, d)`` slide over time and are
+  max-pooled over the valid positions, extracting union-level patterns;
+- *vertical* filters of shape ``(L, 1)`` take weighted sums over the time
+  axis per latent dimension, extracting point-level patterns.
+
+Both are realized as sliding-window gathers plus matmuls, so gradients
+come straight from the engine's primitives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor, concatenate, stack
+from . import init
+from .module import Module, Parameter
+
+__all__ = ["HorizontalConvolution", "VerticalConvolution"]
+
+
+class HorizontalConvolution(Module):
+    """Horizontal filters + ReLU + max-over-time pooling.
+
+    Output is ``(batch, num_filters * len(heights))``.
+    """
+
+    def __init__(
+        self,
+        length: int,
+        dim: int,
+        heights: tuple[int, ...],
+        num_filters: int,
+        rng: np.random.Generator,
+    ):
+        super().__init__()
+        if any(h < 1 or h > length for h in heights):
+            raise ValueError(
+                f"filter heights {heights} must be within [1, {length}]"
+            )
+        self.length = length
+        self.dim = dim
+        self.heights = tuple(heights)
+        self.num_filters = num_filters
+        weights = []
+        biases = []
+        for height in self.heights:
+            weights.append(
+                Parameter(init.xavier_uniform(rng, (height * dim, num_filters)))
+            )
+            biases.append(Parameter(init.zeros((num_filters,))))
+        self.weights = weights
+        self.biases = biases
+        for i, (w, b) in enumerate(zip(weights, biases)):
+            setattr(self, f"weight_{i}", w)
+            setattr(self, f"bias_{i}", b)
+
+    @property
+    def output_dim(self) -> int:
+        return self.num_filters * len(self.heights)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """``x``: ``(batch, length, dim)`` -> pooled features."""
+        batch, length, dim = x.shape
+        if length != self.length or dim != self.dim:
+            raise ValueError(
+                f"expected ({self.length}, {self.dim}) sequence, "
+                f"got ({length}, {dim})"
+            )
+        pooled = []
+        for height, weight, bias in zip(
+            self.heights, self.weights, self.biases
+        ):
+            windows = stack(
+                [
+                    x[:, start:start + height, :].reshape(batch, height * dim)
+                    for start in range(length - height + 1)
+                ],
+                axis=1,
+            )  # (batch, length-height+1, height*dim)
+            activated = (windows @ weight + bias).relu()
+            pooled.append(activated.max(axis=1))
+        return concatenate(pooled, axis=-1)
+
+
+class VerticalConvolution(Module):
+    """Vertical filters: per-dimension weighted sums over the time axis.
+
+    Output is ``(batch, num_filters * dim)``.
+    """
+
+    def __init__(self, length: int, num_filters: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.length = length
+        self.num_filters = num_filters
+        self.weight = Parameter(
+            init.xavier_uniform(rng, (length, num_filters))
+        )
+
+    def output_dim(self, dim: int) -> int:
+        return self.num_filters * dim
+
+    def forward(self, x: Tensor) -> Tensor:
+        """``x``: ``(batch, length, dim)`` -> ``(batch, num_filters*dim)``."""
+        batch, length, dim = x.shape
+        if length != self.length:
+            raise ValueError(f"expected length {self.length}, got {length}")
+        # (batch, dim, length) @ (length, filters) -> (batch, dim, filters)
+        mixed = x.swapaxes(1, 2) @ self.weight
+        return mixed.reshape(batch, dim * self.num_filters)

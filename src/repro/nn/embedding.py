@@ -1,0 +1,54 @@
+"""Embedding lookup table with padding support.
+
+Sequential recommenders left-pad short sequences with a reserved item id
+(index 0 throughout this repository, matching the paper's "zero vector"
+padding).  Lookups of ``padding_idx`` return exactly zero and contribute
+no gradient, so padded positions never leak into attention values or the
+loss.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor
+from . import init
+from .module import Module, Parameter
+
+__all__ = ["Embedding"]
+
+
+class Embedding(Module):
+    """Map integer ids of any shape to dense rows of shape ``(..., dim)``."""
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        rng: np.random.Generator,
+        padding_idx: int | None = None,
+        std: float | None = None,
+    ):
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.padding_idx = padding_idx
+        if std is None:
+            table = init.xavier_normal(rng, (num_embeddings, embedding_dim))
+        else:
+            table = init.normal(rng, (num_embeddings, embedding_dim), std=std)
+        if padding_idx is not None:
+            table[padding_idx] = 0.0
+        self.weight = Parameter(table)
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.min() < 0 or indices.max() >= self.num_embeddings:
+            raise IndexError(
+                f"embedding index out of range [0, {self.num_embeddings})"
+            )
+        rows = self.weight.take_rows(indices)
+        if self.padding_idx is not None:
+            keep = (indices != self.padding_idx).astype(rows.dtype)
+            rows = rows * Tensor(keep[..., None])
+        return rows

@@ -1,0 +1,51 @@
+"""Weight initializers.
+
+All initializers take an explicit ``numpy.random.Generator`` so model
+construction is deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "xavier_normal", "normal", "zeros", "uniform"]
+
+
+def xavier_uniform(rng: np.random.Generator, shape: tuple[int, ...],
+                   gain: float = 1.0) -> np.ndarray:
+    """Glorot uniform: U(-a, a) with a = gain * sqrt(6 / (fan_in+fan_out))."""
+    fan_in, fan_out = _fans(shape)
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(rng: np.random.Generator, shape: tuple[int, ...],
+                  gain: float = 1.0) -> np.ndarray:
+    """Glorot normal: N(0, gain^2 * 2 / (fan_in+fan_out))."""
+    fan_in, fan_out = _fans(shape)
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def normal(rng: np.random.Generator, shape: tuple[int, ...],
+           std: float = 0.01) -> np.ndarray:
+    """Plain Gaussian init (the classic recsys embedding default)."""
+    return rng.normal(0.0, std, size=shape)
+
+
+def uniform(rng: np.random.Generator, shape: tuple[int, ...],
+            low: float = -0.05, high: float = 0.05) -> np.ndarray:
+    return rng.uniform(low, high, size=shape)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def _fans(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) < 1:
+        raise ValueError("initializer needs at least a 1-D shape")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    return shape[1] * receptive, shape[0] * receptive

@@ -1,0 +1,31 @@
+"""Layer normalization (Ba et al. 2016), Eq. 7/9/16 of the paper."""
+
+from __future__ import annotations
+
+from ..tensor import Tensor
+from . import init
+from .module import Module, Parameter
+
+__all__ = ["LayerNorm"]
+
+
+class LayerNorm(Module):
+    """Normalize the last axis to zero mean / unit variance, then affine.
+
+    Statistics are per position and independent of other samples in the
+    batch — the property the paper highlights over batch normalization.
+    """
+
+    def __init__(self, dim: int, eps: float = 1e-8):
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.gamma = Parameter(init.zeros((dim,)) + 1.0)
+        self.beta = Parameter(init.zeros((dim,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        variance = (centered * centered).mean(axis=-1, keepdims=True)
+        normalized = centered / (variance + self.eps).sqrt()
+        return normalized * self.gamma + self.beta

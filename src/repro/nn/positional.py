@@ -1,0 +1,30 @@
+"""Positional encodings.
+
+The paper uses a *learnable* positional matrix P (Eq. 4).  The fixed
+sinusoidal alternative from the Transformer is provided for the
+positional-encoding ablation in ``benchmarks/test_ablation_positions.py``
+(SASRec's own paper runs the same comparison).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sinusoidal_positions"]
+
+
+def sinusoidal_positions(length: int, dim: int) -> np.ndarray:
+    """The Transformer's fixed sin/cos table of shape ``(length, dim)``.
+
+    ``PE[pos, 2i] = sin(pos / 10000^(2i/dim))``,
+    ``PE[pos, 2i+1] = cos(pos / 10000^(2i/dim))``.
+    """
+    if length < 1 or dim < 1:
+        raise ValueError("length and dim must be positive")
+    positions = np.arange(length, dtype=np.float64)[:, None]
+    dimensions = np.arange(dim, dtype=np.float64)[None, :]
+    angles = positions / np.power(10000.0, (dimensions // 2) * 2.0 / dim)
+    table = np.empty((length, dim))
+    table[:, 0::2] = np.sin(angles[:, 0::2])
+    table[:, 1::2] = np.cos(angles[:, 1::2])
+    return table

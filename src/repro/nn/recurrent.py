@@ -1,0 +1,111 @@
+"""Gated recurrent units, the substrate for the GRU4Rec and SVAE baselines.
+
+Implemented from the engine's primitives (matmul / sigmoid / tanh), with
+the standard gate equations:
+
+    r_t = sigmoid(x_t W_r + h_{t-1} U_r + b_r)
+    z_t = sigmoid(x_t W_z + h_{t-1} U_z + b_z)
+    n_t = tanh(x_t W_n + r_t * (h_{t-1} U_n) + b_n)
+    h_t = (1 - z_t) * n_t + z_t * h_{t-1}
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor, stack, zeros
+from . import init
+from .module import Module, ModuleList, Parameter
+
+__all__ = ["GRUCell", "GRU"]
+
+
+class GRUCell(Module):
+    """A single GRU step over a batch of inputs."""
+
+    def __init__(self, input_dim: int, hidden_dim: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.w_input = Parameter(
+            init.xavier_uniform(rng, (input_dim, 3 * hidden_dim))
+        )
+        self.w_hidden = Parameter(
+            init.xavier_uniform(rng, (hidden_dim, 3 * hidden_dim))
+        )
+        self.bias = Parameter(init.zeros((3 * hidden_dim,)))
+
+    def forward(self, x: Tensor, hidden: Tensor) -> Tensor:
+        """One step: ``x`` is ``(batch, input_dim)``, ``hidden`` is
+        ``(batch, hidden_dim)``; returns the new hidden state."""
+        dim = self.hidden_dim
+        gates_x = x @ self.w_input + self.bias
+        gates_h = hidden @ self.w_hidden
+        reset = (gates_x[:, :dim] + gates_h[:, :dim]).sigmoid()
+        update = (gates_x[:, dim:2 * dim] + gates_h[:, dim:2 * dim]).sigmoid()
+        candidate = (
+            gates_x[:, 2 * dim:] + reset * gates_h[:, 2 * dim:]
+        ).tanh()
+        return (1.0 - update) * candidate + update * hidden
+
+
+class GRU(Module):
+    """(Possibly multi-layer) GRU unrolled over the time axis."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dim: int,
+        rng: np.random.Generator,
+        num_layers: int = 1,
+    ):
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("GRU needs at least one layer")
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.num_layers = num_layers
+        cells = []
+        for layer in range(num_layers):
+            cells.append(
+                GRUCell(input_dim if layer == 0 else hidden_dim,
+                        hidden_dim, rng)
+            )
+        self.cells = ModuleList(cells)
+
+    def forward(
+        self,
+        x: Tensor,
+        initial_hidden: list[Tensor] | None = None,
+    ) -> tuple[Tensor, list[Tensor]]:
+        """Run over a full sequence.
+
+        Args:
+            x: ``(batch, length, input_dim)``.
+            initial_hidden: optional per-layer ``(batch, hidden_dim)``
+                states; defaults to zeros.
+
+        Returns:
+            ``(outputs, finals)`` where ``outputs`` is
+            ``(batch, length, hidden_dim)`` from the top layer and
+            ``finals`` holds each layer's last hidden state.
+        """
+        batch, length, _ = x.shape
+        if initial_hidden is None:
+            hiddens = [
+                zeros((batch, self.hidden_dim)) for _ in range(self.num_layers)
+            ]
+        else:
+            if len(initial_hidden) != self.num_layers:
+                raise ValueError("initial_hidden must have one state per layer")
+            hiddens = list(initial_hidden)
+
+        top_outputs: list[Tensor] = []
+        for t in range(length):
+            step_input = x[:, t, :]
+            for layer, cell in enumerate(self.cells):
+                hiddens[layer] = cell(step_input, hiddens[layer])
+                step_input = hiddens[layer]
+            top_outputs.append(step_input)
+        return stack(top_outputs, axis=1), hiddens

@@ -1,0 +1,94 @@
+"""Model persistence: save/load parameters plus constructor config.
+
+Checkpoints are plain ``.npz`` archives holding every parameter array
+(keys are the dotted ``named_parameters`` names) plus a ``__config__``
+JSON blob with the model class name and constructor kwargs, so a model
+can be rebuilt without the caller re-specifying hyperparameters::
+
+    save_checkpoint(model, "vsan.npz", config={"num_items": N, ...})
+    model = load_checkpoint("vsan.npz", registry={"VSAN": VSAN})
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_checkpoint", "load_checkpoint", "load_state"]
+
+_CONFIG_KEY = "__config__"
+
+
+def save_checkpoint(
+    model: Module,
+    path: str | Path,
+    config: dict | None = None,
+) -> Path:
+    """Write parameters (and optionally the build config) to ``path``.
+
+    Args:
+        model: any :class:`repro.nn.Module`.
+        path: target file; ``.npz`` is appended by numpy if missing.
+        config: JSON-serializable constructor kwargs.  When given, the
+            model's class name is stored alongside so
+            :func:`load_checkpoint` can rebuild the object.
+    """
+    path = Path(path)
+    arrays = dict(model.state_dict())
+    if _CONFIG_KEY in arrays:
+        raise ValueError(f"parameter name {_CONFIG_KEY!r} is reserved")
+    meta = {"class": type(model).__name__, "config": config}
+    arrays[_CONFIG_KEY] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez(path, **arrays)
+    return path if path.suffix == ".npz" else path.with_suffix(
+        path.suffix + ".npz"
+    )
+
+
+def _read(path: str | Path) -> tuple[dict, dict[str, np.ndarray]]:
+    with np.load(path) as archive:
+        arrays = {key: archive[key] for key in archive.files}
+    raw = arrays.pop(_CONFIG_KEY, None)
+    meta = (
+        json.loads(raw.tobytes().decode("utf-8")) if raw is not None else {}
+    )
+    return meta, arrays
+
+
+def load_state(model: Module, path: str | Path) -> Module:
+    """Load a checkpoint's parameters into an already-built model."""
+    _, arrays = _read(path)
+    model.load_state_dict(arrays)
+    return model
+
+
+def load_checkpoint(path: str | Path, registry: dict[str, type]) -> Module:
+    """Rebuild a model from a checkpoint written with ``config``.
+
+    Args:
+        path: the ``.npz`` file.
+        registry: class-name -> class mapping (e.g. ``{"VSAN": VSAN}``);
+            an explicit registry keeps loading free of import magic.
+    """
+    meta, arrays = _read(path)
+    class_name = meta.get("class")
+    config = meta.get("config")
+    if not class_name or config is None:
+        raise ValueError(
+            f"{path} was saved without a config; build the model yourself "
+            "and call load_state instead"
+        )
+    if class_name not in registry:
+        raise KeyError(
+            f"checkpoint wants class {class_name!r}; registry has "
+            f"{sorted(registry)}"
+        )
+    model = registry[class_name](**config)
+    model.load_state_dict(arrays)
+    return model

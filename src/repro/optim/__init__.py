@@ -1,0 +1,15 @@
+"""Optimizers: Adam (the paper's choice), SGD, clipping, lr schedules."""
+
+from .adam import Adam
+from .optimizer import Optimizer, clip_grad_norm
+from .schedule import LinearWarmup, StepDecay
+from .sgd import SGD
+
+__all__ = [
+    "Adam",
+    "LinearWarmup",
+    "Optimizer",
+    "SGD",
+    "StepDecay",
+    "clip_grad_norm",
+]

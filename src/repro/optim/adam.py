@@ -1,0 +1,61 @@
+"""Adam (Kingma & Ba, 2015) — the optimizer the paper trains VSAN with."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.module import Parameter
+from .optimizer import Optimizer
+
+__all__ = ["Adam"]
+
+
+class Adam(Optimizer):
+    """Adam with bias-corrected first/second moments.
+
+    Defaults match the paper's setup (lr=0.001) and the standard
+    beta/epsilon choices.
+    """
+
+    def __init__(
+        self,
+        parameters: list[Parameter],
+        lr: float = 0.001,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters)
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._first = [np.zeros_like(p.data) for p in self.parameters]
+        self._second = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step_count += 1
+        correction1 = 1.0 - self.beta1**self._step_count
+        correction2 = 1.0 - self.beta2**self._step_count
+        for param, first, second in zip(
+            self.parameters, self._first, self._second
+        ):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            first *= self.beta1
+            first += (1.0 - self.beta1) * grad
+            second *= self.beta2
+            second += (1.0 - self.beta2) * grad * grad
+            step_size = self.lr / correction1
+            denom = np.sqrt(second / correction2) + self.eps
+            param.data -= step_size * first / denom

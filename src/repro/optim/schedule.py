@@ -1,0 +1,47 @@
+"""Learning-rate schedules (step-wise decay and linear warmup)."""
+
+from __future__ import annotations
+
+from .optimizer import Optimizer
+
+__all__ = ["StepDecay", "LinearWarmup"]
+
+
+class StepDecay:
+    """Multiply the optimizer's lr by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int,
+                 gamma: float = 0.5):
+        if step_size < 1:
+            raise ValueError("step_size must be >= 1")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self._base_lr = optimizer.lr
+        self._epoch = 0
+
+    def step(self) -> float:
+        """Advance one epoch; returns the new learning rate."""
+        self._epoch += 1
+        decays = self._epoch // self.step_size
+        self.optimizer.lr = self._base_lr * (self.gamma**decays)
+        return self.optimizer.lr
+
+
+class LinearWarmup:
+    """Ramp the lr linearly from 0 to its base value over ``warmup_steps``."""
+
+    def __init__(self, optimizer: Optimizer, warmup_steps: int):
+        if warmup_steps < 1:
+            raise ValueError("warmup_steps must be >= 1")
+        self.optimizer = optimizer
+        self.warmup_steps = warmup_steps
+        self._base_lr = optimizer.lr
+        self._step = 0
+
+    def step(self) -> float:
+        """Advance one optimizer step; returns the new learning rate."""
+        self._step += 1
+        fraction = min(1.0, self._step / self.warmup_steps)
+        self.optimizer.lr = self._base_lr * fraction
+        return self.optimizer.lr

@@ -1,0 +1,67 @@
+"""From-scratch reverse-mode autodiff engine on numpy.
+
+This package replaces the deep-learning framework the paper used
+(TensorFlow): :class:`Tensor` records a computation graph and
+:meth:`Tensor.backward` propagates exact gradients, verified against
+finite differences by :func:`gradcheck`.
+"""
+
+from .functional import (
+    cross_entropy,
+    dropout,
+    gaussian_kl_standard_normal,
+    log_softmax,
+    multi_hot_cross_entropy,
+    relu,
+    sigmoid,
+    softmax,
+    softplus,
+    tanh,
+)
+from .gradcheck import gradcheck, numerical_gradient
+from .random import make_rng, spawn_rngs
+from .tensor import (
+    Tensor,
+    arange,
+    concatenate,
+    full,
+    is_grad_enabled,
+    maximum,
+    minimum,
+    no_grad,
+    ones,
+    stack,
+    tensor,
+    where,
+    zeros,
+)
+
+__all__ = [
+    "Tensor",
+    "arange",
+    "concatenate",
+    "cross_entropy",
+    "dropout",
+    "full",
+    "gaussian_kl_standard_normal",
+    "gradcheck",
+    "is_grad_enabled",
+    "log_softmax",
+    "make_rng",
+    "maximum",
+    "minimum",
+    "multi_hot_cross_entropy",
+    "no_grad",
+    "numerical_gradient",
+    "ones",
+    "relu",
+    "sigmoid",
+    "softmax",
+    "softplus",
+    "spawn_rngs",
+    "stack",
+    "tanh",
+    "tensor",
+    "where",
+    "zeros",
+]

@@ -1,0 +1,29 @@
+"""Seeded random-number utilities shared across the repository.
+
+All stochastic components (parameter init, dropout masks, the VAE's
+reparameterization noise, synthetic data generation, batch shuffling)
+draw from explicit ``numpy.random.Generator`` objects created here, so
+every experiment is reproducible from a single integer seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["make_rng", "spawn_rngs"]
+
+
+def make_rng(seed: int | None) -> np.random.Generator:
+    """Create a PCG64 generator from an integer seed (or entropy if None)."""
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` statistically independent generators from one seed.
+
+    Uses ``SeedSequence.spawn`` so that e.g. data generation, model init,
+    and dropout never share a stream even though the experiment exposes a
+    single seed.
+    """
+    seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(count)]

@@ -1,0 +1,656 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+This module is the computational substrate for the whole repository: every
+neural model (VSAN and all baselines) is built from :class:`Tensor`
+operations defined here.  The design is a vectorized take on the classic
+tape-based autodiff pattern:
+
+- every :class:`Tensor` wraps a ``numpy.ndarray`` and remembers the tensors
+  it was computed from (``_parents``) plus a closure (``_backward``) that
+  propagates the output gradient to those parents;
+- :meth:`Tensor.backward` topologically sorts the graph and runs the
+  closures in reverse order, accumulating gradients into ``Tensor.grad``.
+
+Gradients for every op are exercised against finite differences in
+``tests/tensor/`` via :func:`repro.tensor.gradcheck.gradcheck`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "tensor",
+    "zeros",
+    "ones",
+    "full",
+    "arange",
+    "concatenate",
+    "stack",
+    "where",
+    "maximum",
+    "minimum",
+]
+
+_GRAD_ENABLED = True
+
+# Default floating dtype for all tensors.  float64 keeps finite-difference
+# gradient checks tight; the models are small enough that speed is dominated
+# by Python overhead rather than the dtype of the BLAS calls.
+DEFAULT_DTYPE = np.float64
+
+
+def is_grad_enabled() -> bool:
+    """Return whether gradient recording is currently enabled."""
+    return _GRAD_ENABLED
+
+
+class no_grad:
+    """Context manager that disables graph construction.
+
+    Used by evaluation code paths so that forward passes over held-out
+    users allocate no tape.  Mirrors the familiar ``torch.no_grad`` idiom::
+
+        with no_grad():
+            scores = model.predict(batch)
+    """
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._previous = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._previous
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` by summing broadcast dimensions.
+
+    Numpy broadcasting can prepend dimensions and stretch size-1 axes; the
+    corresponding gradient op is a sum over exactly those axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum away prepended axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were stretched from size 1.
+    squeeze_axes = tuple(
+        axis for axis, size in enumerate(shape) if size == 1 and grad.shape[axis] != 1
+    )
+    if squeeze_axes:
+        grad = grad.sum(axis=squeeze_axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value, dtype=None) -> np.ndarray:
+    dtype = dtype or DEFAULT_DTYPE
+    array = np.asarray(value)
+    if np.issubdtype(array.dtype, np.floating) or np.issubdtype(
+        array.dtype, np.integer
+    ) or array.dtype == np.bool_:
+        return array.astype(dtype, copy=False)
+    raise TypeError(f"cannot build a Tensor from dtype {array.dtype!r}")
+
+
+class Tensor:
+    """A numpy-backed array node in a reverse-mode autodiff graph."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+
+    def __init__(self, data, requires_grad: bool = False, dtype=None):
+        self.data = _as_array(data, dtype=dtype)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad)
+        self._backward = None
+        self._parents: tuple[Tensor, ...] = ()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_note = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({np.array2string(self.data, precision=4)}{grad_note})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (shared, not copied)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    # ------------------------------------------------------------------
+    # Graph machinery
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: tuple["Tensor", ...],
+        backward,
+    ) -> "Tensor":
+        """Construct a graph node from an op result.
+
+        ``backward`` receives the output gradient and must call
+        ``parent._accumulate(...)`` for each parent needing a gradient.
+        When gradients are globally disabled, or no parent requires a
+        gradient, a detached leaf is returned instead.
+        """
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data)
+        if requires:
+            out.requires_grad = True
+            out._parents = parents
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad += grad
+
+    def backward(self, grad=None) -> None:
+        """Backpropagate from this tensor through the recorded graph.
+
+        ``grad`` defaults to 1.0 and must be supplied (with matching shape)
+        when this tensor is not a scalar.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor without grad")
+        if grad is None:
+            if self.size != 1:
+                raise RuntimeError(
+                    "grad must be provided for non-scalar backward()"
+                )
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=self.data.dtype)
+            if grad.shape != self.shape:
+                raise ValueError(
+                    f"grad shape {grad.shape} does not match tensor "
+                    f"shape {self.shape}"
+                )
+
+        order: list[Tensor] = []
+        seen: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in seen:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(order):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+                # Free the tape as we go; leaves keep their grads.
+                node._backward = None
+                node._parents = ()
+                # Interior nodes do not need to keep their gradient.
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _coerce(value) -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    def __add__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        data = self.data + other.data
+
+        def backward(grad):
+            self._accumulate(_unbroadcast(grad, self.shape))
+            other._accumulate(_unbroadcast(grad, other.shape))
+
+        return Tensor._make(data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad):
+            self._accumulate(-grad)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-self._coerce(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return self._coerce(other) + (-self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        data = self.data * other.data
+
+        def backward(grad):
+            self._accumulate(_unbroadcast(grad * other.data, self.shape))
+            other._accumulate(_unbroadcast(grad * self.data, other.shape))
+
+        return Tensor._make(data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        data = self.data / other.data
+
+        def backward(grad):
+            self._accumulate(_unbroadcast(grad / other.data, self.shape))
+            other._accumulate(
+                _unbroadcast(-grad * self.data / (other.data**2), other.shape)
+            )
+
+        return Tensor._make(data, (self, other), backward)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return self._coerce(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if isinstance(exponent, Tensor):
+            raise TypeError("tensor exponents are not supported; use exp/log")
+        data = self.data**exponent
+
+        def backward(grad):
+            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor._make(data, (self,), backward)
+
+    def __matmul__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        data = self.data @ other.data
+        # Numpy promotes 1-D operands: a vector on the left acts as a row,
+        # on the right as a column.  The backward pass mirrors that
+        # promotion so one general rule covers every arity.
+        left_vector = self.data.ndim == 1
+        right_vector = other.data.ndim == 1
+
+        def backward(grad):
+            left = self.data[None, :] if left_vector else self.data
+            right = other.data[:, None] if right_vector else other.data
+            full_grad = grad
+            if left_vector:
+                full_grad = np.expand_dims(full_grad, -2)
+            if right_vector:
+                full_grad = np.expand_dims(full_grad, -1)
+            if self.requires_grad:
+                grad_left = _unbroadcast(
+                    full_grad @ np.swapaxes(right, -1, -2), left.shape
+                )
+                self._accumulate(grad_left.reshape(self.shape))
+            if other.requires_grad:
+                grad_right = _unbroadcast(
+                    np.swapaxes(left, -1, -2) @ full_grad, right.shape
+                )
+                other._accumulate(grad_right.reshape(other.shape))
+
+        return Tensor._make(data, (self, other), backward)
+
+    # ------------------------------------------------------------------
+    # Elementwise functions
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        data = np.exp(self.data)
+
+        def backward(grad):
+            self._accumulate(grad * data)
+
+        return Tensor._make(data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        data = np.log(self.data)
+
+        def backward(grad):
+            self._accumulate(grad / self.data)
+
+        return Tensor._make(data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        data = np.sqrt(self.data)
+
+        def backward(grad):
+            self._accumulate(grad * 0.5 / data)
+
+        return Tensor._make(data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        data = np.tanh(self.data)
+
+        def backward(grad):
+            self._accumulate(grad * (1.0 - data**2))
+
+        return Tensor._make(data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        # Numerically stable logistic via tanh.
+        data = 0.5 * (np.tanh(0.5 * self.data) + 1.0)
+
+        def backward(grad):
+            self._accumulate(grad * data * (1.0 - data))
+
+        return Tensor._make(data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        data = np.where(mask, self.data, 0.0)
+
+        def backward(grad):
+            self._accumulate(grad * mask)
+
+        return Tensor._make(data, (self,), backward)
+
+    def softplus(self) -> "Tensor":
+        # log(1 + exp(x)) computed stably.
+        data = np.logaddexp(0.0, self.data)
+
+        def backward(grad):
+            self._accumulate(grad * 0.5 * (np.tanh(0.5 * self.data) + 1.0))
+
+        return Tensor._make(data, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        data = np.abs(self.data)
+
+        def backward(grad):
+            self._accumulate(grad * np.sign(self.data))
+
+        return Tensor._make(data, (self,), backward)
+
+    def clip(self, low: float | None, high: float | None) -> "Tensor":
+        """Clamp values; gradient flows only through unclamped entries."""
+        data = np.clip(self.data, low, high)
+        mask = np.ones_like(self.data, dtype=bool)
+        if low is not None:
+            mask &= self.data >= low
+        if high is not None:
+            mask &= self.data <= high
+
+        def backward(grad):
+            self._accumulate(grad * mask)
+
+        return Tensor._make(data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad):
+            g = grad
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+            self._accumulate(np.broadcast_to(g, self.shape).copy())
+
+        return Tensor._make(data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = 1
+            for ax in axes:
+                count *= self.shape[ax]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad):
+            g = grad
+            expanded = data
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+                expanded = np.expand_dims(data, axis)
+            mask = self.data == expanded
+            # Split gradient equally among ties, matching subgradient choice
+            # that keeps gradcheck stable away from exact ties.
+            counts = mask.sum(axis=axis if axis is not None else None,
+                              keepdims=True)
+            self._accumulate(np.where(mask, g / counts, 0.0))
+
+        return Tensor._make(data, (self,), backward)
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Biased variance (divide by N), as used by layer normalization."""
+        centered = self - self.mean(axis=axis, keepdims=True)
+        return (centered * centered).mean(axis=axis, keepdims=keepdims)
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        data = self.data.reshape(shape)
+
+        def backward(grad):
+            self._accumulate(grad.reshape(self.shape))
+
+        return Tensor._make(data, (self,), backward)
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        data = self.data.transpose(axes)
+        inverse = np.argsort(axes)
+
+        def backward(grad):
+            self._accumulate(grad.transpose(inverse))
+
+        return Tensor._make(data, (self,), backward)
+
+    def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
+        data = np.swapaxes(self.data, axis1, axis2)
+
+        def backward(grad):
+            self._accumulate(np.swapaxes(grad, axis1, axis2))
+
+        return Tensor._make(data, (self,), backward)
+
+    def expand_dims(self, axis: int) -> "Tensor":
+        data = np.expand_dims(self.data, axis)
+
+        def backward(grad):
+            self._accumulate(np.squeeze(grad, axis=axis))
+
+        return Tensor._make(data, (self,), backward)
+
+    def squeeze(self, axis: int) -> "Tensor":
+        data = np.squeeze(self.data, axis=axis)
+
+        def backward(grad):
+            self._accumulate(np.expand_dims(grad, axis))
+
+        return Tensor._make(data, (self,), backward)
+
+    def broadcast_to(self, shape: tuple[int, ...]) -> "Tensor":
+        data = np.broadcast_to(self.data, shape).copy()
+
+        def backward(grad):
+            self._accumulate(_unbroadcast(grad, self.shape))
+
+        return Tensor._make(data, (self,), backward)
+
+    def __getitem__(self, index) -> "Tensor":
+        if isinstance(index, Tensor):
+            index = index.data.astype(np.int64)
+        data = self.data[index]
+
+        def backward(grad):
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, grad)
+            self._accumulate(full)
+
+        return Tensor._make(data, (self,), backward)
+
+    def take_rows(self, indices: np.ndarray) -> "Tensor":
+        """Gather rows (embedding lookup): result[..., :] = self[indices].
+
+        ``indices`` is an integer array of any shape; the result has shape
+        ``indices.shape + self.shape[1:]``.  The gradient scatter-adds.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        data = self.data[indices]
+
+        def backward(grad):
+            full = np.zeros_like(self.data)
+            np.add.at(full, indices.reshape(-1),
+                      grad.reshape(-1, *self.shape[1:]))
+            self._accumulate(full)
+
+        return Tensor._make(data, (self,), backward)
+
+    def masked_fill(self, mask: np.ndarray, value: float) -> "Tensor":
+        """Replace entries where ``mask`` is True with ``value`` (no grad
+        flows through filled positions)."""
+        mask = np.asarray(mask, dtype=bool)
+        data = np.where(mask, value, self.data)
+
+        def backward(grad):
+            self._accumulate(np.where(mask, 0.0, grad))
+
+        return Tensor._make(data, (self,), backward)
+
+    # Convenience aliases -------------------------------------------------
+    def dot(self, other) -> "Tensor":
+        return self @ other
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+
+# ----------------------------------------------------------------------
+# Free functions
+# ----------------------------------------------------------------------
+
+def tensor(data, requires_grad: bool = False, dtype=None) -> Tensor:
+    """Build a :class:`Tensor` (the canonical public constructor)."""
+    return Tensor(data, requires_grad=requires_grad, dtype=dtype)
+
+
+def zeros(shape, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.zeros(shape, dtype=DEFAULT_DTYPE),
+                  requires_grad=requires_grad)
+
+
+def ones(shape, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.ones(shape, dtype=DEFAULT_DTYPE),
+                  requires_grad=requires_grad)
+
+
+def full(shape, value: float, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.full(shape, value, dtype=DEFAULT_DTYPE),
+                  requires_grad=requires_grad)
+
+
+def arange(*args, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.arange(*args, dtype=DEFAULT_DTYPE),
+                  requires_grad=requires_grad)
+
+
+def concatenate(tensors: list[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient splitting."""
+    tensors = [Tensor._coerce(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad):
+        for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            slicer = [slice(None)] * grad.ndim
+            slicer[axis] = slice(start, stop)
+            t._accumulate(grad[tuple(slicer)])
+
+    return Tensor._make(data, tuple(tensors), backward)
+
+
+def stack(tensors: list[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis with gradient unstacking."""
+    tensors = [Tensor._coerce(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad):
+        for i, t in enumerate(tensors):
+            t._accumulate(np.take(grad, i, axis=axis))
+
+    return Tensor._make(data, tuple(tensors), backward)
+
+
+def where(condition: np.ndarray, a, b) -> Tensor:
+    """Elementwise select; gradient routes to the chosen branch."""
+    condition = np.asarray(
+        condition.data if isinstance(condition, Tensor) else condition,
+        dtype=bool,
+    )
+    a = Tensor._coerce(a)
+    b = Tensor._coerce(b)
+    data = np.where(condition, a.data, b.data)
+
+    def backward(grad):
+        a._accumulate(_unbroadcast(np.where(condition, grad, 0.0), a.shape))
+        b._accumulate(_unbroadcast(np.where(condition, 0.0, grad), b.shape))
+
+    return Tensor._make(data, (a, b), backward)
+
+
+def maximum(a, b) -> Tensor:
+    """Elementwise maximum; ties send gradient to the first argument."""
+    a = Tensor._coerce(a)
+    b = Tensor._coerce(b)
+    take_a = a.data >= b.data
+    return where(take_a, a, b)
+
+
+def minimum(a, b) -> Tensor:
+    """Elementwise minimum; ties send gradient to the first argument."""
+    a = Tensor._coerce(a)
+    b = Tensor._coerce(b)
+    take_a = a.data <= b.data
+    return where(take_a, a, b)

@@ -1,0 +1,14 @@
+"""Training harness: Trainer, configs, and KL-annealing schedules."""
+
+from .annealing import BetaSchedule, ConstantBeta, KLAnnealing
+from .config import TrainerConfig, TrainingHistory
+from .trainer import Trainer
+
+__all__ = [
+    "BetaSchedule",
+    "ConstantBeta",
+    "KLAnnealing",
+    "Trainer",
+    "TrainerConfig",
+    "TrainingHistory",
+]

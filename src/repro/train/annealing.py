@@ -1,0 +1,58 @@
+"""KL-weight schedules (the β of Eq. 20).
+
+The paper adopts KL annealing (Bowman et al. 2016): β starts at 0 so the
+inference network first learns to encode the sequence into ``z``, then
+ramps up as training proceeds.  Figure 6 compares this schedule against
+fixed β values — both are provided here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BetaSchedule", "ConstantBeta", "KLAnnealing"]
+
+
+class BetaSchedule:
+    """Interface: map a global training step to a KL weight."""
+
+    def beta(self, step: int) -> float:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ConstantBeta(BetaSchedule):
+    """A fixed β for the Figure 6 sweep."""
+
+    value: float
+
+    def __post_init__(self):
+        if self.value < 0:
+            raise ValueError("beta must be non-negative")
+
+    def beta(self, step: int) -> float:
+        return self.value
+
+
+@dataclass(frozen=True)
+class KLAnnealing(BetaSchedule):
+    """Linear warm-up: 0 for ``warmup_steps``, then ramp to ``target``
+    over ``anneal_steps``, then hold."""
+
+    target: float = 1.0
+    warmup_steps: int = 0
+    anneal_steps: int = 500
+
+    def __post_init__(self):
+        if self.target < 0:
+            raise ValueError("target beta must be non-negative")
+        if self.warmup_steps < 0 or self.anneal_steps < 1:
+            raise ValueError(
+                "warmup_steps must be >= 0 and anneal_steps >= 1"
+            )
+
+    def beta(self, step: int) -> float:
+        if step < self.warmup_steps:
+            return 0.0
+        progress = (step - self.warmup_steps) / self.anneal_steps
+        return self.target * min(1.0, progress)

@@ -1,0 +1,60 @@
+"""Configuration dataclasses for the training harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TrainerConfig", "TrainingHistory"]
+
+
+@dataclass
+class TrainerConfig:
+    """Knobs of :class:`repro.train.Trainer`.
+
+    Defaults follow the paper's Section V-D where applicable (Adam,
+    learning rate 0.001, batch size 128); epochs are scaled down for the
+    CPU-only reproduction.
+    """
+
+    epochs: int = 30
+    batch_size: int = 128
+    learning_rate: float = 0.001
+    clip_norm: float = 5.0
+    seed: int = 0
+    patience: int | None = None
+    eval_every: int = 1
+    eval_metric: str = "ndcg@10"
+    verbose: bool = False
+
+    def __post_init__(self):
+        if self.epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if self.patience is not None and self.patience < 1:
+            raise ValueError("patience must be >= 1 when set")
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch record returned by :meth:`Trainer.fit`.
+
+    For VAE models (anything exposing ``training_elbo``) the trainer also
+    records the mean reconstruction and KL terms per epoch, so the
+    annealing trade-off of Eq. 20 is observable.
+    """
+
+    losses: list[float] = field(default_factory=list)
+    reconstruction_losses: list[float] = field(default_factory=list)
+    kl_values: list[float] = field(default_factory=list)
+    validation_scores: list[tuple[int, float]] = field(default_factory=list)
+    best_epoch: int | None = None
+    stopped_early: bool = False
+
+    @property
+    def final_loss(self) -> float:
+        if not self.losses:
+            raise ValueError("no epochs were run")
+        return self.losses[-1]

@@ -1,0 +1,121 @@
+"""Generic training loop for the neural sequence recommenders.
+
+Works with any :class:`repro.models.base.NeuralSequentialRecommender`:
+the model supplies ``training_loss(padded_batch)`` and the trainer
+supplies epochs, shuffled minibatches, Adam, gradient clipping, optional
+early stopping on a validation metric, and best-weight restoration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.batching import minibatch_indices
+from ..data.interactions import SequenceCorpus
+from ..data.splits import FoldInUser
+from ..eval.evaluator import evaluate_recommender
+from ..optim import Adam, clip_grad_norm
+from ..tensor.random import make_rng
+from .config import TrainerConfig, TrainingHistory
+
+__all__ = ["Trainer"]
+
+
+class Trainer:
+    """Epoch/minibatch driver around Adam (the paper's optimizer)."""
+
+    def __init__(self, config: TrainerConfig | None = None):
+        self.config = config or TrainerConfig()
+
+    def fit(
+        self,
+        model,
+        corpus: SequenceCorpus,
+        validation: list[FoldInUser] | None = None,
+    ) -> TrainingHistory:
+        """Train ``model`` on ``corpus``.
+
+        When ``validation`` users are given and ``config.patience`` is
+        set, training stops after ``patience`` evaluations without
+        improvement on ``config.eval_metric`` and the best weights are
+        restored.
+        """
+        config = self.config
+        rng = make_rng(config.seed)
+        optimizer = Adam(model.parameters(), lr=config.learning_rate)
+        padded = model.padded_training_rows(corpus)
+        history = TrainingHistory()
+        best_score = -np.inf
+        best_state = None
+        misses = 0
+        tracks_elbo = hasattr(model, "training_elbo")
+
+        for epoch in range(1, config.epochs + 1):
+            model.train()
+            epoch_loss = 0.0
+            epoch_reconstruction = 0.0
+            epoch_kl = 0.0
+            num_batches = 0
+            for batch in minibatch_indices(
+                len(padded), config.batch_size, rng
+            ):
+                optimizer.zero_grad()
+                if tracks_elbo:
+                    terms = model.training_elbo(padded[batch])
+                    loss = terms.loss
+                    epoch_reconstruction += terms.reconstruction_value
+                    epoch_kl += terms.kl_value
+                else:
+                    loss = model.training_loss(padded[batch])
+                loss_value = loss.item()
+                if not np.isfinite(loss_value):
+                    raise RuntimeError(
+                        f"non-finite training loss ({loss_value}) at epoch "
+                        f"{epoch}, batch {num_batches}: check the learning "
+                        "rate / KL weight, or inspect the batch with "
+                        "model.training_loss directly"
+                    )
+                loss.backward()
+                clip_grad_norm(model.parameters(), config.clip_norm)
+                optimizer.step()
+                epoch_loss += loss_value
+                num_batches += 1
+            mean_loss = epoch_loss / max(num_batches, 1)
+            history.losses.append(mean_loss)
+            if tracks_elbo:
+                history.reconstruction_losses.append(
+                    epoch_reconstruction / max(num_batches, 1)
+                )
+                history.kl_values.append(epoch_kl / max(num_batches, 1))
+            if config.verbose:
+                print(f"epoch {epoch:3d}  loss {mean_loss:.4f}")
+
+            should_eval = (
+                validation is not None
+                and config.patience is not None
+                and epoch % config.eval_every == 0
+            )
+            if should_eval:
+                result = evaluate_recommender(model, validation)
+                score = result[config.eval_metric]
+                history.validation_scores.append((epoch, score))
+                if config.verbose:
+                    print(
+                        f"epoch {epoch:3d}  "
+                        f"{config.eval_metric} {100 * score:.3f}%"
+                    )
+                if score > best_score:
+                    best_score = score
+                    best_state = model.state_dict()
+                    history.best_epoch = epoch
+                    misses = 0
+                else:
+                    misses += 1
+                    if misses >= config.patience:
+                        history.stopped_early = True
+                        break
+
+        if best_state is not None:
+            model.load_state_dict(best_state)
+        model.eval()
+        return history

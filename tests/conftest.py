@@ -1,0 +1,33 @@
+"""Shared fixtures: seeded rngs and a miniature dataset/split."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    generate,
+    prepare_corpus,
+    split_strong_generalization,
+    tiny_config,
+)
+from repro.tensor.random import make_rng
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return make_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_corpus():
+    """A small preprocessed corpus shared across model tests."""
+    log = generate(tiny_config(num_users=60, num_items=40), seed=3)
+    return prepare_corpus(log)
+
+
+@pytest.fixture(scope="session")
+def tiny_split(tiny_corpus):
+    return split_strong_generalization(
+        tiny_corpus, num_heldout=8, rng=make_rng(5)
+    )

@@ -1,0 +1,107 @@
+"""The factored ELBO of Eq. 20: term assembly, target derivation, and
+consistency with the models that consume it."""
+
+import numpy as np
+import pytest
+
+from repro.core import VSAN, ELBOTerms, elbo_terms, reconstruction_targets
+from repro.tensor import Tensor, cross_entropy
+from repro.train import ConstantBeta
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(8)
+
+
+def padded_batch():
+    return np.array([[0, 1, 2, 3], [0, 0, 4, 1]])
+
+
+class TestReconstructionTargets:
+    def test_k1_is_one_hot_mode(self):
+        inputs, targets, weights, multi_hot = reconstruction_targets(
+            padded_batch(), k=1, num_items=5
+        )
+        assert not multi_hot
+        assert inputs.shape == (2, 3)
+        assert targets.shape == (2, 3)
+        assert weights[1, 0] == 0.0  # padded target
+
+    def test_k2_is_multi_hot_mode(self):
+        inputs, targets, weights, multi_hot = reconstruction_targets(
+            padded_batch(), k=2, num_items=5
+        )
+        assert multi_hot
+        assert targets.shape == (2, 3, 6)
+
+
+class TestELBOTerms:
+    def test_loss_combines_beta(self, rng):
+        reconstruction = Tensor(np.array(2.0))
+        kl = Tensor(np.array(0.5))
+        terms = ELBOTerms(reconstruction=reconstruction, kl=kl, beta=0.4)
+        np.testing.assert_allclose(terms.loss.item(), 2.0 + 0.4 * 0.5)
+        np.testing.assert_allclose(terms.reconstruction_value, 2.0)
+        np.testing.assert_allclose(terms.kl_value, 0.5)
+
+    def test_no_kl_means_pure_reconstruction(self):
+        reconstruction = Tensor(np.array(2.0))
+        terms = ELBOTerms(reconstruction=reconstruction, kl=None, beta=0.4)
+        assert terms.loss is reconstruction
+        assert terms.kl_value == 0.0
+
+    def test_beta_zero_short_circuits(self):
+        reconstruction = Tensor(np.array(2.0))
+        terms = ELBOTerms(
+            reconstruction=reconstruction, kl=Tensor(np.array(9.0)),
+            beta=0.0,
+        )
+        assert terms.loss is reconstruction
+
+    def test_assembly_matches_manual(self, rng):
+        logits = Tensor(rng.normal(size=(2, 3, 6)))
+        _, targets, weights, _ = reconstruction_targets(
+            padded_batch(), 1, 5
+        )
+        mu = Tensor(rng.normal(size=(2, 3, 4)))
+        sigma = Tensor(np.abs(rng.normal(size=(2, 3, 4))) + 0.3)
+        terms = elbo_terms(
+            logits, targets, weights, mu, sigma, beta=0.7, multi_hot=False
+        )
+        manual_reconstruction = cross_entropy(
+            logits, targets, weights=weights
+        ).item()
+        np.testing.assert_allclose(
+            terms.reconstruction_value, manual_reconstruction
+        )
+        np.testing.assert_allclose(
+            terms.loss.item(),
+            manual_reconstruction + 0.7 * terms.kl_value,
+        )
+
+    def test_inconsistent_mu_sigma_raises(self, rng):
+        logits = Tensor(rng.normal(size=(2, 3, 6)))
+        _, targets, weights, _ = reconstruction_targets(
+            padded_batch(), 1, 5
+        )
+        with pytest.raises(ValueError, match="mu and sigma"):
+            elbo_terms(
+                logits, targets, weights,
+                Tensor(np.zeros((2, 3, 4))), None, 0.5, False,
+            )
+
+
+class TestModelIntegration:
+    def test_vsan_training_elbo_terms_are_consistent(self):
+        model = VSAN(6, 5, dim=12, h1=1, h2=1, seed=0,
+                     annealing=ConstantBeta(0.3))
+        model.eval()  # deterministic z and dropout for the comparison
+        padded = np.array([[0, 1, 2, 3, 4, 5]])
+        terms = model.training_elbo(padded)
+        np.testing.assert_allclose(
+            terms.loss.item(),
+            terms.reconstruction_value + 0.3 * terms.kl_value,
+            rtol=1e-10,
+        )
+        assert terms.kl_value > 0

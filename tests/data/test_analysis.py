@@ -1,0 +1,100 @@
+"""Dataset diagnostics (repro.data.analysis)."""
+
+import numpy as np
+import pytest
+
+from repro.data import SequenceCorpus, generate, prepare_corpus, tiny_config
+from repro.data.analysis import (
+    bigram_predictability,
+    gini_coefficient,
+    popularity_counts,
+    sequence_length_summary,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return prepare_corpus(
+        generate(tiny_config(num_users=120, num_items=40), seed=5)
+    )
+
+
+class TestLengthSummary:
+    def test_fields(self, corpus):
+        summary = sequence_length_summary(corpus)
+        assert summary.minimum <= summary.median <= summary.maximum
+        assert summary.minimum >= 1
+        assert "median" in repr(summary)
+
+    def test_empty_corpus_raises(self):
+        empty = SequenceCorpus(sequences=[], num_items=5)
+        with pytest.raises(ValueError):
+            sequence_length_summary(empty)
+
+
+class TestPopularity:
+    def test_counts_match_manual(self):
+        corpus = SequenceCorpus(
+            sequences=[np.array([1, 2, 1]), np.array([2, 3])], num_items=3
+        )
+        counts = popularity_counts(corpus)
+        assert counts.tolist() == [0, 2, 2, 1]
+
+    def test_gini_uniform_is_zero(self):
+        assert gini_coefficient(np.ones(10)) == pytest.approx(0.0)
+
+    def test_gini_concentrated_is_high(self):
+        counts = np.zeros(100)
+        counts[0] = 1000
+        assert gini_coefficient(counts) > 0.95
+
+    def test_gini_monotone_in_concentration(self):
+        mild = np.array([3, 2, 2, 1])
+        strong = np.array([6, 1, 0.5, 0.5])
+        assert gini_coefficient(strong) > gini_coefficient(mild)
+
+    def test_gini_rejects_zero_total(self):
+        with pytest.raises(ValueError):
+            gini_coefficient(np.zeros(5))
+
+    def test_synthetic_data_is_long_tailed(self, corpus):
+        counts = popularity_counts(corpus)[1:]
+        assert gini_coefficient(counts) > 0.2
+
+
+class TestBigramPredictability:
+    def test_deterministic_chain_is_fully_predictable(self):
+        sequences = [np.array([1, 2, 3, 4, 5])] * 20
+        corpus = SequenceCorpus(sequences=sequences, num_items=5)
+        report = bigram_predictability(corpus)
+        assert report.bigram_accuracy == pytest.approx(1.0)
+        assert report.lift > 1.0
+
+    def test_synthetic_data_has_sequential_signal(self, corpus):
+        report = bigram_predictability(corpus)
+        assert report.bigram_accuracy > report.popularity_accuracy
+        assert report.lift > 1.5
+
+    def test_validation(self, corpus):
+        with pytest.raises(ValueError):
+            bigram_predictability(corpus, train_fraction=1.0)
+        tiny = SequenceCorpus(sequences=[np.array([1])], num_items=1)
+        with pytest.raises(ValueError, match="transitions"):
+            bigram_predictability(tiny)
+
+
+class TestStandardDatasets:
+    """The shipped configs must keep the structure every experiment
+    assumes — guard against accidental generator regressions."""
+
+    def test_beauty_like_has_strong_sequential_signal(self):
+        from repro.data import BEAUTY_LIKE, prepare_corpus
+
+        corpus = prepare_corpus(generate(BEAUTY_LIKE.scaled(0.4), seed=0))
+        assert bigram_predictability(corpus).lift > 2.0
+
+    def test_ml1m_like_has_strong_sequential_signal(self):
+        from repro.data import ML1M_LIKE, prepare_corpus
+
+        corpus = prepare_corpus(generate(ML1M_LIKE.scaled(0.4), seed=0))
+        assert bigram_predictability(corpus).lift > 2.0

@@ -1,0 +1,144 @@
+"""Padding, target shifting, next-k multi-hot targets, minibatching —
+with hypothesis checks on the multi-hot construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    PAD_ID,
+    build_training_matrix,
+    minibatch_indices,
+    next_k_multi_hot,
+    pad_left,
+    shift_targets,
+)
+
+
+class TestPadLeft:
+    def test_short_sequence_left_padded(self):
+        out = pad_left(np.array([5, 6]), 5)
+        assert out.tolist() == [0, 0, 0, 5, 6]
+
+    def test_long_sequence_keeps_most_recent(self):
+        out = pad_left(np.arange(1, 11), 4)
+        assert out.tolist() == [7, 8, 9, 10]
+
+    def test_exact_length(self):
+        out = pad_left(np.array([1, 2, 3]), 3)
+        assert out.tolist() == [1, 2, 3]
+
+    def test_empty_sequence(self):
+        assert pad_left(np.array([], dtype=np.int64), 3).tolist() == [0, 0, 0]
+
+    def test_returns_copy(self):
+        seq = np.array([1, 2, 3, 4])
+        out = pad_left(seq, 3)
+        out[0] = 99
+        assert seq[1] == 2
+
+
+class TestBuildTrainingMatrix:
+    def test_stacks_rows(self):
+        matrix = build_training_matrix(
+            [np.array([1, 2, 3]), np.array([4])], max_length=4
+        )
+        assert matrix.tolist() == [[0, 1, 2, 3], [0, 0, 0, 4]]
+
+
+class TestShiftTargets:
+    def test_alignment(self):
+        padded = np.array([[0, 1, 2, 3]])
+        inputs, targets, weights = shift_targets(padded)
+        assert inputs.tolist() == [[0, 1, 2]]
+        assert targets.tolist() == [[1, 2, 3]]
+        assert weights.tolist() == [[1.0, 1.0, 1.0]]
+
+    def test_padding_positions_unweighted(self):
+        padded = np.array([[0, 0, 5, 6]])
+        _, targets, weights = shift_targets(padded)
+        assert targets.tolist() == [[0, 5, 6]]
+        assert weights.tolist() == [[0.0, 1.0, 1.0]]
+
+
+class TestNextKMultiHot:
+    def test_k1_matches_shift_targets(self):
+        padded = np.array([[0, 1, 2, 3], [0, 0, 4, 5]])
+        inputs, multi_hot, weights = next_k_multi_hot(padded, 1, num_items=6)
+        s_inputs, s_targets, s_weights = shift_targets(padded)
+        np.testing.assert_array_equal(inputs, s_inputs)
+        np.testing.assert_array_equal(weights, s_weights)
+        for b in range(2):
+            for t in range(3):
+                if s_weights[b, t]:
+                    hot = np.nonzero(multi_hot[b, t])[0]
+                    assert hot.tolist() == [s_targets[b, t]]
+
+    def test_k2_marks_both_future_items(self):
+        padded = np.array([[1, 2, 3, 4]])
+        _, multi_hot, weights = next_k_multi_hot(padded, 2, num_items=5)
+        # position 0 (item 1) -> next items 2, 3
+        assert set(np.nonzero(multi_hot[0, 0])[0].tolist()) == {2, 3}
+        # position 2 (item 3) -> only item 4 remains
+        assert set(np.nonzero(multi_hot[0, 2])[0].tolist()) == {4}
+        assert weights.tolist() == [[1.0, 1.0, 1.0]]
+
+    def test_padding_column_never_hot(self):
+        padded = np.array([[0, 0, 1, 2]])
+        _, multi_hot, _ = next_k_multi_hot(padded, 3, num_items=4)
+        assert (multi_hot[:, :, PAD_ID] == 0).all()
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            next_k_multi_hot(np.array([[1, 2]]), 0, num_items=3)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        lengths=st.lists(st.integers(1, 6), min_size=1, max_size=4),
+        k=st.integers(1, 4),
+    )
+    def test_multi_hot_matches_bruteforce(self, lengths, k):
+        """multi_hot[b, t, i] == 1 iff item i occurs in the next k
+        positions after t (brute-force definition of Eq. 18)."""
+        rng = np.random.default_rng(0)
+        num_items = 7
+        padded = np.stack(
+            [
+                np.concatenate(
+                    [
+                        np.zeros(6 - length, dtype=np.int64),
+                        rng.integers(1, num_items + 1, size=length),
+                    ]
+                )
+                for length in lengths
+            ]
+        )
+        _, multi_hot, weights = next_k_multi_hot(padded, k, num_items)
+        batch, columns = padded.shape
+        for b in range(batch):
+            for t in range(columns - 1):
+                future = padded[b, t + 1:t + 1 + k]
+                future = future[future != PAD_ID]
+                expected = np.zeros(num_items + 1)
+                expected[future] = 1.0
+                np.testing.assert_array_equal(multi_hot[b, t], expected)
+                assert weights[b, t] == (1.0 if len(future) else 0.0)
+
+
+class TestMinibatchIndices:
+    def test_covers_all_rows_without_shuffle(self):
+        batches = list(minibatch_indices(10, 3))
+        assert [len(b) for b in batches] == [3, 3, 3, 1]
+        assert sorted(np.concatenate(batches).tolist()) == list(range(10))
+
+    def test_shuffled_is_permutation(self):
+        rng = np.random.default_rng(0)
+        batches = list(minibatch_indices(10, 4, rng))
+        flat = np.concatenate(batches)
+        assert sorted(flat.tolist()) == list(range(10))
+        assert flat.tolist() != list(range(10))  # shuffled w.h.p.
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            list(minibatch_indices(5, 0))

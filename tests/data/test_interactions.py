@@ -1,0 +1,100 @@
+"""InteractionLog and SequenceCorpus core behaviours."""
+
+import numpy as np
+import pytest
+
+from repro.data import InteractionLog, SequenceCorpus
+
+
+def make_log():
+    #               chronological per user after sorting:
+    # user 1: items 10, 11, 10   user 2: items 11, 12
+    return InteractionLog(
+        users=[1, 2, 1, 1, 2],
+        items=[10, 12, 11, 10, 11],
+        ratings=[5, 4, 3, 5, 4],
+        timestamps=[0, 5, 1, 2, 3],
+    )
+
+
+class TestInteractionLog:
+    def test_length_and_counts(self):
+        log = make_log()
+        assert len(log) == 5
+        assert log.num_users == 2
+        assert log.num_items == 3
+
+    def test_column_length_mismatch(self):
+        with pytest.raises(ValueError, match="lengths"):
+            InteractionLog([1], [1, 2], [1, 1], [0, 1])
+
+    def test_statistics(self):
+        stats = make_log().statistics()
+        assert stats.num_interactions == 5
+        np.testing.assert_allclose(stats.sparsity, 1 - 5 / 6)
+        row = stats.as_row()
+        assert row["#user"] == 2
+
+    def test_select(self):
+        log = make_log()
+        subset = log.select(log.ratings >= 4)
+        assert len(subset) == 4
+        assert (subset.ratings >= 4).all()
+
+    def test_sorted_chronologically(self):
+        ordered = make_log().sorted_chronologically()
+        assert ordered.users.tolist() == [1, 1, 1, 2, 2]
+        assert ordered.items.tolist() == [10, 11, 10, 11, 12]
+
+
+class TestSequenceCorpus:
+    def test_from_log_remaps_items_densely(self):
+        corpus = SequenceCorpus.from_log(make_log())
+        assert corpus.num_users == 2
+        assert corpus.num_items == 3
+        all_ids = np.concatenate(corpus.sequences)
+        assert all_ids.min() == 1
+        assert all_ids.max() == 3
+        # user 1's repeat of item 10 maps to the same dense id.
+        seq_user1 = corpus.sequences[corpus.user_ids.index(1)]
+        assert seq_user1[0] == seq_user1[2]
+
+    def test_round_trip_vocabulary(self):
+        corpus = SequenceCorpus.from_log(make_log())
+        inverse = corpus.index_to_item
+        assert sorted(inverse.values()) == [10, 11, 12]
+        assert all(
+            corpus.item_to_index[original] == dense
+            for dense, original in inverse.items()
+        )
+
+    def test_chronological_order_preserved(self):
+        corpus = SequenceCorpus.from_log(make_log())
+        seq = corpus.sequences[corpus.user_ids.index(1)]
+        # user 1 interacted with 10, 11, 10 in time order
+        assert corpus.index_to_item[seq[0]] == 10
+        assert corpus.index_to_item[seq[1]] == 11
+        assert corpus.index_to_item[seq[2]] == 10
+
+    def test_rejects_out_of_range_ids(self):
+        with pytest.raises(ValueError, match="outside"):
+            SequenceCorpus(sequences=[np.array([0, 1])], num_items=2)
+        with pytest.raises(ValueError, match="outside"):
+            SequenceCorpus(sequences=[np.array([3])], num_items=2)
+
+    def test_subset_shares_vocabulary(self):
+        corpus = SequenceCorpus.from_log(make_log())
+        sub = corpus.subset(np.array([0]))
+        assert sub.num_users == 1
+        assert sub.num_items == corpus.num_items
+        assert sub.item_to_index is corpus.item_to_index
+
+    def test_statistics(self):
+        corpus = SequenceCorpus.from_log(make_log())
+        stats = corpus.statistics()
+        assert stats.num_interactions == 5
+        assert stats.num_users == 2
+
+    def test_num_interactions(self):
+        corpus = SequenceCorpus.from_log(make_log())
+        assert corpus.num_interactions == 5

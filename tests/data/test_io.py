@@ -1,0 +1,53 @@
+"""CSV round-trip and error reporting."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    InteractionLog,
+    read_interactions_csv,
+    write_interactions_csv,
+)
+
+
+def test_round_trip(tmp_path):
+    log = InteractionLog(
+        users=[1, 2, 3],
+        items=[10, 20, 30],
+        ratings=[4.5, 3.0, 5.0],
+        timestamps=[100, 200, 300],
+    )
+    path = tmp_path / "interactions.csv"
+    write_interactions_csv(log, path)
+    loaded = read_interactions_csv(path)
+    np.testing.assert_array_equal(loaded.users, log.users)
+    np.testing.assert_array_equal(loaded.items, log.items)
+    np.testing.assert_allclose(loaded.ratings, log.ratings)
+    np.testing.assert_allclose(loaded.timestamps, log.timestamps)
+
+
+def test_reads_headerless_file(tmp_path):
+    path = tmp_path / "raw.csv"
+    path.write_text("1,10,4.0,100\n2,20,5.0,200\n")
+    loaded = read_interactions_csv(path)
+    assert len(loaded) == 2
+
+
+def test_skips_blank_lines(tmp_path):
+    path = tmp_path / "raw.csv"
+    path.write_text("1,10,4.0,100\n\n2,20,5.0,200\n")
+    assert len(read_interactions_csv(path)) == 2
+
+
+def test_wrong_field_count_reports_line(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("1,10,4.0,100\n1,10\n")
+    with pytest.raises(ValueError, match=":2"):
+        read_interactions_csv(path)
+
+
+def test_non_numeric_field_reports_line(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("1,ten,4.0,100\n")
+    with pytest.raises(ValueError, match=":1"):
+        read_interactions_csv(path)

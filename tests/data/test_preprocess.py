@@ -1,0 +1,110 @@
+"""Binarization and k-core filtering — including the k-core fixed-point
+property checked with hypothesis on random logs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import InteractionLog, binarize, k_core, prepare_corpus
+
+
+def simple_log(rows):
+    users, items, ratings = zip(*rows)
+    return InteractionLog(
+        users=list(users),
+        items=list(items),
+        ratings=list(ratings),
+        timestamps=list(range(len(rows))),
+    )
+
+
+class TestBinarize:
+    def test_drops_low_ratings(self):
+        log = simple_log([(1, 1, 5.0), (1, 2, 3.0), (2, 1, 4.0)])
+        out = binarize(log, min_rating=4.0)
+        assert len(out) == 2
+        assert (out.ratings >= 4.0).all()
+
+    def test_threshold_is_inclusive(self):
+        log = simple_log([(1, 1, 4.0)])
+        assert len(binarize(log)) == 1
+
+
+class TestKCore:
+    def test_removes_weak_users_and_items(self):
+        # item 99 appears once; user 5 appears once.
+        rows = [(1, 1, 5.0)] * 0
+        rows = []
+        for t in range(3):
+            rows.append((1, 1, 5.0))
+            rows.append((2, 1, 5.0))
+        rows.append((1, 99, 5.0))
+        rows.append((5, 1, 5.0))
+        out = k_core(simple_log(rows), k=3)
+        assert 99 not in out.items
+        assert 5 not in out.users
+
+    def test_cascading_removal(self):
+        """Removing a weak item can make a user weak, and so on."""
+        rows = []
+        # users 1..3 interact with items 1..3 heavily (a 2-core clique)
+        for user in (1, 2, 3):
+            for item in (1, 2, 3):
+                rows.append((user, item, 5.0))
+        # user 4 only touches item 7; item 7 only touched by user 4.
+        rows.append((4, 7, 5.0))
+        rows.append((4, 1, 5.0))
+        out = k_core(simple_log(rows), k=2)
+        assert 4 not in out.users
+        assert 7 not in out.items
+
+    def test_empty_result_allowed(self):
+        out = k_core(simple_log([(1, 1, 5.0)]), k=5)
+        assert len(out) == 0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            k_core(simple_log([(1, 1, 5.0)]), k=0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        rows=st.lists(
+            st.tuples(
+                st.integers(0, 6),
+                st.integers(0, 6),
+                st.just(5.0),
+            ),
+            min_size=1,
+            max_size=60,
+        ),
+        k=st.integers(1, 4),
+    )
+    def test_fixed_point_property(self, rows, k):
+        """Every surviving user and item has >= k interactions, and the
+        result is idempotent."""
+        out = k_core(simple_log(rows), k=k)
+        if len(out):
+            _, user_counts = np.unique(out.users, return_counts=True)
+            _, item_counts = np.unique(out.items, return_counts=True)
+            assert (user_counts >= k).all()
+            assert (item_counts >= k).all()
+        again = k_core(out, k=k)
+        assert len(again) == len(out)
+
+
+class TestPrepareCorpus:
+    def test_full_pipeline(self):
+        rows = []
+        for user in range(4):
+            for item in range(4):
+                rows.append((user, item, 5.0))
+        rows.append((0, 9, 1.0))  # dropped by binarization
+        corpus = prepare_corpus(simple_log(rows), min_rating=4.0, core=3)
+        assert corpus.num_users == 4
+        assert corpus.num_items == 4
+
+    def test_raises_when_everything_filtered(self):
+        log = simple_log([(1, 1, 1.0)])
+        with pytest.raises(ValueError, match="every interaction"):
+            prepare_corpus(log)

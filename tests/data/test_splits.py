@@ -1,0 +1,135 @@
+"""Strong-generalization split: disjoint user sets, fold-in fractions."""
+
+import numpy as np
+import pytest
+
+from repro.data import SequenceCorpus, split_strong_generalization
+from repro.data.splits import FoldInUser
+from repro.tensor.random import make_rng
+
+
+def corpus_with_lengths(lengths):
+    rng = np.random.default_rng(0)
+    return SequenceCorpus(
+        sequences=[rng.integers(1, 10, size=n) for n in lengths],
+        num_items=9,
+    )
+
+
+class TestSplit:
+    def test_user_sets_are_disjoint_and_cover(self):
+        corpus = corpus_with_lengths([10] * 20)
+        split = split_strong_generalization(corpus, 4, make_rng(0))
+        assert split.train.num_users == 12
+        assert len(split.validation) == 4
+        assert len(split.test) == 4
+        heldout_ids = {u.user_id for u in split.validation} | {
+            u.user_id for u in split.test
+        }
+        assert len(heldout_ids) == 8
+        assert heldout_ids.isdisjoint(set(split.train.user_ids))
+
+    def test_fold_in_fraction(self):
+        corpus = corpus_with_lengths([10] * 10)
+        split = split_strong_generalization(
+            corpus, 2, make_rng(0), fold_in_fraction=0.8
+        )
+        for user in split.validation + split.test:
+            assert len(user.fold_in) == 8
+            assert len(user.targets) == 2
+
+    def test_short_sequences_never_held_out(self):
+        corpus = corpus_with_lengths([2, 2, 2, 10, 10, 10, 10])
+        split = split_strong_generalization(
+            corpus, 2, make_rng(0), min_sequence_length=5
+        )
+        for user in split.validation + split.test:
+            assert len(user.fold_in) + len(user.targets) == 10
+
+    def test_deterministic_given_rng(self):
+        corpus = corpus_with_lengths([10] * 12)
+        a = split_strong_generalization(corpus, 3, make_rng(5))
+        b = split_strong_generalization(corpus, 3, make_rng(5))
+        assert [u.user_id for u in a.test] == [u.user_id for u in b.test]
+
+    def test_too_many_heldout_raises(self):
+        corpus = corpus_with_lengths([10] * 5)
+        with pytest.raises(ValueError, match="cannot hold out"):
+            split_strong_generalization(corpus, 3, make_rng(0))
+
+    def test_invalid_fraction(self):
+        corpus = corpus_with_lengths([10] * 10)
+        with pytest.raises(ValueError):
+            split_strong_generalization(
+                corpus, 2, make_rng(0), fold_in_fraction=1.0
+            )
+
+    def test_num_items_passthrough(self):
+        corpus = corpus_with_lengths([10] * 10)
+        split = split_strong_generalization(corpus, 2, make_rng(0))
+        assert split.num_items == corpus.num_items
+
+    def test_boundary_leaves_at_least_one_target(self):
+        corpus = corpus_with_lengths([3] * 10)
+        split = split_strong_generalization(
+            corpus, 2, make_rng(0), fold_in_fraction=0.9
+        )
+        for user in split.validation + split.test:
+            assert len(user.targets) >= 1
+            assert len(user.fold_in) >= 1
+
+
+class TestFoldInUser:
+    def test_rejects_empty_portions(self):
+        with pytest.raises(ValueError):
+            FoldInUser(user_id=1, fold_in=np.array([]), targets=np.array([1]))
+        with pytest.raises(ValueError):
+            FoldInUser(user_id=1, fold_in=np.array([1]), targets=np.array([]))
+
+
+class TestWeakGeneralization:
+    def test_leave_one_out_structure(self):
+        from repro.data import split_weak_generalization
+
+        corpus = corpus_with_lengths([10, 10, 2])
+        split = split_weak_generalization(corpus)
+        # All users train; only the long ones are evaluated.
+        assert split.train.num_users == 3
+        assert len(split.validation) == 2
+        assert len(split.test) == 2
+        for row, user in enumerate(split.test):
+            original = corpus.sequences[row]
+            assert user.targets.tolist() == [original[-1]]
+            np.testing.assert_array_equal(user.fold_in, original[:-1])
+        for row, user in enumerate(split.validation):
+            original = corpus.sequences[row]
+            assert user.targets.tolist() == [original[-2]]
+            np.testing.assert_array_equal(user.fold_in, original[:-2])
+
+    def test_training_sequences_exclude_eval_items(self):
+        from repro.data import split_weak_generalization
+
+        corpus = corpus_with_lengths([10])
+        split = split_weak_generalization(corpus)
+        np.testing.assert_array_equal(
+            split.train.sequences[0], corpus.sequences[0][:-2]
+        )
+
+    def test_short_users_train_in_full(self):
+        from repro.data import split_weak_generalization
+
+        corpus = corpus_with_lengths([2, 10])
+        split = split_weak_generalization(corpus)
+        np.testing.assert_array_equal(
+            split.train.sequences[0], corpus.sequences[0]
+        )
+
+    def test_validation_errors(self):
+        from repro.data import split_weak_generalization
+
+        corpus = corpus_with_lengths([2, 2])
+        with pytest.raises(ValueError, match="long enough"):
+            split_weak_generalization(corpus)
+        with pytest.raises(ValueError, match="min_sequence_length"):
+            split_weak_generalization(corpus_with_lengths([10]),
+                                      min_sequence_length=2)

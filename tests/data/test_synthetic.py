@@ -1,0 +1,160 @@
+"""Synthetic generators: determinism, config validation, and the
+statistical structure the experiments rely on."""
+
+import numpy as np
+import pytest
+
+from repro.data import BEAUTY_LIKE, ML1M_LIKE, generate, tiny_config
+from repro.data.synthetic import SyntheticConfig
+
+
+class TestConfigValidation:
+    def test_rejects_bad_lengths(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(
+                name="bad", num_users=10, num_items=10, num_categories=2,
+                min_length=5, mean_length=4.0, max_length=10,
+            )
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(
+                name="bad", num_users=10, num_items=10, num_categories=2,
+                min_length=2, mean_length=4.0, max_length=10,
+                drift_prob=1.5,
+            )
+
+    def test_rejects_fewer_items_than_categories(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(
+                name="bad", num_users=10, num_items=3, num_categories=5,
+                min_length=2, mean_length=4.0, max_length=10,
+            )
+
+    def test_scaled(self):
+        small = BEAUTY_LIKE.scaled(0.1)
+        assert small.num_users == int(BEAUTY_LIKE.num_users * 0.1)
+        assert small.num_categories == BEAUTY_LIKE.num_categories
+
+
+class TestGeneration:
+    def test_deterministic_per_seed(self):
+        config = tiny_config()
+        a = generate(config, seed=9)
+        b = generate(config, seed=9)
+        np.testing.assert_array_equal(a.items, b.items)
+        np.testing.assert_array_equal(a.ratings, b.ratings)
+
+    def test_different_seeds_differ(self):
+        config = tiny_config()
+        a = generate(config, seed=1)
+        b = generate(config, seed=2)
+        assert (len(a) != len(b)) or not np.array_equal(a.items, b.items)
+
+    def test_every_user_within_length_bounds(self):
+        config = tiny_config()
+        log = generate(config, seed=4)
+        _, counts = np.unique(log.users, return_counts=True)
+        assert counts.min() >= config.min_length
+        assert counts.max() <= config.max_length
+
+    def test_item_ids_in_range(self):
+        config = tiny_config()
+        log = generate(config, seed=4)
+        assert log.items.min() >= 0
+        assert log.items.max() < config.num_items
+
+    def test_ratings_in_explicit_scale(self):
+        log = generate(tiny_config(), seed=4)
+        assert log.ratings.min() >= 1.0
+        assert log.ratings.max() <= 5.0
+        # Binarization must have something to drop and something to keep.
+        assert (log.ratings < 4).any()
+        assert (log.ratings >= 4).mean() > 0.5
+
+    def test_timestamps_increase_per_user(self):
+        log = generate(tiny_config(), seed=4)
+        for user in np.unique(log.users):
+            stamps = log.timestamps[log.users == user]
+            assert (np.diff(stamps) > 0).all()
+
+    def test_popularity_is_long_tailed(self):
+        """Zipf-ish: the top decile of items gets a large share."""
+        log = generate(BEAUTY_LIKE, seed=0)
+        _, counts = np.unique(log.items, return_counts=True)
+        counts = np.sort(counts)[::-1]
+        top_decile = counts[: max(1, len(counts) // 10)].sum()
+        assert top_decile / counts.sum() > 0.2
+
+    def test_sparsity_contrast_between_datasets(self):
+        beauty = generate(BEAUTY_LIKE, seed=0).statistics()
+        ml1m = generate(ML1M_LIKE, seed=0).statistics()
+        assert beauty.sparsity > ml1m.sparsity
+
+    def test_sequences_are_sequentially_predictable(self):
+        """A bigram model must beat the popularity baseline at next-item
+        prediction — otherwise the sequential signal the paper's models
+        exploit is absent."""
+        log = generate(tiny_config(num_users=200, num_items=40), seed=2)
+        ordered = log.sorted_chronologically()
+        transitions = {}
+        popularity = np.zeros(40)
+        pairs = []
+        for user in np.unique(ordered.users):
+            items = ordered.items[ordered.users == user]
+            popularity[items] += 1
+            for prev, nxt in zip(items[:-1], items[1:]):
+                pairs.append((prev, nxt))
+        split_point = int(len(pairs) * 0.7)
+        for prev, nxt in pairs[:split_point]:
+            transitions.setdefault(prev, []).append(nxt)
+        bigram_hits = pop_hits = total = 0
+        top_pop = int(np.argmax(popularity))
+        for prev, nxt in pairs[split_point:]:
+            total += 1
+            if prev in transitions:
+                values, counts = np.unique(
+                    transitions[prev], return_counts=True
+                )
+                if values[np.argmax(counts)] == nxt:
+                    bigram_hits += 1
+            if top_pop == nxt:
+                pop_hits += 1
+        assert bigram_hits > pop_hits
+
+
+class TestWorldInfo:
+    def test_ground_truth_structure(self):
+        from repro.data import generate_with_info
+
+        config = tiny_config()
+        log, info = generate_with_info(config, seed=6)
+        assert info.category_of.shape == (config.num_items,)
+        assert info.next_category.shape == (config.num_categories,)
+        assert info.user_mixtures.shape == (
+            config.num_users, config.num_categories
+        )
+        np.testing.assert_allclose(info.user_mixtures.sum(axis=1), 1.0)
+        # The routine chain is a permutation (every category has exactly
+        # one predecessor).
+        assert sorted(info.next_category.tolist()) == list(
+            range(config.num_categories)
+        )
+
+    def test_generate_matches_generate_with_info(self):
+        from repro.data import generate_with_info
+
+        config = tiny_config()
+        log_only = generate(config, seed=6)
+        log_pair, _ = generate_with_info(config, seed=6)
+        np.testing.assert_array_equal(log_only.items, log_pair.items)
+
+    def test_mixture_entropy(self):
+        from repro.data import generate_with_info
+
+        _, info = generate_with_info(tiny_config(), seed=6)
+        entropies = [
+            info.mixture_entropy(u) for u in range(len(info.user_mixtures))
+        ]
+        assert all(e >= 0 for e in entropies)
+        assert max(entropies) > min(entropies)  # users genuinely differ

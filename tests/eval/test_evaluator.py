@@ -1,0 +1,104 @@
+"""Held-out-user evaluator: protocol details (fold-in exclusion,
+batching, averaging)."""
+
+import numpy as np
+import pytest
+
+from repro.data.splits import FoldInUser
+from repro.eval import EvaluationResult, evaluate_recommender
+
+
+class OracleRecommender:
+    """Scores each user's own targets highest — perfect recommendations."""
+
+    def __init__(self, heldout, num_items):
+        self.targets = {tuple(u.fold_in.tolist()): u.targets for u in heldout}
+        self.num_items = num_items
+
+    def score_batch(self, histories):
+        out = []
+        for history in histories:
+            scores = np.zeros(self.num_items + 1)
+            scores[self.targets[tuple(np.asarray(history).tolist())]] = 10.0
+            out.append(scores)
+        return np.stack(out)
+
+
+class ConstantRecommender:
+    """Same arbitrary ranking for everyone."""
+
+    def __init__(self, num_items, order=None):
+        self.num_items = num_items
+        self.order = order
+
+    def score_batch(self, histories):
+        scores = np.arange(self.num_items + 1, dtype=float)
+        if self.order is not None:
+            scores = np.zeros(self.num_items + 1)
+            scores[self.order] = np.arange(len(self.order), 0, -1)
+        return np.tile(scores, (len(histories), 1))
+
+
+def make_heldout(num_users=6, num_items=30):
+    rng = np.random.default_rng(0)
+    users = []
+    for uid in range(num_users):
+        items = rng.choice(
+            np.arange(1, num_items + 1), size=10, replace=False
+        )
+        users.append(
+            FoldInUser(user_id=uid, fold_in=items[:8], targets=items[8:])
+        )
+    return users
+
+
+class TestEvaluator:
+    def test_oracle_gets_perfect_recall(self):
+        heldout = make_heldout()
+        oracle = OracleRecommender(heldout, num_items=30)
+        result = evaluate_recommender(oracle, heldout, cutoffs=(10,))
+        assert result["recall@10"] == pytest.approx(1.0)
+        assert result["ndcg@10"] == pytest.approx(1.0)
+        assert result["precision@10"] == pytest.approx(2 / 10)
+
+    def test_fold_in_items_are_excluded_by_default(self):
+        """A recommender that top-ranks fold-in items must not be able to
+        'cheat' — those items are removed from the list."""
+        num_items = 30
+        heldout = make_heldout(num_users=1, num_items=num_items)
+        user = heldout[0]
+        order = np.concatenate([user.fold_in, user.targets])
+        cheat = ConstantRecommender(num_items, order=order)
+        excluded = evaluate_recommender(cheat, heldout, cutoffs=(2,))
+        assert excluded["recall@2"] == pytest.approx(1.0)
+        included = evaluate_recommender(
+            cheat, heldout, cutoffs=(2,), exclude_fold_in=False
+        )
+        assert included["recall@2"] == 0.0
+
+    def test_batching_does_not_change_results(self):
+        heldout = make_heldout(num_users=7)
+        model = ConstantRecommender(30)
+        small = evaluate_recommender(model, heldout, batch_size=2)
+        large = evaluate_recommender(model, heldout, batch_size=100)
+        assert small.values == large.values
+
+    def test_average_over_users(self):
+        heldout = make_heldout(num_users=4)
+        model = ConstantRecommender(30)
+        result = evaluate_recommender(model, heldout, cutoffs=(10,))
+        per_user = [
+            evaluate_recommender(model, [user], cutoffs=(10,))["recall@10"]
+            for user in heldout
+        ]
+        assert result["recall@10"] == pytest.approx(np.mean(per_user))
+
+    def test_empty_heldout_raises(self):
+        with pytest.raises(ValueError):
+            evaluate_recommender(ConstantRecommender(10), [])
+
+    def test_result_container(self):
+        result = EvaluationResult(values={"ndcg@10": 0.5}, num_users=3)
+        assert result["ndcg@10"] == 0.5
+        assert result.as_percentages()["ndcg@10"] == 50.0
+        assert "ndcg@10" in repr(result)

@@ -1,0 +1,82 @@
+"""Attention-map extraction and posterior summaries."""
+
+import numpy as np
+import pytest
+
+from repro.core import VSAN
+from repro.eval import (
+    attention_map,
+    history_diversity,
+    posterior_summary,
+)
+from repro.models import SASRec
+
+
+@pytest.fixture(scope="module")
+def vsan():
+    return VSAN(10, 8, dim=16, h1=2, h2=1, seed=0)
+
+
+class TestAttentionMap:
+    def test_shape_and_distribution(self, vsan):
+        weights = attention_map(vsan, np.array([1, 2, 3]), block=0)
+        assert weights.shape == (1, 8, 8)
+        np.testing.assert_allclose(weights.sum(axis=-1), 1.0, rtol=1e-9)
+
+    def test_causal_structure(self, vsan):
+        weights = attention_map(vsan, np.array([1, 2, 3, 4, 5, 6, 7, 8]),
+                                block=1)
+        upper = np.triu(np.ones((8, 8), dtype=bool), k=1)
+        assert (weights[0][upper] < 1e-9).all()
+
+    def test_generative_stack(self, vsan):
+        weights = attention_map(
+            vsan, np.array([1, 2, 3]), block=0, stack="generative"
+        )
+        assert weights.shape == (1, 8, 8)
+
+    def test_sasrec_stack(self):
+        sasrec = SASRec(10, 8, dim=16, num_blocks=2, seed=0)
+        weights = attention_map(
+            sasrec, np.array([1, 2]), block=1, stack="blocks"
+        )
+        assert weights.shape == (1, 8, 8)
+
+    def test_block_out_of_range(self, vsan):
+        with pytest.raises(IndexError):
+            attention_map(vsan, np.array([1]), block=5)
+
+    def test_unknown_stack(self, vsan):
+        with pytest.raises(KeyError):
+            attention_map(vsan, np.array([1]), stack="decoder")
+
+
+class TestPosteriorSummary:
+    def test_fields_are_sane(self, vsan):
+        summary = posterior_summary(vsan, np.array([1, 2, 3]))
+        assert summary.mean_sigma > 0
+        assert summary.max_sigma >= summary.mean_sigma
+        assert summary.mean_norm >= 0
+        assert "sigma" in repr(summary)
+
+    def test_deterministic(self, vsan):
+        a = posterior_summary(vsan, np.array([1, 2, 3]))
+        b = posterior_summary(vsan, np.array([1, 2, 3]))
+        assert a == b
+
+    def test_rejects_vsan_z(self):
+        model = VSAN(10, 8, dim=16, h1=1, h2=1, use_latent=False, seed=0)
+        with pytest.raises(ValueError, match="latent"):
+            posterior_summary(model, np.array([1]))
+
+
+class TestHistoryDiversity:
+    def test_all_distinct(self):
+        assert history_diversity(np.array([1, 2, 3])) == 1.0
+
+    def test_repeats(self):
+        assert history_diversity(np.array([1, 1, 1, 2])) == 0.5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            history_diversity(np.array([]))

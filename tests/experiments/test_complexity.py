@@ -1,0 +1,31 @@
+"""Section IV-F complexity runner (fast settings — scaling assertions
+live in benchmarks/test_complexity.py)."""
+
+from repro.experiments import run_experiment
+
+
+def test_complexity_runner_structure():
+    result = run_experiment(
+        "complexity", fast=True, lengths=(6, 12), num_items=50,
+        batch_size=4,
+    )
+    assert result.experiment_id == "complexity"
+    models = set(result.column("model"))
+    assert models == {"VSAN", "SASRec", "GRU4Rec"}
+    for row in result.rows:
+        _, n, seconds, parameters = row
+        assert seconds > 0
+        assert parameters > 0
+        assert n in (6, 12)
+
+
+def test_parameter_counts_reflect_space_complexity():
+    """O(Nd + nd + d^2): growing n adds only the positional table."""
+    result = run_experiment(
+        "complexity", fast=True, lengths=(6, 12), num_items=50,
+        batch_size=4, dim=16,
+    )
+    vsan = {
+        row[1]: row[3] for row in result.rows if row[0] == "VSAN"
+    }
+    assert vsan[12] - vsan[6] == 6 * 16  # positional rows * dim

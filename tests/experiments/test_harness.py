@@ -1,0 +1,150 @@
+"""The experiment harness on fast-mode datasets: dataset caching, the
+model zoo, and the registry — kept lightweight (training budgets are the
+fast ones; full-scale regeneration lives in benchmarks/)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    DATASETS,
+    EXPERIMENTS,
+    MODEL_NAMES,
+    build_model,
+    load_dataset,
+    run_experiment,
+    train_and_evaluate,
+)
+from repro.experiments.zoo import default_trainer_config, fit_model
+
+
+class TestDatasets:
+    def test_known_keys(self):
+        assert set(DATASETS) == {"beauty", "ml1m"}
+
+    def test_fast_dataset_loads_and_caches(self):
+        a = load_dataset("beauty", fast=True)
+        b = load_dataset("beauty", fast=True)
+        assert a is b
+        assert a.num_items > 0
+        assert len(a.split.test) >= 12
+
+    def test_fast_and_full_are_separate_cache_entries(self):
+        fast = load_dataset("beauty", fast=True)
+        assert fast.spec.config.num_users < DATASETS["beauty"].config.num_users
+
+    def test_unknown_key(self):
+        with pytest.raises(KeyError):
+            load_dataset("netflix")
+
+    def test_sparsity_contrast_preserved(self):
+        beauty = load_dataset("beauty", fast=True).corpus.statistics()
+        ml1m = load_dataset("ml1m", fast=True).corpus.statistics()
+        assert beauty.sparsity > ml1m.sparsity
+
+
+class TestZoo:
+    def test_all_models_buildable(self):
+        dataset = load_dataset("beauty", fast=True)
+        for name in MODEL_NAMES:
+            model = build_model(name, dataset, fast=True)
+            assert model is not None
+
+    def test_unknown_model(self):
+        dataset = load_dataset("beauty", fast=True)
+        with pytest.raises(KeyError):
+            build_model("NCF", dataset)
+
+    def test_vsan_per_dataset_blocks(self):
+        from repro.experiments.zoo import _VSAN_BLOCKS
+
+        for key in ("beauty", "ml1m"):
+            model = build_model("VSAN", load_dataset(key, fast=True))
+            assert (model.h1, model.h2) == _VSAN_BLOCKS[key]
+
+    def test_overrides_reach_constructor(self):
+        dataset = load_dataset("beauty", fast=True)
+        model = build_model("VSAN", dataset, h1=2, use_latent=False)
+        assert model.h1 == 2
+        assert not model.use_latent
+
+    def test_fit_and_evaluate_classic(self):
+        dataset = load_dataset("beauty", fast=True)
+        result = train_and_evaluate("POP", dataset, fast=True)
+        assert 0.0 <= result["ndcg@10"] <= 1.0
+
+    def test_fit_model_neural_fast(self):
+        dataset = load_dataset("beauty", fast=True)
+        model = build_model("SASRec", dataset, fast=True, dim=16,
+                            num_blocks=1)
+        config = default_trainer_config(fast=True)
+        config.epochs = 2
+        fit_model(model, dataset, fast=True, trainer_config=config)
+        scores = model.score_batch([dataset.split.test[0].fold_in])
+        assert np.isfinite(scores[:, 1:]).all()
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        expected = {
+            "table2", "table3", "table4", "table5", "table6",
+            "fig3", "fig4", "fig5", "fig6",
+        }
+        assert expected <= set(EXPERIMENTS)
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("table99")
+
+    def test_table2_runs_fast(self):
+        result = run_experiment("table2", fast=True)
+        assert result.experiment_id == "table2"
+        assert len(result.rows) == 2
+        sparsities = result.column("sparsity(%)")
+        beauty_row = result.rows[[r[0] for r in result.rows].index("beauty")]
+        ml1m_row = result.rows[[r[0] for r in result.rows].index("ml1m")]
+        assert beauty_row[4] > ml1m_row[4]
+        assert all(0 < s < 100 for s in sparsities)
+
+
+class TestTrainerBudgets:
+    def test_sweep_budget_is_smaller(self):
+        from repro.experiments.zoo import default_trainer_config
+
+        full = default_trainer_config(fast=False)
+        sweep = default_trainer_config(fast=False, sweep=True)
+        fast = default_trainer_config(fast=True)
+        assert sweep.epochs < full.epochs
+        assert fast.epochs < sweep.epochs
+        assert fast.patience is None
+
+    def test_default_annealing_target_is_small(self):
+        from repro.experiments.zoo import default_annealing
+
+        schedule = default_annealing()
+        assert schedule.target <= 0.01
+        assert schedule.beta(0) == 0.0  # warmup
+
+
+class TestReproducibility:
+    def test_pop_evaluation_is_deterministic(self):
+        from repro.experiments import load_dataset, train_and_evaluate
+
+        dataset = load_dataset("beauty", fast=True)
+        a = train_and_evaluate("POP", dataset, fast=True)
+        b = train_and_evaluate("POP", dataset, fast=True)
+        assert a.values == b.values
+
+    def test_table2_is_deterministic(self):
+        from repro.experiments import run_experiment
+
+        a = run_experiment("table2", fast=True)
+        b = run_experiment("table2", fast=True)
+        assert a.rows == b.rows
+
+    def test_classic_fast_epochs_reduced(self):
+        from repro.experiments import build_model, load_dataset
+
+        dataset = load_dataset("beauty", fast=True)
+        fast_model = build_model("BPR", dataset, fast=True)
+        full_model = build_model("BPR", dataset, fast=False)
+        assert fast_model.epochs < full_model.epochs

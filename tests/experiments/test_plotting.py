@@ -1,0 +1,95 @@
+"""ASCII chart rendering for the figure reproductions."""
+
+import pytest
+
+from repro.experiments import ExperimentResult
+from repro.experiments.plotting import ascii_line_chart, chart_from_result
+
+
+class TestAsciiLineChart:
+    def test_contains_legend_and_axes(self):
+        chart = ascii_line_chart(
+            {"VSAN": [(1, 10.0), (2, 12.0)], "SVAE": [(1, 8.0), (2, 9.0)]},
+            x_label="k",
+            y_label="recall@20",
+        )
+        assert "o VSAN" in chart
+        assert "* SVAE" in chart
+        assert "recall@20" in chart
+        assert "(k)" in chart
+
+    def test_extremes_hit_grid_edges(self):
+        chart = ascii_line_chart({"a": [(0, 0.0), (10, 5.0)]},
+                                 width=20, height=5)
+        lines = chart.splitlines()
+        grid = [line.split("|", 1)[1] for line in lines if "|" in line]
+        assert grid[0].rstrip()[-1] == "o"  # max value, rightmost, top row
+        assert grid[-1].lstrip()[0] == "o"  # min value, leftmost, bottom
+
+    def test_constant_series_does_not_crash(self):
+        chart = ascii_line_chart({"flat": [(0, 1.0), (1, 1.0)]})
+        assert "flat" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="no series"):
+            ascii_line_chart({})
+        with pytest.raises(ValueError, match="no points"):
+            ascii_line_chart({"a": []})
+        with pytest.raises(ValueError, match="at least"):
+            ascii_line_chart({"a": [(0, 0)]}, width=3)
+
+    def test_multiple_series_get_distinct_glyphs(self):
+        chart = ascii_line_chart(
+            {f"s{i}": [(0, i), (1, i + 1)] for i in range(3)}
+        )
+        for glyph in "o*x":
+            assert glyph in chart
+
+
+class TestChartFromResult:
+    def make_result(self):
+        return ExperimentResult(
+            experiment_id="fig3",
+            title="t",
+            headers=["dataset", "model", "k", "recall@20"],
+            rows=[
+                ["beauty", "VSAN", 1, 30.0],
+                ["beauty", "VSAN", 2, 33.0],
+                ["beauty", "SVAE", 1, 25.0],
+                ["beauty", "SVAE", 2, 26.0],
+                ["ml1m", "VSAN", 1, 20.0],
+            ],
+        )
+
+    def test_filters_dataset_and_groups_series(self):
+        chart = chart_from_result(
+            self.make_result(), "k", "recall@20",
+            series_header="model", dataset="beauty",
+        )
+        assert "VSAN" in chart and "SVAE" in chart
+        assert "33.00" in chart  # beauty max, not ml1m's 20
+
+    def test_skips_non_numeric_x(self):
+        result = ExperimentResult(
+            experiment_id="fig6", title="t",
+            headers=["dataset", "beta", "recall@20"],
+            rows=[
+                ["beauty", "0.0", 30.0],
+                ["beauty", "0.5", 20.0],
+                ["beauty", "annealed", 31.0],
+            ],
+        )
+        chart = chart_from_result(result, "beta", "recall@20",
+                                  dataset="beauty")
+        assert "30.00" in chart  # max among numeric-x points only
+
+
+def test_chart_without_series_or_dataset_columns():
+    result = ExperimentResult(
+        experiment_id="x", title="t",
+        headers=["k", "recall@20"],
+        rows=[[1, 10.0], [2, 12.0], [3, 11.0]],
+    )
+    chart = chart_from_result(result, "k", "recall@20")
+    assert "recall@20" in chart
+    assert "12.00" in chart

@@ -1,0 +1,62 @@
+"""ExperimentResult rendering and serialization."""
+
+import json
+
+from repro.experiments import ExperimentResult
+
+
+def make_result():
+    return ExperimentResult(
+        experiment_id="demo",
+        title="Demo table",
+        headers=["model", "ndcg@10"],
+        rows=[["POP", 1.23456], ["VSAN", 6.54321]],
+        notes="shape only",
+    )
+
+
+def test_render_contains_all_cells():
+    text = make_result().render()
+    assert "demo" in text
+    assert "POP" in text
+    assert "1.235" in text  # 3-decimal float formatting
+    assert "note: shape only" in text
+
+
+def test_render_aligns_columns():
+    lines = make_result().render().splitlines()
+    header, separator, *rows = lines[1:]
+    assert len(header) == len(separator)
+
+
+def test_column_extraction():
+    result = make_result()
+    assert result.column("model") == ["POP", "VSAN"]
+    assert result.column("ndcg@10") == [1.23456, 6.54321]
+
+
+def test_json_round_trip(tmp_path):
+    result = make_result()
+    path = result.save(tmp_path)
+    assert path.name == "demo.json"
+    with open(path) as handle:
+        loaded = json.load(handle)
+    assert loaded == result.to_json()
+    assert loaded["rows"][1][0] == "VSAN"
+
+
+def test_bool_and_int_formatting():
+    result = ExperimentResult(
+        experiment_id="x", title="t", headers=["a", "b"],
+        rows=[[True, 3]],
+    )
+    rendered = result.render()
+    assert "True" in rendered
+    assert "3" in rendered
+
+
+def test_load_round_trip(tmp_path):
+    result = make_result()
+    path = result.save(tmp_path)
+    loaded = ExperimentResult.load(path)
+    assert loaded == result

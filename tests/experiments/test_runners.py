@@ -1,0 +1,200 @@
+"""Experiment-runner plumbing, with training monkeypatched out.
+
+These tests verify row construction, sweep coverage, and the Improv.
+arithmetic of each table/figure runner without paying for real training
+(full-scale behaviour is exercised in benchmarks/).
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval import EvaluationResult
+from repro.experiments import fig3, fig5, fig6, table3, table4, table5, table6
+
+
+def canned_result(value: float) -> EvaluationResult:
+    keys = [
+        f"{metric}@{n}"
+        for metric in ("ndcg", "recall", "precision")
+        for n in (10, 20)
+    ]
+    return EvaluationResult(
+        values={key: value for key in keys}, num_users=10
+    )
+
+
+@pytest.fixture
+def fake_models(monkeypatch):
+    """Make every model constructor/fit a no-op and scoreable."""
+
+    class FakeModel:
+        def __init__(self, score):
+            self._score = score
+            self.sample_at_eval = False
+
+    def install(module, score_fn):
+        monkeypatch.setattr(
+            module, "build_model",
+            lambda name, dataset, **kw: FakeModel(score_fn(name, kw)),
+        )
+        monkeypatch.setattr(
+            module, "fit_model", lambda model, dataset, **kw: model
+        )
+        monkeypatch.setattr(
+            module,
+            "evaluate_recommender",
+            lambda model, heldout, **kw: canned_result(model._score),
+        )
+
+    return install
+
+
+class TestTable3Improvement:
+    def test_improvement_row_math(self, monkeypatch):
+        scores = {"POP": 0.02, "SASRec": 0.10, "VSAN": 0.12}
+
+        monkeypatch.setattr(
+            table3,
+            "train_and_evaluate",
+            lambda name, dataset, seed=0, fast=False: canned_result(
+                scores[name]
+            ),
+        )
+        result = table3.run(
+            fast=True,
+            models=("POP", "SASRec", "VSAN"),
+            datasets=("beauty",),
+        )
+        improv = [row for row in result.rows if row[1] == "Improv.(%)"]
+        assert len(improv) == 1
+        # (12 - 10) / 10 = +20% on every metric
+        np.testing.assert_allclose(improv[0][2:], 20.0, rtol=1e-9)
+
+    def test_multi_seed_averaging(self, monkeypatch):
+        calls = []
+
+        def fake(name, dataset, seed=0, fast=False):
+            calls.append(seed)
+            return canned_result(0.01 * (seed + 1))
+
+        monkeypatch.setattr(table3, "train_and_evaluate", fake)
+        result = table3.run(
+            fast=True, models=("VSAN",), datasets=("beauty",),
+            seed=0, num_seeds=3,
+        )
+        assert sorted(calls) == [0, 1, 2]
+        # mean of 1%, 2%, 3%
+        np.testing.assert_allclose(result.rows[0][2], 2.0, rtol=1e-9)
+        assert "3 seeds" in result.notes
+
+
+class TestGridAndSweepCoverage:
+    def test_table4_grid_covers_all_cells(self, fake_models):
+        seen = []
+        fake_models(
+            table4,
+            lambda name, kw: seen.append((kw["h1"], kw["h2"])) or 0.1,
+        )
+        result = table4.run(
+            fast=False, block_counts=(0, 1), datasets=("beauty",)
+        )
+        assert set(seen) == {(0, 0), (0, 1), (1, 0), (1, 1)}
+        assert len(result.rows) == 2
+
+    def test_table5_variants(self, fake_models):
+        seen = []
+        fake_models(
+            table5,
+            lambda name, kw: seen.append(kw["use_latent"])
+            or (0.2 if kw["use_latent"] else 0.1),
+        )
+        result = table5.run(fast=False, datasets=("beauty",))
+        assert set(seen) == {True, False}
+        improv = [row for row in result.rows if row[1] == "Improv.(%)"][0]
+        np.testing.assert_allclose(improv[2:], 100.0, rtol=1e-9)
+
+    def test_table6_variants(self, fake_models):
+        seen = []
+        fake_models(
+            table6,
+            lambda name, kw: seen.append(
+                (kw["inference_feedforward"], kw["generative_feedforward"])
+            )
+            or 0.1,
+        )
+        table6.run(fast=False, datasets=("beauty",))
+        assert set(seen) == {
+            (False, False), (False, True), (True, False), (True, True)
+        }
+
+    def test_fig3_sweeps_k_for_both_models(self, fake_models):
+        seen = []
+        fake_models(
+            fig3, lambda name, kw: seen.append((name, kw["k"])) or 0.1
+        )
+        fig3.run(fast=False, k_values=(1, 2), datasets=("ml1m",))
+        assert set(seen) == {
+            ("VSAN", 1), ("VSAN", 2), ("SVAE", 1), ("SVAE", 2)
+        }
+
+    def test_fig5_sweeps_dropout(self, fake_models):
+        seen = []
+        fake_models(
+            fig5,
+            lambda name, kw: seen.append(kw["dropout_rate"]) or 0.1,
+        )
+        fig5.run(fast=False, rates=(0.0, 0.5), datasets=("beauty",))
+        assert seen == [0.0, 0.5]
+
+    def test_fig6_includes_annealed_schedule(self, fake_models):
+        seen = []
+        fake_models(
+            fig6,
+            lambda name, kw: seen.append(type(kw["annealing"]).__name__)
+            or 0.1,
+        )
+        result = fig6.run(fast=False, betas=(0.0,), datasets=("beauty",))
+        assert seen == ["ConstantBeta", "KLAnnealing"]
+        assert result.column("beta") == ["0.0", "annealed"]
+
+
+class TestSignificanceRunner:
+    def test_rows_and_significance_flag(self, monkeypatch):
+        import numpy as np
+
+        from repro.experiments import significance
+
+        class FakeModel:
+            def __init__(self, level):
+                self.level = level
+
+        def fake_build(name, dataset, **kw):
+            return FakeModel(0.9 if name == "VSAN" else 0.1)
+
+        monkeypatch.setattr(significance, "build_model", fake_build)
+        monkeypatch.setattr(
+            significance, "fit_model", lambda model, dataset, **kw: model
+        )
+
+        def fake_per_user(model, heldout, metric):
+            rng = np.random.default_rng(0)
+            return model.level + rng.normal(0, 0.01, size=40)
+
+        monkeypatch.setattr(significance, "per_user_metric", fake_per_user)
+        result = significance.run(fast=True, datasets=("beauty",),
+                                  num_resamples=200)
+        assert len(result.rows) == 2  # two metrics
+        for row in result.rows:
+            assert row[-1] is True  # clearly significant difference
+            assert row[2] > 0  # VSAN ahead
+
+
+class TestExperimentsMain:
+    def test_cli_runs_table2(self, capsys, tmp_path):
+        from repro.experiments.__main__ import main
+
+        exit_code = main(["table2", "--fast", "--save", str(tmp_path)])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "table2" in out
+        assert (tmp_path / "table2.json").exists()

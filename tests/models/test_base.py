@@ -1,0 +1,61 @@
+"""NeuralSequentialRecommender shared machinery, tested directly."""
+
+import numpy as np
+import pytest
+
+from repro.data import PAD_ID, SequenceCorpus
+from repro.models import SASRec
+from repro.models.base import NeuralSequentialRecommender
+
+
+class TestConstruction:
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError, match="item"):
+            SASRec(0, 5)
+        with pytest.raises(ValueError, match="max_length"):
+            SASRec(5, 1)
+
+    def test_hooks_are_abstract(self):
+        class Bare(NeuralSequentialRecommender):
+            pass
+
+        model = Bare(5, 4)
+        with pytest.raises(NotImplementedError):
+            model.forward_scores(np.zeros((1, 4), dtype=np.int64))
+        with pytest.raises(NotImplementedError):
+            model.training_loss(np.zeros((1, 5), dtype=np.int64))
+
+
+class TestPadding:
+    def test_padded_input_window(self):
+        model = SASRec(10, 4, dim=8, num_blocks=1, seed=0)
+        out = model.padded_input(np.array([1, 2, 3, 4, 5, 6]))
+        assert out.tolist() == [3, 4, 5, 6]
+        out = model.padded_input(np.array([7]))
+        assert out.tolist() == [PAD_ID, PAD_ID, PAD_ID, 7]
+
+    def test_padded_training_rows_has_extra_target_column(self):
+        model = SASRec(10, 4, dim=8, num_blocks=1, seed=0)
+        corpus = SequenceCorpus(
+            sequences=[np.array([1, 2, 3]), np.array([4, 5, 6, 7, 8])],
+            num_items=10,
+        )
+        rows = model.padded_training_rows(corpus)
+        assert rows.shape == (2, 5)  # max_length + 1
+        assert rows[0].tolist() == [0, 0, 1, 2, 3]
+        assert rows[1].tolist() == [4, 5, 6, 7, 8]
+
+
+class TestScoring:
+    def test_score_is_last_position_of_batch(self):
+        model = SASRec(10, 4, dim=8, num_blocks=1, seed=0)
+        history = np.array([1, 2])
+        single = model.score(history)
+        batch = model.score_batch([history, np.array([3])])
+        np.testing.assert_allclose(single, batch[0])
+
+    def test_score_batch_sets_eval_mode(self):
+        model = SASRec(10, 4, dim=8, num_blocks=1, seed=0)
+        model.train()
+        model.score_batch([np.array([1])])
+        assert not model.training

@@ -1,0 +1,76 @@
+"""SequenceEmbedding: the Embedding Layer of Section IV-A."""
+
+import numpy as np
+import pytest
+
+from repro.models.common import SequenceEmbedding
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(2)
+
+
+def make(rng, **kwargs):
+    defaults = dict(num_items=10, max_length=6, dim=8)
+    defaults.update(kwargs)
+    return SequenceEmbedding(rng=rng, **defaults)
+
+
+class TestSequenceEmbedding:
+    def test_output_shapes(self, rng):
+        layer = make(rng)
+        padded = np.array([[0, 0, 1, 2, 3, 4]])
+        embedded, timeline, key_pad = layer(padded)
+        assert embedded.shape == (1, 6, 8)
+        assert timeline.shape == (1, 6)
+        assert key_pad.shape == (1, 6)
+
+    def test_masks_are_complementary(self, rng):
+        layer = make(rng)
+        padded = np.array([[0, 0, 1, 2, 3, 4]])
+        _, timeline, key_pad = layer(padded)
+        np.testing.assert_array_equal(timeline, 1.0 - key_pad)
+        np.testing.assert_array_equal(key_pad[0], [1, 1, 0, 0, 0, 0])
+
+    def test_padded_positions_are_exactly_zero(self, rng):
+        layer = make(rng)
+        layer.eval()
+        padded = np.array([[0, 0, 0, 1, 2, 3]])
+        embedded, _, _ = layer(padded)
+        np.testing.assert_allclose(embedded.numpy()[0, :3], 0.0)
+        # Real positions carry signal (item + position embedding).
+        assert np.abs(embedded.numpy()[0, 3:]).sum() > 0
+
+    def test_position_embedding_added(self, rng):
+        layer = make(rng)
+        layer.eval()
+        # Same item at two different positions must embed differently.
+        padded = np.array([[0, 0, 0, 0, 5, 5]])
+        values = layer(padded)[0].numpy()
+        assert not np.allclose(values[0, 4], values[0, 5])
+
+    def test_sqrt_scaling(self, rng):
+        scaled = make(rng, scale_by_sqrt_dim=True)
+        assert scaled.scale == pytest.approx(np.sqrt(8))
+        unscaled = make(np.random.default_rng(2), scale_by_sqrt_dim=False)
+        assert unscaled.scale == 1.0
+
+    def test_shape_validation(self, rng):
+        layer = make(rng)
+        with pytest.raises(ValueError):
+            layer(np.zeros((2, 4), dtype=np.int64))
+        with pytest.raises(ValueError):
+            layer(np.zeros(6, dtype=np.int64))
+
+    def test_dropout_active_only_in_training(self, rng):
+        layer = make(rng, dropout_rate=0.9)
+        padded = np.array([[1, 2, 3, 4, 5, 6]])
+        layer.eval()
+        a = layer(padded)[0].numpy()
+        b = layer(padded)[0].numpy()
+        np.testing.assert_allclose(a, b)
+        layer.train()
+        c = layer(padded)[0].numpy()
+        d = layer(padded)[0].numpy()
+        assert not np.allclose(c, d)

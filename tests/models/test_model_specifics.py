@@ -1,0 +1,102 @@
+"""Model-specific behaviours not covered by the shared contract tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import VSAN
+from repro.models import SASRec, SVAE, Caser, GRU4Rec
+
+NUM_ITEMS = 10
+
+
+class TestCaserWindow:
+    def test_scores_depend_only_on_window(self):
+        """Caser is a Markov-order-``window`` model: items older than the
+        window must not affect predictions."""
+        model = Caser(NUM_ITEMS, 8, dim=16, window=3, seed=0)
+        base = model.score(np.array([9, 9, 1, 2, 3]))
+        changed = model.score(np.array([4, 5, 1, 2, 3]))
+        np.testing.assert_allclose(base, changed)
+
+    def test_scores_change_within_window(self):
+        model = Caser(NUM_ITEMS, 8, dim=16, window=3, seed=0)
+        base = model.score(np.array([1, 2, 3]))
+        changed = model.score(np.array([1, 2, 4]))
+        assert not np.allclose(base[1:], changed[1:])
+
+    def test_short_history_left_padded_inside_window(self):
+        model = Caser(NUM_ITEMS, 8, dim=16, window=4, seed=0)
+        scores = model.score(np.array([5]))
+        assert np.isfinite(scores[1:]).all()
+
+    def test_training_rejects_all_padding(self):
+        model = Caser(NUM_ITEMS, 8, dim=16, window=3, seed=0)
+        with pytest.raises(ValueError, match="supervised"):
+            model.training_loss(np.zeros((2, 9), dtype=np.int64))
+
+
+class TestGRU4RecRecurrence:
+    def test_order_sensitivity(self):
+        """Unlike BPR, the GRU must distinguish permuted histories."""
+        model = GRU4Rec(NUM_ITEMS, 8, dim=16, seed=0)
+        a = model.score(np.array([1, 2, 3]))
+        b = model.score(np.array([3, 2, 1]))
+        assert not np.allclose(a[1:], b[1:])
+
+    def test_multi_layer_constructor(self):
+        model = GRU4Rec(NUM_ITEMS, 8, dim=16, num_layers=2, seed=0)
+        assert model.gru.num_layers == 2
+        assert model.score(np.array([1, 2])).shape == (NUM_ITEMS + 1,)
+
+
+class TestSVAE:
+    def test_posterior_shapes(self):
+        model = SVAE(NUM_ITEMS, 8, dim=16, latent_dim=12, seed=0)
+        mu, sigma = model.posterior(np.zeros((2, 8), dtype=np.int64))
+        assert mu.shape == (2, 8, 12)
+        assert (sigma.numpy() > 0).all()
+
+    def test_eval_is_deterministic_training_stochastic(self):
+        model = SVAE(NUM_ITEMS, 8, dim=16, seed=0)
+        history = [np.array([1, 2, 3])]
+        np.testing.assert_allclose(
+            model.score_batch(history), model.score_batch(history)
+        )
+        model.train()
+        padded = np.array([[0, 0, 0, 0, 0, 1, 2, 3]])
+        a = model.forward_scores(padded).numpy()
+        b = model.forward_scores(padded).numpy()
+        assert not np.allclose(a, b)
+
+    def test_sigma_starts_small(self):
+        model = SVAE(NUM_ITEMS, 8, dim=16, seed=0)
+        _, sigma = model.posterior(np.ones((1, 8), dtype=np.int64))
+        assert sigma.numpy().mean() < 0.2
+
+
+class TestSASRecOptions:
+    def test_untied_output_layer(self):
+        tied = SASRec(NUM_ITEMS, 8, dim=16, num_blocks=1, seed=0)
+        untied = SASRec(NUM_ITEMS, 8, dim=16, num_blocks=1,
+                        tie_weights=False, seed=0)
+        assert untied.num_parameters() > tied.num_parameters()
+        assert untied.score(np.array([1, 2])).shape == (NUM_ITEMS + 1,)
+
+    def test_multi_head_variant(self):
+        model = SASRec(NUM_ITEMS, 8, dim=16, num_blocks=1, num_heads=2,
+                       seed=0)
+        assert model.score(np.array([1, 2])).shape == (NUM_ITEMS + 1,)
+
+
+class TestVSANHeads:
+    def test_multi_head_vsan(self):
+        model = VSAN(NUM_ITEMS, 8, dim=16, h1=1, h2=1, num_heads=4, seed=0)
+        scores = model.score_batch([np.array([1, 2, 3])])
+        assert np.isfinite(scores[:, 1:]).all()
+
+    def test_identity_mu_initialization(self):
+        model = VSAN(NUM_ITEMS, 8, dim=16, h1=1, h2=1, seed=0)
+        np.testing.assert_allclose(
+            model.mu_head.weight.numpy(), np.eye(16)
+        )
+        np.testing.assert_allclose(model.mu_head.bias.numpy(), 0.0)

@@ -1,0 +1,75 @@
+"""Caser's horizontal / vertical convolutions."""
+
+import numpy as np
+import pytest
+
+from repro.nn import HorizontalConvolution, VerticalConvolution
+from repro.tensor import Tensor, gradcheck
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(5)
+
+
+class TestHorizontalConvolution:
+    def test_output_dim(self, rng):
+        conv = HorizontalConvolution(5, 4, (2, 3), num_filters=6, rng=rng)
+        assert conv.output_dim == 12
+        out = conv(Tensor(rng.normal(size=(3, 5, 4))))
+        assert out.shape == (3, 12)
+
+    def test_matches_manual_computation(self, rng):
+        conv = HorizontalConvolution(4, 3, (2,), num_filters=2, rng=rng)
+        x = rng.normal(size=(1, 4, 3))
+        weight = conv.weights[0].numpy()
+        bias = conv.biases[0].numpy()
+        windows = np.stack(
+            [x[0, i:i + 2].reshape(-1) for i in range(3)]
+        )
+        expected = np.maximum(windows @ weight + bias, 0.0).max(axis=0)
+        np.testing.assert_allclose(
+            conv(Tensor(x)).numpy()[0], expected, rtol=1e-10
+        )
+
+    def test_invalid_heights(self, rng):
+        with pytest.raises(ValueError):
+            HorizontalConvolution(3, 4, (5,), num_filters=2, rng=rng)
+        with pytest.raises(ValueError):
+            HorizontalConvolution(3, 4, (0,), num_filters=2, rng=rng)
+
+    def test_shape_validation(self, rng):
+        conv = HorizontalConvolution(5, 4, (2,), num_filters=2, rng=rng)
+        with pytest.raises(ValueError):
+            conv(Tensor(rng.normal(size=(1, 4, 4))))
+
+    def test_gradients(self, rng):
+        conv = HorizontalConvolution(4, 2, (2, 3), num_filters=2, rng=rng)
+        x = Tensor(rng.normal(size=(2, 4, 2)), requires_grad=True)
+        gradcheck(lambda x: (conv(x) ** 2).sum(), [x], atol=1e-4)
+        gradcheck(
+            lambda w: (conv(x) ** 2).sum(), [conv.weights[0]], atol=1e-4
+        )
+
+
+class TestVerticalConvolution:
+    def test_matches_weighted_sum(self, rng):
+        conv = VerticalConvolution(4, num_filters=3, rng=rng)
+        x = rng.normal(size=(2, 4, 5))
+        out = conv(Tensor(x)).numpy()
+        assert out.shape == (2, 15)
+        expected = np.einsum("bld,lf->bdf", x, conv.weight.numpy())
+        np.testing.assert_allclose(
+            out, expected.reshape(2, 15), rtol=1e-10
+        )
+
+    def test_length_validation(self, rng):
+        conv = VerticalConvolution(4, num_filters=3, rng=rng)
+        with pytest.raises(ValueError):
+            conv(Tensor(rng.normal(size=(1, 5, 5))))
+
+    def test_gradients(self, rng):
+        conv = VerticalConvolution(3, num_filters=2, rng=rng)
+        x = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        gradcheck(lambda x: (conv(x) ** 2).sum(), [x])
+        gradcheck(lambda w: (conv(x) ** 2).sum(), [conv.weight])

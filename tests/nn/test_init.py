@@ -1,0 +1,63 @@
+"""Weight initializers: shapes, ranges, variance scaling, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(17)
+
+
+class TestXavier:
+    def test_uniform_bound(self, rng):
+        weights = init.xavier_uniform(rng, (100, 200))
+        bound = np.sqrt(6.0 / 300)
+        assert np.abs(weights).max() <= bound
+        assert weights.shape == (100, 200)
+
+    def test_uniform_gain(self, rng):
+        small = init.xavier_uniform(np.random.default_rng(0), (50, 50))
+        large = init.xavier_uniform(np.random.default_rng(0), (50, 50),
+                                    gain=2.0)
+        np.testing.assert_allclose(large, 2.0 * small)
+
+    def test_normal_std(self, rng):
+        weights = init.xavier_normal(rng, (400, 400))
+        expected_std = np.sqrt(2.0 / 800)
+        assert abs(weights.std() - expected_std) < 0.1 * expected_std
+
+    def test_fan_computation_for_conv_shapes(self, rng):
+        # (out, in, k) shape: receptive field multiplies the fans.
+        weights = init.xavier_uniform(rng, (8, 4, 3))
+        bound = np.sqrt(6.0 / (4 * 3 + 8 * 3))
+        assert np.abs(weights).max() <= bound
+
+    def test_1d_shape(self, rng):
+        weights = init.xavier_uniform(rng, (10,))
+        assert weights.shape == (10,)
+
+    def test_empty_shape_rejected(self, rng):
+        with pytest.raises(ValueError):
+            init.xavier_uniform(rng, ())
+
+
+class TestOthers:
+    def test_normal(self, rng):
+        weights = init.normal(rng, (1000,), std=0.05)
+        assert abs(weights.std() - 0.05) < 0.01
+
+    def test_uniform(self, rng):
+        weights = init.uniform(rng, (1000,), low=-0.2, high=0.2)
+        assert weights.min() >= -0.2
+        assert weights.max() <= 0.2
+
+    def test_zeros(self):
+        np.testing.assert_array_equal(init.zeros((3, 2)), np.zeros((3, 2)))
+
+    def test_determinism(self):
+        a = init.xavier_normal(np.random.default_rng(5), (10, 10))
+        b = init.xavier_normal(np.random.default_rng(5), (10, 10))
+        np.testing.assert_array_equal(a, b)

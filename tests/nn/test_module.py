@@ -1,0 +1,121 @@
+"""Module/Parameter registration, modes, and state_dict round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dropout, Linear, Module, ModuleList, Parameter
+from repro.tensor import Tensor
+
+
+class Net(Module):
+    def __init__(self, rng):
+        super().__init__()
+        self.first = Linear(4, 3, rng)
+        self.second = Linear(3, 2, rng)
+        self.gain = Parameter(np.ones(2))
+
+    def forward(self, x):
+        return self.second(self.first(x).relu()) * self.gain
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestRegistration:
+    def test_named_parameters_walks_tree(self, rng):
+        net = Net(rng)
+        names = {name for name, _ in net.named_parameters()}
+        assert names == {
+            "first.weight",
+            "first.bias",
+            "second.weight",
+            "second.bias",
+            "gain",
+        }
+
+    def test_num_parameters(self, rng):
+        net = Net(rng)
+        assert net.num_parameters() == 4 * 3 + 3 + 3 * 2 + 2 + 2
+
+    def test_reassignment_replaces_not_duplicates(self, rng):
+        net = Net(rng)
+        net.gain = Parameter(np.zeros(2))
+        names = [name for name, _ in net.named_parameters()]
+        assert names.count("gain") == 1
+
+    def test_module_list(self, rng):
+        layers = ModuleList([Linear(2, 2, rng) for _ in range(3)])
+        assert len(layers) == 3
+        assert len(list(layers.named_parameters())) == 6
+        assert layers[1] is list(iter(layers))[1]
+
+    def test_modules_iterates_tree(self, rng):
+        net = Net(rng)
+        kinds = [type(m).__name__ for m in net.modules()]
+        assert kinds == ["Net", "Linear", "Linear"]
+
+
+class TestModes:
+    def test_train_eval_propagates(self, rng):
+        net = Net(rng)
+        net.extra = Dropout(0.5, rng)
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+    def test_zero_grad(self, rng):
+        net = Net(rng)
+        out = net(Tensor(rng.normal(size=(5, 4)))).sum()
+        out.backward()
+        assert any(p.grad is not None for p in net.parameters())
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+
+class TestStateDict:
+    def test_round_trip(self, rng):
+        net = Net(rng)
+        state = net.state_dict()
+        other = Net(np.random.default_rng(123))
+        other.load_state_dict(state)
+        x = Tensor(rng.normal(size=(2, 4)))
+        np.testing.assert_allclose(net(x).numpy(), other(x).numpy())
+
+    def test_state_dict_copies(self, rng):
+        net = Net(rng)
+        state = net.state_dict()
+        state["gain"][...] = 42
+        assert not np.allclose(net.gain.numpy(), 42)
+
+    def test_missing_key_raises(self, rng):
+        net = Net(rng)
+        state = net.state_dict()
+        del state["gain"]
+        with pytest.raises(KeyError, match="gain"):
+            net.load_state_dict(state)
+
+    def test_unexpected_key_raises(self, rng):
+        net = Net(rng)
+        state = net.state_dict()
+        state["bogus"] = np.zeros(1)
+        with pytest.raises(KeyError, match="bogus"):
+            net.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self, rng):
+        net = Net(rng)
+        state = net.state_dict()
+        state["gain"] = np.zeros(5)
+        with pytest.raises(ValueError, match="shape"):
+            net.load_state_dict(state)
+
+
+def test_forward_not_implemented():
+    with pytest.raises(NotImplementedError):
+        Module()(1)
+
+
+def test_parameter_always_requires_grad():
+    assert Parameter(np.zeros(3)).requires_grad

@@ -1,0 +1,62 @@
+"""Sinusoidal positional table and its integration in SequenceEmbedding."""
+
+import numpy as np
+import pytest
+
+from repro.models.common import SequenceEmbedding
+from repro.nn.positional import sinusoidal_positions
+
+
+class TestSinusoidalTable:
+    def test_shape_and_range(self):
+        table = sinusoidal_positions(10, 8)
+        assert table.shape == (10, 8)
+        assert np.abs(table).max() <= 1.0
+
+    def test_first_position(self):
+        table = sinusoidal_positions(4, 6)
+        np.testing.assert_allclose(table[0, 0::2], 0.0)  # sin(0)
+        np.testing.assert_allclose(table[0, 1::2], 1.0)  # cos(0)
+
+    def test_known_value(self):
+        table = sinusoidal_positions(3, 4)
+        np.testing.assert_allclose(table[1, 0], np.sin(1.0))
+        np.testing.assert_allclose(table[1, 1], np.cos(1.0))
+        np.testing.assert_allclose(table[2, 2], np.sin(2.0 / 100.0))
+
+    def test_positions_are_distinct(self):
+        table = sinusoidal_positions(50, 16)
+        distances = np.linalg.norm(table[:, None] - table[None, :], axis=-1)
+        off_diagonal = distances[~np.eye(50, dtype=bool)]
+        assert off_diagonal.min() > 1e-3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sinusoidal_positions(0, 4)
+        with pytest.raises(ValueError):
+            sinusoidal_positions(4, 0)
+
+
+class TestEmbeddingIntegration:
+    def test_sinusoidal_positions_are_not_parameters(self):
+        rng = np.random.default_rng(0)
+        layer = SequenceEmbedding(5, 6, 8, rng, positions="sinusoidal")
+        names = {name for name, _ in layer.named_parameters()}
+        assert not any("position" in name for name in names)
+
+    def test_learnable_positions_are_parameters(self):
+        rng = np.random.default_rng(0)
+        layer = SequenceEmbedding(5, 6, 8, rng, positions="learnable")
+        names = {name for name, _ in layer.named_parameters()}
+        assert "position_embedding" in names
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError, match="positions"):
+            SequenceEmbedding(5, 6, 8, np.random.default_rng(0),
+                              positions="rotary")
+
+    def test_forward_works_with_sinusoidal(self):
+        rng = np.random.default_rng(0)
+        layer = SequenceEmbedding(5, 6, 8, rng, positions="sinusoidal")
+        embedded, _, _ = layer(np.array([[0, 0, 1, 2, 3, 4]]))
+        assert embedded.shape == (1, 6, 8)

@@ -1,0 +1,104 @@
+"""GRU cell and unrolled GRU: gate equations, shapes, gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn import GRU, GRUCell
+from repro.tensor import Tensor, gradcheck
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(21)
+
+
+def manual_gru_step(cell, x, h):
+    """Reference implementation of the gate equations in plain numpy."""
+    dim = cell.hidden_dim
+    gates_x = x @ cell.w_input.numpy() + cell.bias.numpy()
+    gates_h = h @ cell.w_hidden.numpy()
+
+    def expit(v):
+        return 1.0 / (1.0 + np.exp(-v))
+
+    r = expit(gates_x[:, :dim] + gates_h[:, :dim])
+    z = expit(gates_x[:, dim:2 * dim] + gates_h[:, dim:2 * dim])
+    n = np.tanh(gates_x[:, 2 * dim:] + r * gates_h[:, 2 * dim:])
+    return (1 - z) * n + z * h
+
+
+class TestGRUCell:
+    def test_matches_manual_equations(self, rng):
+        cell = GRUCell(4, 6, rng)
+        x = rng.normal(size=(3, 4))
+        h = rng.normal(size=(3, 6))
+        out = cell(Tensor(x), Tensor(h)).numpy()
+        np.testing.assert_allclose(out, manual_gru_step(cell, x, h),
+                                   rtol=1e-10)
+
+    def test_hidden_bounded_by_tanh_dynamics(self, rng):
+        cell = GRUCell(4, 6, rng)
+        h = Tensor(np.zeros((2, 6)))
+        for _ in range(50):
+            h = cell(Tensor(rng.normal(size=(2, 4))), h)
+        assert np.abs(h.numpy()).max() <= 1.0 + 1e-9
+
+    def test_gradients(self, rng):
+        cell = GRUCell(3, 4, rng)
+        x = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        h = Tensor(rng.normal(size=(2, 4)), requires_grad=True)
+        gradcheck(lambda x, h: (cell(x, h) ** 2).sum(), [x, h])
+        gradcheck(
+            lambda w: (cell(x, h) ** 2).sum(), [cell.w_hidden], atol=1e-4
+        )
+
+
+class TestGRU:
+    def test_output_shapes(self, rng):
+        gru = GRU(4, 6, rng, num_layers=2)
+        outputs, finals = gru(Tensor(rng.normal(size=(3, 5, 4))))
+        assert outputs.shape == (3, 5, 6)
+        assert len(finals) == 2
+        assert finals[0].shape == (3, 6)
+
+    def test_last_output_equals_final_state(self, rng):
+        gru = GRU(4, 6, rng)
+        outputs, finals = gru(Tensor(rng.normal(size=(2, 7, 4))))
+        np.testing.assert_allclose(
+            outputs.numpy()[:, -1, :], finals[0].numpy()
+        )
+
+    def test_causality(self, rng):
+        """Hidden state at t is unaffected by inputs after t."""
+        gru = GRU(4, 6, rng)
+        x = rng.normal(size=(1, 5, 4))
+        base, _ = gru(Tensor(x))
+        x2 = x.copy()
+        x2[0, 3:] += 10.0
+        out2, _ = gru(Tensor(x2))
+        np.testing.assert_allclose(
+            out2.numpy()[0, :3], base.numpy()[0, :3], atol=1e-12
+        )
+
+    def test_initial_hidden_is_used(self, rng):
+        gru = GRU(3, 4, rng)
+        x = Tensor(rng.normal(size=(2, 3, 3)))
+        h0 = [Tensor(rng.normal(size=(2, 4)))]
+        out_custom, _ = gru(x, initial_hidden=h0)
+        out_default, _ = gru(x)
+        assert not np.allclose(out_custom.numpy(), out_default.numpy())
+
+    def test_initial_hidden_validation(self, rng):
+        gru = GRU(3, 4, rng, num_layers=2)
+        with pytest.raises(ValueError, match="per layer"):
+            gru(Tensor(np.zeros((1, 2, 3))),
+                initial_hidden=[Tensor(np.zeros((1, 4)))])
+
+    def test_layer_count_validation(self, rng):
+        with pytest.raises(ValueError):
+            GRU(3, 4, rng, num_layers=0)
+
+    def test_gradient_through_time(self, rng):
+        gru = GRU(2, 3, rng)
+        x = Tensor(rng.normal(size=(1, 4, 2)), requires_grad=True)
+        gradcheck(lambda x: (gru(x)[0] ** 2).sum(), [x], atol=1e-4)

@@ -1,0 +1,76 @@
+"""Checkpoint save/load round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.core import VSAN
+from repro.models import SASRec
+from repro.nn import load_checkpoint, load_state, save_checkpoint
+
+
+@pytest.fixture
+def model():
+    return VSAN(8, 6, dim=12, h1=1, h2=1, seed=3)
+
+
+class TestSaveLoad:
+    def test_state_round_trip(self, model, tmp_path):
+        path = save_checkpoint(model, tmp_path / "model.npz")
+        other = VSAN(8, 6, dim=12, h1=1, h2=1, seed=99)
+        load_state(other, path)
+        history = [np.array([1, 2, 3])]
+        np.testing.assert_allclose(
+            model.score_batch(history), other.score_batch(history)
+        )
+
+    def test_full_checkpoint_rebuilds_model(self, model, tmp_path):
+        config = dict(num_items=8, max_length=6, dim=12, h1=1, h2=1, seed=3)
+        path = save_checkpoint(model, tmp_path / "model.npz", config=config)
+        rebuilt = load_checkpoint(path, registry={"VSAN": VSAN})
+        assert isinstance(rebuilt, VSAN)
+        history = [np.array([4, 5])]
+        np.testing.assert_allclose(
+            model.score_batch(history), rebuilt.score_batch(history)
+        )
+
+    def test_load_checkpoint_without_config_raises(self, model, tmp_path):
+        path = save_checkpoint(model, tmp_path / "bare.npz")
+        with pytest.raises(ValueError, match="without a config"):
+            load_checkpoint(path, registry={"VSAN": VSAN})
+
+    def test_unknown_class_raises(self, model, tmp_path):
+        path = save_checkpoint(
+            model, tmp_path / "model.npz", config={"num_items": 8,
+                                                    "max_length": 6}
+        )
+        with pytest.raises(KeyError, match="registry"):
+            load_checkpoint(path, registry={"SASRec": SASRec})
+
+    def test_mismatched_architecture_raises(self, model, tmp_path):
+        path = save_checkpoint(model, tmp_path / "model.npz")
+        wrong = VSAN(8, 6, dim=12, h1=2, h2=1, seed=0)
+        with pytest.raises(KeyError):
+            load_state(wrong, path)
+
+    def test_works_for_every_neural_model(self, tmp_path):
+        sasrec = SASRec(8, 6, dim=12, num_blocks=1, seed=0)
+        path = save_checkpoint(sasrec, tmp_path / "sasrec.npz")
+        other = SASRec(8, 6, dim=12, num_blocks=1, seed=5)
+        load_state(other, path)
+        np.testing.assert_allclose(
+            sasrec.score(np.array([1, 2])), other.score(np.array([1, 2]))
+        )
+
+
+def test_reserved_key_guard(tmp_path):
+    """A parameter named like the config key must be rejected."""
+    from repro.nn.module import Module, Parameter
+    import numpy as np
+
+    class Weird(Module):
+        def __init__(self):
+            super().__init__()
+            setattr(self, "__config__", Parameter(np.zeros(1)))
+
+    with pytest.raises(ValueError, match="reserved"):
+        save_checkpoint(Weird(), tmp_path / "weird.npz")

@@ -1,0 +1,158 @@
+"""Optimizers: convergence on convex problems, moment mechanics,
+clipping, schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Parameter
+from repro.optim import SGD, Adam, LinearWarmup, StepDecay, clip_grad_norm
+from repro.tensor import Tensor
+
+
+def quadratic_loss(param, target):
+    diff = param - Tensor(target)
+    return (diff * diff).sum()
+
+
+@pytest.fixture
+def target():
+    return np.array([1.0, -2.0, 3.0])
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self, target):
+        param = Parameter(np.zeros(3))
+        optimizer = SGD([param], lr=0.1)
+        for _ in range(200):
+            optimizer.zero_grad()
+            quadratic_loss(param, target).backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.numpy(), target, atol=1e-6)
+
+    def test_momentum_accelerates(self, target):
+        def loss_after(momentum, steps=30):
+            param = Parameter(np.zeros(3))
+            optimizer = SGD([param], lr=0.01, momentum=momentum)
+            for _ in range(steps):
+                optimizer.zero_grad()
+                loss = quadratic_loss(param, target)
+                loss.backward()
+                optimizer.step()
+            return quadratic_loss(param, target).item()
+
+        assert loss_after(0.9) < loss_after(0.0)
+
+    def test_weight_decay_shrinks_solution(self):
+        param = Parameter(np.array([5.0]))
+        optimizer = SGD([param], lr=0.1, weight_decay=1.0)
+        for _ in range(100):
+            optimizer.zero_grad()
+            # No data loss at all: decay should pull toward zero.
+            param.grad = np.zeros(1)
+            optimizer.step()
+        assert abs(param.numpy()[0]) < 0.01
+
+    def test_single_update_rule(self):
+        param = Parameter(np.array([1.0]))
+        param.grad = np.array([2.0])
+        SGD([param], lr=0.5).step()
+        np.testing.assert_allclose(param.numpy(), [0.0])
+
+    def test_skips_none_gradients(self):
+        param = Parameter(np.array([1.0]))
+        SGD([param], lr=0.5).step()
+        np.testing.assert_allclose(param.numpy(), [1.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.0)
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self, target):
+        param = Parameter(np.zeros(3))
+        optimizer = Adam([param], lr=0.1)
+        for _ in range(300):
+            optimizer.zero_grad()
+            quadratic_loss(param, target).backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.numpy(), target, atol=1e-4)
+
+    def test_first_step_size_is_lr(self):
+        """With bias correction, the first Adam step has magnitude ~lr
+        regardless of the gradient scale."""
+        for scale in (1e-3, 1.0, 1e3):
+            param = Parameter(np.array([0.0]))
+            param.grad = np.array([scale])
+            Adam([param], lr=0.01).step()
+            np.testing.assert_allclose(abs(param.numpy()[0]), 0.01,
+                                       rtol=1e-4)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], betas=(1.0, 0.9))
+
+    def test_weight_decay(self):
+        param = Parameter(np.array([5.0]))
+        optimizer = Adam([param], lr=0.1, weight_decay=0.5)
+        for _ in range(500):
+            optimizer.zero_grad()
+            param.grad = np.zeros(1)
+            optimizer.step()
+        assert abs(param.numpy()[0]) < 0.05
+
+    def test_zero_grad_clears_all(self):
+        params = [Parameter(np.zeros(2)), Parameter(np.zeros(3))]
+        for param in params:
+            param.grad = np.ones_like(param.numpy())
+        Adam(params).zero_grad()
+        assert all(param.grad is None for param in params)
+
+
+class TestClipGradNorm:
+    def test_no_clip_below_threshold(self):
+        param = Parameter(np.zeros(3))
+        param.grad = np.array([0.3, 0.0, 0.4])  # norm 0.5
+        norm = clip_grad_norm([param], max_norm=1.0)
+        np.testing.assert_allclose(norm, 0.5)
+        np.testing.assert_allclose(param.grad, [0.3, 0.0, 0.4])
+
+    def test_clips_to_max_norm(self):
+        param = Parameter(np.zeros(2))
+        param.grad = np.array([3.0, 4.0])  # norm 5
+        clip_grad_norm([param], max_norm=1.0)
+        np.testing.assert_allclose(np.linalg.norm(param.grad), 1.0,
+                                   rtol=1e-6)
+
+    def test_joint_norm_across_parameters(self):
+        a = Parameter(np.zeros(1))
+        b = Parameter(np.zeros(1))
+        a.grad = np.array([3.0])
+        b.grad = np.array([4.0])
+        norm = clip_grad_norm([a, b], max_norm=10.0)
+        np.testing.assert_allclose(norm, 5.0)
+
+
+class TestSchedules:
+    def test_step_decay(self):
+        param = Parameter(np.zeros(1))
+        optimizer = SGD([param], lr=1.0)
+        schedule = StepDecay(optimizer, step_size=2, gamma=0.5)
+        lrs = [schedule.step() for _ in range(4)]
+        np.testing.assert_allclose(lrs, [1.0, 0.5, 0.5, 0.25])
+
+    def test_linear_warmup(self):
+        param = Parameter(np.zeros(1))
+        optimizer = Adam([param], lr=1.0)
+        schedule = LinearWarmup(optimizer, warmup_steps=4)
+        lrs = [schedule.step() for _ in range(6)]
+        np.testing.assert_allclose(lrs, [0.25, 0.5, 0.75, 1.0, 1.0, 1.0])
+
+    def test_validation(self):
+        optimizer = SGD([Parameter(np.zeros(1))], lr=1.0)
+        with pytest.raises(ValueError):
+            StepDecay(optimizer, step_size=0)
+        with pytest.raises(ValueError):
+            LinearWarmup(optimizer, warmup_steps=0)

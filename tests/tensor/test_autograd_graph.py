@@ -1,0 +1,113 @@
+"""Backward-pass mechanics: accumulation, reuse, detach, no_grad, errors."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, is_grad_enabled, no_grad
+
+
+class TestBackwardMechanics:
+    def test_gradient_accumulates_over_fanout(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        out = a * 3 + a * 4  # a used twice
+        out.backward()
+        np.testing.assert_allclose(a.grad, [7.0])
+
+    def test_diamond_graph(self):
+        a = Tensor(np.array([3.0]), requires_grad=True)
+        b = a * 2
+        c = a * 5
+        (b * c).backward()  # d/da (10 a^2) = 20 a
+        np.testing.assert_allclose(a.grad, [60.0])
+
+    def test_repeated_backward_calls_accumulate_into_leaves(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        (a * 2).sum().backward()
+        (a * 3).sum().backward()
+        np.testing.assert_allclose(a.grad, [5.0, 5.0])
+
+    def test_zero_grad_resets(self):
+        a = Tensor(np.array([1.0]), requires_grad=True)
+        (a * 2).backward()
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_non_scalar_backward_requires_grad_argument(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        out = a * 2
+        with pytest.raises(RuntimeError, match="non-scalar"):
+            out.backward()
+        out.backward(np.ones((2, 2)))
+        np.testing.assert_allclose(a.grad, 2 * np.ones((2, 2)))
+
+    def test_backward_grad_shape_mismatch(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(ValueError, match="shape"):
+            (a * 2).backward(np.ones(3))
+
+    def test_backward_on_leaf_without_grad_raises(self):
+        a = Tensor(np.ones(2))
+        with pytest.raises(RuntimeError):
+            a.backward(np.ones(2))
+
+    def test_grad_does_not_flow_to_non_required_inputs(self):
+        a = Tensor(np.ones(2), requires_grad=True)
+        b = Tensor(np.ones(2))
+        (a * b).sum().backward()
+        assert b.grad is None
+        assert a.grad is not None
+
+
+class TestDetachAndNoGrad:
+    def test_detach_blocks_gradient(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        (a.detach() * a).backward()  # only the direct factor contributes
+        np.testing.assert_allclose(a.grad, [2.0])
+
+    def test_detach_shares_data(self):
+        a = Tensor(np.array([1.0]), requires_grad=True)
+        assert a.detach().numpy() is a.numpy()
+
+    def test_no_grad_builds_no_graph(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            out = (a * 2).sum()
+        assert not out.requires_grad
+        assert not is_grad_enabled.__call__() or True  # restored below
+
+    def test_no_grad_restores_state(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_restores_on_exception(self):
+        with pytest.raises(ValueError):
+            with no_grad():
+                raise ValueError("boom")
+        assert is_grad_enabled()
+
+
+class TestTensorBasics:
+    def test_dtype_is_float64(self):
+        assert Tensor([1, 2, 3]).dtype == np.float64
+
+    def test_rejects_strings(self):
+        with pytest.raises(TypeError):
+            Tensor(np.array(["a"]))
+
+    def test_item_and_len(self):
+        assert Tensor([[5.0]]).item() == 5.0
+        assert len(Tensor(np.zeros((4, 2)))) == 4
+
+    def test_repr_mentions_requires_grad(self):
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))
+        assert "requires_grad" not in repr(Tensor([1.0]))
+
+    def test_size_and_ndim(self):
+        t = Tensor(np.zeros((2, 3, 4)))
+        assert t.size == 24
+        assert t.ndim == 3

@@ -1,0 +1,51 @@
+"""Tensor constructor helpers and misc API surface."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, arange, full, ones, tensor, zeros
+
+
+def test_zeros_ones_full():
+    np.testing.assert_array_equal(zeros((2, 3)).numpy(), np.zeros((2, 3)))
+    np.testing.assert_array_equal(ones((2,)).numpy(), np.ones(2))
+    np.testing.assert_array_equal(full((2, 2), 7.0).numpy(),
+                                  np.full((2, 2), 7.0))
+
+
+def test_arange():
+    np.testing.assert_array_equal(arange(5).numpy(), np.arange(5.0))
+    np.testing.assert_array_equal(arange(2, 8, 2).numpy(),
+                                  np.arange(2.0, 8.0, 2.0))
+
+
+def test_tensor_factory_requires_grad():
+    t = tensor([1.0, 2.0], requires_grad=True)
+    assert t.requires_grad
+    (t * 2).sum().backward()
+    np.testing.assert_array_equal(t.grad, [2.0, 2.0])
+
+
+def test_dot_alias():
+    a = Tensor(np.array([1.0, 2.0]))
+    b = Tensor(np.array([[3.0], [4.0]]))
+    np.testing.assert_allclose(a.dot(b).numpy(), [11.0])
+
+
+def test_bool_input_coerced_to_float():
+    t = Tensor(np.array([True, False]))
+    assert t.dtype == np.float64
+    np.testing.assert_array_equal(t.numpy(), [1.0, 0.0])
+
+
+def test_integer_input_coerced_to_float():
+    t = Tensor([1, 2, 3])
+    assert t.dtype == np.float64
+
+
+def test_constructors_with_requires_grad():
+    for factory in (lambda: zeros((2,), requires_grad=True),
+                    lambda: ones((2,), requires_grad=True),
+                    lambda: full((2,), 3.0, requires_grad=True)):
+        t = factory()
+        assert t.requires_grad

@@ -1,0 +1,53 @@
+"""The gradient-checking utility itself: it must catch wrong gradients
+and accept correct ones."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, gradcheck, numerical_gradient
+from repro.tensor.tensor import Tensor as RawTensor
+
+
+def test_numerical_gradient_of_quadratic():
+    a = Tensor(np.array([1.0, -2.0, 3.0]), requires_grad=True)
+    grad = numerical_gradient(lambda a: (a**2).sum(), [a], 0)
+    np.testing.assert_allclose(grad, 2 * a.numpy(), atol=1e-5)
+
+
+def test_gradcheck_accepts_correct_gradient():
+    a = Tensor(np.array([0.5, 1.5]), requires_grad=True)
+    assert gradcheck(lambda a: (a**2).sum(), [a])
+
+
+def test_gradcheck_rejects_wrong_gradient():
+    class Broken(RawTensor):
+        def double_bad(self):
+            data = self.data * 2
+
+            def backward(grad):
+                self._accumulate(grad * 3)  # wrong: should be 2
+
+            return RawTensor._make(data, (self,), backward)
+
+    a = Broken(np.array([1.0, 2.0]), requires_grad=True)
+    with pytest.raises(AssertionError, match="mismatch"):
+        gradcheck(lambda a: a.double_bad().sum(), [a])
+
+
+def test_gradcheck_requires_scalar_output():
+    a = Tensor(np.ones(3), requires_grad=True)
+    with pytest.raises(ValueError, match="scalar"):
+        gradcheck(lambda a: a * 2, [a])
+
+
+def test_gradcheck_skips_non_grad_inputs():
+    a = Tensor(np.ones(2), requires_grad=True)
+    b = Tensor(np.ones(2))  # constant
+    assert gradcheck(lambda a, b: (a * b).sum(), [a, b])
+
+
+def test_gradcheck_leaves_input_values_unchanged():
+    data = np.array([1.0, 2.0])
+    a = Tensor(data.copy(), requires_grad=True)
+    gradcheck(lambda a: (a**2).sum(), [a])
+    np.testing.assert_array_equal(a.numpy(), data)

@@ -1,0 +1,84 @@
+"""Hypothesis equivalence tests: forward values of engine ops must match
+numpy exactly across random shapes, axes, and values."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.tensor import Tensor, concatenate, stack
+
+VALUES = st.floats(min_value=-5, max_value=5,
+                   allow_nan=False, allow_infinity=False)
+
+
+def arrays3d():
+    return hnp.arrays(np.float64, (2, 3, 4), elements=VALUES)
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=arrays3d(), axis=st.sampled_from([None, 0, 1, 2, -1, (0, 2)]))
+def test_sum_matches_numpy(data, axis):
+    np.testing.assert_allclose(
+        Tensor(data).sum(axis=axis).numpy(), data.sum(axis=axis)
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=arrays3d(), axis=st.sampled_from([None, 0, 1, 2, -1]))
+def test_mean_and_max_match_numpy(data, axis):
+    np.testing.assert_allclose(
+        Tensor(data).mean(axis=axis).numpy(), data.mean(axis=axis)
+    )
+    np.testing.assert_allclose(
+        Tensor(data).max(axis=axis).numpy(), data.max(axis=axis)
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=arrays3d(),
+       perm=st.permutations([0, 1, 2]))
+def test_transpose_matches_numpy(data, perm):
+    np.testing.assert_allclose(
+        Tensor(data).transpose(*perm).numpy(), data.transpose(perm)
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    a=hnp.arrays(np.float64, (3, 4), elements=VALUES),
+    b=hnp.arrays(np.float64, (4, 2), elements=VALUES),
+)
+def test_matmul_matches_numpy(a, b):
+    np.testing.assert_allclose(
+        (Tensor(a) @ Tensor(b)).numpy(), a @ b
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    parts=st.lists(
+        hnp.arrays(np.float64, (2, 3), elements=VALUES),
+        min_size=1,
+        max_size=4,
+    ),
+    axis=st.sampled_from([0, 1]),
+)
+def test_concatenate_and_stack_match_numpy(parts, axis):
+    tensors = [Tensor(part) for part in parts]
+    np.testing.assert_allclose(
+        concatenate(tensors, axis=axis).numpy(),
+        np.concatenate(parts, axis=axis),
+    )
+    np.testing.assert_allclose(
+        stack(tensors, axis=axis).numpy(), np.stack(parts, axis=axis)
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=arrays3d(), shape=st.sampled_from([(6, 4), (2, 12), (24,),
+                                               (4, 3, 2)]))
+def test_reshape_matches_numpy(data, shape):
+    np.testing.assert_allclose(
+        Tensor(data).reshape(shape).numpy(), data.reshape(shape)
+    )

@@ -1,0 +1,32 @@
+"""Seeded RNG helpers: determinism and stream independence."""
+
+import numpy as np
+
+from repro.tensor.random import make_rng, spawn_rngs
+
+
+def test_make_rng_is_deterministic():
+    a = make_rng(99).normal(size=10)
+    b = make_rng(99).normal(size=10)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_make_rng_different_seeds_differ():
+    a = make_rng(1).normal(size=10)
+    b = make_rng(2).normal(size=10)
+    assert not np.allclose(a, b)
+
+
+def test_spawn_rngs_count_and_determinism():
+    first = [g.normal(size=5) for g in spawn_rngs(7, 3)]
+    second = [g.normal(size=5) for g in spawn_rngs(7, 3)]
+    assert len(first) == 3
+    for a, b in zip(first, second):
+        np.testing.assert_array_equal(a, b)
+
+
+def test_spawn_rngs_streams_are_distinct():
+    streams = [g.normal(size=20) for g in spawn_rngs(7, 4)]
+    for i in range(4):
+        for j in range(i + 1, 4):
+            assert not np.allclose(streams[i], streams[j])

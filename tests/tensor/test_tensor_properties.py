@@ -1,0 +1,112 @@
+"""Property-based tests (hypothesis) for algebraic invariants of the
+autodiff engine: linearity of the gradient, broadcasting semantics
+matching numpy, softmax normalization, and gradient symmetry."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.tensor import Tensor, gradcheck, softmax
+
+FINITE = dict(allow_nan=False, allow_infinity=False, min_value=-10, max_value=10)
+
+
+def arrays(*shape_options):
+    shape = st.sampled_from(shape_options)
+    return hnp.arrays(np.float64, shape, elements=st.floats(**FINITE))
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=arrays((3,), (2, 3), (2, 1, 3)))
+def test_forward_matches_numpy_elementwise(data):
+    t = Tensor(data)
+    np.testing.assert_allclose(t.tanh().numpy(), np.tanh(data))
+    np.testing.assert_allclose(t.exp().numpy(), np.exp(data))
+    np.testing.assert_allclose(
+        t.relu().numpy(), np.where(data > 0, data, 0.0)
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=arrays((2, 3)), b=arrays((3,), (2, 3), (1, 3)))
+def test_add_broadcast_matches_numpy(a, b):
+    np.testing.assert_allclose(
+        (Tensor(a) + Tensor(b)).numpy(), a + b
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=arrays((2, 3)), b=arrays((3,), (2, 3), (1, 3)))
+def test_broadcast_gradient_shapes_match_inputs(a, b):
+    ta = Tensor(a, requires_grad=True)
+    tb = Tensor(b, requires_grad=True)
+    ((ta * tb) + ta).sum().backward()
+    assert ta.grad.shape == a.shape
+    assert tb.grad.shape == b.shape
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=arrays((4,), (2, 5)))
+def test_softmax_is_a_distribution(data):
+    out = softmax(Tensor(data)).numpy()
+    assert (out >= 0).all()
+    np.testing.assert_allclose(out.sum(axis=-1), 1.0, rtol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=arrays((4,), (2, 5)), shift=st.floats(min_value=-50, max_value=50))
+def test_softmax_shift_invariance(data, shift):
+    np.testing.assert_allclose(
+        softmax(Tensor(data)).numpy(),
+        softmax(Tensor(data + shift)).numpy(),
+        rtol=1e-9,
+        atol=1e-12,
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=arrays((3, 4)))
+def test_gradient_of_sum_is_ones(data):
+    t = Tensor(data, requires_grad=True)
+    t.sum().backward()
+    np.testing.assert_allclose(t.grad, np.ones_like(data))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    data=hnp.arrays(
+        np.float64,
+        (3, 3),
+        elements=st.floats(min_value=-3, max_value=3,
+                           allow_nan=False, allow_infinity=False),
+    )
+)
+def test_backward_is_linear_in_output_grad(data):
+    """grad(2g) == 2 grad(g) for a fixed nonlinear computation."""
+
+    def run(scale):
+        t = Tensor(data, requires_grad=True)
+        out = (t.tanh() * t).sum()
+        out.backward(np.asarray(scale))
+        return t.grad.copy()
+
+    np.testing.assert_allclose(run(2.0), 2.0 * run(1.0), rtol=1e-10)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    data=hnp.arrays(
+        np.float64,
+        (2, 3),
+        elements=st.floats(min_value=-2, max_value=2,
+                           allow_nan=False, allow_infinity=False),
+    )
+)
+def test_gradcheck_on_random_composite(data):
+    # Shift away from relu's kink so finite differences are valid.
+    shifted = data + np.where(data >= 0, 0.25, -0.25)
+    t = Tensor(shifted, requires_grad=True)
+    gradcheck(
+        lambda t: ((t.relu() + t.sigmoid()) * t.tanh()).sum(), [t]
+    )

@@ -1,0 +1,52 @@
+"""The public API surface: everything __all__ promises must exist, and
+the headline imports must work from a single `import repro`."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.tensor",
+    "repro.nn",
+    "repro.optim",
+    "repro.data",
+    "repro.eval",
+    "repro.models",
+    "repro.core",
+    "repro.train",
+    "repro.experiments",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_names_resolve(name):
+    module = importlib.import_module(name)
+    assert hasattr(module, "__all__"), name
+    for exported in module.__all__:
+        assert hasattr(module, exported), f"{name}.{exported}"
+
+
+def test_headline_imports():
+    import repro
+
+    assert repro.VSAN is not None
+    assert repro.Trainer is not None
+    assert callable(repro.evaluate_recommender)
+    assert repro.__version__
+
+
+def test_model_names_match_classes():
+    from repro.experiments import MODEL_NAMES, build_model, load_dataset
+
+    dataset = load_dataset("beauty", fast=True)
+    for name in MODEL_NAMES:
+        model = build_model(name, dataset, fast=True)
+        # Each zoo name maps to a class whose `name` attribute agrees.
+        assert model.name == name, (name, model.name)
+
+
+def test_docstrings_on_public_modules():
+    for name in PACKAGES:
+        module = importlib.import_module(name)
+        assert module.__doc__ and module.__doc__.strip(), name

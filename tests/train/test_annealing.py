@@ -1,0 +1,45 @@
+"""β schedules (Eq. 20's KL weight)."""
+
+import pytest
+
+from repro.train import ConstantBeta, KLAnnealing
+
+
+class TestConstantBeta:
+    def test_constant(self):
+        schedule = ConstantBeta(0.3)
+        assert schedule.beta(0) == 0.3
+        assert schedule.beta(10_000) == 0.3
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ConstantBeta(-0.1)
+
+
+class TestKLAnnealing:
+    def test_zero_during_warmup(self):
+        schedule = KLAnnealing(target=1.0, warmup_steps=10, anneal_steps=5)
+        assert schedule.beta(0) == 0.0
+        assert schedule.beta(9) == 0.0
+
+    def test_linear_ramp(self):
+        schedule = KLAnnealing(target=1.0, warmup_steps=0, anneal_steps=10)
+        assert schedule.beta(5) == pytest.approx(0.5)
+
+    def test_holds_at_target(self):
+        schedule = KLAnnealing(target=0.4, warmup_steps=2, anneal_steps=10)
+        assert schedule.beta(12) == pytest.approx(0.4)
+        assert schedule.beta(1_000) == pytest.approx(0.4)
+
+    def test_monotone_nondecreasing(self):
+        schedule = KLAnnealing(target=0.7, warmup_steps=3, anneal_steps=20)
+        values = [schedule.beta(step) for step in range(60)]
+        assert all(b2 >= b1 for b1, b2 in zip(values, values[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KLAnnealing(target=-1.0)
+        with pytest.raises(ValueError):
+            KLAnnealing(anneal_steps=0)
+        with pytest.raises(ValueError):
+            KLAnnealing(warmup_steps=-1)
