@@ -12,6 +12,11 @@ test-log:
 	pytest tests/ 2>&1 | tee test_output.txt
 
 bench:
+	PYTHONPATH=src pytest benchmarks/test_substrate_perf.py --benchmark-only \
+		--benchmark-json=BENCH_substrate.json
+	python benchmarks/compare_bench.py BENCH_substrate.json
+
+bench-all:
 	pytest benchmarks/ --benchmark-only
 
 bench-log:

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Compare a pytest-benchmark JSON run against the committed baseline.
+
+Usage::
+
+    pytest benchmarks/test_substrate_perf.py --benchmark-only \
+        --benchmark-json=BENCH_substrate.json
+    python benchmarks/compare_bench.py BENCH_substrate.json
+
+(or just ``make bench``, which runs both).
+
+Prints a speedup table against ``benchmarks/BENCH_baseline.json`` — the
+substrate's performance as of the pre-fused-kernel engine — and exits
+non-zero when any benchmark present in both files regressed by more than
+``--threshold`` (default 25%) relative to the baseline mean.  Benchmarks
+added after the baseline was recorded are reported but never fail.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).parent / "BENCH_baseline.json"
+
+
+def load_means(path: Path) -> dict[str, float]:
+    """Mean seconds per benchmark from either JSON layout: the raw
+    pytest-benchmark dump or the trimmed committed-baseline format."""
+    data = json.loads(path.read_text())
+    benchmarks = data["benchmarks"]
+    if isinstance(benchmarks, list):  # raw pytest-benchmark output
+        return {b["name"]: b["stats"]["mean"] for b in benchmarks}
+    return {name: entry["mean"] for name, entry in benchmarks.items()}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", type=Path,
+                        help="pytest-benchmark JSON of the run to check")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="maximum tolerated slowdown vs baseline (0.25 = 25%%)",
+    )
+    args = parser.parse_args(argv)
+
+    current = load_means(args.current)
+    baseline = load_means(args.baseline)
+
+    failures = []
+    width = max(len(name) for name in current)
+    print(f"{'benchmark':<{width}}  {'baseline':>10}  {'current':>10}  "
+          f"speedup")
+    for name in sorted(current):
+        now = current[name]
+        base = baseline.get(name)
+        if base is None:
+            print(f"{name:<{width}}  {'—':>10}  {now * 1e3:>8.2f}ms  "
+                  f"(new, not in baseline)")
+            continue
+        speedup = base / now
+        flag = ""
+        if now > base * (1.0 + args.threshold):
+            flag = f"  REGRESSION (> {args.threshold:.0%} slower)"
+            failures.append(name)
+        print(f"{name:<{width}}  {base * 1e3:>8.2f}ms  {now * 1e3:>8.2f}ms  "
+              f"{speedup:>6.2f}x{flag}")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} benchmark(s) regressed beyond "
+              f"{args.threshold:.0%}: {', '.join(failures)}")
+        return 1
+    print("\nOK: no regression beyond the threshold.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,7 +2,13 @@
 repetition): attention forward/backward, GRU unrolling, Adam steps, and
 evaluation throughput.  These track the engine's performance rather than
 paper numbers — the complexity claims of Section IV-F (self-attention
-O(n^2 d) vs RNN O(n d^2) sequential steps) become observable here."""
+O(n^2 d) vs RNN O(n d^2) sequential steps) become observable here.
+
+Everything runs under the production compute path: fused kernels plus
+the float32 default dtype (``TrainerConfig.compute_dtype="float32"``).
+float64 is reserved for the finite-difference gradcheck suite.  Compare
+against ``benchmarks/BENCH_baseline.json`` with
+``benchmarks/compare_bench.py`` (or just ``make bench``)."""
 
 import numpy as np
 import pytest
@@ -11,13 +17,21 @@ from repro.core import VSAN
 from repro.models import SASRec
 from repro.nn import GRU, CausalSelfAttention, Parameter
 from repro.optim import Adam
-from repro.tensor import Tensor
+from repro.tensor import Tensor, set_default_dtype
 
 RNG = np.random.default_rng(0)
 
 
+@pytest.fixture(scope="module", autouse=True)
+def float32_compute():
+    """Benchmark the float32 training/inference dtype policy."""
+    previous = set_default_dtype(np.float32)
+    yield
+    set_default_dtype(previous)
+
+
 @pytest.fixture(scope="module")
-def attention():
+def attention(float32_compute):
     return CausalSelfAttention(64, np.random.default_rng(1))
 
 
@@ -82,3 +96,31 @@ def test_sasrec_scoring_throughput(benchmark):
     ]
     scores = benchmark(lambda: model.score_batch(histories))
     assert scores.shape == (64, 501)
+
+
+def test_evaluator_ranking_throughput(benchmark):
+    """Batched ranking + metric accumulation over precomputed scores."""
+    from repro.data.splits import FoldInUser
+    from repro.eval import evaluate_recommender
+
+    num_items = 5000
+    users = []
+    for uid in range(512):
+        items = RNG.choice(
+            np.arange(1, num_items + 1), size=25, replace=False
+        )
+        users.append(
+            FoldInUser(user_id=uid, fold_in=items[:20], targets=items[20:])
+        )
+    score_table = RNG.normal(size=(512, num_items + 1)).astype(np.float32)
+    index = {tuple(u.fold_in.tolist()): i for i, u in enumerate(users)}
+
+    class Precomputed:
+        def score_batch(self, histories):
+            rows = [index[tuple(np.asarray(h).tolist())] for h in histories]
+            return score_table[rows]
+
+    result = benchmark(
+        lambda: evaluate_recommender(Precomputed(), users, batch_size=128)
+    )
+    assert result.num_users == 512

@@ -24,8 +24,10 @@ from ..data.batching import next_k_multi_hot, shift_targets
 from ..tensor import (
     Tensor,
     cross_entropy,
+    cross_entropy_reference,
     gaussian_kl_standard_normal,
     multi_hot_cross_entropy,
+    multi_hot_cross_entropy_reference,
 )
 
 __all__ = ["ELBOTerms", "elbo_terms", "reconstruction_targets"]
@@ -80,6 +82,7 @@ def elbo_terms(
     sigma: Tensor | None,
     beta: float,
     multi_hot: bool,
+    fused: bool = True,
 ) -> ELBOTerms:
     """Assemble Eq. 20 from model outputs.
 
@@ -93,13 +96,18 @@ def elbo_terms(
         beta: the KL weight in force (from a
             :class:`repro.train.annealing.BetaSchedule`).
         multi_hot: selects the reconstruction form.
+        fused: compute the reconstruction term with the fused
+            log-sum-exp kernel (default) or the composed reference.
     """
     if multi_hot:
-        reconstruction = multi_hot_cross_entropy(
-            logits, targets, weights=weights
+        reconstruct = (
+            multi_hot_cross_entropy
+            if fused
+            else multi_hot_cross_entropy_reference
         )
     else:
-        reconstruction = cross_entropy(logits, targets, weights=weights)
+        reconstruct = cross_entropy if fused else cross_entropy_reference
+    reconstruction = reconstruct(logits, targets, weights=weights)
     if (mu is None) != (sigma is None):
         raise ValueError("mu and sigma must both be given or both None")
     kl = (

@@ -81,6 +81,10 @@ class VSAN(NeuralSequentialRecommender):
             lower-variance extension).
         norm_first: pre-norm blocks instead of the paper's post-norm
             (helps deep stacks; see ``repro.nn.blocks``).
+        fused: run attention / layer-norm / cross-entropy through the
+            fused kernels of :mod:`repro.tensor.fused` (default); set
+            False for the composed reference substrate (used by the
+            fused-vs-reference parity tests).
         seed: controls init / dropout / reparameterization streams.
     """
 
@@ -106,6 +110,7 @@ class VSAN(NeuralSequentialRecommender):
         positions: str = "learnable",
         num_samples: int = 1,
         norm_first: bool = False,
+        fused: bool = True,
         seed: int = 0,
     ):
         super().__init__(num_items, max_length)
@@ -136,6 +141,7 @@ class VSAN(NeuralSequentialRecommender):
             dropout_rng=dropout_rng,
             positions=positions,
         )
+        self.fused = fused
         self.inference_stack = SelfAttentionStack(
             dim,
             h1,
@@ -145,6 +151,7 @@ class VSAN(NeuralSequentialRecommender):
             use_feedforward=inference_feedforward,
             dropout_rng=dropout_rng,
             norm_first=norm_first,
+            fused=fused,
         )
         if use_latent:
             self.mu_head = Linear(dim, dim, init_rng)
@@ -169,8 +176,9 @@ class VSAN(NeuralSequentialRecommender):
             use_feedforward=generative_feedforward,
             dropout_rng=dropout_rng,
             norm_first=norm_first,
+            fused=fused,
         )
-        self.final_norm = LayerNorm(dim)
+        self.final_norm = LayerNorm(dim, fused=fused)
         if not tie_weights:
             self.output = Linear(dim, num_items + 1, init_rng)
 
@@ -267,7 +275,8 @@ class VSAN(NeuralSequentialRecommender):
         if not self.use_latent or self.num_samples == 1:
             logits, mu, sigma, _ = self._forward(inputs, sample=True)
             return elbo_terms(
-                logits, targets, weights, mu, sigma, beta, multi_hot
+                logits, targets, weights, mu, sigma, beta, multi_hot,
+                fused=self.fused,
             )
 
         # Multi-sample path: encode once, decode per sample.
@@ -283,7 +292,8 @@ class VSAN(NeuralSequentialRecommender):
             )
             logits = self.prediction_layer(hidden)
             sample_terms = elbo_terms(
-                logits, targets, weights, mu, sigma, beta, multi_hot
+                logits, targets, weights, mu, sigma, beta, multi_hot,
+                fused=self.fused,
             )
             if terms is None:
                 terms = sample_terms

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..data.splits import FoldInUser
-from .metrics import ndcg_at_n, precision_at_n, rank_items, recall_at_n
+from .metrics import metrics_batch, rank_items_batch
 
 __all__ = ["EvaluationResult", "evaluate_recommender"]
 
@@ -61,8 +61,10 @@ def evaluate_recommender(
     if not heldout:
         raise ValueError("no held-out users to evaluate")
     max_cutoff = max(cutoffs)
-    sums = {
-        f"{metric}@{n}": 0.0
+    # Per-user metric values are collected and reduced once at the end so
+    # the result is bit-identical for every batch_size.
+    parts: dict[str, list[np.ndarray]] = {
+        f"{metric}@{n}": []
         for metric in ("ndcg", "recall", "precision")
         for n in cutoffs
     }
@@ -70,17 +72,26 @@ def evaluate_recommender(
         chunk = heldout[start:start + batch_size]
         scores = recommender.score_batch([user.fold_in for user in chunk])
         scores = np.asarray(scores, dtype=np.float64)
-        for user, user_scores in zip(chunk, scores):
-            exclude = user.fold_in if exclude_fold_in else None
-            ranked = rank_items(user_scores, max_cutoff, exclude=exclude)
-            for n in cutoffs:
-                sums[f"ndcg@{n}"] += ndcg_at_n(ranked, user.targets, n)
-                sums[f"recall@{n}"] += recall_at_n(ranked, user.targets, n)
-                sums[f"precision@{n}"] += precision_at_n(
-                    ranked, user.targets, n
-                )
+        # Ranking and metric accumulation are vectorized over the whole
+        # scored chunk — one argpartition/argsort and one relevance
+        # lookup instead of a per-user Python loop.
+        exclude = (
+            [user.fold_in for user in chunk] if exclude_fold_in else None
+        )
+        ranked = rank_items_batch(scores, max_cutoff, exclude=exclude)
+        per_user = metrics_batch(
+            ranked,
+            [user.targets for user in chunk],
+            cutoffs,
+            scores.shape[1],
+        )
+        for key, values in per_user.items():
+            parts[key].append(values)
     count = len(heldout)
     return EvaluationResult(
-        values={key: total / count for key, total in sums.items()},
+        values={
+            key: float(np.concatenate(chunks).sum()) / count
+            for key, chunks in parts.items()
+        },
         num_users=count,
     )

@@ -14,7 +14,14 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["precision_at_n", "recall_at_n", "ndcg_at_n", "rank_items"]
+__all__ = [
+    "precision_at_n",
+    "recall_at_n",
+    "ndcg_at_n",
+    "rank_items",
+    "rank_items_batch",
+    "metrics_batch",
+]
 
 
 def _as_sets(recommended, relevant) -> tuple[list[int], set[int]]:
@@ -66,10 +73,100 @@ def rank_items(
         exclude: item ids to remove from consideration (e.g. the user's
             fold-in items).
     """
+    exclude_lists = None if exclude is None else [exclude]
+    return rank_items_batch(
+        np.asarray(scores)[None, :], top_n, exclude=exclude_lists
+    )[0]
+
+
+def rank_items_batch(
+    scores: np.ndarray,
+    top_n: int,
+    exclude: list[np.ndarray] | None = None,
+) -> np.ndarray:
+    """Vectorized :func:`rank_items` over a ``(users, num_items + 1)``
+    score matrix; one ``argpartition`` / ``argsort`` per chunk instead of
+    a Python loop per user.
+
+    Args:
+        scores: 2-D scores, one row per user (index 0 = padding slot).
+        top_n: list length.
+        exclude: optional per-user item-id arrays to remove (e.g. each
+            user's fold-in items).
+
+    Returns:
+        ``(users, top_n)`` integer matrix of ranked item ids, best first.
+    """
     scores = np.asarray(scores, dtype=np.float64).copy()
-    scores[0] = -np.inf
+    num_users = scores.shape[0]
+    scores[:, 0] = -np.inf
     if exclude is not None:
-        scores[np.asarray(exclude, dtype=np.int64)] = -np.inf
-    top_n = min(top_n, len(scores) - 1)
-    candidates = np.argpartition(-scores, top_n)[:top_n]
-    return candidates[np.argsort(-scores[candidates], kind="stable")]
+        if len(exclude) != num_users:
+            raise ValueError(
+                f"need one exclude list per user: {len(exclude)} != "
+                f"{num_users}"
+            )
+        lengths = [len(items) for items in exclude]
+        if any(lengths):
+            rows = np.repeat(np.arange(num_users), lengths)
+            cols = np.concatenate(
+                [np.asarray(items, dtype=np.int64) for items in exclude]
+            )
+            scores[rows, cols] = -np.inf
+    top_n = min(top_n, scores.shape[1] - 1)
+    negated = -scores
+    candidates = np.argpartition(negated, top_n, axis=1)[:, :top_n]
+    candidate_scores = np.take_along_axis(negated, candidates, axis=1)
+    order = np.argsort(candidate_scores, axis=1, kind="stable")
+    return np.take_along_axis(candidates, order, axis=1)
+
+
+def metrics_batch(
+    ranked: np.ndarray,
+    target_lists: list[np.ndarray],
+    cutoffs: tuple[int, ...],
+    num_columns: int,
+) -> dict[str, np.ndarray]:
+    """Per-user ndcg/recall/precision at each cutoff, fully vectorized.
+
+    Args:
+        ranked: ``(users, top_n)`` ranked item ids from
+            :func:`rank_items_batch` with ``top_n >= max(cutoffs)``.
+        target_lists: each user's relevant item ids (non-empty).
+        cutoffs: the ``N`` values.
+        num_columns: width of the score matrix (``num_items + 1``), used
+            to build the relevance lookup.
+
+    Returns:
+        ``{"ndcg@N" | "recall@N" | "precision@N": (users,) array}``.
+    """
+    num_users, top_n = ranked.shape
+    sizes = np.array([len(t) for t in target_lists], dtype=np.int64)
+    if len(target_lists) != num_users:
+        raise ValueError("need one target list per user")
+    if (sizes == 0).any():
+        raise ValueError("relevant set must be non-empty")
+    relevant = np.zeros((num_users, num_columns), dtype=bool)
+    rows = np.repeat(np.arange(num_users), sizes)
+    cols = np.concatenate(
+        [np.asarray(t, dtype=np.int64) for t in target_lists]
+    )
+    relevant[rows, cols] = True
+    hits = np.take_along_axis(relevant, ranked, axis=1)
+
+    max_cutoff = max(cutoffs)
+    gains = 1.0 / np.log2(np.arange(max_cutoff) + 2.0)
+    # ideal_dcg[k] = DCG of k leading hits.
+    ideal_dcg = np.concatenate([[0.0], np.cumsum(gains)])
+
+    out: dict[str, np.ndarray] = {}
+    for n in cutoffs:
+        n_eff = min(n, top_n)
+        top_hits = hits[:, :n_eff]
+        hit_counts = top_hits.sum(axis=1)
+        dcg = (top_hits * gains[:n_eff]).sum(axis=1)
+        idcg = ideal_dcg[np.minimum(sizes, n)]
+        out[f"ndcg@{n}"] = dcg / idcg
+        out[f"recall@{n}"] = hit_counts / sizes
+        out[f"precision@{n}"] = hit_counts / n
+    return out

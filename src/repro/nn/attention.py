@@ -5,23 +5,45 @@ dot-product attention with ``d x d`` projection matrices and a causal
 mask that "prohibits all links between Q_i and K_j for j > i" so position
 ``i`` never sees future items.  Multi-head operation is supported as a
 configurable extension (``num_heads=1`` reproduces the paper exactly).
+
+Two execution paths share the projection weights:
+
+- the default **fused** path (:func:`repro.tensor.fused.fused_attention`)
+  runs mask → softmax → weighted sum as a single tape node with a
+  hand-derived backward and one attention-weights buffer;
+- the **composed** path (``fused=False``) builds the same computation
+  from tape primitives and is kept as the reference the gradcheck/parity
+  suite compares against.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
-from ..tensor import Tensor, softmax
+from ..tensor import Tensor, fused_attention, masked_fill_value, softmax
 from . import init
 from .module import Module, Parameter
 
 __all__ = ["CausalSelfAttention", "causal_mask"]
 
 
+@lru_cache(maxsize=64)
+def _causal_mask_cached(length: int) -> np.ndarray:
+    mask = np.triu(np.ones((length, length), dtype=bool), k=1)
+    mask.setflags(write=False)
+    return mask
+
+
 def causal_mask(length: int) -> np.ndarray:
     """Boolean mask of shape ``(length, length)``; True where j > i
-    (positions that must be hidden from the query at i)."""
-    return np.triu(np.ones((length, length), dtype=bool), k=1)
+    (positions that must be hidden from the query at i).
+
+    Memoized per length — attention rebuilds it every forward call — and
+    returned read-only; copy before mutating.
+    """
+    return _causal_mask_cached(length)
 
 
 class CausalSelfAttention(Module):
@@ -33,6 +55,8 @@ class CausalSelfAttention(Module):
         rng: generator for weight init.
         num_heads: number of attention heads (1 = the paper's setting).
         use_bias: include bias terms on the projections (paper uses none).
+        fused: use the fused single-node attention kernel (default); set
+            False for the composed reference path.
     """
 
     def __init__(
@@ -41,6 +65,7 @@ class CausalSelfAttention(Module):
         rng: np.random.Generator,
         num_heads: int = 1,
         use_bias: bool = False,
+        fused: bool = True,
     ):
         super().__init__()
         if dim % num_heads != 0:
@@ -48,6 +73,7 @@ class CausalSelfAttention(Module):
         self.dim = dim
         self.num_heads = num_heads
         self.head_dim = dim // num_heads
+        self.fused = fused
         self.w_query = Parameter(init.xavier_uniform(rng, (dim, dim)))
         self.w_key = Parameter(init.xavier_uniform(rng, (dim, dim)))
         self.w_value = Parameter(init.xavier_uniform(rng, (dim, dim)))
@@ -57,6 +83,38 @@ class CausalSelfAttention(Module):
             self.b_value = Parameter(init.zeros((dim,)))
         else:
             self.b_query = self.b_key = self.b_value = None
+        # Scratch buffer for the combined causal|padding mask, reused
+        # across forward calls of the same (batch, length) shape.  Only
+        # the fused path may reuse it: the composed path's masked_fill
+        # closure retains the mask for its backward.
+        self._mask_scratch: np.ndarray | None = None
+
+    def _combined_mask(
+        self, key_padding_mask: np.ndarray, batch: int, length: int
+    ) -> np.ndarray:
+        """``(causal | padding) & ~diagonal`` into a reusable buffer."""
+        pad = np.asarray(key_padding_mask, dtype=bool)
+        if pad.shape != (batch, length):
+            raise ValueError(
+                f"key_padding_mask shape {pad.shape} != {(batch, length)}"
+            )
+        shape = (batch, 1, length, length)
+        reusable = self.fused
+        if reusable and (
+            self._mask_scratch is not None
+            and self._mask_scratch.shape == shape
+        ):
+            buffer = self._mask_scratch
+        else:
+            buffer = np.empty(shape, dtype=bool)
+            if reusable:
+                self._mask_scratch = buffer
+        np.copyto(buffer, causal_mask(length)[None, None, :, :])
+        buffer |= pad[:, None, None, :]
+        # Keep the diagonal attendable to avoid all-masked (NaN) rows.
+        diagonal = np.arange(length)
+        buffer[:, :, diagonal, diagonal] = False
+        return buffer
 
     def forward(
         self,
@@ -95,26 +153,38 @@ class CausalSelfAttention(Module):
         keys = keys.reshape(batch, length, heads, head_dim).swapaxes(1, 2)
         values = values.reshape(batch, length, heads, head_dim).swapaxes(1, 2)
 
-        scores = (queries @ keys.swapaxes(-1, -2)) * (1.0 / np.sqrt(head_dim))
-
-        mask = causal_mask(length)[None, None, :, :]
+        scale = 1.0 / np.sqrt(head_dim)
         if key_padding_mask is not None:
-            pad = np.asarray(key_padding_mask, dtype=bool)
-            if pad.shape != (batch, length):
-                raise ValueError(
-                    f"key_padding_mask shape {pad.shape} != "
-                    f"{(batch, length)}"
-                )
-            pad = pad[:, None, None, :] | mask
-            # Keep the diagonal attendable to avoid all-masked rows.
-            diagonal = np.eye(length, dtype=bool)[None, None, :, :]
-            mask = pad & ~diagonal
+            mask = self._combined_mask(key_padding_mask, batch, length)
         else:
-            mask = np.broadcast_to(mask, (batch, heads, length, length))
+            mask = causal_mask(length)[None, None, :, :]
 
-        scores = scores.masked_fill(mask, -1e30)
-        weights = softmax(scores, axis=-1)
-        attended = weights @ values
+        if self.fused:
+            fused_out = fused_attention(
+                queries,
+                keys,
+                values,
+                mask,
+                scale,
+                return_weights=return_weights,
+            )
+            if return_weights:
+                attended, weights = fused_out
+            else:
+                attended = fused_out
+        else:
+            scores = (queries @ keys.swapaxes(-1, -2)) * scale
+            # The composed path retains the mask in the masked_fill
+            # closure, so hand it a private (broadcast) copy.
+            full_mask = np.broadcast_to(
+                mask, (batch, heads, length, length)
+            ).copy()
+            scores = scores.masked_fill(
+                full_mask, masked_fill_value(scores.dtype)
+            )
+            weights = softmax(scores, axis=-1)
+            attended = weights @ values
+
         out = attended.swapaxes(1, 2).reshape(batch, length, dim)
         if return_weights:
             return out, weights

@@ -8,15 +8,24 @@ finite differences by :func:`gradcheck`.
 
 from .functional import (
     cross_entropy,
+    cross_entropy_reference,
     dropout,
     gaussian_kl_standard_normal,
     log_softmax,
     multi_hot_cross_entropy,
+    multi_hot_cross_entropy_reference,
     relu,
     sigmoid,
     softmax,
     softplus,
     tanh,
+)
+from .fused import (
+    fused_attention,
+    fused_cross_entropy,
+    fused_layer_norm,
+    fused_multi_hot_cross_entropy,
+    masked_fill_value,
 )
 from .gradcheck import gradcheck, numerical_gradient
 from .random import make_rng, spawn_rngs
@@ -24,12 +33,15 @@ from .tensor import (
     Tensor,
     arange,
     concatenate,
+    default_dtype,
     full,
+    get_default_dtype,
     is_grad_enabled,
     maximum,
     minimum,
     no_grad,
     ones,
+    set_default_dtype,
     stack,
     tensor,
     where,
@@ -41,20 +53,30 @@ __all__ = [
     "arange",
     "concatenate",
     "cross_entropy",
+    "cross_entropy_reference",
+    "default_dtype",
     "dropout",
+    "fused_attention",
+    "fused_cross_entropy",
+    "fused_layer_norm",
+    "fused_multi_hot_cross_entropy",
     "full",
     "gaussian_kl_standard_normal",
+    "get_default_dtype",
     "gradcheck",
     "is_grad_enabled",
     "log_softmax",
     "make_rng",
+    "masked_fill_value",
     "maximum",
     "minimum",
     "multi_hot_cross_entropy",
+    "multi_hot_cross_entropy_reference",
     "no_grad",
     "numerical_gradient",
     "ones",
     "relu",
+    "set_default_dtype",
     "sigmoid",
     "softmax",
     "softplus",

@@ -10,13 +10,16 @@ from __future__ import annotations
 
 import numpy as np
 
+from .fused import fused_cross_entropy, fused_multi_hot_cross_entropy
 from .tensor import Tensor
 
 __all__ = [
     "softmax",
     "log_softmax",
     "cross_entropy",
+    "cross_entropy_reference",
     "multi_hot_cross_entropy",
+    "multi_hot_cross_entropy_reference",
     "gaussian_kl_standard_normal",
     "dropout",
     "relu",
@@ -46,6 +49,11 @@ def cross_entropy(
 ) -> Tensor:
     """Mean negative log-likelihood of integer ``targets`` under ``logits``.
 
+    Dispatches to the fused log-sum-exp kernel
+    (:func:`repro.tensor.fused.fused_cross_entropy`); the composed
+    implementation is kept as :func:`cross_entropy_reference` and the two
+    are held in parity by the gradcheck suite.
+
     Args:
         logits: shape ``(..., num_classes)``.
         targets: integer array of shape ``(...)`` matching the leading
@@ -57,6 +65,15 @@ def cross_entropy(
     Returns:
         Scalar tensor.
     """
+    return fused_cross_entropy(logits, targets, weights=weights)
+
+
+def cross_entropy_reference(
+    logits: Tensor,
+    targets: np.ndarray,
+    weights: np.ndarray | None = None,
+) -> Tensor:
+    """Composed (primitive-by-primitive) reference for :func:`cross_entropy`."""
     targets = np.asarray(targets, dtype=np.int64)
     logp = log_softmax(logits, axis=-1)
     flat_logp = logp.reshape(-1, logits.shape[-1])
@@ -80,13 +97,26 @@ def multi_hot_cross_entropy(
 
     Each position's target is a {0,1} vector over items marking the next
     ``k`` ground-truth items; the loss is ``-sum_i y_i log softmax(x)_i``
-    averaged over (weighted) positions.
+    averaged over (weighted) positions.  Dispatches to the fused
+    log-sum-exp kernel; :func:`multi_hot_cross_entropy_reference` keeps
+    the composed form for parity checks.
 
     Args:
         logits: shape ``(..., num_classes)``.
         target_multi_hot: {0,1} array broadcastable to ``logits.shape``.
         weights: optional per-position weights, shape ``logits.shape[:-1]``.
     """
+    return fused_multi_hot_cross_entropy(
+        logits, target_multi_hot, weights=weights
+    )
+
+
+def multi_hot_cross_entropy_reference(
+    logits: Tensor,
+    target_multi_hot: np.ndarray,
+    weights: np.ndarray | None = None,
+) -> Tensor:
+    """Composed reference for :func:`multi_hot_cross_entropy`."""
     target = np.asarray(target_multi_hot, dtype=logits.dtype)
     logp = log_softmax(logits, axis=-1)
     per_position = -(logp * Tensor(target)).sum(axis=-1)

@@ -1,0 +1,249 @@
+"""Fused autodiff kernels: single tape nodes with hand-derived backwards.
+
+The generic engine in :mod:`repro.tensor.tensor` composes every model
+operation from primitive tape nodes.  That is ideal for correctness (each
+primitive is finite-difference checked in isolation) but the hot paths —
+causal attention, softmax cross-entropy, layer normalization — then pay
+for a dozen Python closures and O(batch·length·length) intermediates per
+op.  Each function here collapses one such hot path into a *single* tape
+node: the forward runs as a handful of in-place numpy calls holding one
+scratch buffer, and the backward applies the closed-form gradient instead
+of replaying the primitive chain.
+
+Every fused kernel has a composed reference implementation elsewhere in
+the repository (``repro.tensor.functional`` for the losses, the
+``fused=False`` paths of :class:`repro.nn.attention.CausalSelfAttention`
+and :class:`repro.nn.normalization.LayerNorm` for the rest);
+``tests/tensor/test_fused.py`` pins forward parity to 1e-10 in float64
+and checks the hand-derived gradients with :func:`repro.tensor.gradcheck`
+against finite differences.
+
+Derivations (all standard):
+
+- **Attention** ``O = W V`` with ``W = softmax(mask(s Q Kᵀ))``:
+  ``dV = Wᵀ dO``, ``dW = dO Vᵀ``, and through the softmax
+  ``dS = W ∘ (dW − rowsum(dW ∘ W))``; masked entries carry exactly zero
+  weight, so ``dS`` vanishes there without consulting the mask again.
+  Finally ``dQ = s · dS K`` and ``dK = s · dSᵀ Q``.
+- **Softmax cross-entropy** via log-sum-exp: per position
+  ``nll = lse(x) − x_target`` and ``d nll/dx = softmax(x) − onehot``;
+  the multi-hot form replaces ``onehot`` with the target vector ``y``
+  and scales the softmax by ``sum(y)``.
+- **Layer norm** ``y = γ x̂ + β`` with ``x̂ = (x − μ) / √(σ² + ε)``:
+  ``dx = (dx̂ − mean(dx̂) − x̂ · mean(dx̂ ∘ x̂)) / √(σ² + ε)`` where
+  ``dx̂ = dy ∘ γ``, plus the usual reductions for ``dγ`` / ``dβ``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "masked_fill_value",
+    "fused_attention",
+    "fused_cross_entropy",
+    "fused_multi_hot_cross_entropy",
+    "fused_layer_norm",
+]
+
+
+def masked_fill_value(dtype) -> float:
+    """A finite, dtype-safe stand-in for ``-inf`` in masked softmax logits.
+
+    ``np.finfo(dtype).min / 2`` underflows to exactly zero probability
+    after the shifted ``exp`` yet stays finite, so a float32 compute path
+    never sees ``-inf - (-inf) = nan`` in the softmax and its backward.
+    Half the minimum leaves headroom for the max-shift subtraction.
+    """
+    return float(np.finfo(np.dtype(dtype)).min / 2)
+
+
+def fused_attention(
+    queries: Tensor,
+    keys: Tensor,
+    values: Tensor,
+    mask: np.ndarray | None,
+    scale: float,
+    return_weights: bool = False,
+):
+    """Masked scaled-dot-product attention as one tape node.
+
+    Computes ``softmax(scale · Q Kᵀ, masked) V`` where ``queries`` /
+    ``keys`` / ``values`` all have shape ``(..., length, head_dim)`` and
+    ``mask`` is a boolean array broadcastable to the score shape
+    ``(..., length, length)``, True at positions that must receive zero
+    weight.  Exactly one ``(..., length, length)`` buffer is allocated:
+    the scores are masked, exponentiated, and normalized in place, and
+    the resulting weights are the only saved activation — the backward
+    reuses them instead of recomputing anything.
+
+    When ``return_weights`` is True the attention distribution is
+    returned as a second (detached-from-this-node, constant) tensor for
+    inspection; it shares the saved buffer.
+    """
+    q, k, v = queries.data, keys.data, values.data
+    scores = q @ np.swapaxes(k, -1, -2)
+    scores *= scale
+    if mask is not None:
+        np.copyto(scores, masked_fill_value(scores.dtype), where=mask)
+    # In-place, numerically-stable softmax over the key axis.
+    scores -= scores.max(axis=-1, keepdims=True)
+    np.exp(scores, out=scores)
+    scores /= scores.sum(axis=-1, keepdims=True)
+    weights = scores  # the single retained buffer
+    out = weights @ v
+
+    def backward(grad):
+        if values.requires_grad:
+            values._accumulate(np.swapaxes(weights, -1, -2) @ grad)
+        if queries.requires_grad or keys.requires_grad:
+            d_weights = grad @ np.swapaxes(v, -1, -2)
+            # Softmax backward; masked entries have weight exactly 0
+            # (the fill underflows in exp), so d_scores is 0 there.
+            d_scores = weights * (
+                d_weights - (d_weights * weights).sum(axis=-1, keepdims=True)
+            )
+            d_scores *= scale
+            if queries.requires_grad:
+                queries._accumulate(d_scores @ k)
+            if keys.requires_grad:
+                keys._accumulate(np.swapaxes(d_scores, -1, -2) @ q)
+
+    result = Tensor._make(out, (queries, keys, values), backward)
+    if return_weights:
+        return result, Tensor(weights)
+    return result
+
+
+def _flatten_logits(logits: Tensor) -> tuple[np.ndarray, int]:
+    num_classes = logits.shape[-1]
+    return logits.data.reshape(-1, num_classes), num_classes
+
+
+def _position_scale(
+    weights: np.ndarray | None, num_positions: int, dtype
+) -> np.ndarray:
+    """Per-position averaging coefficients (uniform or weighted)."""
+    if weights is None:
+        return np.full(num_positions, 1.0 / num_positions, dtype=dtype)
+    weights = np.asarray(weights, dtype=dtype).reshape(-1)
+    total = float(weights.sum())
+    if total <= 0:
+        raise ValueError("cross_entropy weights sum to zero")
+    return weights / total
+
+
+def fused_cross_entropy(
+    logits: Tensor,
+    targets: np.ndarray,
+    weights: np.ndarray | None = None,
+) -> Tensor:
+    """Mean NLL of integer ``targets`` under ``logits`` as one tape node.
+
+    Forward is a log-sum-exp over the class axis; backward is the
+    closed-form ``softmax − onehot`` scaled by the per-position averaging
+    weights.  Matches :func:`repro.tensor.functional.cross_entropy`
+    (the composed reference) to float64 round-off.
+    """
+    targets = np.asarray(targets, dtype=np.int64).reshape(-1)
+    flat, num_classes = _flatten_logits(logits)
+    rows = np.arange(flat.shape[0])
+    shifted = flat - flat.max(axis=-1, keepdims=True)
+    exps = np.exp(shifted)  # retained for the backward softmax
+    denom = exps.sum(axis=-1, keepdims=True)
+    # log softmax at the target entries only.
+    picked = shifted[rows, targets] - np.log(denom[:, 0])
+    coeff = _position_scale(weights, flat.shape[0], flat.dtype)
+    loss = -float((picked * coeff).sum())
+
+    def backward(grad):
+        scalar = float(np.asarray(grad))
+        softmax = exps / denom
+        softmax[rows, targets] -= 1.0
+        softmax *= (scalar * coeff)[:, None]
+        logits._accumulate(softmax.reshape(logits.shape))
+
+    return Tensor._make(
+        np.asarray(loss, dtype=logits.dtype), (logits,), backward
+    )
+
+
+def fused_multi_hot_cross_entropy(
+    logits: Tensor,
+    target_multi_hot: np.ndarray,
+    weights: np.ndarray | None = None,
+) -> Tensor:
+    """Multi-hot softmax cross-entropy (Eq. 18/20) as one tape node.
+
+    Per position ``sum(y) · lse(x) − y · x``, averaged over (optionally
+    weighted) positions; backward is ``sum(y) · softmax(x) − y`` times
+    the averaging coefficients.  Matches
+    :func:`repro.tensor.functional.multi_hot_cross_entropy`.
+    """
+    flat, num_classes = _flatten_logits(logits)
+    target = np.asarray(target_multi_hot, dtype=flat.dtype)
+    target = np.broadcast_to(target, logits.shape).reshape(-1, num_classes)
+    shifted = flat - flat.max(axis=-1, keepdims=True)
+    exps = np.exp(shifted)
+    denom = exps.sum(axis=-1, keepdims=True)
+    lse = np.log(denom[:, 0])
+    target_mass = target.sum(axis=-1)
+    per_position = target_mass * lse - (target * shifted).sum(axis=-1)
+    try:
+        coeff = _position_scale(weights, flat.shape[0], flat.dtype)
+    except ValueError:
+        raise ValueError("multi_hot_cross_entropy weights sum to zero")
+    loss = float((per_position * coeff).sum())
+
+    def backward(grad):
+        scalar = float(np.asarray(grad))
+        softmax = exps / denom
+        softmax *= target_mass[:, None]
+        softmax -= target
+        softmax *= (scalar * coeff)[:, None]
+        logits._accumulate(softmax.reshape(logits.shape))
+
+    return Tensor._make(
+        np.asarray(loss, dtype=logits.dtype), (logits,), backward
+    )
+
+
+def fused_layer_norm(
+    x: Tensor,
+    gamma: Tensor,
+    beta: Tensor,
+    eps: float,
+) -> Tensor:
+    """Last-axis layer normalization + affine as one tape node.
+
+    ``gamma`` / ``beta`` have shape ``(dim,)`` matching the last axis of
+    ``x``.  The backward uses the standard three-term closed form rather
+    than differentiating through the mean/variance chain.
+    """
+    data = x.data
+    mean = data.mean(axis=-1, keepdims=True)
+    centered = data - mean
+    variance = np.mean(centered * centered, axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(variance + eps)
+    normalized = centered * inv_std  # retained for the backward
+    out = normalized * gamma.data + beta.data
+
+    def backward(grad):
+        reduce_axes = tuple(range(grad.ndim - 1))
+        if gamma.requires_grad:
+            gamma._accumulate((grad * normalized).sum(axis=reduce_axes))
+        if beta.requires_grad:
+            beta._accumulate(grad.sum(axis=reduce_axes))
+        if x.requires_grad:
+            d_normalized = grad * gamma.data
+            term_mean = d_normalized.mean(axis=-1, keepdims=True)
+            term_proj = np.mean(
+                d_normalized * normalized, axis=-1, keepdims=True
+            )
+            x._accumulate(
+                (d_normalized - term_mean - normalized * term_proj) * inv_std
+            )
+
+    return Tensor._make(out, (x, gamma, beta), backward)

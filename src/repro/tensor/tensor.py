@@ -33,14 +33,62 @@ __all__ = [
     "where",
     "maximum",
     "minimum",
+    "set_default_dtype",
+    "get_default_dtype",
+    "default_dtype",
 ]
 
 _GRAD_ENABLED = True
 
 # Default floating dtype for all tensors.  float64 keeps finite-difference
-# gradient checks tight; the models are small enough that speed is dominated
-# by Python overhead rather than the dtype of the BLAS calls.
+# gradient checks tight and remains the default; training and inference can
+# switch to float32 via :func:`set_default_dtype` (halving memory traffic on
+# every BLAS call), which is what ``TrainerConfig.compute_dtype`` does.
 DEFAULT_DTYPE = np.float64
+
+_ALLOWED_DTYPES = (np.float32, np.float64)
+
+
+def set_default_dtype(dtype) -> np.dtype:
+    """Set the floating dtype used for all subsequently created tensors.
+
+    Accepts ``np.float32``/``np.float64`` (or their string names) and
+    returns the *previous* default so callers can restore it.  Tensors and
+    parameters created before the switch keep their dtype; build the model
+    under the dtype you want it to compute in.
+    """
+    global DEFAULT_DTYPE
+    resolved = np.dtype(dtype).type
+    if resolved not in _ALLOWED_DTYPES:
+        raise ValueError(
+            f"default dtype must be float32 or float64, got {dtype!r}"
+        )
+    previous = DEFAULT_DTYPE
+    DEFAULT_DTYPE = resolved
+    return previous
+
+
+def get_default_dtype():
+    """Return the dtype new tensors are created with."""
+    return DEFAULT_DTYPE
+
+
+class default_dtype:
+    """Context manager scoping :func:`set_default_dtype`::
+
+        with default_dtype(np.float32):
+            model = VSAN(...)   # float32 parameters and activations
+    """
+
+    def __init__(self, dtype):
+        self._dtype = dtype
+
+    def __enter__(self) -> "default_dtype":
+        self._previous = set_default_dtype(self._dtype)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        set_default_dtype(self._previous)
 
 
 def is_grad_enabled() -> bool:
@@ -177,6 +225,13 @@ class Tensor:
         if not self.requires_grad:
             return
         if self.grad is None:
+            # First contribution: one copy instead of a zero-fill + add.
+            # A copy (not an alias) because op backwards may hand the same
+            # buffer to several parents.  Shape-mismatched contributions
+            # (broadcast scalars) fall back to the add path.
+            if grad.shape == self.shape:
+                self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
+                return
             self.grad = np.zeros_like(self.data)
         self.grad += grad
 

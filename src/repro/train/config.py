@@ -25,6 +25,14 @@ class TrainerConfig:
     eval_every: int = 1
     eval_metric: str = "ndcg@10"
     verbose: bool = False
+    compute_dtype: str | None = None
+    """Floating dtype for the whole training run (``"float32"`` /
+    ``"float64"``).  When set, the trainer casts the model's parameters
+    and scopes :func:`repro.tensor.set_default_dtype` for the duration of
+    ``fit``, so every activation, gradient, and optimizer moment uses
+    that dtype.  float32 halves memory traffic on every BLAS call; the
+    default ``None`` leaves the engine-wide default (float64) in force —
+    finite-difference gradchecks require float64."""
 
     def __post_init__(self):
         if self.epochs < 1:
@@ -35,6 +43,14 @@ class TrainerConfig:
             raise ValueError("learning_rate must be positive")
         if self.patience is not None and self.patience < 1:
             raise ValueError("patience must be >= 1 when set")
+        if self.compute_dtype is not None and self.compute_dtype not in (
+            "float32",
+            "float64",
+        ):
+            raise ValueError(
+                "compute_dtype must be 'float32', 'float64', or None; "
+                f"got {self.compute_dtype!r}"
+            )
 
 
 @dataclass

@@ -15,6 +15,7 @@ from ..data.interactions import SequenceCorpus
 from ..data.splits import FoldInUser
 from ..eval.evaluator import evaluate_recommender
 from ..optim import Adam, clip_grad_norm
+from ..tensor import default_dtype
 from ..tensor.random import make_rng
 from .config import TrainerConfig, TrainingHistory
 
@@ -40,6 +41,24 @@ class Trainer:
         improvement on ``config.eval_metric`` and the best weights are
         restored.
         """
+        config = self.config
+        if config.compute_dtype is not None:
+            # Cast parameters once, then run the whole fit (activations,
+            # gradients, Adam moments) under that default dtype.
+            target = np.dtype(config.compute_dtype)
+            for param in model.parameters():
+                if param.data.dtype != target:
+                    param.data = param.data.astype(target)
+            with default_dtype(target):
+                return self._fit(model, corpus, validation)
+        return self._fit(model, corpus, validation)
+
+    def _fit(
+        self,
+        model,
+        corpus: SequenceCorpus,
+        validation: list[FoldInUser] | None = None,
+    ) -> TrainingHistory:
         config = self.config
         rng = make_rng(config.seed)
         optimizer = Adam(model.parameters(), lr=config.learning_rate)

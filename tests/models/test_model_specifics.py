@@ -100,3 +100,57 @@ class TestVSANHeads:
             model.mu_head.weight.numpy(), np.eye(16)
         )
         np.testing.assert_allclose(model.mu_head.bias.numpy(), 0.0)
+
+
+class TestVSANFusedParity:
+    """The fused substrate must be a pure optimization: same seed, same
+    batch, same numbers as the composed reference implementation."""
+
+    @staticmethod
+    def _batch():
+        rng = np.random.default_rng(3)
+        padded = np.zeros((8, 9), dtype=np.int64)
+        padded[:, -5:] = rng.integers(1, NUM_ITEMS + 1, size=(8, 5))
+        return padded
+
+    def test_training_loss_matches_reference(self):
+        padded = self._batch()
+        losses = []
+        for fused in (True, False):
+            model = VSAN(NUM_ITEMS, 8, dim=12, h1=1, h2=1, seed=0,
+                         dropout_rate=0.0, fused=fused)
+            model.train()
+            losses.append(model.training_loss(padded).item())
+        assert abs(losses[0] - losses[1]) < 1e-10
+
+    def test_scores_match_reference(self):
+        rng = np.random.default_rng(4)
+        history = rng.integers(1, NUM_ITEMS + 1, size=6)
+        scores = [
+            VSAN(NUM_ITEMS, 8, dim=12, h1=1, h2=1, seed=0,
+                 fused=fused).score(history)
+            for fused in (True, False)
+        ]
+        np.testing.assert_allclose(scores[0][1:], scores[1][1:], atol=1e-10)
+
+    def test_gradients_match_reference(self):
+        padded = self._batch()
+        grads = []
+        for fused in (True, False):
+            model = VSAN(NUM_ITEMS, 8, dim=12, h1=1, h2=1, seed=0,
+                         dropout_rate=0.0, fused=fused)
+            model.train()
+            model.zero_grad()
+            model.training_loss(padded).backward()
+            grads.append(
+                {name: p.grad for name, p in model.named_parameters()}
+            )
+        assert grads[0].keys() == grads[1].keys()
+        for name in grads[0]:
+            if grads[0][name] is None:
+                assert grads[1][name] is None
+                continue
+            np.testing.assert_allclose(
+                grads[0][name], grads[1][name], atol=1e-9,
+                err_msg=f"gradient mismatch for {name}",
+            )

@@ -1,0 +1,278 @@
+"""Fused kernels vs composed references: forward parity to 1e-10 in
+float64, gradient parity via finite differences, dtype-policy behaviour,
+and a hypothesis property test for attention under random padding masks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import CausalSelfAttention, LayerNorm
+from repro.tensor import (
+    Tensor,
+    cross_entropy,
+    cross_entropy_reference,
+    default_dtype,
+    fused_attention,
+    fused_layer_norm,
+    get_default_dtype,
+    gradcheck,
+    masked_fill_value,
+    multi_hot_cross_entropy,
+    multi_hot_cross_entropy_reference,
+    set_default_dtype,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+def make_attention_pair(dim, rng_seed=5, num_heads=1):
+    """Two attention modules with identical weights, fused and composed."""
+    fused = CausalSelfAttention(
+        dim, np.random.default_rng(rng_seed), num_heads=num_heads, fused=True
+    )
+    reference = CausalSelfAttention(
+        dim, np.random.default_rng(rng_seed), num_heads=num_heads, fused=False
+    )
+    reference.load_state_dict(fused.state_dict())
+    return fused, reference
+
+
+class TestFusedAttentionParity:
+    def test_forward_matches_reference_float64(self, rng):
+        fused, reference = make_attention_pair(8)
+        x = rng.normal(size=(3, 7, 8))
+        np.testing.assert_allclose(
+            fused(Tensor(x)).numpy(),
+            reference(Tensor(x)).numpy(),
+            atol=1e-10,
+        )
+
+    def test_forward_matches_with_padding_mask(self, rng):
+        fused, reference = make_attention_pair(8)
+        x = rng.normal(size=(4, 6, 8))
+        pad = rng.random((4, 6)) < 0.4
+        np.testing.assert_allclose(
+            fused(Tensor(x), key_padding_mask=pad).numpy(),
+            reference(Tensor(x), key_padding_mask=pad).numpy(),
+            atol=1e-10,
+        )
+
+    def test_weights_match_reference(self, rng):
+        fused, reference = make_attention_pair(8, num_heads=2)
+        x = rng.normal(size=(2, 5, 8))
+        _, w_fused = fused(Tensor(x), return_weights=True)
+        _, w_reference = reference(Tensor(x), return_weights=True)
+        np.testing.assert_allclose(
+            w_fused.numpy(), w_reference.numpy(), atol=1e-10
+        )
+
+    def test_gradients_match_reference(self, rng):
+        """Input and projection grads agree between the two paths."""
+        fused, reference = make_attention_pair(6)
+        x = rng.normal(size=(2, 4, 6))
+        pad = np.array([[True, False, False, False]] * 2)
+        grads = {}
+        for name, module in (("fused", fused), ("reference", reference)):
+            module.zero_grad()
+            x_in = Tensor(x, requires_grad=True)
+            out = module(x_in, key_padding_mask=pad)
+            (out * out).sum().backward()
+            grads[name] = (x_in.grad, module.w_query.grad,
+                           module.w_value.grad)
+        for got, want in zip(grads["fused"], grads["reference"]):
+            np.testing.assert_allclose(got, want, atol=1e-9)
+
+    def test_gradcheck_fused_op(self, rng):
+        length = 4
+        mask = np.triu(np.ones((length, length), dtype=bool), k=1)
+        mask = mask[None, None]
+        q, k, v = (
+            Tensor(rng.normal(size=(2, 1, length, 3)), requires_grad=True)
+            for _ in range(3)
+        )
+        gradcheck(
+            lambda q, k, v: (fused_attention(q, k, v, mask, 0.5) ** 2).sum(),
+            [q, k, v],
+        )
+
+
+class TestFusedCrossEntropyParity:
+    def test_forward_parity_and_gradcheck(self, rng):
+        logits = Tensor(rng.normal(size=(3, 5, 9)) * 2, requires_grad=True)
+        targets = rng.integers(0, 9, size=(3, 5))
+        weights = (rng.random((3, 5)) > 0.3).astype(float)
+        for w in (None, weights):
+            fused = cross_entropy(logits, targets, weights=w)
+            reference = cross_entropy_reference(logits, targets, weights=w)
+            assert abs(fused.item() - reference.item()) < 1e-10
+            gradcheck(lambda x: cross_entropy(x, targets, weights=w),
+                      [logits])
+
+    def test_multi_hot_parity_and_gradcheck(self, rng):
+        logits = Tensor(rng.normal(size=(2, 4, 8)), requires_grad=True)
+        target = (rng.random((2, 4, 8)) > 0.6).astype(float)
+        weights = (rng.random((2, 4)) > 0.2).astype(float)
+        for w in (None, weights):
+            fused = multi_hot_cross_entropy(logits, target, weights=w)
+            reference = multi_hot_cross_entropy_reference(
+                logits, target, weights=w
+            )
+            assert abs(fused.item() - reference.item()) < 1e-10
+            gradcheck(
+                lambda x: multi_hot_cross_entropy(x, target, weights=w),
+                [logits],
+            )
+
+    def test_zero_weights_raise(self, rng):
+        logits = Tensor(rng.normal(size=(2, 3)))
+        with pytest.raises(ValueError):
+            cross_entropy(logits, np.zeros(2, dtype=int),
+                          weights=np.zeros(2))
+        with pytest.raises(ValueError):
+            multi_hot_cross_entropy(logits, np.ones((2, 3)),
+                                    weights=np.zeros(2))
+
+
+class TestFusedLayerNormParity:
+    def test_forward_matches_reference(self, rng):
+        fused = LayerNorm(10, fused=True)
+        reference = LayerNorm(10, fused=False)
+        state = fused.state_dict()
+        state["gamma"] = rng.normal(size=10) + 1.0
+        state["beta"] = rng.normal(size=10)
+        fused.load_state_dict(state)
+        reference.load_state_dict(state)
+        x = rng.normal(size=(4, 6, 10)) * 3
+        np.testing.assert_allclose(
+            fused(Tensor(x)).numpy(),
+            reference(Tensor(x)).numpy(),
+            atol=1e-10,
+        )
+
+    def test_gradcheck_fused_op(self, rng):
+        x = Tensor(rng.normal(size=(3, 4, 6)), requires_grad=True)
+        gamma = Tensor(rng.normal(size=6) + 1.0, requires_grad=True)
+        beta = Tensor(rng.normal(size=6), requires_grad=True)
+        gradcheck(
+            lambda x, g, b: (fused_layer_norm(x, g, b, 1e-8) ** 2).sum(),
+            [x, gamma, beta],
+        )
+
+
+class TestDtypePolicy:
+    def test_set_default_dtype_round_trip(self):
+        assert get_default_dtype() == np.float64
+        previous = set_default_dtype(np.float32)
+        try:
+            assert previous == np.float64
+            assert Tensor(np.zeros(3)).dtype == np.float32
+        finally:
+            set_default_dtype(previous)
+        assert Tensor(np.zeros(3)).dtype == np.float64
+
+    def test_rejects_non_float_dtype(self):
+        with pytest.raises(ValueError):
+            set_default_dtype(np.int64)
+
+    def test_masked_fill_value_is_finite_and_underflows(self):
+        for dtype in (np.float32, np.float64):
+            fill = masked_fill_value(dtype)
+            assert np.isfinite(fill)
+            # After the softmax max-shift, a filled logit must carry
+            # exactly zero probability.
+            assert np.exp(np.asarray(fill, dtype=dtype)) == 0.0
+
+    def test_float32_attention_with_padding_stays_finite(self):
+        """The old hard-coded -1e30 fill overflowed float32 to -inf and
+        could NaN the softmax backward; the dtype-aware fill must not."""
+        rng = np.random.default_rng(0)
+        with default_dtype(np.float32):
+            for fused in (True, False):
+                attn = CausalSelfAttention(
+                    8, np.random.default_rng(1), fused=fused
+                )
+                x = Tensor(rng.normal(size=(2, 5, 8)), requires_grad=True)
+                pad = np.array([[True, True, True, False, False]] * 2)
+                out = attn(x, key_padding_mask=pad)
+                assert out.dtype == np.float32
+                assert np.isfinite(out.numpy()).all()
+                out.sum().backward()
+                assert np.isfinite(x.grad).all()
+
+    def test_fused_matches_reference_in_float32(self):
+        rng = np.random.default_rng(2)
+        with default_dtype(np.float32):
+            fused, reference = make_attention_pair(8)
+            x = rng.normal(size=(2, 6, 8))
+            pad = rng.random((2, 6)) < 0.3
+            np.testing.assert_allclose(
+                fused(Tensor(x), key_padding_mask=pad).numpy(),
+                reference(Tensor(x), key_padding_mask=pad).numpy(),
+                atol=1e-5,
+            )
+
+
+class TestMaskMemo:
+    def test_causal_mask_is_cached_and_readonly(self):
+        from repro.nn import causal_mask
+
+        first = causal_mask(9)
+        assert causal_mask(9) is first
+        assert not first.flags.writeable
+        with pytest.raises(ValueError):
+            first[0, 0] = True
+
+    def test_padding_mask_buffer_is_reused(self, rng):
+        attn = CausalSelfAttention(8, rng, fused=True)
+        x = rng.normal(size=(2, 5, 8))
+        pad = rng.random((2, 5)) < 0.5
+        attn(Tensor(x), key_padding_mask=pad)
+        buffer = attn._mask_scratch
+        assert buffer is not None
+        attn(Tensor(x), key_padding_mask=~pad)
+        assert attn._mask_scratch is buffer
+        # Different shape allocates a fresh buffer.
+        attn(Tensor(rng.normal(size=(3, 5, 8))),
+             key_padding_mask=np.zeros((3, 5), dtype=bool))
+        assert attn._mask_scratch is not buffer
+
+    def test_reference_path_backward_survives_buffer_reuse(self, rng):
+        """The composed path must not alias the reusable scratch buffer:
+        a second forward between forward and backward must not corrupt
+        the first call's gradient."""
+        attn = CausalSelfAttention(8, rng, fused=False)
+        x = Tensor(rng.normal(size=(2, 4, 8)), requires_grad=True)
+        pad = np.array([[True, False, False, False]] * 2)
+        out = attn(x, key_padding_mask=pad)
+        attn(Tensor(rng.normal(size=(2, 4, 8))),
+             key_padding_mask=~pad)  # would clobber a shared buffer
+        out.sum().backward()
+        assert np.isfinite(x.grad).all()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    batch=st.integers(min_value=1, max_value=3),
+    length=st.integers(min_value=1, max_value=7),
+    num_heads=st.sampled_from([1, 2]),
+    pad_seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_fused_attention_matches_reference_under_random_padding(
+    batch, length, num_heads, pad_seed
+):
+    """Property: for any padding pattern, fused == composed reference."""
+    dim = 8
+    data_rng = np.random.default_rng(pad_seed + 1)
+    fused, reference = make_attention_pair(
+        dim, rng_seed=7, num_heads=num_heads
+    )
+    x = data_rng.normal(size=(batch, length, dim))
+    pad = np.random.default_rng(pad_seed).random((batch, length)) < 0.5
+    out_fused = fused(Tensor(x), key_padding_mask=pad).numpy()
+    out_reference = reference(Tensor(x), key_padding_mask=pad).numpy()
+    np.testing.assert_allclose(out_fused, out_reference, atol=1e-9)
+    assert np.isfinite(out_fused).all()

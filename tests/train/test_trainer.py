@@ -163,3 +163,22 @@ class TestELBOTracking:
         )
         assert history.reconstruction_losses == []
         assert history.kl_values == []
+
+
+class TestComputeDtype:
+    def test_float32_fit_casts_parameters_and_trains(self, corpus):
+        from repro.tensor import get_default_dtype
+
+        model = make_model()
+        assert model.parameters()[0].dtype == np.float64
+        history = Trainer(
+            TrainerConfig(epochs=1, batch_size=8, compute_dtype="float32")
+        ).fit(model, corpus)
+        assert all(p.dtype == np.float32 for p in model.parameters())
+        assert np.isfinite(history.final_loss)
+        # The dtype override is scoped to fit().
+        assert get_default_dtype() == np.float64
+
+    def test_invalid_compute_dtype_rejected(self):
+        with pytest.raises(ValueError, match="compute_dtype"):
+            TrainerConfig(compute_dtype="float16")
