@@ -1,6 +1,6 @@
 # Convenience targets for the VSAN reproduction.
 
-.PHONY: install test bench bench-full experiments examples clean
+.PHONY: install test bench bench-full experiments examples clean resume-smoke
 
 install:
 	python setup.py develop
@@ -15,6 +15,12 @@ bench:
 	PYTHONPATH=src pytest benchmarks/test_substrate_perf.py --benchmark-only \
 		--benchmark-json=BENCH_substrate.json
 	python benchmarks/compare_bench.py BENCH_substrate.json
+
+# Crash-injection smoke test: SIGKILL a checkpointing training run,
+# resume it, and require bit-identical losses/weights vs. straight-through.
+resume-smoke:
+	PYTHONPATH=src pytest tests/integration/test_crash_resume.py \
+		tests/train/test_checkpoint.py -q
 
 bench-all:
 	pytest benchmarks/ --benchmark-only

@@ -104,9 +104,13 @@ def cmd_train(args) -> int:
         eval_every=2,
         seed=args.seed,
         verbose=not args.quiet,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        keep_last=args.keep_last,
     )
     history = Trainer(trainer_config).fit(
-        model, split.train, validation=split.validation
+        model, split.train, validation=split.validation,
+        resume_from=args.resume,
     )
     save_checkpoint(model, args.out, config=config)
     result = evaluate_recommender(model, split.test)
@@ -193,6 +197,23 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--patience", type=int, default=5)
     train.add_argument("--quiet", action="store_true")
     train.add_argument("--out", required=True, help="checkpoint path (.npz)")
+    train.add_argument(
+        "--checkpoint-dir", default=None,
+        help="write full-state training checkpoints here (enables "
+             "crash-safe resume via --resume)",
+    )
+    train.add_argument("--checkpoint-every", type=int, default=1,
+                       help="checkpoint cadence in epochs")
+    train.add_argument(
+        "--keep-last", type=int, default=None,
+        help="retain only the newest N checkpoints (default: keep all)",
+    )
+    train.add_argument(
+        "--resume", default=None, metavar="CHECKPOINT",
+        help="resume from a training checkpoint file, or from the newest "
+             "checkpoint in a directory; restores weights, Adam moments, "
+             "RNG streams, and the KL-annealing position",
+    )
     train.set_defaults(func=cmd_train)
 
     evaluate = commands.add_parser("evaluate",

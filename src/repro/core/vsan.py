@@ -183,6 +183,17 @@ class VSAN(NeuralSequentialRecommender):
             self.output = Linear(dim, num_items + 1, init_rng)
 
     # ------------------------------------------------------------------
+    # Training state beyond parameters (checkpoint/resume)
+    # ------------------------------------------------------------------
+    def extra_state(self) -> dict:
+        """The β-schedule position: restoring it keeps the annealed KL
+        weight of Eq. 20 continuous across a checkpoint resume."""
+        return {"step": self._step}
+
+    def load_extra_state(self, state: dict) -> None:
+        self._step = int(state["step"])
+
+    # ------------------------------------------------------------------
     # Pieces of the pipeline (named after the paper's layers)
     # ------------------------------------------------------------------
     def inference_layer(

@@ -82,6 +82,16 @@ class SVAE(NeuralSequentialRecommender):
         self.decoder_out = Linear(hidden_dim, num_items + 1, init_rng)
 
     # ------------------------------------------------------------------
+    # Training state beyond parameters (checkpoint/resume)
+    # ------------------------------------------------------------------
+    def extra_state(self) -> dict:
+        """The β-schedule position (see the matching note on VSAN)."""
+        return {"step": self._step}
+
+    def load_extra_state(self, state: dict) -> None:
+        self._step = int(state["step"])
+
+    # ------------------------------------------------------------------
     # Model pieces
     # ------------------------------------------------------------------
     def posterior(self, padded: np.ndarray) -> tuple[Tensor, Tensor]:

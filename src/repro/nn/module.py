@@ -117,6 +117,67 @@ class Module:
                 )
             param.data[...] = array
 
+    def named_rngs(
+        self, prefix: str = ""
+    ) -> Iterator[tuple[str, np.random.Generator]]:
+        """Yield ``(dotted_name, generator)`` for every RNG in the tree.
+
+        Any ``numpy.random.Generator`` attribute of any submodule counts
+        (dropout streams, reparameterization noise, ...).  A generator
+        shared between modules appears once per attribute path; all
+        paths reference the same object, so restoring each path's state
+        is idempotent.
+        """
+        for name, value in vars(self).items():
+            if isinstance(value, np.random.Generator):
+                yield (f"{prefix}{name}", value)
+        for name, module in self._modules.items():
+            yield from module.named_rngs(prefix=f"{prefix}{name}.")
+
+    def rng_state(self) -> dict[str, dict]:
+        """JSON-serializable state of every RNG stream in the model.
+
+        Together with :meth:`state_dict` and :meth:`extra_state` this is
+        what a full-state training checkpoint needs for a resumed run to
+        draw the exact dropout masks / noise an uninterrupted run would.
+        """
+        return {
+            name: rng.bit_generator.state
+            for name, rng in self.named_rngs()
+        }
+
+    def set_rng_state(self, state: dict[str, dict]) -> None:
+        """Restore every RNG stream saved by :meth:`rng_state` (strict)."""
+        own = dict(self.named_rngs())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"rng state mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, rng in own.items():
+            rng.bit_generator.state = state[name]
+
+    def extra_state(self) -> dict:
+        """Non-parameter, non-RNG training state (JSON-serializable).
+
+        Models with internal counters that shape the loss — e.g. the
+        β-annealing step of VSAN/SVAE — override this (and
+        :meth:`load_extra_state`) so checkpoints can restore them; a
+        resume that reset the annealing position would silently change
+        the ELBO mid-training.
+        """
+        return {}
+
+    def load_extra_state(self, state: dict) -> None:
+        """Restore :meth:`extra_state`; the base model has none."""
+        if state:
+            raise ValueError(
+                f"{type(self).__name__} has no extra state but received "
+                f"keys {sorted(state)}"
+            )
+
     # ------------------------------------------------------------------
     # Invocation
     # ------------------------------------------------------------------

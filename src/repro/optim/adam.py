@@ -40,6 +40,30 @@ class Adam(Optimizer):
         self._first = [np.zeros_like(p.data) for p in self.parameters]
         self._second = [np.zeros_like(p.data) for p in self.parameters]
 
+    def state_dict(self) -> dict:
+        """Step count plus both moment buffers (checkpoint/resume).
+
+        Restoring all three is what makes a resumed run identical to an
+        uninterrupted one: a fresh Adam would re-run the bias-correction
+        warm-up and forget the gradient running averages.
+        """
+        return {
+            "step_count": self._step_count,
+            "first": [moment.copy() for moment in self._first],
+            "second": [moment.copy() for moment in self._second],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        expected = {"step_count", "first", "second"}
+        if set(state) != expected:
+            raise ValueError(
+                f"Adam state_dict must have keys {sorted(expected)}, got "
+                f"{sorted(state)}"
+            )
+        self._load_buffers(self._first, state["first"], "first moments")
+        self._load_buffers(self._second, state["second"], "second moments")
+        self._step_count = int(state["step_count"])
+
     def step(self) -> None:
         self._step_count += 1
         correction1 = 1.0 - self.beta1**self._step_count

@@ -24,17 +24,74 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # Persistence (full-state training checkpoints)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Serializable snapshot of the optimizer's internal state.
 
-def clip_grad_norm(parameters: list[Parameter], max_norm: float) -> float:
+        The base optimizer is stateless; subclasses with buffers (Adam
+        moments, SGD velocity) override both methods.  List-valued
+        entries must be lists of arrays aligned with ``parameters``.
+        """
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        if state:
+            raise ValueError(
+                f"{type(self).__name__} is stateless but received state "
+                f"keys {sorted(state)}"
+            )
+
+    def _load_buffers(
+        self, buffers: list[np.ndarray], arrays: list[np.ndarray], name: str
+    ) -> None:
+        """Copy saved arrays into existing buffers (keeps dtype/sharing)."""
+        if len(arrays) != len(buffers):
+            raise ValueError(
+                f"{name}: expected {len(buffers)} buffers, got "
+                f"{len(arrays)} (was the checkpoint written for a "
+                "different parameter list?)"
+            )
+        for buffer, array in zip(buffers, arrays):
+            array = np.asarray(array)
+            if array.shape != buffer.shape:
+                raise ValueError(
+                    f"{name}: shape mismatch {array.shape} vs "
+                    f"{buffer.shape}"
+                )
+            buffer[...] = array
+
+
+def clip_grad_norm(
+    parameters: list[Parameter],
+    max_norm: float,
+    error_if_nonfinite: bool = False,
+) -> float:
     """Scale all gradients so their joint L2 norm is at most ``max_norm``.
 
     Returns the pre-clipping norm (useful for divergence diagnostics).
+    The squared norm is accumulated in float64 regardless of the
+    gradients' dtype, so float32 gradients cannot overflow the
+    accumulation.  A non-finite norm (inf/NaN gradients) is never
+    silently ignored: the gradients are left unscaled and the non-finite
+    norm is returned — or raised when ``error_if_nonfinite`` is set —
+    so callers can surface the divergence instead of training on.
     """
     total = 0.0
     grads = [p.grad for p in parameters if p.grad is not None]
     for grad in grads:
-        total += float(np.sum(grad * grad))
+        flat = np.asarray(grad, dtype=np.float64).ravel()
+        total += float(np.dot(flat, flat))
     norm = float(np.sqrt(total))
+    if not np.isfinite(norm):
+        if error_if_nonfinite:
+            raise RuntimeError(
+                f"gradient norm is non-finite ({norm}); inspect the "
+                "gradients or lower the learning rate"
+            )
+        return norm
     if norm > max_norm > 0:
         scale = max_norm / (norm + 1e-12)
         for grad in grads:

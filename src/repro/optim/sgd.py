@@ -28,6 +28,18 @@ class SGD(Optimizer):
         self.weight_decay = weight_decay
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
 
+    def state_dict(self) -> dict:
+        """Momentum buffers (checkpoint/resume)."""
+        return {"velocity": [buffer.copy() for buffer in self._velocity]}
+
+    def load_state_dict(self, state: dict) -> None:
+        if set(state) != {"velocity"}:
+            raise ValueError(
+                f"SGD state_dict must have key 'velocity', got "
+                f"{sorted(state)}"
+            )
+        self._load_buffers(self._velocity, state["velocity"], "velocity")
+
     def step(self) -> None:
         for param, velocity in zip(self.parameters, self._velocity):
             if param.grad is None:

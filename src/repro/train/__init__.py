@@ -1,6 +1,17 @@
-"""Training harness: Trainer, configs, and KL-annealing schedules."""
+"""Training harness: Trainer, configs, KL-annealing schedules, and
+full-state checkpoint/resume."""
 
 from .annealing import BetaSchedule, ConstantBeta, KLAnnealing
+from .checkpoint import (
+    TrainingCheckpoint,
+    checkpoint_path,
+    latest_checkpoint,
+    list_checkpoints,
+    load_training_checkpoint,
+    prune_checkpoints,
+    resolve_checkpoint,
+    save_training_checkpoint,
+)
 from .config import TrainerConfig, TrainingHistory
 from .trainer import Trainer
 
@@ -10,5 +21,13 @@ __all__ = [
     "KLAnnealing",
     "Trainer",
     "TrainerConfig",
+    "TrainingCheckpoint",
     "TrainingHistory",
+    "checkpoint_path",
+    "latest_checkpoint",
+    "list_checkpoints",
+    "load_training_checkpoint",
+    "prune_checkpoints",
+    "resolve_checkpoint",
+    "save_training_checkpoint",
 ]

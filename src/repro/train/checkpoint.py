@@ -1,0 +1,263 @@
+"""Full-state training checkpoints: crash-safe persistence of a run.
+
+:mod:`repro.nn.serialization` persists *model weights* for deployment;
+this module persists the *training process*.  A
+:class:`TrainingCheckpoint` captures everything ``Trainer.fit`` needs to
+continue a run exactly where it left off:
+
+- the model parameters (and the early-stopping best weights, if any);
+- the optimizer state (Adam's step count and both moment buffers, via
+  ``Optimizer.state_dict``);
+- the trainer's minibatch-shuffle RNG state;
+- every RNG stream inside the model (dropout masks, the VAE's
+  reparameterization noise), via ``Module.rng_state``;
+- the model's extra training state — most importantly the β-annealing
+  step of VSAN/SVAE, via ``Module.extra_state``;
+- the epoch counter, the full :class:`TrainingHistory`, and the
+  early-stopping bookkeeping (best score, best weights, miss count).
+
+Restoring all of it makes a resumed run produce the same numbers as one
+that never stopped: in particular the KL weight β continues from its
+schedule position instead of silently restarting at 0, which would
+change the ELBO of Eq. 20 mid-training (annealing position is
+load-bearing for Mult-VAE-family models — Liang et al. 2018).
+
+Writes are **atomic**: the archive is written to a ``<name>.tmp`` file,
+flushed and fsynced, then moved into place with :func:`os.replace`.  A
+crash mid-save therefore never corrupts the newest complete checkpoint —
+at worst it leaves a stale ``.tmp`` file, which every reader here
+ignores and :func:`prune_checkpoints` removes.
+
+File layout (one ``.npz`` per checkpoint): parameter arrays under
+``model.<name>``, best weights under ``best.<name>``, optimizer buffers
+under ``optim.<key>.<i>``, and a ``__training_meta__`` JSON blob with
+everything scalar (RNG states, history, counters).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from .config import TrainingHistory
+
+__all__ = [
+    "TrainingCheckpoint",
+    "checkpoint_path",
+    "latest_checkpoint",
+    "list_checkpoints",
+    "load_training_checkpoint",
+    "prune_checkpoints",
+    "resolve_checkpoint",
+    "save_training_checkpoint",
+]
+
+FORMAT_VERSION = 1
+
+_META_KEY = "__training_meta__"
+_MODEL_PREFIX = "model."
+_BEST_PREFIX = "best."
+_OPTIM_PREFIX = "optim."
+_ARRAY_LIST = "__array_list__"
+_CHECKPOINT_RE = re.compile(r"^checkpoint-epoch-(\d+)\.npz$")
+
+
+@dataclass
+class TrainingCheckpoint:
+    """Everything needed to continue ``Trainer.fit`` bit-for-bit.
+
+    ``epoch`` is the last *completed* epoch; resume starts at
+    ``epoch + 1``.  RNG states are the JSON-serializable
+    ``bit_generator.state`` dicts of the underlying numpy generators.
+    """
+
+    epoch: int
+    model_state: dict[str, np.ndarray]
+    optimizer_state: dict
+    trainer_rng_state: dict
+    model_rng_state: dict[str, dict]
+    model_extra_state: dict
+    history: TrainingHistory
+    best_score: float
+    best_state: dict[str, np.ndarray] | None
+    misses: int
+
+
+def _pack_optimizer(state: dict, arrays: dict[str, np.ndarray]) -> dict:
+    """Split an optimizer state_dict into JSON scalars + named arrays."""
+    meta: dict = {}
+    for key, value in state.items():
+        if isinstance(value, list):
+            meta[key] = {_ARRAY_LIST: len(value)}
+            for index, buffer in enumerate(value):
+                arrays[f"{_OPTIM_PREFIX}{key}.{index}"] = np.asarray(buffer)
+        else:
+            meta[key] = value
+    return meta
+
+
+def _unpack_optimizer(meta: dict, arrays: dict[str, np.ndarray]) -> dict:
+    state: dict = {}
+    for key, value in meta.items():
+        if isinstance(value, dict) and _ARRAY_LIST in value:
+            state[key] = [
+                arrays[f"{_OPTIM_PREFIX}{key}.{index}"]
+                for index in range(value[_ARRAY_LIST])
+            ]
+        else:
+            state[key] = value
+    return state
+
+
+def save_training_checkpoint(
+    checkpoint: TrainingCheckpoint, path: str | Path
+) -> Path:
+    """Atomically write ``checkpoint`` to ``path`` (``.npz`` appended if
+    missing) and return the final path.
+
+    The archive is staged to ``<name>.tmp`` and moved into place with
+    :func:`os.replace`, so an interrupted save leaves any previous file
+    at ``path`` untouched.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    arrays: dict[str, np.ndarray] = {}
+    for name, value in checkpoint.model_state.items():
+        arrays[f"{_MODEL_PREFIX}{name}"] = np.asarray(value)
+    if checkpoint.best_state is not None:
+        for name, value in checkpoint.best_state.items():
+            arrays[f"{_BEST_PREFIX}{name}"] = np.asarray(value)
+    optimizer_meta = _pack_optimizer(checkpoint.optimizer_state, arrays)
+    meta = {
+        "format_version": FORMAT_VERSION,
+        "epoch": int(checkpoint.epoch),
+        "optimizer": optimizer_meta,
+        "trainer_rng": checkpoint.trainer_rng_state,
+        "model_rngs": checkpoint.model_rng_state,
+        "model_extra": checkpoint.model_extra_state,
+        "history": checkpoint.history.to_dict(),
+        "best_score": float(checkpoint.best_score),
+        "has_best": checkpoint.best_state is not None,
+        "misses": int(checkpoint.misses),
+    }
+    arrays[_META_KEY] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as handle:
+            np.savez(handle, **arrays)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        # Only reachable with the tmp file still present when the write
+        # or replace failed; never remove a successfully renamed file.
+        tmp.unlink(missing_ok=True)
+    return path
+
+
+def load_training_checkpoint(path: str | Path) -> TrainingCheckpoint:
+    """Read a checkpoint written by :func:`save_training_checkpoint`."""
+    path = Path(path)
+    with np.load(path) as archive:
+        arrays = {key: archive[key] for key in archive.files}
+    raw = arrays.pop(_META_KEY, None)
+    if raw is None:
+        raise ValueError(
+            f"{path} is not a training checkpoint (missing {_META_KEY}); "
+            "weight-only files are handled by repro.nn.serialization"
+        )
+    meta = json.loads(raw.tobytes().decode("utf-8"))
+    model_state = {
+        key[len(_MODEL_PREFIX):]: value
+        for key, value in arrays.items()
+        if key.startswith(_MODEL_PREFIX)
+    }
+    best_state = (
+        {
+            key[len(_BEST_PREFIX):]: value
+            for key, value in arrays.items()
+            if key.startswith(_BEST_PREFIX)
+        }
+        if meta["has_best"]
+        else None
+    )
+    return TrainingCheckpoint(
+        epoch=int(meta["epoch"]),
+        model_state=model_state,
+        optimizer_state=_unpack_optimizer(meta["optimizer"], arrays),
+        trainer_rng_state=meta["trainer_rng"],
+        model_rng_state=meta["model_rngs"],
+        model_extra_state=meta["model_extra"],
+        history=TrainingHistory.from_dict(meta["history"]),
+        best_score=float(meta["best_score"]),
+        best_state=best_state,
+        misses=int(meta["misses"]),
+    )
+
+
+def checkpoint_path(directory: str | Path, epoch: int) -> Path:
+    """Canonical per-epoch file name inside a checkpoint directory."""
+    return Path(directory) / f"checkpoint-epoch-{epoch:05d}.npz"
+
+
+def list_checkpoints(directory: str | Path) -> list[tuple[int, Path]]:
+    """All complete checkpoints in ``directory``, sorted by epoch.
+
+    Partial ``.tmp`` files from interrupted saves never match.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    found = []
+    for entry in directory.iterdir():
+        match = _CHECKPOINT_RE.match(entry.name)
+        if match:
+            found.append((int(match.group(1)), entry))
+    return sorted(found)
+
+
+def latest_checkpoint(directory: str | Path) -> Path | None:
+    """The highest-epoch complete checkpoint in ``directory``, if any."""
+    found = list_checkpoints(directory)
+    return found[-1][1] if found else None
+
+
+def prune_checkpoints(
+    directory: str | Path, keep_last: int | None
+) -> list[Path]:
+    """Delete all but the newest ``keep_last`` checkpoints (None keeps
+    everything); stale ``.tmp`` leftovers from crashes are always
+    removed.  Returns the deleted paths."""
+    directory = Path(directory)
+    removed = []
+    if directory.is_dir():
+        for stale in directory.glob("checkpoint-epoch-*.npz.tmp"):
+            stale.unlink(missing_ok=True)
+    if keep_last is None:
+        return removed
+    for _, path in list_checkpoints(directory)[:-keep_last]:
+        path.unlink(missing_ok=True)
+        removed.append(path)
+    return removed
+
+
+def resolve_checkpoint(path: str | Path) -> Path:
+    """Accept a checkpoint file or a directory (newest checkpoint)."""
+    path = Path(path)
+    if path.is_dir():
+        latest = latest_checkpoint(path)
+        if latest is None:
+            raise FileNotFoundError(f"no checkpoints found in {path}")
+        return latest
+    if not path.exists():
+        raise FileNotFoundError(f"checkpoint {path} does not exist")
+    return path

@@ -34,6 +34,21 @@ class TrainerConfig:
     default ``None`` leaves the engine-wide default (float64) in force —
     finite-difference gradchecks require float64."""
 
+    checkpoint_dir: str | None = None
+    """Directory for full-state training checkpoints (see
+    :mod:`repro.train.checkpoint`).  ``None`` (the default) disables
+    checkpointing.  When set, the trainer atomically writes
+    ``checkpoint-epoch-NNNNN.npz`` every ``checkpoint_every`` epochs
+    (plus the final and any early-stopping epoch), and
+    ``Trainer.fit(..., resume_from=...)`` continues a run bit-for-bit."""
+
+    checkpoint_every: int = 1
+    """Checkpoint cadence in epochs (only used with ``checkpoint_dir``)."""
+
+    keep_last: int | None = None
+    """Retain only the newest ``keep_last`` checkpoints after each save
+    (``None`` keeps all)."""
+
     def __post_init__(self):
         if self.epochs < 1:
             raise ValueError("epochs must be >= 1")
@@ -51,6 +66,10 @@ class TrainerConfig:
                 "compute_dtype must be 'float32', 'float64', or None; "
                 f"got {self.compute_dtype!r}"
             )
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if self.keep_last is not None and self.keep_last < 1:
+            raise ValueError("keep_last must be >= 1 when set")
 
 
 @dataclass
@@ -58,14 +77,19 @@ class TrainingHistory:
     """Per-epoch record returned by :meth:`Trainer.fit`.
 
     For VAE models (anything exposing ``training_elbo``) the trainer also
-    records the mean reconstruction and KL terms per epoch, so the
-    annealing trade-off of Eq. 20 is observable.
+    records the mean reconstruction and KL terms per epoch plus the β in
+    force as each epoch began (``betas``), so the annealing trade-off of
+    Eq. 20 is observable — including across checkpoint resumes.
+    ``grad_norms`` holds the pre-clipping gradient norm of every
+    training step, for post-hoc divergence diagnostics.
     """
 
     losses: list[float] = field(default_factory=list)
     reconstruction_losses: list[float] = field(default_factory=list)
     kl_values: list[float] = field(default_factory=list)
     validation_scores: list[tuple[int, float]] = field(default_factory=list)
+    grad_norms: list[float] = field(default_factory=list)
+    betas: list[float] = field(default_factory=list)
     best_epoch: int | None = None
     stopped_early: bool = False
 
@@ -74,3 +98,37 @@ class TrainingHistory:
         if not self.losses:
             raise ValueError("no epochs were run")
         return self.losses[-1]
+
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot (used by training checkpoints)."""
+        return {
+            "losses": list(self.losses),
+            "reconstruction_losses": list(self.reconstruction_losses),
+            "kl_values": list(self.kl_values),
+            "validation_scores": [
+                [int(epoch), float(score)]
+                for epoch, score in self.validation_scores
+            ],
+            "grad_norms": list(self.grad_norms),
+            "betas": list(self.betas),
+            "best_epoch": self.best_epoch,
+            "stopped_early": self.stopped_early,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TrainingHistory":
+        return cls(
+            losses=list(data.get("losses", [])),
+            reconstruction_losses=list(
+                data.get("reconstruction_losses", [])
+            ),
+            kl_values=list(data.get("kl_values", [])),
+            validation_scores=[
+                (int(epoch), float(score))
+                for epoch, score in data.get("validation_scores", [])
+            ],
+            grad_norms=list(data.get("grad_norms", [])),
+            betas=list(data.get("betas", [])),
+            best_epoch=data.get("best_epoch"),
+            stopped_early=bool(data.get("stopped_early", False)),
+        )

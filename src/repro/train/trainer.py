@@ -3,10 +3,15 @@
 Works with any :class:`repro.models.base.NeuralSequentialRecommender`:
 the model supplies ``training_loss(padded_batch)`` and the trainer
 supplies epochs, shuffled minibatches, Adam, gradient clipping, optional
-early stopping on a validation metric, and best-weight restoration.
+early stopping on a validation metric, best-weight restoration, and —
+when ``TrainerConfig.checkpoint_dir`` is set — crash-safe full-state
+checkpoints that :meth:`Trainer.fit` can resume bit-for-bit (see
+:mod:`repro.train.checkpoint`).
 """
 
 from __future__ import annotations
+
+from pathlib import Path
 
 import numpy as np
 
@@ -17,6 +22,14 @@ from ..eval.evaluator import evaluate_recommender
 from ..optim import Adam, clip_grad_norm
 from ..tensor import default_dtype
 from ..tensor.random import make_rng
+from .checkpoint import (
+    TrainingCheckpoint,
+    checkpoint_path,
+    load_training_checkpoint,
+    prune_checkpoints,
+    resolve_checkpoint,
+    save_training_checkpoint,
+)
 from .config import TrainerConfig, TrainingHistory
 
 __all__ = ["Trainer"]
@@ -33,13 +46,24 @@ class Trainer:
         model,
         corpus: SequenceCorpus,
         validation: list[FoldInUser] | None = None,
+        resume_from: str | Path | None = None,
     ) -> TrainingHistory:
         """Train ``model`` on ``corpus``.
 
-        When ``validation`` users are given and ``config.patience`` is
-        set, training stops after ``patience`` evaluations without
-        improvement on ``config.eval_metric`` and the best weights are
-        restored.
+        When ``validation`` users are given the model is evaluated on
+        ``config.eval_metric`` every ``config.eval_every`` epochs; if
+        ``config.patience`` is also set, training stops after
+        ``patience`` evaluations without improvement and the best
+        weights are restored.
+
+        ``resume_from`` continues a checkpointed run: it accepts a
+        checkpoint file or a checkpoint directory (newest checkpoint)
+        written by a previous ``fit`` with ``config.checkpoint_dir``
+        set.  The caller must pass the same model architecture and
+        training data; everything else — weights, Adam moments, RNG
+        streams, the β-annealing step, history, and early-stopping
+        state — is restored from the checkpoint, so the resumed run
+        produces the same numbers as one that never stopped.
         """
         config = self.config
         if config.compute_dtype is not None:
@@ -50,14 +74,15 @@ class Trainer:
                 if param.data.dtype != target:
                     param.data = param.data.astype(target)
             with default_dtype(target):
-                return self._fit(model, corpus, validation)
-        return self._fit(model, corpus, validation)
+                return self._fit(model, corpus, validation, resume_from)
+        return self._fit(model, corpus, validation, resume_from)
 
     def _fit(
         self,
         model,
         corpus: SequenceCorpus,
         validation: list[FoldInUser] | None = None,
+        resume_from: str | Path | None = None,
     ) -> TrainingHistory:
         config = self.config
         rng = make_rng(config.seed)
@@ -67,13 +92,44 @@ class Trainer:
         best_score = -np.inf
         best_state = None
         misses = 0
+        start_epoch = 1
+        if resume_from is not None:
+            checkpoint = load_training_checkpoint(
+                resolve_checkpoint(resume_from)
+            )
+            model.load_state_dict(checkpoint.model_state)
+            optimizer.load_state_dict(checkpoint.optimizer_state)
+            rng.bit_generator.state = checkpoint.trainer_rng_state
+            model.set_rng_state(checkpoint.model_rng_state)
+            model.load_extra_state(checkpoint.model_extra_state)
+            history = checkpoint.history
+            best_score = checkpoint.best_score
+            best_state = checkpoint.best_state
+            misses = checkpoint.misses
+            start_epoch = checkpoint.epoch + 1
+            if history.stopped_early:
+                # The checkpointed run already terminated via early
+                # stopping; continuing would diverge from the
+                # uninterrupted run, so just restore its outcome.
+                if best_state is not None:
+                    model.load_state_dict(best_state)
+                model.eval()
+                return history
         tracks_elbo = hasattr(model, "training_elbo")
+        checkpoint_dir = (
+            Path(config.checkpoint_dir)
+            if config.checkpoint_dir is not None
+            else None
+        )
 
-        for epoch in range(1, config.epochs + 1):
+        stop = False
+        for epoch in range(start_epoch, config.epochs + 1):
             model.train()
             epoch_loss = 0.0
             epoch_reconstruction = 0.0
             epoch_kl = 0.0
+            epoch_examples = 0
+            epoch_beta = None
             num_batches = 0
             for batch in minibatch_indices(
                 len(padded), config.batch_size, rng
@@ -82,8 +138,12 @@ class Trainer:
                 if tracks_elbo:
                     terms = model.training_elbo(padded[batch])
                     loss = terms.loss
-                    epoch_reconstruction += terms.reconstruction_value
-                    epoch_kl += terms.kl_value
+                    epoch_reconstruction += (
+                        terms.reconstruction_value * len(batch)
+                    )
+                    epoch_kl += terms.kl_value * len(batch)
+                    if epoch_beta is None:
+                        epoch_beta = terms.beta
                 else:
                     loss = model.training_loss(padded[batch])
                 loss_value = loss.item()
@@ -95,24 +155,42 @@ class Trainer:
                         "model.training_loss directly"
                     )
                 loss.backward()
-                clip_grad_norm(model.parameters(), config.clip_norm)
+                grad_norm = clip_grad_norm(
+                    model.parameters(), config.clip_norm
+                )
+                if not np.isfinite(grad_norm):
+                    raise RuntimeError(
+                        f"non-finite gradient norm ({grad_norm}) at epoch "
+                        f"{epoch}, batch {num_batches}: the loss was finite "
+                        f"({loss_value}) but a backward pass produced "
+                        "inf/NaN — lower the learning rate or inspect the "
+                        "gradients"
+                    )
+                history.grad_norms.append(grad_norm)
                 optimizer.step()
-                epoch_loss += loss_value
+                # Weight per-batch means by batch size so a ragged final
+                # minibatch doesn't bias the reported epoch means.
+                epoch_loss += loss_value * len(batch)
+                epoch_examples += len(batch)
                 num_batches += 1
-            mean_loss = epoch_loss / max(num_batches, 1)
+            denominator = max(epoch_examples, 1)
+            mean_loss = epoch_loss / denominator
             history.losses.append(mean_loss)
             if tracks_elbo:
                 history.reconstruction_losses.append(
-                    epoch_reconstruction / max(num_batches, 1)
+                    epoch_reconstruction / denominator
                 )
-                history.kl_values.append(epoch_kl / max(num_batches, 1))
+                history.kl_values.append(epoch_kl / denominator)
+                history.betas.append(
+                    epoch_beta if epoch_beta is not None else 0.0
+                )
             if config.verbose:
                 print(f"epoch {epoch:3d}  loss {mean_loss:.4f}")
 
+            # Periodic evaluation runs whenever validation users exist;
+            # early stopping additionally requires config.patience.
             should_eval = (
-                validation is not None
-                and config.patience is not None
-                and epoch % config.eval_every == 0
+                validation is not None and epoch % config.eval_every == 0
             )
             if should_eval:
                 result = evaluate_recommender(model, validation)
@@ -125,14 +203,39 @@ class Trainer:
                     )
                 if score > best_score:
                     best_score = score
-                    best_state = model.state_dict()
                     history.best_epoch = epoch
                     misses = 0
-                else:
+                    if config.patience is not None:
+                        best_state = model.state_dict()
+                elif config.patience is not None:
                     misses += 1
                     if misses >= config.patience:
                         history.stopped_early = True
-                        break
+                        stop = True
+
+            if checkpoint_dir is not None and (
+                epoch % config.checkpoint_every == 0
+                or epoch == config.epochs
+                or stop
+            ):
+                save_training_checkpoint(
+                    TrainingCheckpoint(
+                        epoch=epoch,
+                        model_state=model.state_dict(),
+                        optimizer_state=optimizer.state_dict(),
+                        trainer_rng_state=rng.bit_generator.state,
+                        model_rng_state=model.rng_state(),
+                        model_extra_state=model.extra_state(),
+                        history=history,
+                        best_score=best_score,
+                        best_state=best_state,
+                        misses=misses,
+                    ),
+                    checkpoint_path(checkpoint_dir, epoch),
+                )
+                prune_checkpoints(checkpoint_dir, config.keep_last)
+            if stop:
+                break
 
         if best_state is not None:
             model.load_state_dict(best_state)

@@ -1,0 +1,142 @@
+"""Crash-injection resume test: SIGKILL a checkpointing training
+subprocess mid-run, resume from a checkpoint, and require the resumed
+run to match an uninterrupted one exactly.
+
+This is the end-to-end guarantee of :mod:`repro.train.checkpoint`: a
+hard kill (no atexit, no signal handler, arbitrary point in the epoch or
+even mid-save) loses at most the epochs after the last complete
+checkpoint, and continuing from that checkpoint reproduces the straight
+run's losses and final weights bit-for-bit — including Adam's moments,
+every RNG stream, and the β-annealing position.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+DRIVER = r"""
+import json
+import sys
+
+import numpy as np
+
+from repro.core import VSAN
+from repro.data import SequenceCorpus
+from repro.train import KLAnnealing, Trainer, TrainerConfig
+
+mode, checkpoint_dir, epochs, out = (
+    sys.argv[1], sys.argv[2], int(sys.argv[3]), sys.argv[4]
+)
+
+rng = np.random.default_rng(1)
+sequences = []
+for _ in range(40):
+    start = int(rng.integers(1, 11))
+    sequences.append(
+        np.array([(start + o - 1) % 10 + 1 for o in range(6)])
+    )
+corpus = SequenceCorpus(sequences=sequences, num_items=10)
+model = VSAN(
+    10, 6, dim=12, h1=1, h2=1, seed=0,
+    annealing=KLAnnealing(target=0.5, warmup_steps=0, anneal_steps=10),
+)
+config = TrainerConfig(
+    epochs=epochs,
+    batch_size=8,
+    seed=9,
+    checkpoint_dir=checkpoint_dir if mode != "straight" else None,
+    checkpoint_every=1,
+)
+resume_from = sys.argv[5] if mode == "resume" else None
+history = Trainer(config).fit(model, corpus, resume_from=resume_from)
+
+state = {name: param.data for name, param in model.named_parameters()}
+np.savez(out + ".weights.npz", **state)
+with open(out + ".history.json", "w") as handle:
+    json.dump({"losses": history.losses, "betas": history.betas}, handle)
+"""
+
+
+def _run_driver(tmp_path, args, **popen_kwargs):
+    script = tmp_path / "driver.py"
+    script.write_text(DRIVER)
+    src = Path(__file__).resolve().parents[2] / "src"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, str(script), *[str(a) for a in args]],
+        env=env,
+        **popen_kwargs,
+    )
+
+
+def test_sigkill_mid_training_then_resume_matches_straight_run(tmp_path):
+    checkpoint_dir = tmp_path / "checkpoints"
+    kill_after = checkpoint_dir / "checkpoint-epoch-00004.npz"
+
+    # A runaway training process (way more epochs than we will allow):
+    # the only way it stops is our SIGKILL, so the kill always lands
+    # mid-run — possibly mid-epoch or mid-save.
+    victim = _run_driver(
+        tmp_path, ["train", checkpoint_dir, 100000, tmp_path / "victim"]
+    )
+    try:
+        deadline = time.monotonic() + 240
+        while not kill_after.exists():
+            assert victim.poll() is None, "training process died on its own"
+            assert time.monotonic() < deadline, "no checkpoint appeared"
+            time.sleep(0.01)
+        victim.send_signal(signal.SIGKILL)
+        victim.wait(timeout=60)
+    finally:
+        if victim.poll() is None:
+            victim.kill()
+            victim.wait(timeout=60)
+
+    # Whatever the kill interrupted, the newest *complete* checkpoint
+    # must load (atomic saves; .tmp leftovers are ignored).
+    from repro.train import (
+        latest_checkpoint,
+        load_training_checkpoint,
+        resolve_checkpoint,
+    )
+
+    newest = latest_checkpoint(checkpoint_dir)
+    assert newest is not None
+    load_training_checkpoint(resolve_checkpoint(checkpoint_dir))
+
+    # Resume from the epoch-4 checkpoint up to epoch 8, and run 8
+    # epochs straight, in fresh processes.
+    resume = _run_driver(
+        tmp_path,
+        ["resume", checkpoint_dir, 8, tmp_path / "resumed", kill_after],
+    )
+    assert resume.wait(timeout=240) == 0
+    straight = _run_driver(
+        tmp_path, ["straight", checkpoint_dir, 8, tmp_path / "straight"]
+    )
+    assert straight.wait(timeout=240) == 0
+
+    resumed_history = json.loads(
+        (tmp_path / "resumed.history.json").read_text()
+    )
+    straight_history = json.loads(
+        (tmp_path / "straight.history.json").read_text()
+    )
+    assert resumed_history == straight_history
+    assert len(resumed_history["losses"]) == 8
+
+    with np.load(tmp_path / "resumed.weights.npz") as resumed_weights, \
+            np.load(tmp_path / "straight.weights.npz") as straight_weights:
+        assert set(resumed_weights.files) == set(straight_weights.files)
+        for name in resumed_weights.files:
+            np.testing.assert_array_equal(
+                resumed_weights[name], straight_weights[name],
+                err_msg=name,
+            )

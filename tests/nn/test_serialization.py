@@ -62,6 +62,66 @@ class TestSaveLoad:
         )
 
 
+class TestComputeDtypeRoundTrip:
+    def test_float32_round_trip_preserves_dtype_and_values(self, tmp_path):
+        """A model trained under ``compute_dtype="float32"`` must save
+        and reload without an accidental float64 detour."""
+        model = SASRec(8, 6, dim=12, num_blocks=1, seed=0)
+        for param in model.parameters():
+            param.data = param.data.astype(np.float32)
+        path = save_checkpoint(model, tmp_path / "f32.npz")
+
+        with np.load(path) as archive:
+            stored = {key: archive[key] for key in archive.files}
+        for name, _ in model.named_parameters():
+            assert stored[name].dtype == np.float32, name
+
+        other = SASRec(8, 6, dim=12, num_blocks=1, seed=5)
+        for param in other.parameters():
+            param.data = param.data.astype(np.float32)
+        load_state(other, path)
+        for (name, a), (_, b) in zip(model.named_parameters(),
+                                     other.named_parameters()):
+            assert b.data.dtype == np.float32, name
+            np.testing.assert_array_equal(a.data, b.data, err_msg=name)
+
+    def test_load_casts_into_target_dtype(self, tmp_path):
+        """Loading float32 arrays into a float64 model casts in place
+        (strict name/shape matching, permissive dtype)."""
+        model = SASRec(8, 6, dim=12, num_blocks=1, seed=0)
+        for param in model.parameters():
+            param.data = param.data.astype(np.float32)
+        path = save_checkpoint(model, tmp_path / "f32.npz")
+        other = SASRec(8, 6, dim=12, num_blocks=1, seed=5)
+        load_state(other, path)
+        assert all(p.dtype == np.float64 for p in other.parameters())
+        np.testing.assert_allclose(
+            model.score(np.array([1, 2])),
+            other.score(np.array([1, 2])),
+            rtol=1e-6,
+        )
+
+
+class TestSavePathSuffix:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("model.npz", "model.npz"),
+            ("model", "model.npz"),
+            ("model.ckpt", "model.ckpt.npz"),
+        ],
+    )
+    def test_returned_path_matches_written_file(
+        self, model, tmp_path, name, expected
+    ):
+        """numpy appends ``.npz`` to non-``.npz`` targets; the returned
+        path must point at the file that actually exists."""
+        returned = save_checkpoint(model, tmp_path / name)
+        assert returned.name == expected
+        assert returned.exists()
+        load_state(VSAN(8, 6, dim=12, h1=1, h2=1, seed=0), returned)
+
+
 def test_reserved_key_guard(tmp_path):
     """A parameter named like the config key must be rejected."""
     from repro.nn.module import Module, Parameter

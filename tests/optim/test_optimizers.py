@@ -134,6 +134,129 @@ class TestClipGradNorm:
         norm = clip_grad_norm([a, b], max_norm=10.0)
         np.testing.assert_allclose(norm, 5.0)
 
+    def test_nan_gradient_returns_nan_norm_unscaled(self):
+        """NaN must not be silently treated as 'below the threshold'
+        (``nan > max_norm`` is False): the norm is reported non-finite
+        and the gradients are left untouched."""
+        param = Parameter(np.zeros(3))
+        param.grad = np.array([1.0, np.nan, 2.0])
+        norm = clip_grad_norm([param], max_norm=1.0)
+        assert np.isnan(norm)
+        np.testing.assert_array_equal(
+            param.grad, np.array([1.0, np.nan, 2.0])
+        )
+
+    def test_error_if_nonfinite_raises(self):
+        param = Parameter(np.zeros(1))
+        param.grad = np.array([np.inf])
+        with pytest.raises(RuntimeError, match="non-finite"):
+            clip_grad_norm([param], max_norm=1.0, error_if_nonfinite=True)
+
+    def test_float32_accumulation_does_not_overflow(self):
+        """Squaring 1e20 overflows float32; the float64 accumulation
+        must still produce the correct finite norm and clip."""
+        param = Parameter(np.zeros(2, dtype=np.float32))
+        param.grad = np.array([1e20, 1e20], dtype=np.float32)
+        norm = clip_grad_norm([param], max_norm=5.0)
+        np.testing.assert_allclose(norm, np.sqrt(2.0) * 1e20, rtol=1e-6)
+        np.testing.assert_allclose(
+            np.linalg.norm(param.grad.astype(np.float64)), 5.0, rtol=1e-6
+        )
+
+
+class TestOptimizerStateDict:
+    def _train(self, optimizer, param, target, steps):
+        for _ in range(steps):
+            optimizer.zero_grad()
+            quadratic_loss(param, target).backward()
+            optimizer.step()
+
+    def test_adam_round_trip_is_bitwise(self, target):
+        """5 + save + 5 steps must equal 10 straight steps: restoring
+        the step count and both moment buffers is what keeps a resumed
+        run on the uninterrupted trajectory."""
+        straight = Parameter(np.zeros(3))
+        straight_opt = Adam([straight], lr=0.05)
+        self._train(straight_opt, straight, target, 10)
+
+        param = Parameter(np.zeros(3))
+        optimizer = Adam([param], lr=0.05)
+        self._train(optimizer, param, target, 5)
+        state = optimizer.state_dict()
+
+        restored = Parameter(param.numpy().copy())
+        restored_opt = Adam([restored], lr=0.05)
+        restored_opt.load_state_dict(state)
+        assert restored_opt._step_count == 5
+        self._train(restored_opt, restored, target, 5)
+        np.testing.assert_array_equal(restored.numpy(), straight.numpy())
+
+    def test_adam_state_dict_is_a_snapshot(self, target):
+        param = Parameter(np.zeros(3))
+        optimizer = Adam([param], lr=0.05)
+        self._train(optimizer, param, target, 3)
+        state = optimizer.state_dict()
+        frozen = [moment.copy() for moment in state["first"]]
+        self._train(optimizer, param, target, 2)
+        for saved, expected in zip(state["first"], frozen):
+            np.testing.assert_array_equal(saved, expected)
+
+    def test_adam_rejects_mismatched_state(self):
+        optimizer = Adam([Parameter(np.zeros(2))])
+        with pytest.raises(ValueError, match="keys"):
+            optimizer.load_state_dict({"first": []})
+        with pytest.raises(ValueError, match="buffers"):
+            optimizer.load_state_dict(
+                {"step_count": 1, "first": [], "second": []}
+            )
+        with pytest.raises(ValueError, match="shape"):
+            optimizer.load_state_dict(
+                {
+                    "step_count": 1,
+                    "first": [np.zeros(3)],
+                    "second": [np.zeros(3)],
+                }
+            )
+
+    def test_adam_load_preserves_buffer_dtype(self):
+        param = Parameter(np.zeros(2))
+        param.data = param.data.astype(np.float32)
+        optimizer = Adam([param])
+        optimizer.load_state_dict(
+            {
+                "step_count": 4,
+                "first": [np.full(2, 0.5)],
+                "second": [np.full(2, 0.25)],
+            }
+        )
+        assert optimizer._first[0].dtype == np.float32
+        np.testing.assert_allclose(optimizer._first[0], 0.5)
+
+    def test_sgd_momentum_round_trip(self, target):
+        straight = Parameter(np.zeros(3))
+        self._train(SGD([straight], lr=0.01, momentum=0.9), straight,
+                    target, 10)
+
+        param = Parameter(np.zeros(3))
+        optimizer = SGD([param], lr=0.01, momentum=0.9)
+        self._train(optimizer, param, target, 5)
+        state = optimizer.state_dict()
+
+        restored = Parameter(param.numpy().copy())
+        restored_opt = SGD([restored], lr=0.01, momentum=0.9)
+        restored_opt.load_state_dict(state)
+        self._train(restored_opt, restored, target, 5)
+        np.testing.assert_array_equal(restored.numpy(), straight.numpy())
+
+    def test_base_optimizer_is_stateless(self):
+        from repro.optim import Optimizer
+
+        optimizer = Optimizer([Parameter(np.zeros(1))])
+        assert optimizer.state_dict() == {}
+        optimizer.load_state_dict({})
+        with pytest.raises(ValueError, match="stateless"):
+            optimizer.load_state_dict({"velocity": []})
+
 
 class TestSchedules:
     def test_step_decay(self):

@@ -101,6 +101,47 @@ def test_sasrec_train_path(csv_path, tmp_path):
     assert exit_code == 0
 
 
+def test_train_checkpoint_and_resume(csv_path, tmp_path):
+    """--checkpoint-dir writes resumable full-state checkpoints and
+    --resume continues to the same final weights as a straight run."""
+    checkpoint_dir = tmp_path / "ckpts"
+    base = [
+        "train", "--data", str(csv_path), "--model", "VSAN",
+        "--max-length", "10", "--dim", "16", "--heldout", "6",
+        "--quiet",
+    ]
+
+    straight_out = tmp_path / "straight.npz"
+    assert main(base + ["--epochs", "4", "--out", str(straight_out)]) == 0
+
+    half_out = tmp_path / "half.npz"
+    assert main(
+        base + [
+            "--epochs", "2", "--out", str(half_out),
+            "--checkpoint-dir", str(checkpoint_dir), "--keep-last", "3",
+        ]
+    ) == 0
+    from repro.train import latest_checkpoint
+
+    assert latest_checkpoint(checkpoint_dir) is not None
+
+    resumed_out = tmp_path / "resumed.npz"
+    assert main(
+        base + [
+            "--epochs", "4", "--out", str(resumed_out),
+            "--resume", str(checkpoint_dir),
+        ]
+    ) == 0
+
+    with np.load(straight_out) as straight, np.load(resumed_out) as resumed:
+        for key in straight.files:
+            if key.startswith("__"):
+                continue
+            np.testing.assert_array_equal(
+                straight[key], resumed[key], err_msg=key
+            )
+
+
 def test_weak_protocol_evaluate(csv_path, checkpoint, capsys):
     exit_code = main(
         [

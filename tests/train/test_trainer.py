@@ -117,6 +117,106 @@ class TestEarlyStopping:
         assert epochs_evaluated == [3, 6]
 
 
+class TestValidationWithoutEarlyStopping:
+    def test_evaluates_when_patience_is_none(self, validation):
+        """Periodic evaluation must not require early stopping: passing
+        validation users without patience still records scores."""
+        config = TrainerConfig(epochs=4, batch_size=8, eval_every=2)
+        assert config.patience is None
+        history = Trainer(config).fit(
+            make_model(), validation.train,
+            validation=validation.validation,
+        )
+        epochs_evaluated = [epoch for epoch, _ in history.validation_scores]
+        assert epochs_evaluated == [2, 4]
+        assert history.best_epoch is not None
+        assert not history.stopped_early
+
+
+class TestEpochMeanWeighting:
+    def test_ragged_last_batch_weighted_by_size(self, corpus):
+        """40 users, batch 16 -> batches of 16/16/8; with a loss equal
+        to the batch size, the epoch mean must be the example-weighted
+        mean (16*16 + 16*16 + 8*8) / 40, not the batch-mean average."""
+
+        class BatchSizeLoss(SASRec):
+            def training_loss(self, padded):
+                zero = super().training_loss(padded) * 0.0
+                return zero + float(len(padded))
+
+        model = BatchSizeLoss(10, 6, dim=12, num_blocks=1, seed=0)
+        history = Trainer(TrainerConfig(epochs=1, batch_size=16)).fit(
+            model, corpus
+        )
+        np.testing.assert_allclose(
+            history.final_loss, (16 * 16 + 16 * 16 + 8 * 8) / 40
+        )
+
+
+class TestObservability:
+    def test_grad_norms_recorded_per_step(self, corpus):
+        history = Trainer(TrainerConfig(epochs=3, batch_size=16)).fit(
+            make_model(), corpus
+        )
+        # 40 users / batch 16 -> 3 steps per epoch, 3 epochs.
+        assert len(history.grad_norms) == 9
+        assert all(np.isfinite(norm) for norm in history.grad_norms)
+        assert all(norm > 0 for norm in history.grad_norms)
+
+    def test_betas_recorded_per_epoch(self, corpus):
+        from repro.core import VSAN
+        from repro.train import KLAnnealing
+
+        model = VSAN(
+            10, 6, dim=12, h1=1, h2=1, seed=0,
+            annealing=KLAnnealing(target=0.5, warmup_steps=0,
+                                  anneal_steps=5),
+        )
+        history = Trainer(TrainerConfig(epochs=3, batch_size=8)).fit(
+            model, corpus
+        )
+        assert len(history.betas) == 3
+        # Linear annealing: the β in force can only grow across epochs.
+        assert history.betas == sorted(history.betas)
+        assert history.betas[-1] > 0
+
+    def test_non_vae_records_no_betas(self, corpus):
+        history = Trainer(TrainerConfig(epochs=2, batch_size=8)).fit(
+            make_model(), corpus
+        )
+        assert history.betas == []
+
+
+class TestNonFiniteGradients:
+    def test_nan_gradient_norm_raises_with_context(self, corpus):
+        """A finite loss whose backward produces NaN gradients must be
+        surfaced, not silently skipped by clipping."""
+
+        class _PoisonedLoss:
+            def __init__(self, loss, param):
+                self._loss = loss
+                self._param = param
+
+            def item(self):
+                return self._loss.item()
+
+            def backward(self):
+                self._loss.backward()
+                self._param.grad[...] = np.nan
+
+        class PoisonGradModel(SASRec):
+            def training_loss(self, padded):
+                return _PoisonedLoss(
+                    super().training_loss(padded), self.parameters()[0]
+                )
+
+        model = PoisonGradModel(10, 6, dim=12, num_blocks=1, seed=0)
+        with pytest.raises(RuntimeError, match="non-finite gradient norm"):
+            Trainer(TrainerConfig(epochs=1, batch_size=8)).fit(
+                model, corpus
+            )
+
+
 class TestFitViaRecommenderInterface:
     def test_default_trainer_used(self, corpus):
         model = make_model()
