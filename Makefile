@@ -1,6 +1,7 @@
 # Convenience targets for the VSAN reproduction.
 
-.PHONY: install test bench bench-full experiments examples clean resume-smoke
+.PHONY: install test bench bench-full experiments examples clean \
+	resume-smoke serve-smoke
 
 install:
 	python setup.py develop
@@ -21,6 +22,15 @@ bench:
 resume-smoke:
 	PYTHONPATH=src pytest tests/integration/test_crash_resume.py \
 		tests/train/test_checkpoint.py -q
+
+# Fault-injection smoke test of the serving layer: with seeded
+# latency/exception/NaN faults hammering the primary rung, every request
+# must still get a valid finite ranking from the fallback chain, the
+# breaker must re-close once faults clear, and the stats must account
+# for every request.
+serve-smoke:
+	PYTHONPATH=src python -m repro serve-smoke --requests 100
+	PYTHONPATH=src pytest tests/serve -q
 
 bench-all:
 	pytest benchmarks/ --benchmark-only

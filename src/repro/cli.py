@@ -7,6 +7,7 @@ writing Python::
     python -m repro train --data log.csv --model VSAN --out vsan.npz
     python -m repro evaluate --data log.csv --checkpoint vsan.npz
     python -m repro recommend --data log.csv --checkpoint vsan.npz --user 17
+    python -m repro serve-smoke --requests 100
 
 The CSV format is ``user,item,rating,timestamp`` (header optional);
 preprocessing (ratings >= 4, 5-core) and the strong-generalization split
@@ -147,6 +148,26 @@ def cmd_recommend(args) -> int:
     return 0
 
 
+def cmd_serve_smoke(args) -> int:
+    from .serve.smoke import SmokeFailure, run_smoke
+
+    try:
+        return run_smoke(
+            requests=args.requests,
+            seed=args.seed,
+            error_rate=args.error_rate,
+            nan_rate=args.nan_rate,
+            latency_rate=args.latency_rate,
+            data=args.data,
+            checkpoint=args.checkpoint,
+            epochs=args.epochs,
+            verbose=not args.quiet,
+        )
+    except SmokeFailure as failure:
+        print(f"serve-smoke FAILED: {failure}", file=sys.stderr)
+        return 1
+
+
 def _add_data_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--data", required=True, help="interactions CSV")
     parser.add_argument("--min-rating", type=float, default=4.0)
@@ -233,6 +254,31 @@ def build_parser() -> argparse.ArgumentParser:
                            help="original user id from the CSV")
     recommend.add_argument("--top", type=int, default=10)
     recommend.set_defaults(func=cmd_recommend)
+
+    smoke = commands.add_parser(
+        "serve-smoke",
+        help="fault-injection smoke test of the serving layer "
+             "(repro.serve): every request must yield a valid ranking "
+             "even while the primary model is failing",
+    )
+    smoke.add_argument("--requests", type=int, default=100,
+                       help="total requests (half faulty, half clear)")
+    smoke.add_argument("--seed", type=int, default=0)
+    smoke.add_argument("--error-rate", type=float, default=0.35,
+                       help="injected exception probability per call")
+    smoke.add_argument("--nan-rate", type=float, default=0.35,
+                       help="injected NaN-score probability per call")
+    smoke.add_argument("--latency-rate", type=float, default=0.1,
+                       help="injected latency-spike probability per call")
+    smoke.add_argument("--data", default=None,
+                       help="interactions CSV (default: synthetic tiny)")
+    smoke.add_argument("--checkpoint", default=None,
+                       help="pre-trained VSAN checkpoint (default: train "
+                            "a throwaway one)")
+    smoke.add_argument("--epochs", type=int, default=2,
+                       help="training budget for throwaway models")
+    smoke.add_argument("--quiet", action="store_true")
+    smoke.set_defaults(func=cmd_serve_smoke)
 
     return parser
 

@@ -17,7 +17,7 @@ from .batching import (
     shift_targets,
 )
 from .interactions import PAD_ID, DatasetStatistics, InteractionLog, SequenceCorpus
-from .io import read_interactions_csv, write_interactions_csv
+from .io import CsvFormatError, read_interactions_csv, write_interactions_csv
 from .preprocess import binarize, k_core, prepare_corpus
 from .splits import (
     FoldInUser,
@@ -38,6 +38,7 @@ from .synthetic import (
 __all__ = [
     "BEAUTY_LIKE",
     "BigramReport",
+    "CsvFormatError",
     "SequenceLengthSummary",
     "bigram_predictability",
     "gini_coefficient",

@@ -3,32 +3,99 @@
 Lets users run every experiment on the *real* Amazon Beauty / ML-1M dumps
 when they have them on disk: the expected format is one interaction per
 line, ``user,item,rating,timestamp`` with an optional header.
+
+The reader validates every row — field count, integer non-negative ids,
+finite rating/timestamp, and per-user chronological order — and reports
+problems with the offending ``path:line`` instead of a bare
+``ValueError`` (or, worse, silently corrupt arrays).  ``strict=False``
+switches to skip-and-count mode for dirty real-world dumps.
 """
 
 from __future__ import annotations
 
 import csv
+import warnings
 from pathlib import Path
 
 import numpy as np
 
 from .interactions import InteractionLog
 
-__all__ = ["read_interactions_csv", "write_interactions_csv"]
+__all__ = [
+    "CsvFormatError",
+    "read_interactions_csv",
+    "write_interactions_csv",
+]
 
 _HEADER = ("user", "item", "rating", "timestamp")
 
 
-def read_interactions_csv(path: str | Path) -> InteractionLog:
+class CsvFormatError(ValueError):
+    """A row of an interactions CSV failed validation.
+
+    The message always carries ``path:line`` so the offending row can be
+    found with a text editor.
+    """
+
+
+def _validate_row(row: list[str]) -> tuple[int, int, float, float]:
+    """Parse one CSV row, raising ``ValueError`` with the field at fault."""
+    if len(row) != 4:
+        raise ValueError(f"expected 4 fields, got {len(row)}")
+    try:
+        user = int(row[0])
+        item = int(row[1])
+    except ValueError:
+        raise ValueError(
+            f"user/item ids must be integers, got "
+            f"{row[0].strip()!r}/{row[1].strip()!r}"
+        ) from None
+    if user < 0 or item < 0:
+        raise ValueError(f"negative user/item id ({user}, {item})")
+    try:
+        rating = float(row[2])
+        timestamp = float(row[3])
+    except ValueError:
+        raise ValueError(
+            f"rating/timestamp must be numeric, got "
+            f"{row[2].strip()!r}/{row[3].strip()!r}"
+        ) from None
+    if not (np.isfinite(rating) and np.isfinite(timestamp)):
+        raise ValueError(
+            f"rating/timestamp must be finite, got ({rating}, {timestamp})"
+        )
+    return user, item, rating, timestamp
+
+
+def read_interactions_csv(
+    path: str | Path,
+    strict: bool = True,
+    errors: list[str] | None = None,
+) -> InteractionLog:
     """Parse a ``user,item,rating,timestamp`` CSV into a log.
 
-    A first line matching the canonical header is skipped; all other
-    lines must have exactly four numeric fields.
+    A first line matching the canonical header is skipped.  Every other
+    line must have exactly four fields: integer non-negative user/item
+    ids and finite numeric rating/timestamp, with each user's timestamps
+    non-decreasing in file order (out-of-order rows would silently
+    scramble the chronological sequences every model trains on).
+
+    Args:
+        path: the CSV file.
+        strict: when ``True`` (default) the first invalid row raises
+            :class:`CsvFormatError` with its ``path:line``; when
+            ``False`` invalid rows are skipped and counted, and a
+            summary :class:`UserWarning` reports how many were dropped.
+        errors: optional list that collects one ``path:line: reason``
+            message per invalid row (useful with ``strict=False`` to
+            audit exactly what was skipped).
     """
     users: list[int] = []
     items: list[int] = []
     ratings: list[float] = []
     timestamps: list[float] = []
+    last_seen: dict[int, tuple[float, int]] = {}
+    skipped = 0
     with open(path, newline="") as handle:
         reader = csv.reader(handle)
         for line_number, row in enumerate(reader, start=1):
@@ -38,19 +105,33 @@ def read_interactions_csv(path: str | Path) -> InteractionLog:
                 field.strip().lower() for field in row
             ) == _HEADER:
                 continue
-            if len(row) != 4:
-                raise ValueError(
-                    f"{path}:{line_number}: expected 4 fields, got {len(row)}"
-                )
             try:
-                users.append(int(row[0]))
-                items.append(int(row[1]))
-                ratings.append(float(row[2]))
-                timestamps.append(float(row[3]))
+                user, item, rating, timestamp = _validate_row(row)
+                previous = last_seen.get(user)
+                if previous is not None and timestamp < previous[0]:
+                    raise ValueError(
+                        f"non-monotonic timestamp for user {user}: "
+                        f"{timestamp} after {previous[0]} "
+                        f"(line {previous[1]})"
+                    )
             except ValueError as error:
-                raise ValueError(
-                    f"{path}:{line_number}: non-numeric field ({error})"
-                ) from None
+                message = f"{path}:{line_number}: {error}"
+                if errors is not None:
+                    errors.append(message)
+                if strict:
+                    raise CsvFormatError(message) from None
+                skipped += 1
+                continue
+            last_seen[user] = (timestamp, line_number)
+            users.append(user)
+            items.append(item)
+            ratings.append(rating)
+            timestamps.append(timestamp)
+    if skipped:
+        warnings.warn(
+            f"{path}: skipped {skipped} invalid row(s) (strict=False)",
+            stacklevel=2,
+        )
     return InteractionLog(
         users=np.array(users, dtype=np.int64),
         items=np.array(items, dtype=np.int64),

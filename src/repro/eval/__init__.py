@@ -12,20 +12,31 @@ from .significance import (
     paired_bootstrap,
     per_user_metric,
 )
-from .metrics import ndcg_at_n, precision_at_n, rank_items, recall_at_n
+from .metrics import (
+    NonFiniteScoresError,
+    metrics_batch,
+    ndcg_at_n,
+    precision_at_n,
+    rank_items,
+    rank_items_batch,
+    recall_at_n,
+)
 
 __all__ = [
     "EvaluationResult",
+    "NonFiniteScoresError",
     "PosteriorSummary",
     "BootstrapReport",
     "attention_map",
     "evaluate_recommender",
     "history_diversity",
+    "metrics_batch",
     "ndcg_at_n",
     "paired_bootstrap",
     "per_user_metric",
     "posterior_summary",
     "precision_at_n",
     "rank_items",
+    "rank_items_batch",
     "recall_at_n",
 ]

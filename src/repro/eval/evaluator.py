@@ -46,6 +46,7 @@ def evaluate_recommender(
     cutoffs: tuple[int, ...] = (10, 20),
     exclude_fold_in: bool = True,
     batch_size: int = 64,
+    check_finite: bool = True,
 ) -> EvaluationResult:
     """Score every held-out user and average the Section V-C metrics.
 
@@ -57,6 +58,9 @@ def evaluate_recommender(
         cutoffs: the ``N`` values (paper: 10 and 20).
         exclude_fold_in: drop already-seen items from the ranked list.
         batch_size: users scored per forward pass.
+        check_finite: raise
+            :class:`repro.eval.metrics.NonFiniteScoresError` when a model
+            emits NaN/``+inf`` scores instead of ranking them silently.
     """
     if not heldout:
         raise ValueError("no held-out users to evaluate")
@@ -78,7 +82,9 @@ def evaluate_recommender(
         exclude = (
             [user.fold_in for user in chunk] if exclude_fold_in else None
         )
-        ranked = rank_items_batch(scores, max_cutoff, exclude=exclude)
+        ranked = rank_items_batch(
+            scores, max_cutoff, exclude=exclude, check_finite=check_finite
+        )
         per_user = metrics_batch(
             ranked,
             [user.targets for user in chunk],

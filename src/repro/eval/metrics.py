@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 __all__ = [
+    "NonFiniteScoresError",
     "precision_at_n",
     "recall_at_n",
     "ndcg_at_n",
@@ -22,6 +23,17 @@ __all__ = [
     "rank_items_batch",
     "metrics_batch",
 ]
+
+
+class NonFiniteScoresError(ValueError):
+    """A score matrix contains NaN or ``+inf`` entries.
+
+    NaN comparisons are unordered, so ``argpartition``/``argsort`` over
+    NaN scores produce an arbitrary ranking instead of failing — a model
+    that diverged would silently score garbage.  ``-inf`` is *not*
+    flagged: it is the legitimate sentinel for "excluded item" (the
+    padding slot and fold-in exclusions are set to ``-inf``).
+    """
 
 
 def _as_sets(recommended, relevant) -> tuple[list[int], set[int]]:
@@ -63,6 +75,7 @@ def rank_items(
     scores: np.ndarray,
     top_n: int,
     exclude: np.ndarray | None = None,
+    check_finite: bool = True,
 ) -> np.ndarray:
     """Item ids of the ``top_n`` highest scores, best first.
 
@@ -72,10 +85,13 @@ def rank_items(
         top_n: list length.
         exclude: item ids to remove from consideration (e.g. the user's
             fold-in items).
+        check_finite: raise :class:`NonFiniteScoresError` on NaN/``+inf``
+            scores instead of ranking them arbitrarily.
     """
     exclude_lists = None if exclude is None else [exclude]
     return rank_items_batch(
-        np.asarray(scores)[None, :], top_n, exclude=exclude_lists
+        np.asarray(scores)[None, :], top_n, exclude=exclude_lists,
+        check_finite=check_finite,
     )[0]
 
 
@@ -83,6 +99,7 @@ def rank_items_batch(
     scores: np.ndarray,
     top_n: int,
     exclude: list[np.ndarray] | None = None,
+    check_finite: bool = True,
 ) -> np.ndarray:
     """Vectorized :func:`rank_items` over a ``(users, num_items + 1)``
     score matrix; one ``argpartition`` / ``argsort`` per chunk instead of
@@ -93,12 +110,27 @@ def rank_items_batch(
         top_n: list length.
         exclude: optional per-user item-id arrays to remove (e.g. each
             user's fold-in items).
+        check_finite: raise :class:`NonFiniteScoresError` when any score
+            is NaN or ``+inf`` (``-inf`` stays legal as the exclusion
+            sentinel).  NaN comparisons are undefined for ranking, so
+            without the guard a diverged model ranks garbage silently;
+            pass ``False`` only when the caller has already validated.
 
     Returns:
         ``(users, top_n)`` integer matrix of ranked item ids, best first.
     """
     scores = np.asarray(scores, dtype=np.float64).copy()
     num_users = scores.shape[0]
+    if check_finite:
+        invalid = np.isnan(scores) | (scores == np.inf)
+        if invalid.any():
+            rows = np.unique(np.nonzero(invalid)[0])
+            raise NonFiniteScoresError(
+                f"scores contain {int(invalid.sum())} NaN/+inf entries "
+                f"(rows {rows[:5].tolist()}"
+                f"{'…' if len(rows) > 5 else ''}); pass "
+                "check_finite=False to rank anyway"
+            )
     scores[:, 0] = -np.inf
     if exclude is not None:
         if len(exclude) != num_users:
@@ -140,7 +172,20 @@ def metrics_batch(
     Returns:
         ``{"ndcg@N" | "recall@N" | "precision@N": (users,) array}``.
     """
+    ranked = np.asarray(ranked)
     num_users, top_n = ranked.shape
+    if not np.issubdtype(ranked.dtype, np.integer):
+        raise ValueError(
+            f"ranked lists must hold integer item ids, got {ranked.dtype} "
+            "(a non-finite score matrix ranked upstream?)"
+        )
+    if ranked.size and (
+        ranked.min() < 0 or ranked.max() >= num_columns
+    ):
+        raise ValueError(
+            f"ranked item ids must lie in [0, {num_columns}); got range "
+            f"[{int(ranked.min())}, {int(ranked.max())}]"
+        )
     sizes = np.array([len(t) for t in target_lists], dtype=np.int64)
     if len(target_lists) != num_users:
         raise ValueError("need one target list per user")

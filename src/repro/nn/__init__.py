@@ -17,10 +17,16 @@ from .module import Module, ModuleList, Parameter
 from .normalization import LayerNorm
 from .positional import sinusoidal_positions
 from .recurrent import GRU, GRUCell
-from .serialization import load_checkpoint, load_state, save_checkpoint
+from .serialization import (
+    CheckpointError,
+    load_checkpoint,
+    load_state,
+    save_checkpoint,
+)
 
 __all__ = [
     "CausalSelfAttention",
+    "CheckpointError",
     "Dropout",
     "Embedding",
     "GRU",

@@ -7,20 +7,77 @@ can be rebuilt without the caller re-specifying hyperparameters::
 
     save_checkpoint(model, "vsan.npz", config={"num_items": N, ...})
     model = load_checkpoint("vsan.npz", registry={"VSAN": VSAN})
+
+All read paths raise :class:`CheckpointError` for anything wrong with
+the file itself — missing, truncated, bit-flipped, or not an ``.npz``
+archive at all — so callers never see a raw ``zipfile``/``pickle``
+traceback for what is really "this checkpoint is corrupt".
 """
 
 from __future__ import annotations
 
 import json
+import pickle
+import zipfile
+import zlib
 from pathlib import Path
 
 import numpy as np
 
 from .module import Module
 
-__all__ = ["save_checkpoint", "load_checkpoint", "load_state"]
+__all__ = [
+    "CheckpointError",
+    "load_archive",
+    "save_checkpoint",
+    "load_checkpoint",
+    "load_state",
+]
 
 _CONFIG_KEY = "__config__"
+
+
+class CheckpointError(ValueError):
+    """A checkpoint file is missing, corrupt, or structurally invalid.
+
+    Raised by every checkpoint reader (:func:`load_checkpoint`,
+    :func:`load_state`, and the training-state loader in
+    :mod:`repro.train.checkpoint`) instead of the raw ``zipfile`` /
+    ``pickle`` / ``EOFError`` a damaged file would otherwise produce.
+    Subclasses :class:`ValueError` so pre-existing callers that caught
+    ``ValueError`` from the load paths keep working.
+    """
+
+
+def load_archive(path: str | Path) -> dict[str, np.ndarray]:
+    """Read every array of an ``.npz`` archive, fully materialized.
+
+    Unlike a bare ``np.load``, any failure mode of a damaged file — a
+    missing path, a truncated or bit-flipped archive, a member that
+    fails CRC/zlib checks while being decompressed, or a non-npz file —
+    surfaces as :class:`CheckpointError` naming the file.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise CheckpointError(f"checkpoint {path} does not exist")
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            return {key: archive[key] for key in archive.files}
+    except CheckpointError:
+        raise
+    except (
+        zipfile.BadZipFile,
+        zlib.error,
+        pickle.UnpicklingError,
+        EOFError,
+        OSError,
+        KeyError,
+        ValueError,
+    ) as error:
+        raise CheckpointError(
+            f"checkpoint {path} is corrupt or not a checkpoint archive: "
+            f"{error}"
+        ) from error
 
 
 def save_checkpoint(
@@ -52,12 +109,18 @@ def save_checkpoint(
 
 
 def _read(path: str | Path) -> tuple[dict, dict[str, np.ndarray]]:
-    with np.load(path) as archive:
-        arrays = {key: archive[key] for key in archive.files}
+    arrays = load_archive(path)
     raw = arrays.pop(_CONFIG_KEY, None)
-    meta = (
-        json.loads(raw.tobytes().decode("utf-8")) if raw is not None else {}
-    )
+    try:
+        meta = (
+            json.loads(raw.tobytes().decode("utf-8"))
+            if raw is not None
+            else {}
+        )
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise CheckpointError(
+            f"checkpoint {path} has a corrupt config blob: {error}"
+        ) from error
     return meta, arrays
 
 

@@ -1,0 +1,69 @@
+"""Fault-tolerant inference: the serving layer of the reproduction.
+
+Training (``repro.train``) is crash-safe; this package makes *inference*
+degrade gracefully instead of falling over.  The pieces:
+
+- :class:`RecommendService` — request validation, per-request deadlines,
+  a circuit-breaker-guarded fallback chain (e.g. ``VSAN → SASRec →
+  POP``), retry-with-backoff for transient failures, and full request
+  accounting via :meth:`RecommendService.stats`.
+- :class:`CircuitBreaker` — closed/open/half-open rung guard.
+- :class:`RetryPolicy` — exponential backoff with seeded jitter.
+- :mod:`repro.serve.faults` — a seeded fault injector (latency spikes,
+  raised exceptions, NaN-poisoned scores, file corruption helpers) so
+  every failure path is exercised deterministically in tests and by the
+  ``repro serve-smoke`` CLI.
+- :func:`safe_load_model` — checkpoint loading that rejects corrupt,
+  truncated, or NaN-weight files with
+  :class:`repro.nn.CheckpointError`.
+
+See ``docs/SERVING.md`` for the fault model and ladder semantics.
+"""
+
+from .breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from .errors import (
+    AllRungsFailed,
+    CheckpointError,
+    DeadlineExceeded,
+    InvalidRequest,
+    ServeError,
+    TransientError,
+)
+from .faults import (
+    FaultInjector,
+    FaultyRecommender,
+    InjectedFault,
+    flip_byte,
+    truncate_file,
+)
+from .loading import safe_load_model, validate_finite_state
+from .retry import RetryPolicy
+from .service import Recommendation, RecommendService, ServiceConfig
+from .stats import LatencyTracker, RungStats, ServiceStats
+
+__all__ = [
+    "AllRungsFailed",
+    "CLOSED",
+    "CheckpointError",
+    "CircuitBreaker",
+    "DeadlineExceeded",
+    "FaultInjector",
+    "FaultyRecommender",
+    "HALF_OPEN",
+    "InjectedFault",
+    "InvalidRequest",
+    "LatencyTracker",
+    "OPEN",
+    "Recommendation",
+    "RecommendService",
+    "RetryPolicy",
+    "RungStats",
+    "ServeError",
+    "ServiceConfig",
+    "ServiceStats",
+    "TransientError",
+    "flip_byte",
+    "safe_load_model",
+    "truncate_file",
+    "validate_finite_state",
+]

@@ -1,0 +1,147 @@
+"""Circuit breaker guarding one rung of the fallback chain.
+
+Standard three-state design (closed → open → half-open → closed):
+
+- **closed** — traffic flows; outcomes are recorded in a sliding window
+  of the last ``window`` calls.  When at least ``min_calls`` outcomes
+  are in the window and the failure rate reaches ``failure_threshold``,
+  the breaker trips open.
+- **open** — traffic is refused (``allow()`` is ``False``) for
+  ``cooldown`` seconds, giving the rung time to recover (and sparing
+  each request the latency of a known-bad model).
+- **half-open** — after the cooldown, probe traffic is admitted.
+  ``half_open_probes`` consecutive successes close the breaker and clear
+  the window; a single failure re-opens it and restarts the cooldown.
+
+The clock is injectable so tests (and the fault-injection harness) can
+drive state transitions deterministically without real sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+
+__all__ = ["CLOSED", "OPEN", "HALF_OPEN", "CircuitBreaker"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Failure-rate circuit breaker with cooldown and half-open probes.
+
+    Args:
+        failure_threshold: failure rate over the sliding window at which
+            the breaker trips (``0 < threshold <= 1``).
+        window: number of recent outcomes the rate is computed over.
+        min_calls: outcomes required in the window before the rate is
+            meaningful (prevents one early failure from tripping).
+        cooldown: seconds the breaker stays open before probing.
+        half_open_probes: consecutive half-open successes needed to
+            close.
+        clock: monotonic time source (injectable for determinism).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: float = 0.5,
+        window: int = 10,
+        min_calls: int = 5,
+        cooldown: float = 30.0,
+        half_open_probes: int = 2,
+        clock=time.monotonic,
+    ):
+        if not 0.0 < failure_threshold <= 1.0:
+            raise ValueError("failure_threshold must be in (0, 1]")
+        if window < 1 or min_calls < 1 or half_open_probes < 1:
+            raise ValueError(
+                "window, min_calls, and half_open_probes must be >= 1"
+            )
+        if cooldown < 0:
+            raise ValueError("cooldown must be >= 0")
+        self.failure_threshold = failure_threshold
+        self.min_calls = min(min_calls, window)
+        self.cooldown = cooldown
+        self.half_open_probes = half_open_probes
+        self._clock = clock
+        self._outcomes: deque[bool] = deque(maxlen=window)
+        self._state = CLOSED
+        self._opened_at = 0.0
+        self._half_open_successes = 0
+        self.times_opened = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Current state, accounting for an elapsed cooldown."""
+        self._maybe_half_open()
+        return self._state
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == OPEN
+            and self._clock() - self._opened_at >= self.cooldown
+        ):
+            self._state = HALF_OPEN
+            self._half_open_successes = 0
+
+    def failure_rate(self) -> float:
+        if not self._outcomes:
+            return 0.0
+        return sum(not ok for ok in self._outcomes) / len(self._outcomes)
+
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """Whether a call may proceed right now."""
+        self._maybe_half_open()
+        return self._state != OPEN
+
+    def record_success(self) -> None:
+        self._maybe_half_open()
+        if self._state == HALF_OPEN:
+            self._half_open_successes += 1
+            if self._half_open_successes >= self.half_open_probes:
+                self._close()
+        else:
+            self._outcomes.append(True)
+
+    def record_failure(self) -> None:
+        self._maybe_half_open()
+        if self._state == HALF_OPEN:
+            self._trip()
+            return
+        self._outcomes.append(False)
+        if (
+            self._state == CLOSED
+            and len(self._outcomes) >= self.min_calls
+            and self.failure_rate() >= self.failure_threshold
+        ):
+            self._trip()
+
+    # ------------------------------------------------------------------
+    def _trip(self) -> None:
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self._half_open_successes = 0
+        self._outcomes.clear()
+        self.times_opened += 1
+
+    def _close(self) -> None:
+        self._state = CLOSED
+        self._half_open_successes = 0
+        self._outcomes.clear()
+
+    def reset(self) -> None:
+        """Force the breaker back to a pristine closed state."""
+        self._close()
+
+    def snapshot(self) -> dict:
+        """JSON-friendly view for :meth:`RecommendService.stats`."""
+        return {
+            "state": self.state,
+            "failure_rate": round(self.failure_rate(), 4),
+            "window_size": len(self._outcomes),
+            "times_opened": self.times_opened,
+        }

@@ -1,0 +1,60 @@
+"""Typed error taxonomy of the serving layer.
+
+Every failure a caller of :class:`repro.serve.RecommendService` can see
+is one of these (or :class:`repro.nn.CheckpointError`, re-exported here
+for convenience), so integrations can branch on exception *type* instead
+of parsing messages:
+
+- :class:`InvalidRequest` — the request itself is malformed (empty
+  history, unknown/negative item ids, bad ``top_n``); retrying the same
+  request can never succeed.
+- :class:`DeadlineExceeded` — the per-request time budget ran out before
+  any rung produced a valid ranking.
+- :class:`AllRungsFailed` — every rung of the fallback chain was open,
+  errored, timed out, or emitted non-finite scores.  With a
+  deterministic terminal rung (POP) this should never fire in practice.
+- :class:`TransientError` — base class for failures worth retrying in
+  place (e.g. a checkpoint hot-reload swapping weights mid-request);
+  the service's retry policy only retries these.
+"""
+
+from __future__ import annotations
+
+from ..nn.serialization import CheckpointError
+
+__all__ = [
+    "AllRungsFailed",
+    "CheckpointError",
+    "DeadlineExceeded",
+    "InvalidRequest",
+    "ServeError",
+    "TransientError",
+]
+
+
+class ServeError(RuntimeError):
+    """Base class for every serving-layer failure."""
+
+
+class InvalidRequest(ServeError, ValueError):
+    """The request is malformed; no amount of retrying will help."""
+
+
+class DeadlineExceeded(ServeError, TimeoutError):
+    """The request's time budget expired before a valid ranking."""
+
+
+class AllRungsFailed(ServeError):
+    """No rung of the fallback chain produced a valid ranking.
+
+    Carries ``causes`` — a ``{rung_name: reason}`` mapping describing
+    why each rung was unusable for this request.
+    """
+
+    def __init__(self, message: str, causes: dict[str, str] | None = None):
+        super().__init__(message)
+        self.causes = dict(causes or {})
+
+
+class TransientError(ServeError):
+    """A failure expected to clear on its own; safe to retry in place."""

@@ -1,0 +1,80 @@
+"""Safe checkpoint loading for serving.
+
+:func:`repro.nn.load_checkpoint` already turns corrupt/truncated files
+into :class:`CheckpointError`; this module adds the *semantic* checks a
+service must make before putting a model into the request path:
+
+- every weight array must be finite — a checkpoint whose weights carry
+  NaN/Inf would pass structural validation and then poison every score
+  it produces;
+- the rebuilt model must actually expose the scoring interface.
+
+``retries`` makes the load robust to transient filesystem races (e.g. a
+trainer hot-swapping the checkpoint between our existence check and the
+read): :class:`CheckpointError` is retried with backoff before being
+surfaced.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..nn.serialization import CheckpointError, load_checkpoint
+from .retry import RetryPolicy
+
+__all__ = ["safe_load_model", "validate_finite_state"]
+
+
+def validate_finite_state(model, path: str | Path) -> None:
+    """Raise :class:`CheckpointError` if any weight is NaN/Inf."""
+    for name, array in model.state_dict().items():
+        array = np.asarray(array)
+        if not np.isfinite(array).all():
+            bad = int((~np.isfinite(array)).sum())
+            raise CheckpointError(
+                f"checkpoint {path} has {bad} non-finite values in "
+                f"weight {name!r}; refusing to serve it"
+            )
+
+
+def safe_load_model(
+    path: str | Path,
+    registry: dict[str, type],
+    check_finite: bool = True,
+    retries: RetryPolicy | None = None,
+):
+    """Load a model checkpoint fit for the request path.
+
+    Args:
+        path: ``.npz`` checkpoint written by
+            :func:`repro.nn.save_checkpoint` with a config.
+        registry: class-name → class mapping, as for ``load_checkpoint``.
+        check_finite: reject NaN/Inf weights with
+            :class:`CheckpointError`.
+        retries: optional policy for transient load races; by default
+            the load is attempted once.
+
+    Returns:
+        the rebuilt model, in eval mode.
+    """
+
+    def _load():
+        model = load_checkpoint(path, registry=registry)
+        if check_finite:
+            validate_finite_state(model, path)
+        return model
+
+    if retries is not None:
+        model = retries.run(_load, retry_on=(CheckpointError,))
+    else:
+        model = _load()
+    if not callable(getattr(model, "score_batch", None)):
+        raise CheckpointError(
+            f"checkpoint {path} rebuilt a {type(model).__name__}, which "
+            "does not implement score_batch"
+        )
+    if hasattr(model, "eval"):
+        model.eval()
+    return model

@@ -1,0 +1,93 @@
+"""Retry with exponential backoff and jitter for transient failures.
+
+The serving layer retries *in place* only for failures that are expected
+to clear on their own — e.g. a checkpoint hot-reload swapping weights
+mid-request — before falling through to the next rung.  Backoff is
+exponential with equal jitter (half deterministic, half uniform-random)
+so synchronized clients don't retry in lockstep; the random stream is
+seeded and the sleep function injectable, keeping every test
+deterministic and sleep-free.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+__all__ = ["RetryPolicy"]
+
+
+class RetryPolicy:
+    """Bounded retry schedule: ``max_attempts`` tries, backoff between.
+
+    Args:
+        max_attempts: total attempts including the first (1 = no retry).
+        base_delay: backoff before the first retry, seconds.
+        multiplier: exponential growth factor per retry.
+        max_delay: cap on any single backoff.
+        jitter: fraction of each delay drawn uniformly at random
+            (``0`` = fully deterministic, ``1`` = full jitter).
+        seed: seeds the jitter stream.
+        sleep: injectable sleep function (tests pass a recorder).
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        base_delay: float = 0.05,
+        multiplier: float = 2.0,
+        max_delay: float = 1.0,
+        jitter: float = 0.5,
+        seed: int = 0,
+        sleep=time.sleep,
+    ):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        if base_delay < 0 or max_delay < 0 or multiplier < 1.0:
+            raise ValueError(
+                "delays must be >= 0 and multiplier must be >= 1"
+            )
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.multiplier = multiplier
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self._rng = np.random.default_rng(seed)
+        self._sleep = sleep
+
+    def backoff(self, retry_index: int) -> float:
+        """Jittered delay before retry ``retry_index`` (0-based).
+
+        The deterministic part is
+        ``min(max_delay, base * multiplier**retry_index)``; a ``jitter``
+        fraction of it is replaced by a uniform draw, so the result lies
+        in ``[delay * (1 - jitter), delay]``.
+        """
+        delay = min(
+            self.max_delay, self.base_delay * self.multiplier ** retry_index
+        )
+        if self.jitter == 0.0:
+            return delay
+        fixed = delay * (1.0 - self.jitter)
+        return fixed + float(self._rng.uniform(0.0, delay * self.jitter))
+
+    def pause(self, retry_index: int) -> None:
+        """Sleep the jittered backoff before retry ``retry_index``."""
+        self._sleep(self.backoff(retry_index))
+
+    def run(self, fn, retry_on: tuple[type, ...] = (Exception,)):
+        """Call ``fn()`` up to ``max_attempts`` times.
+
+        Only exceptions matching ``retry_on`` are retried; anything else
+        propagates immediately, as does the final matching failure.
+        """
+        for attempt in range(self.max_attempts):
+            try:
+                return fn()
+            except retry_on:
+                if attempt == self.max_attempts - 1:
+                    raise
+                self._sleep(self.backoff(attempt))

@@ -1,0 +1,393 @@
+"""`RecommendService`: fault-tolerant top-N recommendation.
+
+The service owns an ordered **fallback chain** of scoring rungs — e.g.
+``VSAN → SASRec → POP`` — and guarantees that a valid request either
+gets a *valid, finite ranking* from the highest healthy rung or a typed
+error, never a silent garbage ranking:
+
+1. **Validation** — histories are checked (1-D, non-empty, integer ids
+   in ``1..num_items``), truncated to the most recent ``max_history``
+   items, with unknown ids either rejected or dropped
+   (:class:`InvalidRequest` is raised when nothing valid remains).
+2. **Fallback chain** — each rung is guarded by a
+   :class:`repro.serve.breaker.CircuitBreaker`.  A rung that raises,
+   overruns the deadline, or emits NaN/``+inf`` scores records a breaker
+   failure and traffic flows to the next rung; once its failure rate
+   trips the breaker the rung is skipped outright until the cooldown
+   elapses and half-open probes re-close it.
+3. **Retries** — failures that subclass
+   :class:`repro.serve.errors.TransientError` are retried in place with
+   exponential backoff + jitter before falling through.
+4. **Deadlines** — the budget is enforced *by detection*: a synchronous
+   model call cannot be preempted, so any call that takes longer than
+   the budget is counted as a ``timeout`` failure on that rung and
+   traffic degrades to the next rung (a late-but-valid degraded answer
+   beats no answer; the breaker is what protects latency over time by
+   skipping a persistently slow rung).  :class:`DeadlineExceeded` is
+   raised only when *no* rung could answer and the budget was spent.
+5. **Accounting** — :meth:`RecommendService.stats` snapshots per-rung
+   attempts/failures/latencies and breaker states; every request lands
+   in exactly one of served / rejected / exhausted / deadline buckets.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..eval.metrics import NonFiniteScoresError, rank_items_batch
+from .breaker import CircuitBreaker
+from .errors import (
+    AllRungsFailed,
+    DeadlineExceeded,
+    InvalidRequest,
+    TransientError,
+)
+from .loading import safe_load_model
+from .retry import RetryPolicy
+from .stats import ServiceStats
+
+__all__ = ["Recommendation", "RecommendService", "ServiceConfig"]
+
+_UNSET = object()
+
+
+@dataclass
+class ServiceConfig:
+    """Request-handling policy knobs.
+
+    Args:
+        top_n: default recommendation list length.
+        deadline: default time budget in seconds (``None`` =
+            unbounded).  Enforced by detection: a rung call that takes
+            longer counts as a ``timeout`` failure and the chain
+            degrades; :class:`DeadlineExceeded` is raised only when no
+            rung answers and the budget is spent.
+        max_history: histories longer than this are truncated to their
+            most recent items (mirrors the models' attention windows).
+        unknown_items: ``"reject"`` raises :class:`InvalidRequest` on
+            out-of-vocabulary ids; ``"drop"`` silently filters them
+            (rejecting only if nothing remains).
+        exclude_history: remove already-seen items from rankings.
+    """
+
+    top_n: int = 10
+    deadline: float | None = 0.25
+    max_history: int = 200
+    unknown_items: str = "reject"
+    exclude_history: bool = True
+
+    def __post_init__(self):
+        if self.top_n < 1:
+            raise ValueError("top_n must be >= 1")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be positive (or None)")
+        if self.max_history < 1:
+            raise ValueError("max_history must be >= 1")
+        if self.unknown_items not in ("reject", "drop"):
+            raise ValueError("unknown_items must be 'reject' or 'drop'")
+
+
+@dataclass
+class Recommendation:
+    """A served ranking plus provenance.
+
+    ``degraded`` is ``True`` whenever a rung below the primary answered;
+    ``fallbacks`` counts the rungs that were skipped or failed first.
+    """
+
+    items: np.ndarray
+    rung: str
+    latency: float
+    degraded: bool
+    fallbacks: int
+
+
+class _Rung:
+    def __init__(self, name: str, model, breaker: CircuitBreaker):
+        self.name = name
+        self.model = model
+        self.breaker = breaker
+
+
+class RecommendService:
+    """Serve top-N recommendations through a guarded fallback chain.
+
+    Args:
+        rungs: ordered ``(name, recommender)`` pairs, best model first;
+            each recommender needs ``score_batch(histories)``.  The last
+            rung should be something that cannot fail (e.g. ``POP``).
+        num_items: vocabulary size; scores must be ``num_items + 1``
+            wide (index 0 = padding).
+        config: request policy (:class:`ServiceConfig`).
+        retry: in-place retry policy for transient failures; default
+            retries once with a 10 ms backoff.
+        breaker_factory: builds one breaker per rung; defaults to
+            :class:`CircuitBreaker` on the service clock.
+        clock: monotonic time source (injectable for deterministic
+            deadline/breaker tests).
+    """
+
+    def __init__(
+        self,
+        rungs,
+        num_items: int,
+        config: ServiceConfig | None = None,
+        retry: RetryPolicy | None = None,
+        breaker_factory=None,
+        clock=time.monotonic,
+    ):
+        rungs = list(rungs)
+        if not rungs:
+            raise ValueError("need at least one rung")
+        names = [name for name, _ in rungs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"rung names must be unique: {names}")
+        if num_items < 1:
+            raise ValueError("num_items must be >= 1")
+        self.num_items = num_items
+        self.config = config or ServiceConfig()
+        self.retry = retry or RetryPolicy(
+            max_attempts=2, base_delay=0.01, max_delay=0.1
+        )
+        self._clock = clock
+        if breaker_factory is None:
+            breaker_factory = lambda: CircuitBreaker(clock=clock)  # noqa: E731
+        self._rungs = [
+            _Rung(name, model, breaker_factory()) for name, model in rungs
+        ]
+        self._stats = ServiceStats(names)
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def recommend(
+        self,
+        history,
+        top_n: int | None = None,
+        deadline=_UNSET,
+    ) -> Recommendation:
+        """Rank ``top_n`` items for one user history.
+
+        Raises :class:`InvalidRequest`, :class:`DeadlineExceeded`, or
+        :class:`AllRungsFailed`; any returned ranking is guaranteed
+        finite, deduplicated, in-vocabulary, and free of the user's own
+        history (when ``exclude_history`` is on).
+        """
+        self._stats.requests += 1
+        budget = self.config.deadline if deadline is _UNSET else deadline
+        try:
+            history, top_n = self._validate(history, top_n)
+        except InvalidRequest:
+            self._stats.rejected += 1
+            raise
+        start = self._clock()
+        causes: dict[str, str] = {}
+        for index, rung in enumerate(self._rungs):
+            if not rung.breaker.allow():
+                self._stats.rungs[rung.name].short_circuited += 1
+                causes[rung.name] = "breaker open"
+                continue
+            ranked = self._attempt(rung, history, top_n, start, budget,
+                                   causes)
+            if ranked is not None:
+                if index > 0:
+                    self._stats.fallbacks += 1
+                self._stats.served[rung.name] += 1
+                return Recommendation(
+                    items=ranked,
+                    rung=rung.name,
+                    latency=self._clock() - start,
+                    degraded=index > 0,
+                    fallbacks=index,
+                )
+        elapsed = self._clock() - start
+        if budget is not None and elapsed >= budget:
+            self._stats.deadline_exceeded += 1
+            error = DeadlineExceeded(
+                f"no rung answered within the {budget}s budget "
+                f"({elapsed:.3f}s elapsed); causes: {causes}"
+            )
+            error.causes = dict(causes)
+            raise error
+        self._stats.exhausted += 1
+        raise AllRungsFailed(
+            f"all {len(self._rungs)} rungs failed", causes
+        )
+
+    def _attempt(
+        self, rung: _Rung, history, top_n, start, budget, causes,
+    ) -> np.ndarray | None:
+        """Try one rung, retrying transient failures in place.
+
+        Returns the ranking, or ``None`` (with breaker/stats updated and
+        ``causes[rung]`` set) to fall through to the next rung.
+        """
+        rstats = self._stats.rungs[rung.name]
+        for attempt in range(self.retry.max_attempts):
+            rstats.attempts += 1
+            called_at = self._clock()
+            try:
+                scores = rung.model.score_batch([history])
+            except Exception as error:  # noqa: BLE001 — rung isolation
+                rung.breaker.record_failure()
+                rstats.failures["error"] += 1
+                causes[rung.name] = f"error: {error}"
+                if (
+                    isinstance(error, TransientError)
+                    and attempt < self.retry.max_attempts - 1
+                    and (
+                        budget is None
+                        or self._clock() - start < budget
+                    )
+                ):
+                    self.retry.pause(attempt)
+                    continue
+                return None
+            elapsed = self._clock() - called_at
+            if budget is not None and elapsed > budget:
+                # The call returned, but took longer than the budget: a
+                # caller with a real deadline has given up on it, so it
+                # counts as a failure and a cheaper rung gets a shot.
+                rung.breaker.record_failure()
+                rstats.failures["timeout"] += 1
+                causes[rung.name] = (
+                    f"timeout ({elapsed:.3f}s > {budget}s budget)"
+                )
+                return None
+            try:
+                ranked = self._rank(scores, history, top_n)
+            except (NonFiniteScoresError, ValueError) as error:
+                rung.breaker.record_failure()
+                rstats.failures["non_finite"] += 1
+                causes[rung.name] = f"invalid scores: {error}"
+                return None
+            rung.breaker.record_success()
+            rstats.successes += 1
+            rstats.latency.add(elapsed)
+            return ranked
+        return None
+
+    # ------------------------------------------------------------------
+    # Validation and ranking
+    # ------------------------------------------------------------------
+    def _validate(
+        self, history, top_n: int | None
+    ) -> tuple[np.ndarray, int]:
+        top_n = self.config.top_n if top_n is None else top_n
+        if top_n < 1:
+            raise InvalidRequest(f"top_n must be >= 1, got {top_n}")
+        array = np.asarray(history)
+        if array.ndim != 1:
+            raise InvalidRequest(
+                f"history must be 1-D, got shape {array.shape}"
+            )
+        if array.size == 0:
+            raise InvalidRequest("history is empty")
+        if not np.issubdtype(array.dtype, np.integer):
+            if np.issubdtype(array.dtype, np.floating) and np.all(
+                np.isfinite(array)
+            ) and np.all(array == np.floor(array)):
+                array = array.astype(np.int64)
+            else:
+                raise InvalidRequest(
+                    f"history must hold integer item ids, got dtype "
+                    f"{array.dtype}"
+                )
+        array = array.astype(np.int64, copy=False)
+        invalid = (array < 1) | (array > self.num_items)
+        if invalid.any():
+            if self.config.unknown_items == "reject":
+                bad = np.unique(array[invalid])
+                raise InvalidRequest(
+                    f"history contains {int(invalid.sum())} unknown or "
+                    f"invalid item ids (valid range 1..{self.num_items}): "
+                    f"{bad[:5].tolist()}{'…' if len(bad) > 5 else ''}"
+                )
+            array = array[~invalid]
+            if array.size == 0:
+                raise InvalidRequest(
+                    "history is empty after dropping unknown item ids"
+                )
+        if len(array) > self.config.max_history:
+            array = array[-self.config.max_history:]
+        return array, top_n
+
+    def _rank(
+        self, scores, history: np.ndarray, top_n: int
+    ) -> np.ndarray:
+        scores = np.asarray(scores, dtype=np.float64)
+        expected = (1, self.num_items + 1)
+        if scores.shape != expected:
+            raise ValueError(
+                f"expected scores of shape {expected}, got {scores.shape}"
+            )
+        exclude = [history] if self.config.exclude_history else None
+        ranked = rank_items_batch(
+            scores, top_n, exclude=exclude, check_finite=True
+        )[0]
+        # Drop the -inf sentinel tail: when fewer than top_n items are
+        # rankable the batch kernel pads the list with excluded/padding
+        # ids, which a service must never actually recommend.
+        masked = scores[0].copy()
+        masked[0] = -np.inf
+        if exclude is not None:
+            masked[history] = -np.inf
+        ranked = ranked[masked[ranked] > -np.inf]
+        if ranked.size == 0:
+            raise ValueError("no rankable items after exclusions")
+        return ranked
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def reload_rung(
+        self,
+        name: str,
+        path,
+        registry: dict[str, type],
+        check_finite: bool = True,
+        retries: RetryPolicy | None = None,
+    ) -> None:
+        """Hot-swap a rung's model from a checkpoint.
+
+        The file is loaded through
+        :func:`repro.serve.loading.safe_load_model` (corrupt/truncated/
+        NaN-weight files raise :class:`repro.nn.CheckpointError` and the
+        current model keeps serving); on success the rung's breaker is
+        reset so the fresh model starts with a clean slate.
+        """
+        rung = self._rung(name)
+        rung.model = safe_load_model(
+            path, registry, check_finite=check_finite, retries=retries
+        )
+        rung.breaker.reset()
+
+    def swap_model(self, name: str, model) -> None:
+        """Replace a rung's model with an already-built one."""
+        rung = self._rung(name)
+        rung.model = model
+        rung.breaker.reset()
+
+    def breaker(self, name: str) -> CircuitBreaker:
+        """The breaker guarding rung ``name`` (for tests/ops)."""
+        return self._rung(name).breaker
+
+    def _rung(self, name: str) -> _Rung:
+        for rung in self._rungs:
+            if rung.name == name:
+                return rung
+        raise KeyError(
+            f"no rung named {name!r}; have "
+            f"{[rung.name for rung in self._rungs]}"
+        )
+
+    def stats(self) -> dict:
+        """JSON-friendly snapshot of all counters and breaker states."""
+        return self._stats.snapshot(
+            breakers={
+                rung.name: rung.breaker.snapshot() for rung in self._rungs
+            }
+        )

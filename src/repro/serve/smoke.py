@@ -1,0 +1,253 @@
+"""End-to-end serving smoke test (the ``repro serve-smoke`` command).
+
+Proves the fault-tolerance story on a real model with real faults:
+
+1. builds (or loads) a VSAN checkpoint and *safe-loads* it, after first
+   demonstrating that truncated and bit-flipped copies of the same file
+   are rejected with :class:`CheckpointError`;
+2. stands up a ``VSAN → SASRec → POP`` service with the VSAN rung
+   wrapped in a seeded :class:`FaultInjector` (latency spikes, raised
+   exceptions, NaN-poisoned scores);
+3. drives a faulty phase — every request must still get a valid, finite,
+   deduplicated, in-vocabulary ranking from *some* rung — then clears
+   the faults and verifies the primary breaker re-closes and the primary
+   rung takes traffic back;
+4. asserts the service's accounting is exact: every request landed in
+   exactly one outcome bucket.
+
+Exit code 0 means all of the above held; any violation raises
+:class:`SmokeFailure` (mapped to exit 1 by the CLI).
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from ..data import generate, prepare_corpus, read_interactions_csv, tiny_config
+from ..train import Trainer, TrainerConfig
+from .breaker import CLOSED, CircuitBreaker
+from .errors import CheckpointError
+from .faults import FaultInjector, FaultyRecommender, flip_byte, truncate_file
+from .loading import safe_load_model
+from .retry import RetryPolicy
+from .service import RecommendService, ServiceConfig
+
+__all__ = ["SmokeFailure", "run_smoke"]
+
+
+class SmokeFailure(AssertionError):
+    """A serving invariant was violated during the smoke run."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise SmokeFailure(message)
+
+
+def _check_recommendation(rec, history: np.ndarray, num_items: int) -> None:
+    items = np.asarray(rec.items)
+    _require(items.size > 0, "empty recommendation list")
+    _require(
+        np.issubdtype(items.dtype, np.integer),
+        f"non-integer item ids ({items.dtype})",
+    )
+    _require(
+        bool(((items >= 1) & (items <= num_items)).all()),
+        f"out-of-vocabulary ids in ranking: {items.tolist()}",
+    )
+    _require(
+        len(np.unique(items)) == len(items),
+        f"duplicate ids in ranking: {items.tolist()}",
+    )
+    _require(
+        not np.isin(items, history).any(),
+        "ranking recommends items from the user's own history",
+    )
+
+
+def _corrupt_checkpoint_drill(checkpoint: Path, registry, log) -> None:
+    """Truncated and bit-flipped copies must raise CheckpointError."""
+    with tempfile.TemporaryDirectory() as scratch:
+        for corrupt, label in (
+            (truncate_file, "truncated"),
+            (flip_byte, "bit-flipped"),
+        ):
+            copy = Path(scratch) / f"{label}.npz"
+            shutil.copyfile(checkpoint, copy)
+            corrupt(copy)
+            try:
+                safe_load_model(copy, registry)
+            except CheckpointError:
+                log(f"  {label} checkpoint rejected with CheckpointError")
+            else:
+                raise SmokeFailure(
+                    f"{label} checkpoint loaded without error"
+                )
+
+
+def run_smoke(
+    requests: int = 100,
+    seed: int = 0,
+    error_rate: float = 0.35,
+    nan_rate: float = 0.35,
+    latency_rate: float = 0.1,
+    data: str | None = None,
+    checkpoint: str | None = None,
+    epochs: int = 2,
+    verbose: bool = True,
+) -> int:
+    """Run the smoke scenario; returns 0 on success.
+
+    Args:
+        requests: total requests (half faulty phase, half clear phase).
+        seed: seeds data generation, training, and the fault injector.
+        error_rate / nan_rate / latency_rate: injector probabilities for
+            the faulty phase.
+        data: optional interactions CSV (default: synthetic tiny config).
+        checkpoint: optional pre-trained VSAN checkpoint (default: train
+            a throwaway one on the corpus).
+        epochs: training budget for throwaway models.
+        verbose: print progress and the final stats snapshot.
+    """
+    from ..core import VSAN
+    from ..models import POP, SASRec
+
+    log = print if verbose else (lambda *args, **kwargs: None)
+    registry = {"VSAN": VSAN, "SASRec": SASRec}
+
+    if data is not None:
+        interactions = read_interactions_csv(data)
+    else:
+        interactions = generate(tiny_config(), seed=seed)
+    corpus = prepare_corpus(interactions)
+    num_items = corpus.num_items
+    max_length = 20
+    log(f"corpus: {len(corpus.sequences)} users, {num_items} items")
+
+    trainer = Trainer(TrainerConfig(
+        epochs=epochs, batch_size=64, verbose=False, seed=seed,
+    ))
+
+    with tempfile.TemporaryDirectory() as scratch:
+        if checkpoint is None:
+            from ..nn import save_checkpoint
+
+            config = dict(
+                num_items=num_items, max_length=max_length, dim=16,
+                h1=1, h2=1, k=1, seed=seed,
+            )
+            vsan = VSAN(**config)
+            trainer.fit(vsan, corpus)
+            checkpoint = str(Path(scratch) / "vsan.npz")
+            save_checkpoint(vsan, checkpoint, config=config)
+            log(f"trained throwaway VSAN ({epochs} epochs) -> checkpoint")
+        checkpoint = Path(checkpoint)
+
+        log("corrupt-checkpoint drill:")
+        _corrupt_checkpoint_drill(checkpoint, registry, log)
+
+        primary = safe_load_model(checkpoint, registry)
+        log(f"safe-loaded primary model from {checkpoint.name}")
+
+        sasrec = SASRec(num_items, max_length, dim=16, num_blocks=1,
+                        seed=seed)
+        trainer.fit(sasrec, corpus)
+        pop = POP(num_items).fit(corpus)
+
+        injector = FaultInjector(
+            error_rate=error_rate,
+            nan_rate=nan_rate,
+            latency_rate=latency_rate,
+            latency=0.01,
+            seed=seed,
+        )
+        cooldown = 0.05
+        service = RecommendService(
+            [
+                ("VSAN", FaultyRecommender(primary, injector)),
+                ("SASRec", sasrec),
+                ("POP", pop),
+            ],
+            num_items=num_items,
+            config=ServiceConfig(top_n=10, deadline=2.0,
+                                 unknown_items="drop"),
+            retry=RetryPolicy(max_attempts=2, base_delay=0.002,
+                              max_delay=0.01, seed=seed),
+            breaker_factory=lambda: CircuitBreaker(
+                failure_threshold=0.5, window=8, min_calls=4,
+                cooldown=cooldown, half_open_probes=2,
+            ),
+        )
+
+        histories = corpus.sequences
+        faulty_phase = requests // 2
+        log(f"phase 1: {faulty_phase} requests with injected faults "
+            f"(error={error_rate}, nan={nan_rate}, latency={latency_rate})")
+        for index in range(faulty_phase):
+            history = histories[index % len(histories)]
+            rec = service.recommend(history)
+            _check_recommendation(rec, history, num_items)
+            if index % 10 == 9:
+                # Requests are far faster than the cooldown, so an open
+                # breaker would otherwise short-circuit the whole phase;
+                # let it reach half-open so faulty probes keep flowing.
+                time.sleep(cooldown * 1.5)
+        tripped = service.breaker("VSAN").times_opened
+        _require(
+            tripped > 0,
+            "injected faults never tripped the primary breaker; raise "
+            "the fault rates or the request count",
+        )
+        served_primary_before = service.stats()["served_by_rung"].get(
+            "VSAN", 0
+        )
+        _require(
+            sum(injector.injected.values()) > 0,
+            "no faults were actually injected during the faulty phase",
+        )
+        log(f"  primary breaker tripped {tripped}x; injected faults: "
+            f"{injector.injected}; all {faulty_phase} requests served "
+            f"valid rankings")
+
+        injector.disable()
+        time.sleep(cooldown * 2)  # let the open breaker reach half-open
+        clear_phase = requests - faulty_phase
+        log(f"phase 2: {clear_phase} requests with faults cleared")
+        for index in range(clear_phase):
+            history = histories[index % len(histories)]
+            rec = service.recommend(history)
+            _check_recommendation(rec, history, num_items)
+        stats = service.stats()
+        _require(
+            service.breaker("VSAN").state == CLOSED,
+            f"primary breaker did not re-close after faults cleared "
+            f"(state={service.breaker('VSAN').state})",
+        )
+        _require(
+            stats["served_by_rung"].get("VSAN", 0) > served_primary_before,
+            "primary rung served no traffic after faults cleared",
+        )
+        _require(
+            stats["requests"] == requests,
+            f"request counter drifted: {stats['requests']} != {requests}",
+        )
+        _require(
+            stats["served"] == requests,
+            f"not every request was served: {stats['served']}/{requests}",
+        )
+        _require(
+            stats["accounted"],
+            f"stats do not account for every request: {stats}",
+        )
+        log("phase 2 OK: breaker re-closed, primary restored")
+        log(json.dumps(stats, indent=2, sort_keys=True))
+        # The one-line verdict is printed even in quiet mode.
+        print(f"serve-smoke OK: {requests}/{requests} valid rankings, "
+              f"{stats['fallbacks']} served from fallback rungs")
+    return 0

@@ -1,0 +1,117 @@
+"""Service observability: per-rung counters and latency summaries.
+
+Everything here is plain bookkeeping — mutation happens in
+:class:`repro.serve.RecommendService` — exposed as one JSON-friendly
+``snapshot()`` so a smoke test (or a real metrics exporter) can assert
+that every request is accounted for::
+
+    requests == served + rejected + exhausted + deadline_exceeded
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+
+import numpy as np
+
+__all__ = ["LatencyTracker", "RungStats", "ServiceStats"]
+
+
+class LatencyTracker:
+    """Bounded reservoir of recent latencies with percentile summaries."""
+
+    def __init__(self, capacity: int = 1024):
+        self._samples: deque[float] = deque(maxlen=capacity)
+
+    def add(self, seconds: float) -> None:
+        self._samples.append(float(seconds))
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def summary(self) -> dict:
+        """count/mean/p50/p95/max over the retained window, in ms."""
+        if not self._samples:
+            return {"count": 0}
+        values = np.asarray(self._samples, dtype=np.float64) * 1e3
+        return {
+            "count": len(values),
+            "mean_ms": round(float(values.mean()), 3),
+            "p50_ms": round(float(np.percentile(values, 50)), 3),
+            "p95_ms": round(float(np.percentile(values, 95)), 3),
+            "max_ms": round(float(values.max()), 3),
+        }
+
+
+class RungStats:
+    """Counters for one rung of the fallback chain.
+
+    ``attempts`` counts every scoring call (including retries);
+    ``failures`` is broken down by cause (``error`` / ``timeout`` /
+    ``non_finite``); ``short_circuited`` counts requests the breaker
+    refused without calling the model.
+    """
+
+    def __init__(self):
+        self.attempts = 0
+        self.successes = 0
+        self.failures: Counter[str] = Counter()
+        self.short_circuited = 0
+        self.latency = LatencyTracker()
+
+    def snapshot(self) -> dict:
+        return {
+            "attempts": self.attempts,
+            "successes": self.successes,
+            "failures": dict(self.failures),
+            "short_circuited": self.short_circuited,
+            "latency": self.latency.summary(),
+        }
+
+
+class ServiceStats:
+    """Request-level accounting across the whole service."""
+
+    def __init__(self, rung_names: list[str]):
+        self.requests = 0
+        self.rejected = 0
+        self.exhausted = 0
+        self.deadline_exceeded = 0
+        self.served: Counter[str] = Counter()
+        self.fallbacks = 0
+        self.rungs = {name: RungStats() for name in rung_names}
+
+    @property
+    def total_served(self) -> int:
+        return sum(self.served.values())
+
+    def accounted(self) -> bool:
+        """True when every request ended in exactly one outcome bucket."""
+        return self.requests == (
+            self.total_served
+            + self.rejected
+            + self.exhausted
+            + self.deadline_exceeded
+        )
+
+    def snapshot(self, breakers: dict[str, dict] | None = None) -> dict:
+        """One JSON-friendly dict of everything (breaker states merged
+        in when the service passes them)."""
+        rungs = {}
+        for name, stats in self.rungs.items():
+            entry = stats.snapshot()
+            entry["served"] = self.served.get(name, 0)
+            if breakers and name in breakers:
+                entry["breaker"] = breakers[name]
+            rungs[name] = entry
+        return {
+            "requests": self.requests,
+            "served": self.total_served,
+            "served_by_rung": dict(self.served),
+            "rejected": self.rejected,
+            "exhausted": self.exhausted,
+            "deadline_exceeded": self.deadline_exceeded,
+            "fallbacks": self.fallbacks,
+            "accounted": self.accounted(),
+            "rungs": rungs,
+        }

@@ -3,6 +3,7 @@ full-state checkpoint/resume."""
 
 from .annealing import BetaSchedule, ConstantBeta, KLAnnealing
 from .checkpoint import (
+    CheckpointError,
     TrainingCheckpoint,
     checkpoint_path,
     latest_checkpoint,
@@ -17,6 +18,7 @@ from .trainer import Trainer
 
 __all__ = [
     "BetaSchedule",
+    "CheckpointError",
     "ConstantBeta",
     "KLAnnealing",
     "Trainer",

@@ -44,9 +44,11 @@ from pathlib import Path
 
 import numpy as np
 
+from ..nn.serialization import CheckpointError, load_archive
 from .config import TrainingHistory
 
 __all__ = [
+    "CheckpointError",
     "TrainingCheckpoint",
     "checkpoint_path",
     "latest_checkpoint",
@@ -165,17 +167,26 @@ def save_training_checkpoint(
 
 
 def load_training_checkpoint(path: str | Path) -> TrainingCheckpoint:
-    """Read a checkpoint written by :func:`save_training_checkpoint`."""
+    """Read a checkpoint written by :func:`save_training_checkpoint`.
+
+    A missing, truncated, or bit-flipped file raises
+    :class:`CheckpointError` (see :mod:`repro.nn.serialization`) rather
+    than a raw ``zipfile``/``EOFError`` traceback.
+    """
     path = Path(path)
-    with np.load(path) as archive:
-        arrays = {key: archive[key] for key in archive.files}
+    arrays = load_archive(path)
     raw = arrays.pop(_META_KEY, None)
     if raw is None:
-        raise ValueError(
+        raise CheckpointError(
             f"{path} is not a training checkpoint (missing {_META_KEY}); "
             "weight-only files are handled by repro.nn.serialization"
         )
-    meta = json.loads(raw.tobytes().decode("utf-8"))
+    try:
+        meta = json.loads(raw.tobytes().decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise CheckpointError(
+            f"{path} has a corrupt training-meta blob: {error}"
+        ) from error
     model_state = {
         key[len(_MODEL_PREFIX):]: value
         for key, value in arrays.items()

@@ -175,6 +175,16 @@ class Trainer:
                 num_batches += 1
             denominator = max(epoch_examples, 1)
             mean_loss = epoch_loss / denominator
+            if not np.isfinite(mean_loss):
+                # Every per-batch loss passed the finite check above, so
+                # this is the accumulator itself overflowing (huge but
+                # finite batch losses summing to inf).
+                raise RuntimeError(
+                    f"non-finite epoch loss ({mean_loss}) at epoch "
+                    f"{epoch}: per-batch losses were finite but their "
+                    "sum overflowed — the loss scale has diverged; "
+                    "lower the learning rate or inspect recent batches"
+                )
             history.losses.append(mean_loss)
             if tracks_elbo:
                 history.reconstruction_losses.append(

@@ -1,9 +1,10 @@
-"""CSV round-trip and error reporting."""
+"""CSV round-trip, row validation, and error reporting."""
 
 import numpy as np
 import pytest
 
 from repro.data import (
+    CsvFormatError,
     InteractionLog,
     read_interactions_csv,
     write_interactions_csv,
@@ -51,3 +52,76 @@ def test_non_numeric_field_reports_line(tmp_path):
     path.write_text("1,ten,4.0,100\n")
     with pytest.raises(ValueError, match=":1"):
         read_interactions_csv(path)
+
+
+class TestRowValidation:
+    def write(self, tmp_path, text):
+        path = tmp_path / "rows.csv"
+        path.write_text(text)
+        return path
+
+    def test_errors_are_csv_format_errors(self, tmp_path):
+        path = self.write(tmp_path, "1,10\n")
+        with pytest.raises(CsvFormatError):
+            read_interactions_csv(path)
+
+    def test_negative_user_id_rejected_with_line(self, tmp_path):
+        path = self.write(tmp_path, "1,10,4.0,100\n-2,20,4.0,200\n")
+        with pytest.raises(CsvFormatError, match=":2"):
+            read_interactions_csv(path)
+
+    def test_non_integer_item_id_rejected(self, tmp_path):
+        path = self.write(tmp_path, "1,10.5,4.0,100\n")
+        with pytest.raises(CsvFormatError, match="integer"):
+            read_interactions_csv(path)
+
+    def test_non_finite_rating_rejected(self, tmp_path):
+        path = self.write(tmp_path, "1,10,nan,100\n")
+        with pytest.raises(CsvFormatError, match="finite"):
+            read_interactions_csv(path)
+
+    def test_non_monotonic_timestamps_name_both_lines(self, tmp_path):
+        # User 1's second event travels back in time; user 2 interleaved
+        # rows must not confuse the per-user tracking.
+        path = self.write(
+            tmp_path,
+            "1,10,4.0,300\n2,20,4.0,100\n1,30,4.0,200\n",
+        )
+        with pytest.raises(CsvFormatError, match=":3") as info:
+            read_interactions_csv(path)
+        assert "line 1" in str(info.value)
+
+    def test_per_user_monotonicity_allows_interleaving(self, tmp_path):
+        # Globally non-monotonic but per-user monotonic: fine.
+        path = self.write(
+            tmp_path,
+            "1,10,4.0,300\n2,20,4.0,100\n2,30,4.0,200\n1,40,4.0,400\n",
+        )
+        assert len(read_interactions_csv(path)) == 4
+
+    def test_equal_timestamps_allowed(self, tmp_path):
+        path = self.write(tmp_path, "1,10,4.0,100\n1,20,4.0,100\n")
+        assert len(read_interactions_csv(path)) == 2
+
+
+class TestLenientMode:
+    def test_strict_false_skips_and_counts(self, tmp_path):
+        path = tmp_path / "mixed.csv"
+        path.write_text(
+            "1,10,4.0,100\nbroken row\n-1,20,4.0,200\n1,30,4.0,300\n"
+        )
+        errors = []
+        with pytest.warns(UserWarning, match="skipped 2"):
+            log = read_interactions_csv(path, strict=False, errors=errors)
+        assert len(log) == 2
+        assert len(errors) == 2
+        assert any(":2" in message for message in errors)
+        assert any(":3" in message for message in errors)
+
+    def test_strict_false_with_clean_file_is_silent(self, tmp_path):
+        path = tmp_path / "clean.csv"
+        path.write_text("1,10,4.0,100\n")
+        errors = []
+        log = read_interactions_csv(path, strict=False, errors=errors)
+        assert len(log) == 1
+        assert errors == []

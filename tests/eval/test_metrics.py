@@ -6,7 +6,15 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.eval import ndcg_at_n, precision_at_n, rank_items, recall_at_n
+from repro.eval import (
+    NonFiniteScoresError,
+    metrics_batch,
+    ndcg_at_n,
+    precision_at_n,
+    rank_items,
+    rank_items_batch,
+    recall_at_n,
+)
 
 
 class TestHandComputed:
@@ -107,3 +115,59 @@ class TestRankItems:
         scores = np.array([0.0, 1.0, 2.0])
         rank_items(scores, 2, exclude=np.array([1]))
         np.testing.assert_array_equal(scores, [0.0, 1.0, 2.0])
+
+
+class TestNonFiniteGuard:
+    def test_nan_scores_raise(self):
+        scores = np.array([[0.0, 1.0, np.nan, 2.0]])
+        with pytest.raises(NonFiniteScoresError, match="NaN"):
+            rank_items_batch(scores, 2)
+
+    def test_positive_inf_raises(self):
+        with pytest.raises(NonFiniteScoresError):
+            rank_items(np.array([0.0, np.inf, 1.0]), 2)
+
+    def test_negative_inf_is_a_legal_sentinel(self):
+        # -inf marks excluded items (padding, fold-in) — never an error.
+        scores = np.array([[-np.inf, -np.inf, 1.0, 2.0]])
+        ranked = rank_items_batch(scores, 2)
+        assert ranked[0].tolist() == [3, 2]
+
+    def test_error_names_the_offending_rows(self):
+        scores = np.zeros((4, 5))
+        scores[2, 1] = np.nan
+        with pytest.raises(NonFiniteScoresError, match=r"rows \[2\]"):
+            rank_items_batch(scores, 2)
+
+    def test_check_finite_opt_out(self):
+        scores = np.array([[0.0, 1.0, np.nan, 2.0]])
+        ranked = rank_items_batch(scores, 2, check_finite=False)
+        assert ranked.shape == (1, 2)
+
+    def test_non_finite_scores_error_is_a_value_error(self):
+        assert issubclass(NonFiniteScoresError, ValueError)
+
+
+class TestMetricsBatchValidation:
+    def targets(self, users=1):
+        return [np.array([1]) for _ in range(users)]
+
+    def test_float_ranked_lists_rejected(self):
+        ranked = np.array([[1.0, 2.0]])
+        with pytest.raises(ValueError, match="integer item ids"):
+            metrics_batch(ranked, self.targets(), (2,), num_columns=5)
+
+    def test_out_of_range_ids_rejected(self):
+        ranked = np.array([[1, 7]])
+        with pytest.raises(ValueError, match=r"\[0, 5\)"):
+            metrics_batch(ranked, self.targets(), (2,), num_columns=5)
+
+    def test_negative_ids_rejected(self):
+        ranked = np.array([[1, -2]])
+        with pytest.raises(ValueError, match="ranked item ids"):
+            metrics_batch(ranked, self.targets(), (2,), num_columns=5)
+
+    def test_valid_input_still_computes(self):
+        ranked = np.array([[1, 2]])
+        result = metrics_batch(ranked, self.targets(), (2,), num_columns=5)
+        assert result["recall@2"][0] == pytest.approx(1.0)

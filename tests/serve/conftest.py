@@ -1,0 +1,94 @@
+"""Shared fakes for the serving-layer tests: a fake clock and a family
+of deterministic stub recommenders so every breaker/deadline/fallback
+transition can be driven without real models or real sleeping."""
+
+import numpy as np
+import pytest
+
+NUM_ITEMS = 10
+
+
+class FakeClock:
+    """Manually advanced monotonic clock."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class StubModel:
+    """Deterministic healthy rung: score = item id (top item = 10)."""
+
+    name = "stub"
+
+    def __init__(self, num_items: int = NUM_ITEMS, offset: float = 0.0):
+        self.num_items = num_items
+        self.offset = offset
+        self.calls = 0
+
+    def score_batch(self, histories):
+        self.calls += 1
+        scores = np.tile(
+            np.arange(self.num_items + 1, dtype=np.float64) + self.offset,
+            (len(histories), 1),
+        )
+        return scores
+
+
+class FailingModel(StubModel):
+    """Raises on every call (optionally only the first ``fail_first``)."""
+
+    name = "failing"
+
+    def __init__(self, error: Exception | None = None,
+                 fail_first: int | None = None, **kwargs):
+        super().__init__(**kwargs)
+        self.error = error or RuntimeError("model exploded")
+        self.fail_first = fail_first
+
+    def score_batch(self, histories):
+        self.calls += 1
+        if self.fail_first is None or self.calls <= self.fail_first:
+            raise self.error
+        return super().score_batch(histories)
+
+
+class NaNModel(StubModel):
+    """Emits NaN-poisoned scores."""
+
+    name = "nan"
+
+    def score_batch(self, histories):
+        scores = super().score_batch(histories)
+        scores[:, 1::2] = np.nan
+        return scores
+
+
+class SlowModel(StubModel):
+    """Advances the fake clock mid-call to simulate latency."""
+
+    name = "slow"
+
+    def __init__(self, clock: FakeClock, delay: float, **kwargs):
+        super().__init__(**kwargs)
+        self.clock = clock
+        self.delay = delay
+
+    def score_batch(self, histories):
+        self.clock.advance(self.delay)
+        return super().score_batch(histories)
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def history():
+    return np.array([1, 2, 3], dtype=np.int64)

@@ -1,0 +1,153 @@
+"""Circuit-breaker state machine: trip conditions, cooldown, half-open
+probes, and snapshots — all on a fake clock."""
+
+import pytest
+
+from repro.serve import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+from .conftest import FakeClock
+
+
+def make_breaker(clock, **overrides):
+    kwargs = dict(
+        failure_threshold=0.5,
+        window=10,
+        min_calls=4,
+        cooldown=30.0,
+        half_open_probes=2,
+        clock=clock,
+    )
+    kwargs.update(overrides)
+    return CircuitBreaker(**kwargs)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(failure_threshold=0.0),
+            dict(failure_threshold=1.5),
+            dict(window=0),
+            dict(min_calls=0),
+            dict(half_open_probes=0),
+            dict(cooldown=-1.0),
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            CircuitBreaker(**kwargs)
+
+
+class TestClosed:
+    def test_starts_closed_and_allows(self, clock):
+        breaker = make_breaker(clock)
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_failures_below_min_calls_do_not_trip(self, clock):
+        breaker = make_breaker(clock, min_calls=4)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_trips_at_failure_rate_threshold(self, clock):
+        breaker = make_breaker(clock, min_calls=4, failure_threshold=0.5)
+        # 2 failures / 4 calls = exactly the 0.5 threshold.
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.times_opened == 1
+
+    def test_successes_keep_rate_below_threshold(self, clock):
+        breaker = make_breaker(clock, window=10, min_calls=4)
+        for _ in range(20):
+            breaker.record_success()
+            breaker.record_success()
+            breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_window_forgets_old_failures(self, clock):
+        breaker = make_breaker(clock, window=4, min_calls=4)
+        breaker.record_failure()
+        breaker.record_failure()
+        # Four successes push both failures out of the window.
+        for _ in range(4):
+            breaker.record_success()
+        assert breaker.failure_rate() == 0.0
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+
+class TestOpen:
+    def trip(self, clock, **overrides):
+        breaker = make_breaker(clock, **overrides)
+        for _ in range(4):
+            breaker.record_failure()
+        assert breaker.state == OPEN
+        return breaker
+
+    def test_open_refuses_traffic(self, clock):
+        breaker = self.trip(clock)
+        assert not breaker.allow()
+
+    def test_cooldown_transitions_to_half_open(self, clock):
+        breaker = self.trip(clock, cooldown=30.0)
+        clock.advance(29.9)
+        assert not breaker.allow()
+        clock.advance(0.2)
+        assert breaker.allow()
+        assert breaker.state == HALF_OPEN
+
+
+class TestHalfOpen:
+    def half_open(self, clock, **overrides):
+        breaker = make_breaker(clock, cooldown=1.0, **overrides)
+        for _ in range(4):
+            breaker.record_failure()
+        clock.advance(1.1)
+        assert breaker.state == HALF_OPEN
+        return breaker
+
+    def test_probe_successes_close(self, clock):
+        breaker = self.half_open(clock, half_open_probes=2)
+        breaker.record_success()
+        assert breaker.state == HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        # The window was cleared: old failures are gone.
+        assert breaker.failure_rate() == 0.0
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self, clock):
+        breaker = self.half_open(clock)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.times_opened == 2
+        clock.advance(0.5)
+        assert not breaker.allow()
+        clock.advance(0.6)
+        assert breaker.allow()
+
+
+class TestSnapshotAndReset:
+    def test_snapshot_fields(self, clock):
+        breaker = make_breaker(clock)
+        breaker.record_failure()
+        breaker.record_success()
+        snap = breaker.snapshot()
+        assert snap["state"] == CLOSED
+        assert snap["failure_rate"] == 0.5
+        assert snap["window_size"] == 2
+        assert snap["times_opened"] == 0
+
+    def test_reset_restores_pristine_closed(self, clock):
+        breaker = make_breaker(clock, min_calls=2)
+        for _ in range(4):
+            breaker.record_failure()
+        assert breaker.state == OPEN
+        breaker.reset()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+        assert breaker.failure_rate() == 0.0

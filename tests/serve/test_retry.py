@@ -1,0 +1,125 @@
+"""Retry policy: backoff growth, jitter bounds, determinism, and the
+run() semantics (what is retried, what propagates)."""
+
+import numpy as np
+import pytest
+
+from repro.serve import RetryPolicy
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(max_attempts=0),
+            dict(jitter=-0.1),
+            dict(jitter=1.5),
+            dict(base_delay=-1.0),
+            dict(multiplier=0.5),
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestBackoff:
+    def test_deterministic_without_jitter(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0,
+                             max_delay=10.0, jitter=0.0)
+        assert policy.backoff(0) == pytest.approx(0.1)
+        assert policy.backoff(1) == pytest.approx(0.2)
+        assert policy.backoff(2) == pytest.approx(0.4)
+
+    def test_max_delay_caps_growth(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=10.0,
+                             max_delay=0.5, jitter=0.0)
+        assert policy.backoff(5) == pytest.approx(0.5)
+
+    def test_jitter_stays_within_bounds(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0,
+                             max_delay=10.0, jitter=0.5, seed=7)
+        for index in range(20):
+            delay = policy.backoff(index % 3)
+            nominal = 0.1 * 2.0 ** (index % 3)
+            assert nominal * 0.5 <= delay <= nominal
+
+    def test_same_seed_same_jitter_stream(self):
+        a = RetryPolicy(jitter=1.0, seed=3)
+        b = RetryPolicy(jitter=1.0, seed=3)
+        assert [a.backoff(0) for _ in range(5)] == [
+            b.backoff(0) for _ in range(5)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = RetryPolicy(jitter=1.0, seed=3)
+        b = RetryPolicy(jitter=1.0, seed=4)
+        assert [a.backoff(0) for _ in range(5)] != [
+            b.backoff(0) for _ in range(5)
+        ]
+
+
+class TestRun:
+    def policy(self, sleeps, attempts=3):
+        return RetryPolicy(max_attempts=attempts, base_delay=0.01,
+                           jitter=0.0, sleep=sleeps.append)
+
+    def test_success_first_try_never_sleeps(self):
+        sleeps = []
+        assert self.policy(sleeps).run(lambda: 42) == 42
+        assert sleeps == []
+
+    def test_retries_matching_exception_then_succeeds(self):
+        sleeps = []
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise TimeoutError("transient")
+            return "ok"
+
+        result = self.policy(sleeps).run(flaky, retry_on=(TimeoutError,))
+        assert result == "ok"
+        assert calls["n"] == 3
+        assert len(sleeps) == 2
+        # Exponential: second backoff doubles the first.
+        assert sleeps[1] == pytest.approx(sleeps[0] * 2.0)
+
+    def test_non_matching_exception_propagates_immediately(self):
+        sleeps = []
+        calls = {"n": 0}
+
+        def broken():
+            calls["n"] += 1
+            raise ValueError("permanent")
+
+        with pytest.raises(ValueError):
+            self.policy(sleeps).run(broken, retry_on=(TimeoutError,))
+        assert calls["n"] == 1
+        assert sleeps == []
+
+    def test_exhausted_attempts_raise_last_error(self):
+        sleeps = []
+
+        def always_fails():
+            raise TimeoutError("still down")
+
+        with pytest.raises(TimeoutError):
+            self.policy(sleeps, attempts=4).run(
+                always_fails, retry_on=(TimeoutError,)
+            )
+        assert len(sleeps) == 3
+
+    def test_pause_sleeps_backoff(self):
+        sleeps = []
+        policy = self.policy(sleeps)
+        policy.pause(0)
+        assert sleeps == [pytest.approx(0.01)]
+
+
+class TestJitterIsNumpyFree:
+    def test_backoff_returns_python_float(self):
+        policy = RetryPolicy(jitter=0.5, seed=0)
+        assert isinstance(policy.backoff(0), float)
+        assert not isinstance(policy.backoff(0), np.floating)

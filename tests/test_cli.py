@@ -153,3 +153,16 @@ def test_weak_protocol_evaluate(csv_path, checkpoint, capsys):
     assert exit_code == 0
     payload = json.loads(capsys.readouterr().out)
     assert "ndcg@10" in payload
+
+
+def test_serve_smoke_command(csv_path, checkpoint, capsys):
+    exit_code = main(
+        [
+            "serve-smoke", "--data", str(csv_path),
+            "--checkpoint", str(checkpoint), "--requests", "30",
+            "--seed", "1", "--quiet",
+        ]
+    )
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "serve-smoke OK" in out

@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.models",
     "repro.core",
     "repro.train",
+    "repro.serve",
     "repro.experiments",
 ]
 

@@ -253,6 +253,66 @@ class TestCheckpointFiles:
             resolve_checkpoint(tmp_path / "missing.npz")
 
 
+class TestCorruptCheckpoints:
+    """Corrupt or truncated files must surface as CheckpointError — a
+    typed, catchable failure — never a bare zipfile/pickle/EOFError."""
+
+    def trained_dir(self, corpus, tmp_path):
+        Trainer(
+            TrainerConfig(epochs=2, batch_size=8,
+                          checkpoint_dir=str(tmp_path))
+        ).fit(make_sasrec(), corpus)
+        return tmp_path
+
+    def test_truncated_checkpoint_raises_checkpoint_error(
+        self, corpus, tmp_path
+    ):
+        from repro.serve import truncate_file
+        from repro.train import CheckpointError
+
+        directory = self.trained_dir(corpus, tmp_path)
+        truncate_file(latest_checkpoint(directory), keep_fraction=0.5)
+        with pytest.raises(CheckpointError):
+            load_training_checkpoint(latest_checkpoint(directory))
+
+    def test_bit_flipped_checkpoint_raises_checkpoint_error(
+        self, corpus, tmp_path
+    ):
+        from repro.serve import flip_byte
+        from repro.train import CheckpointError
+
+        directory = self.trained_dir(corpus, tmp_path)
+        flip_byte(latest_checkpoint(directory), seed=1)
+        with pytest.raises(CheckpointError):
+            load_training_checkpoint(latest_checkpoint(directory))
+
+    def test_garbage_file_raises_checkpoint_error(self, tmp_path):
+        from repro.train import CheckpointError
+
+        bad = tmp_path / "checkpoint-epoch-00001.npz"
+        bad.write_bytes(b"not an archive")
+        with pytest.raises(CheckpointError):
+            load_training_checkpoint(bad)
+
+    def test_checkpoint_error_is_a_value_error(self):
+        from repro.train import CheckpointError
+
+        assert issubclass(CheckpointError, ValueError)
+
+    def test_resume_from_corrupt_checkpoint_raises(
+        self, corpus, tmp_path
+    ):
+        from repro.serve import truncate_file
+        from repro.train import CheckpointError
+
+        directory = self.trained_dir(corpus, tmp_path)
+        truncate_file(latest_checkpoint(directory), keep_fraction=0.5)
+        with pytest.raises(CheckpointError):
+            Trainer(TrainerConfig(epochs=4, batch_size=8)).fit(
+                make_sasrec(), corpus, resume_from=directory
+            )
+
+
 class TestCrashSafety:
     def test_partial_tmp_file_is_ignored(self, corpus, tmp_path):
         """A crash mid-save leaves a ``.tmp`` file; readers must keep

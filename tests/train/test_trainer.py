@@ -237,6 +237,21 @@ class TestAnomalyDetection:
         with pytest.raises(RuntimeError, match="non-finite"):
             Trainer(TrainerConfig(epochs=1, batch_size=8)).fit(model, corpus)
 
+    def test_epoch_sum_overflow_aborts(self, corpus):
+        """Every per-batch loss is finite but huge, so only their sum
+        overflows — the per-batch guard passes and the epoch-level guard
+        must catch it instead of reporting ``inf`` as a valid loss."""
+
+        class HugeLoss(SASRec):
+            def training_loss(self, padded):
+                return super().training_loss(padded) * 0.0 + 1e308
+
+        model = HugeLoss(10, 6, dim=12, num_blocks=1, seed=0)
+        with pytest.raises(RuntimeError, match="non-finite epoch loss"):
+            Trainer(TrainerConfig(epochs=1, batch_size=8)).fit(
+                model, corpus
+            )
+
 
 class TestELBOTracking:
     def test_vsan_history_records_terms(self, corpus):
