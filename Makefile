@@ -1,7 +1,7 @@
 # Convenience targets for the VSAN reproduction.
 
-.PHONY: install test bench bench-full experiments examples clean \
-	resume-smoke serve-smoke
+.PHONY: install test bench bench-serve bench-full experiments examples \
+	clean resume-smoke serve-smoke
 
 install:
 	python setup.py develop
@@ -13,9 +13,20 @@ test-log:
 	pytest tests/ 2>&1 | tee test_output.txt
 
 bench:
-	PYTHONPATH=src pytest benchmarks/test_substrate_perf.py --benchmark-only \
+	PYTHONPATH=src pytest benchmarks/test_substrate_perf.py \
+		benchmarks/test_serve_throughput.py --benchmark-only \
 		--benchmark-json=BENCH_substrate.json
 	python benchmarks/compare_bench.py BENCH_substrate.json
+
+# Serving-path benchmarks only: engine throughput at batch 1/8/32, cache
+# cold vs warm, plus the hard >= 3x engine-vs-sequential speedup gate
+# (the gate test is skipped under --benchmark-only, so it runs second).
+bench-serve:
+	PYTHONPATH=src pytest benchmarks/test_serve_throughput.py \
+		--benchmark-only --benchmark-json=BENCH_serve.json
+	PYTHONPATH=src pytest benchmarks/test_serve_throughput.py \
+		-k speedup_gate -q -s
+	python benchmarks/compare_bench.py BENCH_serve.json
 
 # Crash-injection smoke test: SIGKILL a checkpointing training run,
 # resume it, and require bit-identical losses/weights vs. straight-through.

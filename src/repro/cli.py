@@ -162,6 +162,7 @@ def cmd_serve_smoke(args) -> int:
             checkpoint=args.checkpoint,
             epochs=args.epochs,
             verbose=not args.quiet,
+            engine=args.engine,
         )
     except SmokeFailure as failure:
         print(f"serve-smoke FAILED: {failure}", file=sys.stderr)
@@ -277,6 +278,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "a throwaway one)")
     smoke.add_argument("--epochs", type=int, default=2,
                        help="training budget for throwaway models")
+    smoke.add_argument("--engine", action="store_true",
+                       help="serve through the InferenceEngine "
+                            "(micro-batching + score cache) via "
+                            "recommend_many instead of one call per "
+                            "request; the same fault invariants must "
+                            "hold, plus real coalescing/cache activity")
     smoke.add_argument("--quiet", action="store_true")
     smoke.set_defaults(func=cmd_serve_smoke)
 

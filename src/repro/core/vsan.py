@@ -268,6 +268,25 @@ class VSAN(NeuralSequentialRecommender):
         logits, _, _, _ = self._forward(padded, sample=sample)
         return logits
 
+    def forward_last(self, padded: np.ndarray) -> Tensor:
+        """Last-position logits with the O(|I|) prediction fast path.
+
+        The attention stacks still see the whole window (causality needs
+        it), but the hidden state is sliced to the final position *before*
+        the Eq. 19 item-vocabulary GEMM, and the σ-head is skipped
+        entirely — at the posterior mean only ``mu`` feeds the decoder.
+        """
+        if self.training or self.sample_at_eval:
+            # Sampling draws noise for every position; keep the full path
+            # so the reparameterization RNG stream matches forward_scores.
+            return super().forward_last(padded)
+        encoded, timeline_mask, key_padding_mask = self.inference_layer(
+            padded
+        )
+        z = self.mu_head(encoded) if self.use_latent else encoded
+        hidden = self.generative_layer(z, timeline_mask, key_padding_mask)
+        return self.prediction_layer(hidden[:, -1, :])
+
     def training_elbo(self, padded: np.ndarray) -> ELBOTerms:
         """β-ELBO of Eq. 20 over a padded batch, terms kept separate.
 

@@ -14,6 +14,7 @@ from .batching import (
     minibatch_indices,
     next_k_multi_hot,
     pad_left,
+    pad_left_into,
     shift_targets,
 )
 from .interactions import PAD_ID, DatasetStatistics, InteractionLog, SequenceCorpus
@@ -61,6 +62,7 @@ __all__ = [
     "minibatch_indices",
     "next_k_multi_hot",
     "pad_left",
+    "pad_left_into",
     "prepare_corpus",
     "read_interactions_csv",
     "shift_targets",

@@ -17,6 +17,7 @@ from .interactions import PAD_ID
 
 __all__ = [
     "pad_left",
+    "pad_left_into",
     "shift_targets",
     "next_k_multi_hot",
     "minibatch_indices",
@@ -33,6 +34,23 @@ def pad_left(sequence: np.ndarray, length: int) -> np.ndarray:
     if len(sequence):
         out[length - len(sequence):] = sequence
     return out
+
+
+def pad_left_into(sequence: np.ndarray, row: np.ndarray) -> None:
+    """Write :func:`pad_left` of ``sequence`` into ``row`` in place.
+
+    The allocation-free variant for hot scoring paths: callers keep one
+    padded buffer alive and refill its rows per batch instead of building
+    a fresh array per request.
+    """
+    sequence = np.asarray(sequence, dtype=np.int64)
+    length = len(row)
+    if len(sequence) >= length:
+        row[:] = sequence[-length:]
+        return
+    row[: length - len(sequence)] = PAD_ID
+    if len(sequence):
+        row[length - len(sequence):] = sequence
 
 
 def build_training_matrix(

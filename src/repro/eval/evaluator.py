@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..data.splits import FoldInUser
+from ..tensor import no_grad
 from .metrics import metrics_batch, rank_items_batch
 
 __all__ = ["EvaluationResult", "evaluate_recommender"]
@@ -74,7 +75,13 @@ def evaluate_recommender(
     }
     for start in range(0, len(heldout), batch_size):
         chunk = heldout[start:start + batch_size]
-        scores = recommender.score_batch([user.fold_in for user in chunk])
+        # Evaluation never backpropagates: disable graph construction so
+        # custom recommenders that don't guard their own forward pass
+        # still allocate no tape (the ranking below is pure numpy).
+        with no_grad():
+            scores = recommender.score_batch(
+                [user.fold_in for user in chunk]
+            )
         scores = np.asarray(scores, dtype=np.float64)
         # Ranking and metric accumulation are vectorized over the whole
         # scored chunk — one argpartition/argsort and one relevance

@@ -22,7 +22,7 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
-from ..data.batching import build_training_matrix, pad_left
+from ..data.batching import build_training_matrix, pad_left, pad_left_into
 from ..data.interactions import SequenceCorpus
 from ..nn.module import Module
 from ..tensor import Tensor, no_grad
@@ -52,6 +52,16 @@ class Recommender(ABC):
         """Score several histories; default loops over :meth:`score`."""
         return np.stack([self.score(history) for history in histories])
 
+    def score_last(self, histories: list[np.ndarray]) -> np.ndarray:
+        """Next-item scores only — the serving hot path.
+
+        :meth:`score_batch` already carries last-position semantics (one
+        score row per history), so the default simply delegates; the
+        neural models override the *implementation* to slice the hidden
+        state to the final position before the output GEMM.
+        """
+        return self.score_batch(histories)
+
 
 class NeuralSequentialRecommender(Module, Recommender):
     """Shared padding/scoring logic for the deep sequence models.
@@ -79,6 +89,18 @@ class NeuralSequentialRecommender(Module, Recommender):
     def forward_scores(self, padded: np.ndarray) -> Tensor:
         raise NotImplementedError
 
+    def forward_last(self, padded: np.ndarray) -> Tensor:
+        """Logits for the *final* position only, ``(batch, num_items+1)``.
+
+        Inference never reads the other positions, so subclasses override
+        this to slice the hidden state to the last position *before* the
+        item-vocabulary GEMM — candidate scoring then costs O(|I|) instead
+        of O(L·|I|) per request.  The default falls back to the full
+        forward pass and slices after, which is always correct (and, on a
+        row-deterministic BLAS, bitwise identical).
+        """
+        return self.forward_scores(padded)[:, -1, :]
+
     def training_loss(self, padded: np.ndarray) -> Tensor:
         raise NotImplementedError
 
@@ -102,12 +124,27 @@ class NeuralSequentialRecommender(Module, Recommender):
     def score(self, history: np.ndarray) -> np.ndarray:
         return self.score_batch([history])[0]
 
+    def _padded_buffer(self, batch: int) -> np.ndarray:
+        """A reusable ``(batch, max_length)`` id buffer for scoring.
+
+        Memoized like PR 1's causal-mask cache: the buffer is grown (never
+        shrunk) and its leading rows are refilled per call, so steady-state
+        serving allocates no fresh padded matrices.
+        """
+        buffer = getattr(self, "_scoring_buffer", None)
+        if buffer is None or buffer.shape[0] < batch:
+            buffer = np.empty((batch, self.max_length), dtype=np.int64)
+            object.__setattr__(self, "_scoring_buffer", buffer)
+        return buffer[:batch]
+
     def score_batch(self, histories: list[np.ndarray]) -> np.ndarray:
         self.eval()
-        padded = np.stack([self.padded_input(h) for h in histories])
+        padded = self._padded_buffer(len(histories))
+        for row, history in zip(padded, histories):
+            pad_left_into(np.asarray(history, dtype=np.int64), row)
         with no_grad():
-            logits = self.forward_scores(padded)
-        scores = logits.numpy()[:, -1, :].copy()
+            logits = self.forward_last(padded)
+        scores = logits.numpy().copy()
         scores[:, 0] = -np.inf
         return scores
 

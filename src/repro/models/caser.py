@@ -107,6 +107,33 @@ class Caser(NeuralSequentialRecommender):
         logits = self._window_features(flat)
         return logits.reshape(batch, length, self.num_items + 1)
 
+    def forward_last(self, padded: np.ndarray) -> Tensor:
+        """Last-position logits from the final window only.
+
+        :meth:`forward_scores` slides ``length`` windows over the
+        sequence; inference needs just the one ending at the last item,
+        so this scores a single ``(batch, window)`` slice — an O(L)
+        reduction on top of the output-GEMM saving.  In training mode the
+        full path runs instead so dropout consumes the same RNG stream
+        either way.
+        """
+        if self.training:
+            return super().forward_last(padded)
+        padded = np.asarray(padded, dtype=np.int64)
+        batch, length = padded.shape
+        if length >= self.window:
+            windows = padded[:, -self.window:]
+        else:
+            windows = np.concatenate(
+                [
+                    np.full((batch, self.window - length), PAD_ID,
+                            dtype=np.int64),
+                    padded,
+                ],
+                axis=1,
+            )
+        return self._window_features(windows)
+
     def training_loss(self, padded: np.ndarray) -> Tensor:
         """Cross-entropy over the valid sliding windows of the batch.
 

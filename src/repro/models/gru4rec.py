@@ -55,6 +55,17 @@ class GRU4Rec(NeuralSequentialRecommender):
         hidden, _ = self.gru(embedded)
         return self.output(self.dropout(hidden))
 
+    def forward_last(self, padded: np.ndarray) -> Tensor:
+        """Last-position logits: the GRU must still unroll the sequence,
+        but only the final hidden state pays the output GEMM."""
+        if self.training:
+            # Dropout would draw a differently-shaped mask than the full
+            # pass; scoring paths are eval-mode, so only they fast-path.
+            return super().forward_last(padded)
+        embedded = self.dropout(self.item_embedding(padded))
+        hidden, _ = self.gru(embedded)
+        return self.output(self.dropout(hidden[:, -1, :]))
+
     def training_loss(self, padded: np.ndarray) -> Tensor:
         inputs, targets, weights = shift_targets(padded)
         logits = self.forward_scores(inputs)

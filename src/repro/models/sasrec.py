@@ -92,6 +92,14 @@ class SASRec(NeuralSequentialRecommender):
             return hidden @ self.embedding.item_embedding.weight.T
         return self.output(hidden)
 
+    def forward_last(self, padded: np.ndarray) -> Tensor:
+        """Last-position logits: slice the hidden state to the final
+        position before the item-vocabulary GEMM (O(|I|) per request)."""
+        hidden = self.forward_hidden(padded)[:, -1, :]
+        if self.tie_weights:
+            return hidden @ self.embedding.item_embedding.weight.T
+        return self.output(hidden)
+
     def training_loss(self, padded: np.ndarray) -> Tensor:
         inputs, targets, weights = shift_targets(padded)
         logits = self.forward_scores(inputs)

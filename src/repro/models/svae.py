@@ -118,6 +118,21 @@ class SVAE(NeuralSequentialRecommender):
         z = self._sample(mu, sigma) if self.training else mu
         return self.decode(z)
 
+    def forward_last(self, padded: np.ndarray) -> Tensor:
+        """Last-position logits at the posterior mean.
+
+        The encoder GRU still unrolls the sequence, but only the final
+        hidden state pays the ``mu``-head and decoder GEMMs — the σ-head
+        is skipped entirely (evaluation never samples).
+        """
+        if self.training:
+            # Sampling draws per-position noise; keep the RNG stream of
+            # the full pass.  Scoring paths are eval-mode.
+            return super().forward_last(padded)
+        embedded = self.dropout(self.item_embedding(padded))
+        hidden, _ = self.encoder(embedded)
+        return self.decode(self.mu_head(hidden[:, -1, :]))
+
     def training_loss(self, padded: np.ndarray) -> Tensor:
         inputs, targets, weights, multi_hot = reconstruction_targets(
             padded, self.k, self.num_items

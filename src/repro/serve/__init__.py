@@ -7,6 +7,10 @@ degrade gracefully instead of falling over.  The pieces:
   a circuit-breaker-guarded fallback chain (e.g. ``VSAN → SASRec →
   POP``), retry-with-backoff for transient failures, and full request
   accounting via :meth:`RecommendService.stats`.
+- :class:`InferenceEngine` — the high-throughput serving front-end:
+  guaranteed no-tape forwards, request micro-batching
+  (:class:`MicroBatcher`), and an LRU :class:`ScoreCache` keyed on
+  (model version, history suffix) with invalidation on hot-swap.
 - :class:`CircuitBreaker` — closed/open/half-open rung guard.
 - :class:`RetryPolicy` — exponential backoff with seeded jitter.
 - :mod:`repro.serve.faults` — a seeded fault injector (latency spikes,
@@ -21,6 +25,7 @@ See ``docs/SERVING.md`` for the fault model and ladder semantics.
 """
 
 from .breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from .engine import EngineConfig, InferenceEngine, MicroBatcher, ScoreCache
 from .errors import (
     AllRungsFailed,
     CheckpointError,
@@ -47,16 +52,20 @@ __all__ = [
     "CheckpointError",
     "CircuitBreaker",
     "DeadlineExceeded",
+    "EngineConfig",
     "FaultInjector",
     "FaultyRecommender",
     "HALF_OPEN",
+    "InferenceEngine",
     "InjectedFault",
     "InvalidRequest",
     "LatencyTracker",
+    "MicroBatcher",
     "OPEN",
     "Recommendation",
     "RecommendService",
     "RetryPolicy",
+    "ScoreCache",
     "RungStats",
     "ServeError",
     "ServiceConfig",

@@ -1,0 +1,430 @@
+"""High-throughput inference engine for the serving hot path.
+
+PR 1 made the *training* substrate fast (fused kernels, float32); this
+module applies the same bench-gated playbook to *serving*.  Three pieces
+compose into :class:`InferenceEngine`, which slots in anywhere a
+``score_batch(histories)`` recommender is expected (so the whole
+breaker/retry/deadline machinery of :class:`repro.serve.RecommendService`
+works on top of it unchanged):
+
+- **No-tape, last-position forwards** — every model call runs under
+  :class:`repro.tensor.no_grad` (serving allocates no autodiff tape) and
+  the neural models' ``forward_last`` fast path slices the hidden state
+  to the final position *before* the item-vocabulary GEMM, so candidate
+  scoring costs O(|I|) instead of O(L·|I|) per request.
+- **:class:`MicroBatcher`** — coalesces queued scoring requests into
+  padded batched forwards of up to ``max_batch`` rows.  Flush order is
+  deterministic (FIFO submission order, chunked at ``max_batch``), and a
+  flush is *due* once the queue is full or the oldest ticket has waited
+  ``max_delay`` seconds, so latency stays bounded under light load.
+- **:class:`ScoreCache`** — an LRU of finite score rows keyed on
+  ``(model version, most-recent-window suffix)``.  Two users whose
+  histories agree on the model's attention window share one entry; a
+  model hot-swap bumps the version, which invalidates every old entry
+  at once (see :meth:`InferenceEngine.set_model`).
+
+Equivalence is pinned bitwise: for a row-deterministic BLAS the batched
+engine returns exactly the scores of one-at-a-time ``score_batch`` calls
+(``tests/serve/test_engine.py`` enforces this across ragged lengths,
+duplicate users, and fault-driven degradation).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..tensor import no_grad
+
+__all__ = ["EngineConfig", "InferenceEngine", "MicroBatcher", "ScoreCache"]
+
+
+@dataclass
+class EngineConfig:
+    """Tuning knobs for :class:`InferenceEngine`.
+
+    Args:
+        max_batch: most requests coalesced into one padded forward.
+            Bigger batches amortize per-call overhead and turn many thin
+            GEMVs into one fat GEMM, at the cost of per-request latency
+            while the batch fills; 8–32 is the useful range here.
+        cache_capacity: LRU entries held by the :class:`ScoreCache`
+            (``0`` disables caching entirely).
+        max_delay: seconds the oldest queued request may wait before a
+            flush is *due* (``0`` = a flush is due as soon as anything is
+            queued; only streaming callers that poll
+            :meth:`MicroBatcher.due` feel this knob).
+    """
+
+    max_batch: int = 32
+    cache_capacity: int = 4096
+    max_delay: float = 0.0
+
+    def __post_init__(self):
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.cache_capacity < 0:
+            raise ValueError("cache_capacity must be >= 0")
+        if self.max_delay < 0:
+            raise ValueError("max_delay must be >= 0")
+
+
+class ScoreCache:
+    """LRU cache of per-request score rows with full accounting.
+
+    Keys are opaque (the engine uses ``(model_version, suffix bytes)``);
+    values are 1-D score arrays.  ``hits`` / ``misses`` / ``evictions`` /
+    ``invalidations`` are monotone counters surfaced through
+    :meth:`snapshot` into :class:`repro.serve.ServiceStats`.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self._entries: OrderedDict[object, np.ndarray] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        """Membership peek that moves nothing and counts nothing (used
+        by prefetch, which must not inflate the hit/miss counters)."""
+        return key in self._entries
+
+    def get(self, key) -> np.ndarray | None:
+        """The cached row for ``key`` (marked most-recently-used), or
+        ``None``.  Returns a copy so callers can never poison the cache."""
+        row = self._entries.get(key)
+        if row is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return row.copy()
+
+    def put(self, key, row: np.ndarray) -> None:
+        if self.capacity == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return
+        if len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        self._entries[key] = np.array(row, copy=True)
+
+    def clear(self) -> None:
+        """Drop every entry (counted as one invalidation event)."""
+        self.invalidations += 1
+        self._entries.clear()
+
+    def snapshot(self) -> dict:
+        total = self.hits + self.misses
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": round(self.hits / total, 4) if total else 0.0,
+        }
+
+
+class _Ticket:
+    """One queued scoring request; resolved by a batcher flush."""
+
+    __slots__ = ("history", "enqueued", "_scores", "_error", "_done")
+
+    def __init__(self, history: np.ndarray, enqueued: float):
+        self.history = history
+        self.enqueued = enqueued
+        self._scores: np.ndarray | None = None
+        self._error: Exception | None = None
+        self._done = False
+
+    def done(self) -> bool:
+        return self._done
+
+    def scores(self) -> np.ndarray:
+        """The resolved score row; raises the model's error if the flush
+        that carried this ticket failed."""
+        if not self._done:
+            raise RuntimeError("ticket not resolved; flush the batcher")
+        if self._error is not None:
+            raise self._error
+        return self._scores
+
+
+class MicroBatcher:
+    """Coalesce queued scoring requests into batched forwards.
+
+    Args:
+        score_batch: ``callable(list[np.ndarray]) -> (n, num_items+1)``
+            — the underlying scorer (one padded batched forward).
+        max_batch: flush chunk size; reaching it triggers an auto-flush.
+        max_delay: seconds before a waiting ticket makes a flush *due*.
+        clock: monotonic time source (injectable for tests).
+
+    Determinism: tickets resolve in FIFO submission order, chunked at
+    ``max_batch``; a chunk whose scorer raises fails *all* its tickets
+    with that error (each request then falls through the service's
+    normal retry/fallback machinery individually).
+    """
+
+    def __init__(
+        self,
+        score_batch,
+        max_batch: int = 32,
+        max_delay: float = 0.0,
+        clock=time.monotonic,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self._score_batch = score_batch
+        self.max_batch = max_batch
+        self.max_delay = max_delay
+        self._clock = clock
+        self._queue: list[_Ticket] = []
+        self.flushes = 0
+        self.batched_requests = 0
+        self.largest_flush = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def submit(self, history: np.ndarray) -> _Ticket:
+        """Queue one request; auto-flushes when the batch is full."""
+        ticket = _Ticket(np.asarray(history, dtype=np.int64), self._clock())
+        self._queue.append(ticket)
+        if len(self._queue) >= self.max_batch:
+            self.flush()
+        return ticket
+
+    def due(self) -> bool:
+        """True when a flush should run now: the queue is full, or the
+        oldest ticket has waited at least ``max_delay`` seconds."""
+        if not self._queue:
+            return False
+        if len(self._queue) >= self.max_batch:
+            return True
+        return self._clock() - self._queue[0].enqueued >= self.max_delay
+
+    def flush(self) -> int:
+        """Drain the queue in FIFO ``max_batch`` chunks; returns how many
+        tickets were resolved."""
+        resolved = 0
+        while self._queue:
+            chunk = self._queue[: self.max_batch]
+            del self._queue[: len(chunk)]
+            self.flushes += 1
+            self.batched_requests += len(chunk)
+            self.largest_flush = max(self.largest_flush, len(chunk))
+            try:
+                scores = self._score_batch(
+                    [ticket.history for ticket in chunk]
+                )
+            except Exception as error:  # noqa: BLE001 — fault isolation
+                for ticket in chunk:
+                    ticket._error = error
+                    ticket._done = True
+            else:
+                scores = np.asarray(scores)
+                if scores.shape[0] != len(chunk):
+                    mismatch = ValueError(
+                        f"scorer returned {scores.shape[0]} rows for a "
+                        f"{len(chunk)}-request chunk"
+                    )
+                    for ticket in chunk:
+                        ticket._error = mismatch
+                        ticket._done = True
+                else:
+                    for ticket, row in zip(chunk, scores):
+                        ticket._scores = row
+                        ticket._done = True
+            resolved += len(chunk)
+        return resolved
+
+    def snapshot(self) -> dict:
+        return {
+            "max_batch": self.max_batch,
+            "flushes": self.flushes,
+            "batched_requests": self.batched_requests,
+            "largest_flush": self.largest_flush,
+            "queued": len(self._queue),
+            "mean_flush_size": (
+                round(self.batched_requests / self.flushes, 3)
+                if self.flushes else 0.0
+            ),
+        }
+
+
+class InferenceEngine:
+    """Batching, caching, no-tape front-end for one recommender.
+
+    Drop-in for the model slot of a :class:`RecommendService` rung: it
+    exposes ``score_batch`` (and ``score``/``score_last``), so breakers,
+    retries, and deadlines compose with batching unchanged.
+
+    Args:
+        model: anything with ``score_batch(histories)``.  Neural models
+            additionally get their ``forward_last`` fast path and
+            preallocated padded buffer through their own ``score_batch``.
+        config: :class:`EngineConfig` knobs.
+        clock: monotonic time source for the batcher.
+    """
+
+    def __init__(self, model, config: EngineConfig | None = None,
+                 clock=time.monotonic):
+        self.config = config or EngineConfig()
+        self._model = model
+        self.model_version = 0
+        self.cache = (
+            ScoreCache(self.config.cache_capacity)
+            if self.config.cache_capacity else None
+        )
+        self.batcher = MicroBatcher(
+            self._score_chunk,
+            max_batch=self.config.max_batch,
+            max_delay=self.config.max_delay,
+            clock=clock,
+        )
+
+    # ------------------------------------------------------------------
+    # Model management (cache-invalidation rule lives here)
+    # ------------------------------------------------------------------
+    @property
+    def model(self):
+        return self._model
+
+    @property
+    def name(self) -> str:
+        inner = getattr(self._model, "name", type(self._model).__name__)
+        return f"engine({inner})"
+
+    def set_model(self, model) -> None:
+        """Swap the wrapped model and invalidate every cached score.
+
+        The invalidation rule on reload: the version in every cache key
+        is bumped (so stale entries can never be served) *and* the cache
+        is cleared eagerly (so their memory is released now, not via
+        LRU churn).
+        """
+        self._model = model
+        self.model_version += 1
+        if self.cache is not None:
+            self.cache.clear()
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def _key(self, history: np.ndarray):
+        """Cache key: model version + the suffix the model can see.
+
+        Truncating to ``max_length`` first means any two histories that
+        agree on the model's attention window share an entry.
+        """
+        window = getattr(self._model, "max_length", None)
+        if window is not None and len(history) > window:
+            history = history[-window:]
+        return (self.model_version, history.tobytes())
+
+    def _score_chunk(self, histories: list[np.ndarray]) -> np.ndarray:
+        """One batched forward, guaranteed tape-free."""
+        with no_grad():
+            return self._model.score_batch(histories)
+
+    def score(self, history: np.ndarray) -> np.ndarray:
+        return self.score_batch([history])[0]
+
+    def score_last(self, histories: list[np.ndarray]) -> np.ndarray:
+        return self.score_batch(histories)
+
+    def score_batch(self, histories: list[np.ndarray]) -> np.ndarray:
+        """Scores for every history — served from cache where possible,
+        micro-batched forwards for the misses, scattered back in order.
+
+        Raises the underlying model's error if a needed chunk failed
+        (cached requests are unaffected; the caller's retry/fallback
+        logic sees exactly what it would see calling the model directly).
+        """
+        histories = [
+            np.asarray(history, dtype=np.int64) for history in histories
+        ]
+        results: list[np.ndarray | None] = [None] * len(histories)
+        pending: list[tuple[int, object, _Ticket]] = []
+        for index, history in enumerate(histories):
+            key = self._key(history)
+            if self.cache is not None:
+                row = self.cache.get(key)
+                if row is not None:
+                    results[index] = row
+                    continue
+            pending.append((index, key, self.batcher.submit(history)))
+        if pending:
+            self.batcher.flush()
+        for index, key, ticket in pending:
+            row = ticket.scores()
+            # Only finite rows are cached (index 0 is the padding slot
+            # and is legitimately -inf): a transient NaN burst must not
+            # become a sticky cache entry that re-fails every hit.
+            if self.cache is not None and np.isfinite(row[1:]).all():
+                self.cache.put(key, row)
+            results[index] = row
+        return np.stack(results)
+
+    def prefetch(self, histories: list[np.ndarray]) -> int:
+        """Warm the cache with one coalesced pass over ``histories``.
+
+        Returns how many rows were freshly cached.  Model failures are
+        swallowed per chunk (each request will surface them individually
+        through the normal serving path) and the cache counters are left
+        untouched — only real request traffic moves hit/miss stats.
+        No-op when caching is disabled: without a cache there is nowhere
+        to scatter the batch to.
+        """
+        if self.cache is None:
+            return 0
+        pending: list[tuple[object, _Ticket]] = []
+        seen: set = set()
+        for history in histories:
+            history = np.asarray(history, dtype=np.int64)
+            key = self._key(history)
+            if key in self.cache or key in seen:
+                continue
+            seen.add(key)
+            pending.append((key, self.batcher.submit(history)))
+        self.batcher.flush()
+        warmed = 0
+        for key, ticket in pending:
+            try:
+                row = ticket.scores()
+            except Exception:  # noqa: BLE001 — warming is best-effort
+                continue
+            if np.isfinite(row[1:]).all():
+                self.cache.put(key, row)
+                warmed += 1
+        return warmed
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        return {
+            "model": getattr(
+                self._model, "name", type(self._model).__name__
+            ),
+            "model_version": self.model_version,
+            "cache": (
+                self.cache.snapshot() if self.cache is not None else None
+            ),
+            "batcher": self.batcher.snapshot(),
+        }

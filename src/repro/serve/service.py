@@ -39,10 +39,12 @@ import numpy as np
 
 from ..eval.metrics import NonFiniteScoresError, rank_items_batch
 from .breaker import CircuitBreaker
+from .engine import EngineConfig, InferenceEngine
 from .errors import (
     AllRungsFailed,
     DeadlineExceeded,
     InvalidRequest,
+    ServeError,
     TransientError,
 )
 from .loading import safe_load_model
@@ -111,6 +113,12 @@ class _Rung:
         self.model = model
         self.breaker = breaker
 
+    @property
+    def engine(self) -> InferenceEngine | None:
+        """The rung's engine, when the service routes through one."""
+        model = self.model
+        return model if isinstance(model, InferenceEngine) else None
+
 
 class RecommendService:
     """Serve top-N recommendations through a guarded fallback chain.
@@ -128,6 +136,13 @@ class RecommendService:
             :class:`CircuitBreaker` on the service clock.
         clock: monotonic time source (injectable for deterministic
             deadline/breaker tests).
+        engine: route every rung through an
+            :class:`repro.serve.engine.InferenceEngine` (micro-batching,
+            LRU score cache, guaranteed no-tape forwards).  Pass an
+            :class:`EngineConfig` to tune it, ``True`` for the defaults,
+            or leave ``None`` for direct model calls.  Breakers, retries,
+            and deadlines see the engine exactly like a model, so the
+            fault machinery composes with batching unchanged.
     """
 
     def __init__(
@@ -138,6 +153,7 @@ class RecommendService:
         retry: RetryPolicy | None = None,
         breaker_factory=None,
         clock=time.monotonic,
+        engine: EngineConfig | bool | None = None,
     ):
         rungs = list(rungs)
         if not rungs:
@@ -153,10 +169,19 @@ class RecommendService:
             max_attempts=2, base_delay=0.01, max_delay=0.1
         )
         self._clock = clock
+        if engine is True:
+            engine = EngineConfig()
+        self.engine_config = engine or None
         if breaker_factory is None:
             breaker_factory = lambda: CircuitBreaker(clock=clock)  # noqa: E731
         self._rungs = [
-            _Rung(name, model, breaker_factory()) for name, model in rungs
+            _Rung(
+                name,
+                InferenceEngine(model, config=engine, clock=clock)
+                if engine else model,
+                breaker_factory(),
+            )
+            for name, model in rungs
         ]
         self._stats = ServiceStats(names)
 
@@ -216,6 +241,61 @@ class RecommendService:
         raise AllRungsFailed(
             f"all {len(self._rungs)} rungs failed", causes
         )
+
+    def recommend_many(
+        self,
+        histories,
+        top_n: int | None = None,
+        deadline=_UNSET,
+    ) -> list:
+        """Serve a batch of requests with one coalesced forward.
+
+        The valid histories are first pushed through the highest
+        non-open rung's engine in micro-batches (one padded forward per
+        ``max_batch`` chunk, warming the score cache); each request then
+        flows through :meth:`recommend` unchanged — same validation,
+        breaker, retry, and deadline semantics — and picks its row up
+        from the cache instead of paying its own forward pass.  Rankings
+        are therefore bitwise-identical to calling :meth:`recommend` in
+        a loop; batch-coalescing time is attributed to the batch (the
+        per-request latency stats measure the serve itself).
+
+        Returns a list aligned with ``histories`` whose elements are
+        :class:`Recommendation` on success and the raised
+        :class:`~repro.serve.errors.ServeError` on failure — errors are
+        returned, not raised, so one bad request cannot fail the batch.
+        Requires the service to be built with ``engine=`` for the
+        speedup; without one this degrades to the sequential loop.
+        """
+        histories = list(histories)
+        valid = []
+        for history in histories:
+            try:
+                validated, _ = self._validate(history, top_n)
+            except InvalidRequest:
+                continue  # recommend() below re-raises and accounts it
+            valid.append(validated)
+        if valid:
+            for rung in self._rungs:
+                engine = rung.engine
+                if engine is None:
+                    continue
+                # Only the highest healthy rung is warmed: lower rungs
+                # see traffic only when requests degrade, and an open
+                # breaker means "stop hammering this model" — prefetch
+                # must respect that too.
+                if rung.breaker.allow():
+                    engine.prefetch(valid)
+                break
+        results = []
+        for history in histories:
+            try:
+                results.append(
+                    self.recommend(history, top_n=top_n, deadline=deadline)
+                )
+            except ServeError as error:
+                results.append(error)
+        return results
 
     def _attempt(
         self, rung: _Rung, history, top_n, start, budget, causes,
@@ -357,18 +437,27 @@ class RecommendService:
         :func:`repro.serve.loading.safe_load_model` (corrupt/truncated/
         NaN-weight files raise :class:`repro.nn.CheckpointError` and the
         current model keeps serving); on success the rung's breaker is
-        reset so the fresh model starts with a clean slate.
+        reset so the fresh model starts with a clean slate, and — when
+        the rung runs through an engine — every cached score for the old
+        weights is invalidated (version bump + eager clear).
         """
         rung = self._rung(name)
-        rung.model = safe_load_model(
+        self._install(rung, safe_load_model(
             path, registry, check_finite=check_finite, retries=retries
-        )
-        rung.breaker.reset()
+        ))
 
     def swap_model(self, name: str, model) -> None:
-        """Replace a rung's model with an already-built one."""
-        rung = self._rung(name)
-        rung.model = model
+        """Replace a rung's model with an already-built one (same cache
+        invalidation as :meth:`reload_rung`)."""
+        self._install(self._rung(name), model)
+
+    @staticmethod
+    def _install(rung: _Rung, model) -> None:
+        engine = rung.engine
+        if engine is not None:
+            engine.set_model(model)
+        else:
+            rung.model = model
         rung.breaker.reset()
 
     def breaker(self, name: str) -> CircuitBreaker:
@@ -385,9 +474,15 @@ class RecommendService:
         )
 
     def stats(self) -> dict:
-        """JSON-friendly snapshot of all counters and breaker states."""
+        """JSON-friendly snapshot of all counters and breaker states
+        (plus per-rung engine cache/batcher stats when engines are on)."""
         return self._stats.snapshot(
             breakers={
                 rung.name: rung.breaker.snapshot() for rung in self._rungs
-            }
+            },
+            engines={
+                rung.name: rung.engine.snapshot()
+                for rung in self._rungs
+                if rung.engine is not None
+            },
         )

@@ -32,11 +32,12 @@ import numpy as np
 from ..data import generate, prepare_corpus, read_interactions_csv, tiny_config
 from ..train import Trainer, TrainerConfig
 from .breaker import CLOSED, CircuitBreaker
+from .engine import EngineConfig
 from .errors import CheckpointError
 from .faults import FaultInjector, FaultyRecommender, flip_byte, truncate_file
 from .loading import safe_load_model
 from .retry import RetryPolicy
-from .service import RecommendService, ServiceConfig
+from .service import Recommendation, RecommendService, ServiceConfig
 
 __all__ = ["SmokeFailure", "run_smoke"]
 
@@ -101,6 +102,7 @@ def run_smoke(
     checkpoint: str | None = None,
     epochs: int = 2,
     verbose: bool = True,
+    engine: bool = False,
 ) -> int:
     """Run the smoke scenario; returns 0 on success.
 
@@ -114,6 +116,11 @@ def run_smoke(
             a throwaway one on the corpus).
         epochs: training budget for throwaway models.
         verbose: print progress and the final stats snapshot.
+        engine: route every rung through the
+            :class:`repro.serve.InferenceEngine` (micro-batching + score
+            cache) and drive traffic through ``recommend_many`` — the
+            same fault invariants must hold, plus the engine must show
+            real coalescing and cache activity.
     """
     from ..core import VSAN
     from ..models import POP, SASRec
@@ -183,21 +190,41 @@ def run_smoke(
                 failure_threshold=0.5, window=8, min_calls=4,
                 cooldown=cooldown, half_open_probes=2,
             ),
+            engine=EngineConfig(max_batch=16) if engine else None,
         )
+        if engine:
+            log("engine mode: micro-batched recommend_many "
+                "(max_batch=16, LRU score cache)")
+
+        def serve_chunk(chunk):
+            """One service call per request, or one coalesced batch."""
+            if engine:
+                results = service.recommend_many(chunk)
+                for history, rec in zip(chunk, results):
+                    _require(
+                        isinstance(rec, Recommendation),
+                        f"batched request failed with {rec!r}",
+                    )
+                    _check_recommendation(rec, history, num_items)
+            else:
+                for history in chunk:
+                    rec = service.recommend(history)
+                    _check_recommendation(rec, history, num_items)
 
         histories = corpus.sequences
         faulty_phase = requests // 2
         log(f"phase 1: {faulty_phase} requests with injected faults "
             f"(error={error_rate}, nan={nan_rate}, latency={latency_rate})")
-        for index in range(faulty_phase):
-            history = histories[index % len(histories)]
-            rec = service.recommend(history)
-            _check_recommendation(rec, history, num_items)
-            if index % 10 == 9:
-                # Requests are far faster than the cooldown, so an open
-                # breaker would otherwise short-circuit the whole phase;
-                # let it reach half-open so faulty probes keep flowing.
-                time.sleep(cooldown * 1.5)
+        for start in range(0, faulty_phase, 10):
+            chunk = [
+                histories[index % len(histories)]
+                for index in range(start, min(start + 10, faulty_phase))
+            ]
+            serve_chunk(chunk)
+            # Requests are far faster than the cooldown, so an open
+            # breaker would otherwise short-circuit the whole phase;
+            # let it reach half-open so faulty probes keep flowing.
+            time.sleep(cooldown * 1.5)
         tripped = service.breaker("VSAN").times_opened
         _require(
             tripped > 0,
@@ -219,10 +246,11 @@ def run_smoke(
         time.sleep(cooldown * 2)  # let the open breaker reach half-open
         clear_phase = requests - faulty_phase
         log(f"phase 2: {clear_phase} requests with faults cleared")
-        for index in range(clear_phase):
-            history = histories[index % len(histories)]
-            rec = service.recommend(history)
-            _check_recommendation(rec, history, num_items)
+        for start in range(0, clear_phase, 16):
+            serve_chunk([
+                histories[index % len(histories)]
+                for index in range(start, min(start + 16, clear_phase))
+            ])
         stats = service.stats()
         _require(
             service.breaker("VSAN").state == CLOSED,
@@ -245,6 +273,26 @@ def run_smoke(
             stats["accounted"],
             f"stats do not account for every request: {stats}",
         )
+        if engine:
+            snap = stats["rungs"]["VSAN"]["engine"]
+            _require(
+                snap["batcher"]["batched_requests"] > 0,
+                "engine mode served traffic but the batcher never ran",
+            )
+            _require(
+                snap["batcher"]["largest_flush"] > 1,
+                "requests were never actually coalesced "
+                f"(largest flush = {snap['batcher']['largest_flush']})",
+            )
+            _require(
+                snap["cache"]["hits"] > 0,
+                "repeat traffic produced no score-cache hits",
+            )
+            log(
+                f"engine OK: largest flush "
+                f"{snap['batcher']['largest_flush']}, cache hit rate "
+                f"{snap['cache']['hit_rate']:.0%}"
+            )
         log("phase 2 OK: breaker re-closed, primary restored")
         log(json.dumps(stats, indent=2, sort_keys=True))
         # The one-line verdict is printed even in quiet mode.

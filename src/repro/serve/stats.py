@@ -30,7 +30,7 @@ class LatencyTracker:
         return len(self._samples)
 
     def summary(self) -> dict:
-        """count/mean/p50/p95/max over the retained window, in ms."""
+        """count/mean/p50/p95/p99/max over the retained window, in ms."""
         if not self._samples:
             return {"count": 0}
         values = np.asarray(self._samples, dtype=np.float64) * 1e3
@@ -39,6 +39,7 @@ class LatencyTracker:
             "mean_ms": round(float(values.mean()), 3),
             "p50_ms": round(float(np.percentile(values, 50)), 3),
             "p95_ms": round(float(np.percentile(values, 95)), 3),
+            "p99_ms": round(float(np.percentile(values, 99)), 3),
             "max_ms": round(float(values.max()), 3),
         }
 
@@ -94,15 +95,22 @@ class ServiceStats:
             + self.deadline_exceeded
         )
 
-    def snapshot(self, breakers: dict[str, dict] | None = None) -> dict:
-        """One JSON-friendly dict of everything (breaker states merged
-        in when the service passes them)."""
+    def snapshot(
+        self,
+        breakers: dict[str, dict] | None = None,
+        engines: dict[str, dict] | None = None,
+    ) -> dict:
+        """One JSON-friendly dict of everything (breaker states and
+        engine cache/batcher stats merged in when the service passes
+        them)."""
         rungs = {}
         for name, stats in self.rungs.items():
             entry = stats.snapshot()
             entry["served"] = self.served.get(name, 0)
             if breakers and name in breakers:
                 entry["breaker"] = breakers[name]
+            if engines and name in engines:
+                entry["engine"] = engines[name]
             rungs[name] = entry
         return {
             "requests": self.requests,

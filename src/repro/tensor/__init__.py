@@ -43,6 +43,7 @@ from .tensor import (
     ones,
     set_default_dtype,
     stack,
+    tape_node_count,
     tensor,
     where,
     zeros,
@@ -83,6 +84,7 @@ __all__ = [
     "spawn_rngs",
     "stack",
     "tanh",
+    "tape_node_count",
     "tensor",
     "where",
     "zeros",

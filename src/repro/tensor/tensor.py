@@ -23,6 +23,7 @@ __all__ = [
     "Tensor",
     "no_grad",
     "is_grad_enabled",
+    "tape_node_count",
     "tensor",
     "zeros",
     "ones",
@@ -94,6 +95,20 @@ class default_dtype:
 def is_grad_enabled() -> bool:
     """Return whether gradient recording is currently enabled."""
     return _GRAD_ENABLED
+
+
+_TAPE_NODES = 0
+
+
+def tape_node_count() -> int:
+    """Total graph nodes (tensors carrying a backward closure) allocated
+    since interpreter start.
+
+    A monotone counter for regression tests: diff it around a code path
+    that must not build tape — e.g. evaluation or serving — and assert
+    the difference is zero.
+    """
+    return _TAPE_NODES
 
 
 class no_grad:
@@ -216,6 +231,8 @@ class Tensor:
         requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
         out = Tensor(data)
         if requires:
+            global _TAPE_NODES
+            _TAPE_NODES += 1
             out.requires_grad = True
             out._parents = parents
             out._backward = backward

@@ -102,3 +102,53 @@ class TestEvaluator:
         assert result["ndcg@10"] == 0.5
         assert result.as_percentages()["ndcg@10"] == 50.0
         assert "ndcg@10" in repr(result)
+
+
+class UnguardedTensorRecommender:
+    """Scores through live Tensor parameters *without* its own no_grad —
+    the evaluator must be the thing preventing tape allocation."""
+
+    def __init__(self, num_items, dim=4, seed=0):
+        from repro.nn import Parameter
+
+        rng = np.random.default_rng(seed)
+        self.num_items = num_items
+        self.weight = Parameter(rng.normal(size=(dim, num_items + 1)))
+        self.features = Parameter(rng.normal(size=(1, dim)))
+
+    def score_batch(self, histories):
+        from repro.tensor import Tensor, concatenate
+
+        rows = concatenate(
+            [self.features for _ in histories], axis=0
+        )
+        return (rows @ self.weight).numpy()
+
+
+class TestNoTapeDuringEvaluation:
+    def test_evaluation_allocates_no_tape_nodes(self):
+        """Regression: ranking paths (score_batch + rank_items_batch)
+        must run under no_grad — evaluation never backpropagates, so any
+        tape node it allocates is pure waste."""
+        from repro.tensor import tape_node_count
+
+        heldout = make_heldout(num_users=6)
+        model = UnguardedTensorRecommender(num_items=30)
+        # The model genuinely builds tape when called outside the
+        # evaluator (otherwise this test would pass vacuously).
+        before = tape_node_count()
+        model.score_batch([heldout[0].fold_in])
+        assert tape_node_count() > before
+        before = tape_node_count()
+        evaluate_recommender(model, heldout, batch_size=2)
+        assert tape_node_count() == before
+
+    def test_neural_scoring_allocates_no_tape_nodes(self):
+        from repro.models import SASRec
+        from repro.tensor import tape_node_count
+
+        model = SASRec(num_items=30, max_length=8, dim=8, num_blocks=1)
+        heldout = make_heldout(num_users=4)
+        before = tape_node_count()
+        evaluate_recommender(model, heldout, batch_size=2)
+        assert tape_node_count() == before

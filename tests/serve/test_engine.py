@@ -1,0 +1,459 @@
+"""The inference engine: ScoreCache LRU accounting, MicroBatcher
+determinism, and the headline invariant — batched serving through
+`InferenceEngine` / `recommend_many` is bitwise-identical to the
+one-at-a-time path, including under fault-driven degradation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import SASRec
+from repro.serve import (
+    EngineConfig,
+    FaultInjector,
+    FaultyRecommender,
+    InferenceEngine,
+    InvalidRequest,
+    MicroBatcher,
+    Recommendation,
+    RecommendService,
+    RetryPolicy,
+    ScoreCache,
+    ServiceConfig,
+)
+from repro.tensor import tape_node_count
+
+from .conftest import NUM_ITEMS, FakeClock, StubModel
+
+# ----------------------------------------------------------------------
+# ScoreCache
+# ----------------------------------------------------------------------
+
+
+class TestScoreCache:
+    def test_miss_then_hit_counters(self):
+        cache = ScoreCache(capacity=4)
+        row = np.arange(3.0)
+        assert cache.get("a") is None
+        cache.put("a", row)
+        assert np.array_equal(cache.get("a"), row)
+        assert cache.hits == 1 and cache.misses == 1
+        assert len(cache) == 1
+
+    def test_get_returns_a_copy(self):
+        cache = ScoreCache(capacity=2)
+        cache.put("a", np.arange(3.0))
+        stolen = cache.get("a")
+        stolen[:] = -1.0
+        assert np.array_equal(cache.get("a"), np.arange(3.0))
+
+    def test_lru_eviction_order(self):
+        cache = ScoreCache(capacity=2)
+        cache.put("a", np.zeros(1))
+        cache.put("b", np.ones(1))
+        cache.get("a")  # 'a' becomes most-recently-used
+        cache.put("c", np.full(1, 2.0))  # evicts 'b'
+        assert cache.evictions == 1
+        assert "a" in cache and "c" in cache and "b" not in cache
+
+    def test_contains_counts_nothing(self):
+        cache = ScoreCache(capacity=2)
+        cache.put("a", np.zeros(1))
+        assert "a" in cache and "b" not in cache
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_zero_capacity_disables(self):
+        cache = ScoreCache(capacity=0)
+        cache.put("a", np.zeros(1))
+        assert len(cache) == 0
+
+    def test_clear_counts_invalidation(self):
+        cache = ScoreCache(capacity=2)
+        cache.put("a", np.zeros(1))
+        cache.clear()
+        assert len(cache) == 0 and cache.invalidations == 1
+
+    def test_snapshot_shape(self):
+        cache = ScoreCache(capacity=2)
+        cache.put("a", np.zeros(1))
+        cache.get("a")
+        cache.get("b")
+        snap = cache.snapshot()
+        assert snap["size"] == 1 and snap["capacity"] == 2
+        assert snap["hits"] == 1 and snap["misses"] == 1
+        assert snap["hit_rate"] == 0.5
+
+
+# ----------------------------------------------------------------------
+# MicroBatcher
+# ----------------------------------------------------------------------
+
+
+class RecordingScorer:
+    """Score = last item id, broadcast over a 4-wide row; records the
+    exact batches it was called with."""
+
+    def __init__(self, fail_times: int = 0):
+        self.batches: list[list[np.ndarray]] = []
+        self.fail_times = fail_times
+
+    def __call__(self, histories):
+        self.batches.append([h.copy() for h in histories])
+        if self.fail_times > 0:
+            self.fail_times -= 1
+            raise RuntimeError("scorer exploded")
+        return np.stack([
+            np.full(4, float(history[-1])) for history in histories
+        ])
+
+
+class TestMicroBatcher:
+    def test_fifo_order_and_chunking(self):
+        scorer = RecordingScorer()
+        batcher = MicroBatcher(scorer, max_batch=3)
+        tickets = [
+            batcher.submit(np.array([i])) for i in range(1, 8)
+        ]  # auto-flushes at 3 and 6
+        batcher.flush()
+        assert [len(b) for b in scorer.batches] == [3, 3, 1]
+        flat = [int(h[0]) for batch in scorer.batches for h in batch]
+        assert flat == [1, 2, 3, 4, 5, 6, 7]  # deterministic FIFO
+        for i, ticket in enumerate(tickets, start=1):
+            assert ticket.scores()[0] == float(i)
+
+    def test_auto_flush_at_max_batch(self):
+        scorer = RecordingScorer()
+        batcher = MicroBatcher(scorer, max_batch=2)
+        first = batcher.submit(np.array([1]))
+        assert not first.done()
+        batcher.submit(np.array([2]))
+        assert first.done()  # the second submit filled the batch
+        assert batcher.flushes == 1 and batcher.batched_requests == 2
+
+    def test_error_fans_out_to_whole_chunk(self):
+        scorer = RecordingScorer(fail_times=1)
+        batcher = MicroBatcher(scorer, max_batch=8)
+        tickets = [batcher.submit(np.array([i])) for i in range(3)]
+        batcher.flush()
+        for ticket in tickets:
+            with pytest.raises(RuntimeError, match="scorer exploded"):
+                ticket.scores()
+
+    def test_row_count_mismatch_is_an_error(self):
+        batcher = MicroBatcher(lambda hs: np.zeros((1, 4)), max_batch=8)
+        tickets = [batcher.submit(np.array([i])) for i in range(2)]
+        batcher.flush()
+        with pytest.raises(ValueError, match="rows"):
+            tickets[0].scores()
+
+    def test_unresolved_ticket_raises(self):
+        batcher = MicroBatcher(RecordingScorer(), max_batch=8)
+        ticket = batcher.submit(np.array([1]))
+        with pytest.raises(RuntimeError, match="flush"):
+            ticket.scores()
+
+    def test_due_by_deadline(self, clock):
+        batcher = MicroBatcher(
+            RecordingScorer(), max_batch=8, max_delay=0.5, clock=clock
+        )
+        assert not batcher.due()
+        batcher.submit(np.array([1]))
+        assert not batcher.due()  # queued but deadline not reached
+        clock.advance(0.6)
+        assert batcher.due()
+        batcher.flush()
+        assert not batcher.due()
+
+    def test_due_by_size(self, clock):
+        batcher = MicroBatcher(
+            RecordingScorer(), max_batch=1, max_delay=99.0, clock=clock
+        )
+        ticket = batcher.submit(np.array([1]))
+        assert ticket.done()  # max_batch=1 auto-flushes immediately
+
+
+# ----------------------------------------------------------------------
+# InferenceEngine
+# ----------------------------------------------------------------------
+
+
+class TestInferenceEngine:
+    def test_batches_underlying_calls(self):
+        model = StubModel()
+        engine = InferenceEngine(
+            model, EngineConfig(max_batch=16, cache_capacity=0)
+        )
+        histories = [np.array([i % NUM_ITEMS + 1]) for i in range(40)]
+        scores = engine.score_batch(histories)
+        assert scores.shape == (40, NUM_ITEMS + 1)
+        assert model.calls == 3  # ceil(40 / 16) forwards, not 40
+
+    def test_cache_absorbs_repeat_traffic(self):
+        model = StubModel()
+        engine = InferenceEngine(model, EngineConfig(max_batch=8))
+        history = np.array([1, 2, 3])
+        first = engine.score_batch([history])
+        again = engine.score_batch([history])
+        assert model.calls == 1
+        assert np.array_equal(first, again)
+        assert engine.cache.hits == 1 and engine.cache.misses == 1
+
+    def test_duplicate_histories_in_one_batch_share_a_forward_row(self):
+        model = StubModel()
+        engine = InferenceEngine(model, EngineConfig(max_batch=8))
+        h = np.array([1, 2])
+        scores = engine.score_batch([h, h, h])
+        assert scores.shape == (3, NUM_ITEMS + 1)
+        assert model.calls == 1
+
+    def test_non_finite_rows_are_never_cached(self):
+        class NaNOnce(StubModel):
+            def score_batch(self, histories):
+                scores = super().score_batch(histories)
+                if self.calls == 1:
+                    scores[:, 1::2] = np.nan
+                return scores
+
+        model = NaNOnce()
+        engine = InferenceEngine(model, EngineConfig(max_batch=8))
+        poisoned = engine.score_batch([np.array([1])])
+        assert np.isnan(poisoned).any()
+        assert len(engine.cache) == 0
+        clean = engine.score_batch([np.array([1])])
+        assert np.isfinite(clean[:, 1:]).all()
+        assert model.calls == 2 and len(engine.cache) == 1
+
+    def test_set_model_invalidates_cache_and_bumps_version(self):
+        engine = InferenceEngine(StubModel(), EngineConfig(max_batch=4))
+        engine.score_batch([np.array([1])])
+        assert len(engine.cache) == 1
+        replacement = StubModel(offset=5.0)
+        engine.set_model(replacement)
+        assert engine.model_version == 1 and len(engine.cache) == 0
+        scores = engine.score_batch([np.array([1])])
+        assert scores[0, 1] == 1.0 + 5.0  # served by the new model
+
+    def test_key_shares_suffix_beyond_model_window(self):
+        model = SASRec(NUM_ITEMS, max_length=4, dim=8, num_blocks=1)
+        engine = InferenceEngine(model, EngineConfig(max_batch=4))
+        long = np.arange(1, 9) % NUM_ITEMS + 1  # 8 items
+        suffix = long[-4:]  # what the model actually sees
+        engine.score_batch([long])
+        engine.score_batch([suffix])
+        assert engine.cache.hits == 1  # same window -> same entry
+
+    def test_model_errors_propagate(self):
+        class Exploding(StubModel):
+            def score_batch(self, histories):
+                raise RuntimeError("boom")
+
+        engine = InferenceEngine(Exploding(), EngineConfig(max_batch=4))
+        with pytest.raises(RuntimeError, match="boom"):
+            engine.score_batch([np.array([1])])
+
+    def test_prefetch_warms_and_swallows_errors(self):
+        model = StubModel()
+        engine = InferenceEngine(model, EngineConfig(max_batch=8))
+        warmed = engine.prefetch([np.array([1]), np.array([2])])
+        assert warmed == 2 and len(engine.cache) == 2
+        # real traffic is now pure cache hits
+        engine.score_batch([np.array([1]), np.array([2])])
+        assert model.calls == 1 and engine.cache.hits == 2
+
+        class Exploding(StubModel):
+            def score_batch(self, histories):
+                raise RuntimeError("boom")
+
+        broken = InferenceEngine(Exploding(), EngineConfig(max_batch=8))
+        assert broken.prefetch([np.array([1])]) == 0  # swallowed
+
+    def test_no_tape_even_for_unguarded_models(self):
+        class TapeBuilder:
+            """Scores through live Tensor parameters *without* its own
+            no_grad — the engine must be what prevents tape growth."""
+
+            def __init__(self, dim=4, seed=0):
+                from repro.nn import Parameter
+
+                rng = np.random.default_rng(seed)
+                self.weight = Parameter(rng.normal(size=(dim, NUM_ITEMS + 1)))
+                self.features = Parameter(rng.normal(size=(1, dim)))
+
+            def score_batch(self, histories):
+                from repro.tensor import concatenate
+
+                rows = concatenate(
+                    [self.features for _ in histories], axis=0
+                )
+                return (rows @ self.weight).numpy()
+
+        engine = InferenceEngine(
+            TapeBuilder(), EngineConfig(max_batch=4, cache_capacity=0)
+        )
+        before = tape_node_count()
+        engine.score_batch([np.array([1]), np.array([2])])
+        assert tape_node_count() == before
+
+    def test_snapshot_shape(self):
+        engine = InferenceEngine(StubModel(), EngineConfig(max_batch=4))
+        engine.score_batch([np.array([1])])
+        snap = engine.snapshot()
+        assert snap["model_version"] == 0
+        assert snap["cache"]["misses"] == 1
+        assert snap["batcher"]["flushes"] == 1
+        assert snap["batcher"]["max_batch"] == 4
+
+
+# ----------------------------------------------------------------------
+# Service integration: batched == sequential, bitwise
+# ----------------------------------------------------------------------
+
+
+NUM_REAL_ITEMS = 30
+
+
+@pytest.fixture(scope="module")
+def sasrec():
+    model = SASRec(NUM_REAL_ITEMS, max_length=8, dim=16, num_blocks=1,
+                   seed=3)
+    model.eval()
+    return model
+
+
+def make_service(model, engine=None, **config):
+    return RecommendService(
+        [("primary", model)],
+        num_items=NUM_REAL_ITEMS,
+        config=ServiceConfig(top_n=10, deadline=None, **config),
+        engine=engine,
+    )
+
+
+def ragged_histories(seed, count=37):
+    rng = np.random.default_rng(seed)
+    histories = [
+        rng.integers(1, NUM_REAL_ITEMS + 1, size=rng.integers(1, 14))
+        for _ in range(count)
+    ]
+    # duplicate users: repeat a third of them verbatim
+    histories += [histories[i].copy() for i in range(0, count, 3)]
+    return histories
+
+
+class TestBatchedSequentialEquivalence:
+    def test_engine_service_matches_plain_service_bitwise(self, sasrec):
+        plain = make_service(sasrec)
+        engined = make_service(
+            sasrec, engine=EngineConfig(max_batch=8)
+        )
+        for history in ragged_histories(seed=0):
+            a = plain.recommend(history)
+            b = engined.recommend(history)
+            assert np.array_equal(a.items, b.items)
+            assert a.rung == b.rung
+
+    def test_recommend_many_matches_recommend_loop_bitwise(self, sasrec):
+        service = make_service(sasrec, engine=EngineConfig(max_batch=8))
+        histories = ragged_histories(seed=1)
+        sequential = [service.recommend(h) for h in histories]
+        # fresh service so the batch path starts from a cold cache
+        batched_service = make_service(
+            sasrec, engine=EngineConfig(max_batch=8)
+        )
+        batched = batched_service.recommend_many(histories)
+        assert len(batched) == len(sequential)
+        for one, many in zip(sequential, batched):
+            assert isinstance(many, Recommendation)
+            assert np.array_equal(one.items, many.items)
+        # the batch really was coalesced, not served one-by-one
+        snap = batched_service.stats()["rungs"]["primary"]["engine"]
+        assert snap["batcher"]["largest_flush"] == 8
+        assert snap["cache"]["hits"] >= len(histories)
+
+    def test_recommend_many_returns_errors_in_place(self, sasrec):
+        service = make_service(sasrec, engine=EngineConfig(max_batch=4))
+        histories = [
+            np.array([1, 2, 3]),
+            np.array([], dtype=np.int64),  # invalid: empty
+            np.array([4, 5]),
+        ]
+        results = service.recommend_many(histories)
+        assert isinstance(results[0], Recommendation)
+        assert isinstance(results[1], InvalidRequest)
+        assert isinstance(results[2], Recommendation)
+        stats = service.stats()
+        assert stats["rejected"] == 1 and stats["accounted"]
+
+    def test_degradation_under_faults_matches_sequential(self, sasrec):
+        """With the primary rung hard-failing, batched requests must
+        degrade to the fallback rung exactly like sequential ones."""
+
+        def build(engine):
+            faulty = FaultyRecommender(
+                sasrec,
+                FaultInjector(error_rate=1.0, seed=0),
+            )
+            return RecommendService(
+                [("primary", faulty), ("fallback", StubModel(NUM_REAL_ITEMS))],
+                num_items=NUM_REAL_ITEMS,
+                config=ServiceConfig(top_n=5, deadline=None),
+                retry=RetryPolicy(max_attempts=1),
+                engine=engine,
+            )
+
+        histories = ragged_histories(seed=2, count=11)
+        sequential = [build(None).recommend(h) for h in histories]
+        batched = build(EngineConfig(max_batch=4)).recommend_many(histories)
+        for one, many in zip(sequential, batched):
+            assert isinstance(many, Recommendation)
+            assert many.rung == "fallback" == one.rung
+            assert many.degraded
+            assert np.array_equal(one.items, many.items)
+
+    def test_swap_model_through_service_invalidates_cache(self, sasrec):
+        service = make_service(sasrec, engine=EngineConfig(max_batch=4))
+        history = np.array([1, 2, 3])
+        before = service.recommend(history)
+        fresh = SASRec(NUM_REAL_ITEMS, max_length=8, dim=16, num_blocks=1,
+                       seed=99)
+        fresh.eval()
+        service.swap_model("primary", fresh)
+        engine = service._rung("primary").engine
+        assert engine.model_version == 1 and len(engine.cache) == 0
+        after = service.recommend(history)
+        direct = make_service(fresh).recommend(history)
+        assert np.array_equal(after.items, direct.items)
+        assert isinstance(before, Recommendation)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(
+        st.lists(
+            st.integers(min_value=1, max_value=NUM_REAL_ITEMS),
+            min_size=1, max_size=12,
+        ),
+        min_size=1, max_size=24,
+    ))
+    def test_property_batched_rankings_bitwise_identical(self, raw):
+        model = _property_model()
+        histories = [np.array(h, dtype=np.int64) for h in raw]
+        sequential = make_service(model)
+        engined = make_service(model, engine=EngineConfig(max_batch=8))
+        loop = [sequential.recommend(h) for h in histories]
+        many = engined.recommend_many(histories)
+        for one, result in zip(loop, many):
+            assert isinstance(result, Recommendation)
+            assert np.array_equal(one.items, result.items)
+
+
+_PROPERTY_MODEL = None
+
+
+def _property_model():
+    global _PROPERTY_MODEL
+    if _PROPERTY_MODEL is None:
+        _PROPERTY_MODEL = SASRec(
+            NUM_REAL_ITEMS, max_length=8, dim=16, num_blocks=1, seed=7
+        )
+        _PROPERTY_MODEL.eval()
+    return _PROPERTY_MODEL
