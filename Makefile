@@ -1,7 +1,7 @@
 # Convenience targets for the VSAN reproduction.
 
-.PHONY: install test bench bench-serve bench-full experiments examples \
-	clean resume-smoke serve-smoke
+.PHONY: install test bench bench-serve bench-train bench-full \
+	experiments examples clean resume-smoke serve-smoke
 
 install:
 	python setup.py develop
@@ -27,6 +27,17 @@ bench-serve:
 	PYTHONPATH=src pytest benchmarks/test_serve_throughput.py \
 		-k speedup_gate -q -s
 	python benchmarks/compare_bench.py BENCH_serve.json
+
+# Training-path benchmarks: epoch wall times for serial/parallel x
+# full/trimmed on a long-tail corpus, the >= 2x workers+trimming
+# speedup gate, and the <= 1% NDCG@10 parity gate (both skipped under
+# --benchmark-only, so they run second).
+bench-train:
+	PYTHONPATH=src pytest benchmarks/test_train_throughput.py \
+		--benchmark-only --benchmark-json=BENCH_train.json
+	PYTHONPATH=src pytest benchmarks/test_train_throughput.py \
+		-k gate -q -s
+	python benchmarks/compare_bench.py BENCH_train.json
 
 # Crash-injection smoke test: SIGKILL a checkpointing training run,
 # resume it, and require bit-identical losses/weights vs. straight-through.

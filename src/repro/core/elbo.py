@@ -59,18 +59,25 @@ class ELBOTerms:
 
 
 def reconstruction_targets(
-    padded: np.ndarray, k: int, num_items: int
+    padded: np.ndarray,
+    k: int,
+    num_items: int,
+    out: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, bool]:
     """Derive training targets from a padded batch.
 
     Returns ``(inputs, targets, weights, multi_hot)``: one-hot integer
     targets for ``k == 1`` (the paper's Eq. 14 mode) or a {0,1} multi-hot
-    tensor over the catalogue for ``k > 1`` (Eq. 18).
+    tensor over the catalogue for ``k > 1`` (Eq. 18).  ``out`` recycles a
+    caller-owned dense buffer for the ``k > 1`` target (see
+    :func:`repro.data.batching.next_k_multi_hot`); ``k == 1`` ignores it.
     """
     if k == 1:
         inputs, targets, weights = shift_targets(padded)
         return inputs, targets, weights, False
-    inputs, targets, weights = next_k_multi_hot(padded, k, num_items)
+    inputs, targets, weights = next_k_multi_hot(
+        padded, k, num_items, out=out
+    )
     return inputs, targets, weights, True
 
 

@@ -89,6 +89,10 @@ class VSAN(NeuralSequentialRecommender):
     """
 
     name = "VSAN"
+    # Position embeddings are right-aligned and padded keys are masked
+    # out of attention exactly, so column-trimmed batches are loss- and
+    # gradient-identical (see NeuralSequentialRecommender).
+    supports_trimming = True
 
     def __init__(
         self,
@@ -125,6 +129,9 @@ class VSAN(NeuralSequentialRecommender):
         self.h1 = h1
         self.h2 = h2
         self.k = k
+        # Next-k supervision reaches k-1 positions into the leading pad;
+        # batch trimming must keep that many extra columns to stay exact.
+        self.target_window = k
         self.num_samples = num_samples
         self.use_latent = use_latent
         self.sample_at_eval = sample_at_eval
@@ -296,7 +303,14 @@ class VSAN(NeuralSequentialRecommender):
         estimate — our extension; the paper uses a single sample).
         """
         inputs, targets, weights, multi_hot = reconstruction_targets(
-            padded, self.k, self.num_items
+            padded,
+            self.k,
+            self.num_items,
+            out=(
+                self._target_buffer(padded.shape[0], padded.shape[1] - 1)
+                if self.k > 1
+                else None
+            ),
         )
         beta = self.annealing.beta(self._step)
         if self.training:

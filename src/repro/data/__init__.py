@@ -10,12 +10,15 @@ from .analysis import (
     sequence_length_summary,
 )
 from .batching import (
+    bucketed_minibatch_indices,
     build_training_matrix,
+    effective_lengths,
     minibatch_indices,
     next_k_multi_hot,
     pad_left,
     pad_left_into,
     shift_targets,
+    trim_batch,
 )
 from .interactions import PAD_ID, DatasetStatistics, InteractionLog, SequenceCorpus
 from .io import CsvFormatError, read_interactions_csv, write_interactions_csv
@@ -55,7 +58,9 @@ __all__ = [
     "SyntheticConfig",
     "WorldInfo",
     "binarize",
+    "bucketed_minibatch_indices",
     "build_training_matrix",
+    "effective_lengths",
     "generate",
     "generate_with_info",
     "k_core",
@@ -69,5 +74,6 @@ __all__ = [
     "split_strong_generalization",
     "split_weak_generalization",
     "tiny_config",
+    "trim_batch",
     "write_interactions_csv",
 ]

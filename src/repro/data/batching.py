@@ -5,6 +5,14 @@ length ``n`` keep their most recent ``n`` items; shorter sequences are
 left-padded with the padding id 0.  For training, the input at position
 ``t`` predicts the item at ``t+1`` (one-hot targets), or the next ``k``
 items as a multi-hot target per Eq. 18.
+
+Length-aware utilities (:func:`effective_lengths`, :func:`trim_batch`,
+:func:`bucketed_minibatch_indices`) support the trainer's padding-frugal
+hot path: because every model masks padded positions out of both
+attention and the loss, a batch can be column-trimmed to its own longest
+real sequence — attention cost is O(L²), so training long-tail corpora
+at the *batch's* length instead of the corpus-wide window is a large,
+exact saving (see ``docs/TRAINING.md``).
 """
 
 from __future__ import annotations
@@ -13,6 +21,7 @@ from collections.abc import Iterator
 
 import numpy as np
 
+from ..tensor import get_default_dtype
 from .interactions import PAD_ID
 
 __all__ = [
@@ -21,7 +30,10 @@ __all__ = [
     "shift_targets",
     "next_k_multi_hot",
     "minibatch_indices",
+    "bucketed_minibatch_indices",
     "build_training_matrix",
+    "effective_lengths",
+    "trim_batch",
 ]
 
 
@@ -66,22 +78,73 @@ def build_training_matrix(
     )
 
 
-def shift_targets(padded: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+def effective_lengths(padded: np.ndarray) -> np.ndarray:
+    """Number of real (non-pad) items per row of a left-padded matrix."""
+    return (np.asarray(padded) != PAD_ID).sum(axis=1)
+
+
+def trim_batch(
+    rows: np.ndarray,
+    lengths: np.ndarray | None = None,
+    margin: int = 1,
+) -> np.ndarray:
+    """Slice a left-padded batch to its own maximum effective width.
+
+    Keeps the trailing ``max(effective length) + margin`` columns.
+    ``margin`` is the model's supervision window: ``1`` for next-item
+    training preserves the leading-pad position whose *target* is the
+    first real item; next-``k`` multi-hot training (Eq. 18) supervises up
+    to ``k`` leading-pad positions (their windows reach the first real
+    item), so such models pass ``margin=k``.  Either way every supervised
+    (input, target) pair of the full-width batch survives.  Rows are
+    left-padded, so the dropped leading columns are pad in every row;
+    models whose computation is right-aligned (``supports_trimming``)
+    produce identical losses on the trimmed view.
+
+    ``lengths`` can pass precomputed :func:`effective_lengths` values for
+    the rows; the returned array is a view (no copy).
+    """
+    if margin < 1:
+        raise ValueError(f"margin must be >= 1, got {margin}")
+    rows = np.asarray(rows)
+    if lengths is None:
+        lengths = effective_lengths(rows)
+    width = int(np.max(lengths)) + margin if len(lengths) else rows.shape[1]
+    width = min(max(width, 2), rows.shape[1])
+    return rows[:, rows.shape[1] - width:]
+
+
+def _target_dtype(dtype) -> np.dtype:
+    """Resolve an explicit dtype or fall back to the engine default."""
+    return np.dtype(dtype) if dtype is not None else get_default_dtype()
+
+
+def shift_targets(
+    padded: np.ndarray, dtype=None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Derive (inputs, targets, weights) for next-item training.
 
     ``inputs[:, t] = padded[:, t]`` predicts ``targets[:, t] =
     padded[:, t+1]``; the last column of ``padded`` is never an input.
     ``weights`` is 1 where the target is a real item and the input
     position exists (non-pad target), else 0.
+
+    ``weights`` is built in ``dtype`` (default: the engine-wide default
+    dtype), so a float32 compute path never pays a float64 allocation
+    plus downcast per batch.
     """
     inputs = padded[:, :-1]
     targets = padded[:, 1:]
-    weights = (targets != PAD_ID).astype(np.float64)
+    weights = (targets != PAD_ID).astype(_target_dtype(dtype))
     return inputs, targets, weights
 
 
 def next_k_multi_hot(
-    padded: np.ndarray, k: int, num_items: int
+    padded: np.ndarray,
+    k: int,
+    num_items: int,
+    dtype=None,
+    out: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Inputs plus multi-hot targets over the next ``k`` items (Eq. 18).
 
@@ -89,21 +152,49 @@ def next_k_multi_hot(
     ``(batch, length-1, num_items + 1)`` ({0,1}, column 0 = padding is
     always 0) and ``weights[b, t]`` is 1 iff at least one of the next
     ``k`` positions holds a real item.
+
+    The dense target is the single biggest allocation of a VAE training
+    step, so both knobs matter on the hot path:
+
+    - ``dtype`` (default: the engine default) builds the target directly
+      in the compute dtype — the fused loss kernels then use it without
+      a casting copy;
+    - ``out`` recycles a caller-owned buffer of at least
+      ``(batch, length-1, num_items + 1)`` entries across batches; the
+      returned ``multi_hot`` is a zeroed-and-refilled view into it.
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
+    dtype = _target_dtype(dtype)
     inputs = padded[:, :-1]
     batch, length = inputs.shape
-    multi_hot = np.zeros((batch, length, num_items + 1), dtype=np.float64)
+    if out is not None:
+        if out.dtype != dtype:
+            raise ValueError(
+                f"out buffer dtype {out.dtype} != target dtype {dtype}"
+            )
+        if out.ndim != 3 or any(
+            have < need
+            for have, need in zip(out.shape, (batch, length, num_items + 1))
+        ):
+            raise ValueError(
+                f"out buffer shape {out.shape} is smaller than "
+                f"{(batch, length, num_items + 1)}"
+            )
+        multi_hot = out[:batch, :length, :num_items + 1]
+        multi_hot[...] = 0.0
+    else:
+        multi_hot = np.zeros((batch, length, num_items + 1), dtype=dtype)
     for offset in range(1, k + 1):
-        future = np.full((batch, length), PAD_ID, dtype=np.int64)
         stop = padded.shape[1] - offset
-        if stop > 0:
-            future[:, :stop] = padded[:, offset:offset + stop]
+        if stop <= 0:
+            continue
+        stop = min(stop, length)
+        future = padded[:, offset:offset + stop]
         rows, cols = np.nonzero(future != PAD_ID)
         multi_hot[rows, cols, future[rows, cols]] = 1.0
     multi_hot[:, :, PAD_ID] = 0.0
-    weights = (multi_hot.sum(axis=-1) > 0).astype(np.float64)
+    weights = (multi_hot.sum(axis=-1) > 0).astype(dtype)
     return inputs, multi_hot, weights
 
 
@@ -124,3 +215,40 @@ def minibatch_indices(
     )
     for start in range(0, num_rows, batch_size):
         yield order[start:start + batch_size]
+
+
+def bucketed_minibatch_indices(
+    lengths: np.ndarray,
+    batch_size: int,
+    rng: np.random.Generator,
+) -> Iterator[np.ndarray]:
+    """Length-homogeneous shuffled minibatches, without a global sort.
+
+    Rows are assigned to power-of-two length buckets ([1], [2–3], [4–7],
+    [8–15], …) in one O(n) pass; each bucket is shuffled independently
+    and chunked into batches, then the *batch order* is shuffled so SGD
+    never sees a monotone length curriculum.  Batches therefore mix only
+    rows within a 2× length band, which is what makes per-batch column
+    trimming (:func:`trim_batch`) effective on long-tail corpora: one
+    straggler no longer forces a whole batch to the corpus-wide width.
+
+    Deterministic for a given ``rng`` state.  Every row appears exactly
+    once per pass; at most one ragged batch per bucket.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    lengths = np.asarray(lengths)
+    if lengths.ndim != 1:
+        raise ValueError(f"lengths must be 1-D, got shape {lengths.shape}")
+    # floor(log2(length)) per row; length 0 (empty row) shares bucket 0.
+    keys = np.zeros(len(lengths), dtype=np.int64)
+    positive = lengths > 0
+    keys[positive] = np.floor(np.log2(lengths[positive])).astype(np.int64)
+    batches = []
+    for key in np.unique(keys):
+        bucket = np.nonzero(keys == key)[0]
+        bucket = bucket[rng.permutation(len(bucket))]
+        for start in range(0, len(bucket), batch_size):
+            batches.append(bucket[start:start + batch_size])
+    for index in rng.permutation(len(batches)):
+        yield batches[index]

@@ -74,6 +74,25 @@ class NeuralSequentialRecommender(Module, Recommender):
       (consumed by :class:`repro.train.Trainer`).
     """
 
+    #: Whether the model's training computation is *right-aligned*: a
+    #: left-padded batch column-trimmed to its own longest real sequence
+    #: (:func:`repro.data.batching.trim_batch`) produces the same loss
+    #: and gradients as the full-width batch.  True for the attention
+    #: models (their position embeddings align to the sequence end and
+    #: padded keys are masked out of attention exactly); False for the
+    #: recurrent/convolutional baselines, whose unroll over leading pad
+    #: columns is not an exact no-op.  The trainer only trims batches
+    #: for models that set this.
+    supports_trimming: bool = False
+
+    #: How many future positions each sequence position is supervised
+    #: against: 1 for next-item training, ``k`` for the next-``k``
+    #: multi-hot objective of Eq. 18 (whose supervision window reaches
+    #: the first real item from up to ``k`` leading-pad positions).
+    #: Used as the :func:`repro.data.batching.trim_batch` margin so
+    #: column trimming never drops a supervised position.
+    target_window: int = 1
+
     def __init__(self, num_items: int, max_length: int):
         Module.__init__(self)
         if num_items < 1:
@@ -123,6 +142,30 @@ class NeuralSequentialRecommender(Module, Recommender):
 
     def score(self, history: np.ndarray) -> np.ndarray:
         return self.score_batch([history])[0]
+
+    def _target_buffer(self, batch: int, length: int) -> np.ndarray:
+        """A reusable dense ``(batch, length, num_items+1)`` target buffer.
+
+        The multi-hot target of Eq. 18 is the single largest allocation
+        of a VAE training step; this grow-only scratch (in the current
+        default dtype) lets :func:`repro.data.batching.next_k_multi_hot`
+        refill one buffer across batches instead of allocating per step.
+        """
+        from ..tensor import get_default_dtype
+
+        dtype = get_default_dtype()
+        buffer = getattr(self, "_multi_hot_scratch", None)
+        if (
+            buffer is None
+            or buffer.dtype != dtype
+            or buffer.shape[0] < batch
+            or buffer.shape[1] < length
+        ):
+            rows = max(batch, buffer.shape[0] if buffer is not None else 0)
+            cols = max(length, buffer.shape[1] if buffer is not None else 0)
+            buffer = np.empty((rows, cols, self.num_items + 1), dtype=dtype)
+            object.__setattr__(self, "_multi_hot_scratch", buffer)
+        return buffer
 
     def _padded_buffer(self, batch: int) -> np.ndarray:
         """A reusable ``(batch, max_length)`` id buffer for scoring.

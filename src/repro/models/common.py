@@ -71,23 +71,38 @@ class SequenceEmbedding(Module):
         """Embed a padded id batch.
 
         Args:
-            padded: ``(batch, max_length)`` int array, PAD_ID on the left.
+            padded: ``(batch, length)`` int array with ``length <=
+                max_length``, PAD_ID on the left.  Widths below
+                ``max_length`` are the trainer's column-trimmed batches:
+                because rows are left-padded, a short batch is exactly a
+                full-width batch with its all-pad leading columns
+                removed, so the position matrix is applied
+                *right-aligned* (its last ``length`` rows) — position
+                ``P[t]`` lands on the same tokens either way, keeping
+                trimmed and full-width computation identical.
 
         Returns:
             ``(embedded, timeline_mask, key_padding_mask)`` where
-            ``embedded`` is ``(batch, max_length, dim)``, ``timeline_mask``
+            ``embedded`` is ``(batch, length, dim)``, ``timeline_mask``
             is {0,1} float with 1 at real positions, and
             ``key_padding_mask`` is boolean with True at padded positions.
         """
         padded = np.asarray(padded, dtype=np.int64)
-        if padded.ndim != 2 or padded.shape[1] != self.max_length:
+        if padded.ndim != 2 or not 1 <= padded.shape[1] <= self.max_length:
             raise ValueError(
-                f"expected (batch, {self.max_length}) ids, got {padded.shape}"
+                f"expected (batch, <= {self.max_length}) ids, "
+                f"got {padded.shape}"
             )
+        length = padded.shape[1]
         key_padding_mask = padded == PAD_ID
         timeline_mask = (~key_padding_mask).astype(np.float64)
         embedded = self.item_embedding(padded) * self.scale
-        embedded = embedded + self.position_embedding
+        positions = (
+            self.position_embedding
+            if length == self.max_length
+            else self.position_embedding[self.max_length - length:]
+        )
+        embedded = embedded + positions
         embedded = self.dropout(embedded)
         embedded = embedded * Tensor(timeline_mask[..., None])
         return embedded, timeline_mask, key_padding_mask

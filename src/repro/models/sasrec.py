@@ -38,6 +38,9 @@ class SASRec(NeuralSequentialRecommender):
     """
 
     name = "SASRec"
+    # Right-aligned position embeddings + exact attention masking make
+    # column-trimmed batches loss-identical (see the base class note).
+    supports_trimming = True
 
     def __init__(
         self,

@@ -65,6 +65,7 @@ class SVAE(NeuralSequentialRecommender):
         self.hidden_dim = hidden_dim
         self.latent_dim = latent_dim
         self.k = k
+        self.target_window = k
         self.annealing = annealing or KLAnnealing()
         self._step = 0
 
@@ -135,7 +136,14 @@ class SVAE(NeuralSequentialRecommender):
 
     def training_loss(self, padded: np.ndarray) -> Tensor:
         inputs, targets, weights, multi_hot = reconstruction_targets(
-            padded, self.k, self.num_items
+            padded,
+            self.k,
+            self.num_items,
+            out=(
+                self._target_buffer(padded.shape[0], padded.shape[1] - 1)
+                if self.k > 1
+                else None
+            ),
         )
         mu, sigma = self.posterior(inputs)
         z = self._sample(mu, sigma)

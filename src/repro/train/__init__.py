@@ -14,6 +14,7 @@ from .checkpoint import (
     save_training_checkpoint,
 )
 from .config import TrainerConfig, TrainingHistory
+from .parallel import ParallelTrainer, WorkerError
 from .trainer import Trainer
 
 __all__ = [
@@ -21,7 +22,9 @@ __all__ = [
     "CheckpointError",
     "ConstantBeta",
     "KLAnnealing",
+    "ParallelTrainer",
     "Trainer",
+    "WorkerError",
     "TrainerConfig",
     "TrainingCheckpoint",
     "TrainingHistory",

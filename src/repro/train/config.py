@@ -25,6 +25,44 @@ class TrainerConfig:
     eval_every: int = 1
     eval_metric: str = "ndcg@10"
     verbose: bool = False
+    num_workers: int = 1
+    """Gradient-worker processes for :class:`repro.train.ParallelTrainer`.
+
+    ``1`` (the default) trains in-process.  ``> 1`` forks that many
+    persistent worker processes, each holding a lock-step model replica;
+    every minibatch is sharded across them, gradients are reduced in the
+    parent in a fixed order with float64 accumulation, and one identical
+    Adam update is applied everywhere — so a run is deterministic for a
+    given ``(seed, num_workers)``.  The worker count is a *runtime*
+    choice: checkpoints carry no worker state and resume under any
+    ``num_workers`` (serial included).  Requires an OS with the
+    ``fork`` start method (Linux/macOS)."""
+
+    trim_batches: bool = True
+    """Column-trim each training batch to its own longest real sequence
+    (plus the leading-pad target column) before the forward pass.
+    Models mask padded positions exactly, so trimming is loss- and
+    gradient-preserving; it only applies to models that declare
+    ``supports_trimming`` (the attention models).  Attention work is
+    O(L²), so long-tail corpora train several times faster trimmed —
+    see :func:`repro.data.batching.trim_batch`."""
+
+    bucket_by_length: bool = False
+    """Build minibatches from power-of-two length buckets
+    (:func:`repro.data.batching.bucketed_minibatch_indices`) instead of
+    a uniform shuffle.  Batches then mix only rows within a 2× length
+    band, which is what makes ``trim_batches`` bite when a corpus has a
+    long tail (one long row no longer forces a whole batch wide).
+    Changes batch composition — same model quality in expectation, but
+    not step-for-step comparable with the uniform shuffle, hence off by
+    default."""
+
+    worker_timeout: float = 120.0
+    """Seconds the parent waits on a gradient worker before declaring it
+    dead (only used with ``num_workers > 1``).  A killed or hung worker
+    then raises a :class:`repro.train.parallel.WorkerError` instead of
+    blocking forever."""
+
     compute_dtype: str | None = None
     """Floating dtype for the whole training run (``"float32"`` /
     ``"float64"``).  When set, the trainer casts the model's parameters
@@ -66,6 +104,10 @@ class TrainerConfig:
                 "compute_dtype must be 'float32', 'float64', or None; "
                 f"got {self.compute_dtype!r}"
             )
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if self.worker_timeout <= 0:
+            raise ValueError("worker_timeout must be positive")
         if self.checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
         if self.keep_last is not None and self.keep_last < 1:

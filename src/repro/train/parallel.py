@@ -1,0 +1,492 @@
+"""Deterministic data-parallel training via lock-step model replicas.
+
+:class:`ParallelTrainer` keeps the exact optimization semantics of the
+serial :class:`repro.train.Trainer` — one Adam update per minibatch over
+the *whole* batch — but computes the gradient of each batch in
+``num_workers`` forked worker processes, each holding a full model
+replica:
+
+1. The parent creates the model, the Adam state, and the padded training
+   matrix, then forks the workers.  ``fork`` start-method inheritance
+   means nothing is pickled and every replica starts bit-identical to
+   the master.
+2. Per step the parent shards the shuffled batch's row indices across
+   the workers (fixed ``np.array_split`` order).  Each worker computes
+   its shard's loss and gradients and writes the *raw* gradient vector
+   into its own preallocated shared-memory float64 buffer, then reports
+   ``(weight_sum, loss, ...)`` stats over its pipe.
+3. The parent reduces the shard gradients **in fixed worker order with
+   float64 accumulation**, weighting shard ``s`` by ``W_s / W`` (its
+   share of the batch's supervision weight — every loss here is a
+   weighted mean over supervised positions, so this recombination is
+   exactly the full-batch gradient).  The reduced gradient is cast into
+   a single shared broadcast buffer, clipped in place
+   (:func:`repro.optim.clip_grad_norm`), and applied by the parent's
+   Adam *and*, on the ``apply`` message, by every worker's Adam — the
+   replicas therefore stay in lock-step to the last bit.
+
+Determinism: batch order comes from the trainer's seeded RNG; sharding
+is a fixed split; the reduction order is fixed; and each worker's model
+RNG streams (dropout masks, reparameterization noise) are reseeded every
+epoch from ``SeedSequence((seed, epoch, worker_index))``.  A run is
+therefore bit-reproducible for a given ``(seed, num_workers)`` — and
+because the per-epoch reseed derives from the epoch number alone,
+resuming from a checkpoint replays exactly the epochs an uninterrupted
+run would have produced.  Checkpoints carry **no worker state**: a
+checkpoint written at any worker count resumes under any other
+(including the serial trainer), the worker count is purely a runtime
+choice.
+
+Failure handling: a worker that dies (OOM-kill, segfault, deliberate
+:attr:`ParallelTrainer.fault_exit_at` injection) or hangs longer than
+``TrainerConfig.worker_timeout`` surfaces as a :class:`WorkerError` in
+the parent — never a hang — and the remaining workers are torn down.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import multiprocessing
+import os
+import traceback
+from multiprocessing.sharedctypes import RawArray
+
+import numpy as np
+
+from ..optim import clip_grad_norm
+from .trainer import Trainer, _EpochTotals
+
+__all__ = ["ParallelTrainer", "WorkerError", "supervision_weight_sum"]
+
+_CTYPES = {
+    np.dtype(np.float32): ctypes.c_float,
+    np.dtype(np.float64): ctypes.c_double,
+}
+
+
+class WorkerError(RuntimeError):
+    """A gradient worker died, hung, or raised during a training step."""
+
+
+def supervision_weight_sum(
+    lengths: np.ndarray, width: int, window: int = 1
+) -> float:
+    """Total supervision weight of a left-padded batch, from lengths only.
+
+    Every training loss in this repository (next-item cross-entropy,
+    next-``k`` multi-hot cross-entropy, the Gaussian KL) is a weighted
+    mean over supervised positions with {0,1} weights, so the weight sum
+    is a *count*: for a row of effective length ``l`` in a batch of
+    ``width`` columns, the supervised input positions are
+    ``t ∈ [max(width - l - window, 0), width - 2]`` (the next-``window``
+    target span of ``t`` must reach a real item).  This closed form lets
+    the gradient workers report their shard's weight share without
+    materializing the target arrays twice; it is property-tested against
+    the actual weights of :func:`repro.data.batching.shift_targets` and
+    :func:`repro.data.batching.next_k_multi_hot`.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    low = np.maximum(width - lengths - window, 0)
+    counts = np.maximum(width - 1 - low, 0)
+    counts = np.where(lengths > 0, counts, 0)
+    return float(counts.sum())
+
+
+def _reseed_model_rngs(model, seed: int, epoch: int, worker: int) -> None:
+    """Give every model RNG stream a fresh, derived state.
+
+    The derivation key is ``(seed, epoch, worker)`` — no run-length
+    counter — so a resumed run reseeds epoch ``e`` exactly as the
+    uninterrupted run did, which is what makes parallel checkpoint
+    resume bit-identical without persisting any worker RNG state.
+    Streams are assigned in sorted-name order; a generator shared under
+    several names is simply reseeded once per name (last wins),
+    deterministically.
+    """
+    named = sorted(model.named_rngs(), key=lambda item: item[0])
+    children = np.random.SeedSequence((seed, epoch, worker)).spawn(len(named))
+    for (_, rng), child in zip(named, children):
+        rng.bit_generator.state = type(rng.bit_generator)(child).state
+
+
+def _bump_annealing_step(model) -> None:
+    """Advance a VAE's β-annealing counter without running a batch.
+
+    A worker whose shard of a ragged final batch is empty must still
+    advance the schedule, or its replica's β would diverge from the
+    workers that did compute — uses the public extra-state protocol.
+    """
+    state = model.extra_state()
+    if "step" in state:
+        state["step"] = int(state["step"]) + 1
+        model.load_extra_state(state)
+
+
+def _param_views(buffer: np.ndarray, parameters) -> list[np.ndarray]:
+    """Per-parameter reshaped views into a flat shared buffer."""
+    views = []
+    offset = 0
+    for param in parameters:
+        size = param.data.size
+        views.append(buffer[offset:offset + size].reshape(param.data.shape))
+        offset += size
+    return views
+
+
+def _worker_loop(
+    worker: int,
+    conn,
+    grad_buffer,
+    broadcast_buffer,
+    broadcast_dtype: np.dtype,
+    model,
+    optimizer,
+    padded: np.ndarray,
+    lengths: np.ndarray,
+    seed: int,
+    trim_enabled: bool,
+    trim_margin: int,
+    fault_after: int | None,
+) -> None:
+    """Body of one gradient worker (runs in the forked child)."""
+    from ..data.batching import trim_batch
+
+    try:
+        parameters = model.parameters()
+        grads = np.frombuffer(grad_buffer, dtype=np.float64)
+        broadcast = np.frombuffer(broadcast_buffer, dtype=broadcast_dtype)
+        broadcast_views = _param_views(broadcast, parameters)
+        tracks_elbo = hasattr(model, "training_elbo")
+        model.train()
+        steps = 0
+        while True:
+            message = conn.recv()
+            kind = message[0]
+            if kind == "seed":
+                _reseed_model_rngs(model, seed, message[1], worker)
+            elif kind == "step":
+                shard = message[1]
+                steps += 1
+                if fault_after is not None and steps >= fault_after:
+                    # Crash injection (see repro.serve.faults for the
+                    # serving-side analogue): die without cleanup, as a
+                    # segfault or OOM kill would.
+                    os._exit(1)
+                if len(shard) == 0:
+                    # Ragged final batch smaller than the worker count:
+                    # contribute nothing, but keep β lock-step.
+                    grads[:] = 0.0
+                    if tracks_elbo:
+                        _bump_annealing_step(model)
+                    conn.send(("grads", 0.0, None, None, None, None))
+                    continue
+                rows = padded[shard]
+                if trim_enabled:
+                    rows = trim_batch(
+                        rows, lengths[shard], margin=trim_margin
+                    )
+                model.zero_grad()
+                if tracks_elbo:
+                    terms = model.training_elbo(rows)
+                    loss = terms.loss
+                    reconstruction = terms.reconstruction_value
+                    kl = terms.kl_value
+                    beta = terms.beta
+                else:
+                    loss = model.training_loss(rows)
+                    reconstruction = kl = beta = None
+                loss.backward()
+                offset = 0
+                for param in parameters:
+                    size = param.data.size
+                    if param.grad is None:
+                        grads[offset:offset + size] = 0.0
+                    else:
+                        grads[offset:offset + size] = param.grad.ravel()
+                    offset += size
+                weight = supervision_weight_sum(
+                    lengths[shard],
+                    rows.shape[1],
+                    getattr(model, "target_window", 1),
+                )
+                conn.send(
+                    ("grads", weight, loss.item(), reconstruction, kl, beta)
+                )
+            elif kind == "apply":
+                # The parent has reduced, clipped, and broadcast the
+                # batch gradient; apply the identical Adam update.
+                for param, view in zip(parameters, broadcast_views):
+                    param.grad = view
+                optimizer.step()
+                for param in parameters:
+                    param.grad = None
+                conn.send(("applied",))
+            elif kind == "state":
+                conn.send(("state", model.extra_state()))
+            elif kind == "stop":
+                return
+            else:  # pragma: no cover - protocol guard
+                raise RuntimeError(f"unknown message {kind!r}")
+    except (EOFError, KeyboardInterrupt):  # parent went away
+        return
+    except Exception:  # surface the traceback in the parent
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except OSError:
+            pass
+
+
+class ParallelTrainer(Trainer):
+    """Data-parallel :class:`Trainer` with lock-step model replicas.
+
+    Normally reached through ``Trainer.fit`` dispatch by setting
+    ``TrainerConfig.num_workers > 1``; constructing it directly is
+    equivalent.  See the module docstring for the protocol and the
+    determinism/resume guarantees.
+
+    Attributes:
+        fault_exit_at: test hook — ``(worker_index, step_number)`` makes
+            that worker hard-exit (``os._exit``) on its ``step_number``-th
+            gradient step, for crash-handling tests.  ``None`` (default)
+            disables injection.
+    """
+
+    _parallel = True
+
+    def __init__(self, config=None):
+        super().__init__(config)
+        self.fault_exit_at: tuple[int, int] | None = None
+        self._processes: list = []
+        self._connections: list = []
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle (Trainer hooks)
+    # ------------------------------------------------------------------
+    def _start_workers(self, model, optimizer, padded: np.ndarray) -> None:
+        config = self.config
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError as error:  # pragma: no cover - non-POSIX only
+            raise WorkerError(
+                "ParallelTrainer needs the 'fork' start method "
+                "(Linux/macOS); use num_workers=1 here"
+            ) from error
+        parameters = model.parameters()
+        dtype = parameters[0].data.dtype
+        if dtype not in _CTYPES:  # pragma: no cover - float32/64 only
+            raise WorkerError(f"unsupported parameter dtype {dtype}")
+        total = sum(param.data.size for param in parameters)
+        self._master_model = model
+        self._master_parameters = parameters
+        self._reduced = np.zeros(total, dtype=np.float64)
+        self._scratch = np.empty(total, dtype=np.float64)
+        broadcast_raw = RawArray(_CTYPES[dtype], total)
+        self._broadcast = np.frombuffer(broadcast_raw, dtype=dtype)
+        self._broadcast_views = _param_views(self._broadcast, parameters)
+        self._grad_views = []
+        self._processes = []
+        self._connections = []
+        for worker in range(config.num_workers):
+            grad_raw = RawArray(ctypes.c_double, total)
+            self._grad_views.append(
+                np.frombuffer(grad_raw, dtype=np.float64)
+            )
+            parent_conn, child_conn = context.Pipe()
+            fault_after = None
+            if self.fault_exit_at is not None:
+                fault_worker, fault_step = self.fault_exit_at
+                if fault_worker == worker:
+                    fault_after = fault_step
+            process = context.Process(
+                target=_worker_loop,
+                args=(
+                    worker,
+                    child_conn,
+                    grad_raw,
+                    broadcast_raw,
+                    dtype,
+                    model,
+                    optimizer,
+                    padded,
+                    self._lengths,
+                    config.seed,
+                    self._trim_enabled,
+                    self._trim_margin,
+                    fault_after,
+                ),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._processes.append(process)
+            self._connections.append(parent_conn)
+
+    def _stop_workers(self) -> None:
+        for connection in self._connections:
+            try:
+                connection.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for connection, process in zip(
+            self._connections, self._processes
+        ):
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+                process.join(timeout=5.0)
+            connection.close()
+        self._processes = []
+        self._connections = []
+        # The master's gradients alias the shared broadcast buffer;
+        # detach them so nothing dangles past the run.
+        for param in getattr(self, "_master_parameters", []):
+            param.grad = None
+
+    def _begin_epoch(self, epoch: int) -> None:
+        for worker in range(len(self._connections)):
+            self._send(worker, ("seed", epoch))
+
+    def _sync_master(self, model) -> None:
+        if not self._connections:
+            return
+        self._send(0, ("state",))
+        model.load_extra_state(self._receive(0, "state")[1])
+
+    # ------------------------------------------------------------------
+    # Pipe helpers with liveness/timeout guards
+    # ------------------------------------------------------------------
+    def _send(self, worker: int, message) -> None:
+        try:
+            self._connections[worker].send(message)
+        except (BrokenPipeError, OSError) as error:
+            raise self._worker_death(worker) from error
+
+    def _receive(self, worker: int, expected: str):
+        connection = self._connections[worker]
+        if not connection.poll(self.config.worker_timeout):
+            raise WorkerError(
+                f"gradient worker {worker} sent nothing for "
+                f"{self.config.worker_timeout:.0f}s (hung or livelocked); "
+                "aborting the run instead of waiting forever"
+            )
+        try:
+            message = connection.recv()
+        except (EOFError, OSError) as error:
+            raise self._worker_death(worker) from error
+        if message[0] == "error":
+            raise WorkerError(
+                f"gradient worker {worker} raised during training:\n"
+                f"{message[1]}"
+            )
+        if message[0] != expected:  # pragma: no cover - protocol guard
+            raise WorkerError(
+                f"gradient worker {worker} sent {message[0]!r}, "
+                f"expected {expected!r}"
+            )
+        return message
+
+    def _worker_death(self, worker: int) -> WorkerError:
+        process = self._processes[worker]
+        process.join(timeout=1.0)
+        return WorkerError(
+            f"gradient worker {worker} died mid-training "
+            f"(exit code {process.exitcode}); the training step cannot "
+            "be completed — restart from the latest checkpoint"
+        )
+
+    # ------------------------------------------------------------------
+    # The sharded training step (Trainer hook)
+    # ------------------------------------------------------------------
+    def _train_step(
+        self,
+        model,
+        optimizer,
+        padded: np.ndarray,
+        batch: np.ndarray,
+        totals: _EpochTotals,
+        history,
+        epoch: int,
+    ) -> None:
+        config = self.config
+        shards = np.array_split(batch, config.num_workers)
+        for worker, shard in enumerate(shards):
+            self._send(worker, ("step", shard))
+        stats = [
+            self._receive(worker, "grads")
+            for worker in range(config.num_workers)
+        ]
+        weights = np.array([entry[1] for entry in stats], dtype=np.float64)
+        total_weight = float(weights.sum())
+        # Reduce in fixed worker order with float64 accumulation: the
+        # combined gradient of a weighted-mean loss is sum_s (W_s/W) g_s.
+        if total_weight > 0.0:
+            scales = weights / total_weight
+        else:  # all-empty shards cannot happen for a non-empty batch
+            scales = np.zeros_like(weights)
+        self._reduced[:] = 0.0
+        for worker, scale in enumerate(scales):
+            if scale == 0.0:
+                continue
+            np.multiply(self._grad_views[worker], scale, out=self._scratch)
+            self._reduced += self._scratch
+        self._broadcast[:] = self._reduced  # casts to the compute dtype
+
+        loss_value = self._combine(stats, weights, total_weight, index=2)
+        if not np.isfinite(loss_value):
+            raise RuntimeError(
+                f"non-finite training loss ({loss_value}) at epoch "
+                f"{epoch}, batch {totals.num_batches}: check the learning "
+                "rate / KL weight, or inspect the batch with "
+                "model.training_loss directly"
+            )
+        # Clip in place on the broadcast views *before* telling the
+        # workers to apply, so every replica consumes the clipped
+        # gradient the parent's own Adam step uses.
+        for param, view in zip(
+            self._master_parameters, self._broadcast_views
+        ):
+            param.grad = view
+        grad_norm = clip_grad_norm(
+            self._master_parameters, config.clip_norm
+        )
+        if not np.isfinite(grad_norm):
+            raise RuntimeError(
+                f"non-finite gradient norm ({grad_norm}) at epoch "
+                f"{epoch}, batch {totals.num_batches}: the loss was finite "
+                f"({loss_value}) but a backward pass produced "
+                "inf/NaN — lower the learning rate or inspect the "
+                "gradients"
+            )
+        history.grad_norms.append(grad_norm)
+        for worker in range(config.num_workers):
+            self._send(worker, ("apply",))
+        optimizer.step()
+        # Wait for every replica to finish reading the broadcast buffer
+        # before the next step may overwrite it.
+        for worker in range(config.num_workers):
+            self._receive(worker, "applied")
+
+        if self._tracks_elbo:
+            reconstruction = self._combine(
+                stats, weights, total_weight, index=3
+            )
+            kl = self._combine(stats, weights, total_weight, index=4)
+            beta = next(
+                (entry[5] for entry in stats if entry[5] is not None), None
+            )
+        else:
+            reconstruction = kl = beta = None
+        totals.record_batch(loss_value, len(batch), reconstruction, kl, beta)
+
+    @staticmethod
+    def _combine(
+        stats, weights: np.ndarray, total_weight: float, index: int
+    ) -> float:
+        """Weight-average a per-shard statistic back to the batch value."""
+        if total_weight <= 0.0:
+            return 0.0
+        value = 0.0
+        for entry, weight in zip(stats, weights):
+            if entry[index] is not None:
+                value += weight * entry[index]
+        return value / total_weight

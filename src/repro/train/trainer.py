@@ -7,15 +7,38 @@ early stopping on a validation metric, best-weight restoration, and —
 when ``TrainerConfig.checkpoint_dir`` is set — crash-safe full-state
 checkpoints that :meth:`Trainer.fit` can resume bit-for-bit (see
 :mod:`repro.train.checkpoint`).
+
+Two hot-path features are shared with the data-parallel trainer
+(:mod:`repro.train.parallel`):
+
+- **length-aware trimming** (``TrainerConfig.trim_batches``): each batch
+  is column-trimmed to its own longest real sequence before the forward
+  pass, an exact transformation for models that declare
+  ``supports_trimming`` (attention cost is O(L²), so this is a large
+  saving on long-tail corpora);
+- **length bucketing** (``TrainerConfig.bucket_by_length``): minibatches
+  mix only rows within a 2× length band, which is what makes trimming
+  bite when batch composition would otherwise be dominated by one long
+  straggler.
+
+``TrainerConfig.num_workers > 1`` transparently dispatches ``fit`` to
+:class:`repro.train.parallel.ParallelTrainer`, which shards every batch
+across forked gradient workers while keeping the run deterministic.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
-from ..data.batching import minibatch_indices
+from ..data.batching import (
+    bucketed_minibatch_indices,
+    effective_lengths,
+    minibatch_indices,
+    trim_batch,
+)
 from ..data.interactions import SequenceCorpus
 from ..data.splits import FoldInUser
 from ..eval.evaluator import evaluate_recommender
@@ -35,8 +58,45 @@ from .config import TrainerConfig, TrainingHistory
 __all__ = ["Trainer"]
 
 
+@dataclass
+class _EpochTotals:
+    """Per-epoch accumulators shared by the serial and parallel loops."""
+
+    loss: float = 0.0
+    reconstruction: float = 0.0
+    kl: float = 0.0
+    examples: int = 0
+    beta: float | None = None
+    num_batches: int = 0
+
+    def record_batch(
+        self,
+        loss_value: float,
+        batch_size: int,
+        reconstruction: float | None = None,
+        kl: float | None = None,
+        beta: float | None = None,
+    ) -> None:
+        # Weight per-batch means by batch size so a ragged final
+        # minibatch doesn't bias the reported epoch means.
+        self.loss += loss_value * batch_size
+        if reconstruction is not None:
+            self.reconstruction += reconstruction * batch_size
+        if kl is not None:
+            self.kl += kl * batch_size
+        if beta is not None and self.beta is None:
+            self.beta = beta
+        self.examples += batch_size
+        self.num_batches += 1
+
+
 class Trainer:
     """Epoch/minibatch driver around Adam (the paper's optimizer)."""
+
+    #: Overridden by :class:`repro.train.parallel.ParallelTrainer`;
+    #: guards the ``num_workers`` dispatch in :meth:`fit` against
+    #: re-dispatching from the parallel subclass itself.
+    _parallel = False
 
     def __init__(self, config: TrainerConfig | None = None):
         self.config = config or TrainerConfig()
@@ -64,7 +124,18 @@ class Trainer:
         streams, the β-annealing step, history, and early-stopping
         state — is restored from the checkpoint, so the resumed run
         produces the same numbers as one that never stopped.
+
+        With ``config.num_workers > 1`` the call is dispatched to
+        :class:`repro.train.parallel.ParallelTrainer` (same contract,
+        sharded gradient computation).
         """
+        if self.config.num_workers > 1 and not self._parallel:
+            from .parallel import ParallelTrainer
+
+            return ParallelTrainer(self.config).fit(
+                model, corpus, validation=validation,
+                resume_from=resume_from,
+            )
         config = self.config
         if config.compute_dtype is not None:
             # Cast parameters once, then run the whole fit (activations,
@@ -77,6 +148,91 @@ class Trainer:
                 return self._fit(model, corpus, validation, resume_from)
         return self._fit(model, corpus, validation, resume_from)
 
+    # ------------------------------------------------------------------
+    # Hooks the data-parallel trainer overrides
+    # ------------------------------------------------------------------
+    def _start_workers(self, model, optimizer, padded: np.ndarray) -> None:
+        """Bring up the gradient workers (serial: nothing to do)."""
+
+    def _stop_workers(self) -> None:
+        """Tear the workers down; must be idempotent (serial: no-op)."""
+
+    def _begin_epoch(self, epoch: int) -> None:
+        """Per-epoch worker bookkeeping (serial: nothing to do)."""
+
+    def _sync_master(self, model) -> None:
+        """Pull worker-held training state (the β-annealing step) into
+        the master model before it is evaluated or checkpointed.
+        Serial training mutates the master directly, so: no-op."""
+
+    def _train_step(
+        self,
+        model,
+        optimizer,
+        padded: np.ndarray,
+        batch: np.ndarray,
+        totals: _EpochTotals,
+        history: TrainingHistory,
+        epoch: int,
+    ) -> None:
+        """One optimizer step on the batch given by index array ``batch``."""
+        config = self.config
+        rows = self._batch_rows(padded, batch)
+        optimizer.zero_grad()
+        if self._tracks_elbo:
+            terms = model.training_elbo(rows)
+            loss = terms.loss
+            reconstruction = terms.reconstruction_value
+            kl = terms.kl_value
+            beta = terms.beta
+        else:
+            loss = model.training_loss(rows)
+            reconstruction = kl = beta = None
+        loss_value = loss.item()
+        if not np.isfinite(loss_value):
+            raise RuntimeError(
+                f"non-finite training loss ({loss_value}) at epoch "
+                f"{epoch}, batch {totals.num_batches}: check the learning "
+                "rate / KL weight, or inspect the batch with "
+                "model.training_loss directly"
+            )
+        loss.backward()
+        grad_norm = clip_grad_norm(model.parameters(), config.clip_norm)
+        if not np.isfinite(grad_norm):
+            raise RuntimeError(
+                f"non-finite gradient norm ({grad_norm}) at epoch "
+                f"{epoch}, batch {totals.num_batches}: the loss was finite "
+                f"({loss_value}) but a backward pass produced "
+                "inf/NaN — lower the learning rate or inspect the "
+                "gradients"
+            )
+        history.grad_norms.append(grad_norm)
+        optimizer.step()
+        totals.record_batch(
+            loss_value, len(rows), reconstruction, kl, beta
+        )
+
+    # ------------------------------------------------------------------
+    # Shared batching helpers
+    # ------------------------------------------------------------------
+    def _epoch_batches(self, num_rows: int, rng: np.random.Generator):
+        if self.config.bucket_by_length:
+            return bucketed_minibatch_indices(
+                self._lengths, self.config.batch_size, rng
+            )
+        return minibatch_indices(num_rows, self.config.batch_size, rng)
+
+    def _batch_rows(self, padded: np.ndarray, batch: np.ndarray) -> np.ndarray:
+        rows = padded[batch]
+        if self._trim_enabled:
+            rows = trim_batch(
+                rows, self._lengths[batch], margin=self._trim_margin
+            )
+        return rows
+
+    # ------------------------------------------------------------------
+    # The epoch scaffold (shared serial/parallel)
+    # ------------------------------------------------------------------
     def _fit(
         self,
         model,
@@ -115,7 +271,12 @@ class Trainer:
                     model.load_state_dict(best_state)
                 model.eval()
                 return history
-        tracks_elbo = hasattr(model, "training_elbo")
+        self._tracks_elbo = hasattr(model, "training_elbo")
+        self._lengths = effective_lengths(padded)
+        self._trim_enabled = config.trim_batches and getattr(
+            model, "supports_trimming", False
+        )
+        self._trim_margin = max(1, getattr(model, "target_window", 1))
         checkpoint_dir = (
             Path(config.checkpoint_dir)
             if config.checkpoint_dir is not None
@@ -123,129 +284,95 @@ class Trainer:
         )
 
         stop = False
-        for epoch in range(start_epoch, config.epochs + 1):
-            model.train()
-            epoch_loss = 0.0
-            epoch_reconstruction = 0.0
-            epoch_kl = 0.0
-            epoch_examples = 0
-            epoch_beta = None
-            num_batches = 0
-            for batch in minibatch_indices(
-                len(padded), config.batch_size, rng
-            ):
-                optimizer.zero_grad()
-                if tracks_elbo:
-                    terms = model.training_elbo(padded[batch])
-                    loss = terms.loss
-                    epoch_reconstruction += (
-                        terms.reconstruction_value * len(batch)
+        try:
+            self._start_workers(model, optimizer, padded)
+            for epoch in range(start_epoch, config.epochs + 1):
+                model.train()
+                self._begin_epoch(epoch)
+                totals = _EpochTotals()
+                for batch in self._epoch_batches(len(padded), rng):
+                    self._train_step(
+                        model, optimizer, padded, batch, totals,
+                        history, epoch,
                     )
-                    epoch_kl += terms.kl_value * len(batch)
-                    if epoch_beta is None:
-                        epoch_beta = terms.beta
-                else:
-                    loss = model.training_loss(padded[batch])
-                loss_value = loss.item()
-                if not np.isfinite(loss_value):
+                denominator = max(totals.examples, 1)
+                mean_loss = totals.loss / denominator
+                if not np.isfinite(mean_loss):
+                    # Every per-batch loss passed the finite check above,
+                    # so this is the accumulator itself overflowing (huge
+                    # but finite batch losses summing to inf).
                     raise RuntimeError(
-                        f"non-finite training loss ({loss_value}) at epoch "
-                        f"{epoch}, batch {num_batches}: check the learning "
-                        "rate / KL weight, or inspect the batch with "
-                        "model.training_loss directly"
+                        f"non-finite epoch loss ({mean_loss}) at epoch "
+                        f"{epoch}: per-batch losses were finite but their "
+                        "sum overflowed — the loss scale has diverged; "
+                        "lower the learning rate or inspect recent batches"
                     )
-                loss.backward()
-                grad_norm = clip_grad_norm(
-                    model.parameters(), config.clip_norm
-                )
-                if not np.isfinite(grad_norm):
-                    raise RuntimeError(
-                        f"non-finite gradient norm ({grad_norm}) at epoch "
-                        f"{epoch}, batch {num_batches}: the loss was finite "
-                        f"({loss_value}) but a backward pass produced "
-                        "inf/NaN — lower the learning rate or inspect the "
-                        "gradients"
+                history.losses.append(mean_loss)
+                if self._tracks_elbo:
+                    history.reconstruction_losses.append(
+                        totals.reconstruction / denominator
                     )
-                history.grad_norms.append(grad_norm)
-                optimizer.step()
-                # Weight per-batch means by batch size so a ragged final
-                # minibatch doesn't bias the reported epoch means.
-                epoch_loss += loss_value * len(batch)
-                epoch_examples += len(batch)
-                num_batches += 1
-            denominator = max(epoch_examples, 1)
-            mean_loss = epoch_loss / denominator
-            if not np.isfinite(mean_loss):
-                # Every per-batch loss passed the finite check above, so
-                # this is the accumulator itself overflowing (huge but
-                # finite batch losses summing to inf).
-                raise RuntimeError(
-                    f"non-finite epoch loss ({mean_loss}) at epoch "
-                    f"{epoch}: per-batch losses were finite but their "
-                    "sum overflowed — the loss scale has diverged; "
-                    "lower the learning rate or inspect recent batches"
-                )
-            history.losses.append(mean_loss)
-            if tracks_elbo:
-                history.reconstruction_losses.append(
-                    epoch_reconstruction / denominator
-                )
-                history.kl_values.append(epoch_kl / denominator)
-                history.betas.append(
-                    epoch_beta if epoch_beta is not None else 0.0
-                )
-            if config.verbose:
-                print(f"epoch {epoch:3d}  loss {mean_loss:.4f}")
-
-            # Periodic evaluation runs whenever validation users exist;
-            # early stopping additionally requires config.patience.
-            should_eval = (
-                validation is not None and epoch % config.eval_every == 0
-            )
-            if should_eval:
-                result = evaluate_recommender(model, validation)
-                score = result[config.eval_metric]
-                history.validation_scores.append((epoch, score))
+                    history.kl_values.append(totals.kl / denominator)
+                    history.betas.append(
+                        totals.beta if totals.beta is not None else 0.0
+                    )
                 if config.verbose:
-                    print(
-                        f"epoch {epoch:3d}  "
-                        f"{config.eval_metric} {100 * score:.3f}%"
-                    )
-                if score > best_score:
-                    best_score = score
-                    history.best_epoch = epoch
-                    misses = 0
-                    if config.patience is not None:
-                        best_state = model.state_dict()
-                elif config.patience is not None:
-                    misses += 1
-                    if misses >= config.patience:
-                        history.stopped_early = True
-                        stop = True
+                    print(f"epoch {epoch:3d}  loss {mean_loss:.4f}")
 
-            if checkpoint_dir is not None and (
-                epoch % config.checkpoint_every == 0
-                or epoch == config.epochs
-                or stop
-            ):
-                save_training_checkpoint(
-                    TrainingCheckpoint(
-                        epoch=epoch,
-                        model_state=model.state_dict(),
-                        optimizer_state=optimizer.state_dict(),
-                        trainer_rng_state=rng.bit_generator.state,
-                        model_rng_state=model.rng_state(),
-                        model_extra_state=model.extra_state(),
-                        history=history,
-                        best_score=best_score,
-                        best_state=best_state,
-                        misses=misses,
-                    ),
-                    checkpoint_path(checkpoint_dir, epoch),
+                # Periodic evaluation runs whenever validation users
+                # exist; early stopping additionally requires patience.
+                should_eval = (
+                    validation is not None
+                    and epoch % config.eval_every == 0
                 )
-                prune_checkpoints(checkpoint_dir, config.keep_last)
-            if stop:
-                break
+                if should_eval:
+                    result = evaluate_recommender(model, validation)
+                    score = result[config.eval_metric]
+                    history.validation_scores.append((epoch, score))
+                    if config.verbose:
+                        print(
+                            f"epoch {epoch:3d}  "
+                            f"{config.eval_metric} {100 * score:.3f}%"
+                        )
+                    if score > best_score:
+                        best_score = score
+                        history.best_epoch = epoch
+                        misses = 0
+                        if config.patience is not None:
+                            best_state = model.state_dict()
+                    elif config.patience is not None:
+                        misses += 1
+                        if misses >= config.patience:
+                            history.stopped_early = True
+                            stop = True
+
+                if checkpoint_dir is not None and (
+                    epoch % config.checkpoint_every == 0
+                    or epoch == config.epochs
+                    or stop
+                ):
+                    self._sync_master(model)
+                    save_training_checkpoint(
+                        TrainingCheckpoint(
+                            epoch=epoch,
+                            model_state=model.state_dict(),
+                            optimizer_state=optimizer.state_dict(),
+                            trainer_rng_state=rng.bit_generator.state,
+                            model_rng_state=model.rng_state(),
+                            model_extra_state=model.extra_state(),
+                            history=history,
+                            best_score=best_score,
+                            best_state=best_state,
+                            misses=misses,
+                        ),
+                        checkpoint_path(checkpoint_dir, epoch),
+                    )
+                    prune_checkpoints(checkpoint_dir, config.keep_last)
+                if stop:
+                    break
+            self._sync_master(model)
+        finally:
+            self._stop_workers()
 
         if best_state is not None:
             model.load_state_dict(best_state)

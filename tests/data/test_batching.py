@@ -142,3 +142,188 @@ class TestMinibatchIndices:
     def test_invalid_batch_size(self):
         with pytest.raises(ValueError):
             list(minibatch_indices(5, 0))
+
+
+class TestTargetDtypes:
+    """Targets/weights must follow the engine compute dtype (no float64
+    leak into a float32 training path)."""
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_shift_targets_weights_follow_default_dtype(self, dtype):
+        from repro.tensor import default_dtype
+
+        padded = np.array([[0, 1, 2], [1, 2, 3]])
+        with default_dtype(dtype):
+            _, _, weights = shift_targets(padded)
+        assert weights.dtype == np.dtype(dtype)
+
+    def test_shift_targets_explicit_dtype_wins(self):
+        _, _, weights = shift_targets(
+            np.array([[0, 1, 2]]), dtype=np.float32
+        )
+        assert weights.dtype == np.float32
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_next_k_multi_hot_follows_default_dtype(self, dtype):
+        from repro.tensor import default_dtype
+
+        padded = np.array([[0, 1, 2, 3]])
+        with default_dtype(dtype):
+            _, multi_hot, weights = next_k_multi_hot(padded, 2, 4)
+        assert multi_hot.dtype == np.dtype(dtype)
+        assert weights.dtype == np.dtype(dtype)
+
+    def test_float32_dtype_reaches_training_loss_gradients(self):
+        """End-to-end: under a float32 scope the loss gradient of a
+        model consuming shift_targets stays float32 throughout."""
+        from repro.models import SASRec
+        from repro.tensor import default_dtype
+
+        with default_dtype(np.float32):
+            model = SASRec(6, 4, dim=8, num_blocks=1, dropout_rate=0.0)
+            for param in model.parameters():
+                param.data = param.data.astype(np.float32)
+            loss = model.training_loss(np.array([[0, 1, 2, 3, 4]]))
+            assert loss.data.dtype == np.float32
+            loss.backward()
+            assert all(
+                param.grad.dtype == np.float32
+                for param in model.parameters()
+                if param.grad is not None
+            )
+
+
+class TestNextKMultiHotOutBuffer:
+    def test_out_buffer_reused_and_equal(self):
+        padded = np.array([[0, 1, 2, 3], [0, 0, 4, 1]])
+        reference = next_k_multi_hot(padded, 2, 4)
+        out = np.full((4, 5, 5), 7.0)  # oversized + dirty
+        _, multi_hot, weights = next_k_multi_hot(padded, 2, 4, out=out)
+        assert multi_hot.base is out
+        np.testing.assert_array_equal(multi_hot, reference[1])
+        np.testing.assert_array_equal(weights, reference[2])
+
+    def test_out_buffer_dtype_mismatch_rejected(self):
+        out = np.zeros((2, 3, 5), dtype=np.float32)
+        with pytest.raises(ValueError, match="dtype"):
+            next_k_multi_hot(np.array([[0, 1, 2, 3]]), 2, 4, out=out)
+
+    def test_out_buffer_too_small_rejected(self):
+        out = np.zeros((1, 1, 5))
+        with pytest.raises(ValueError, match="smaller"):
+            next_k_multi_hot(np.array([[0, 1, 2, 3]]), 2, 4, out=out)
+
+    def test_peak_allocation_shrinks_with_buffer(self):
+        """Regression: with `out` the dense float64 target must no longer
+        dominate the allocation profile of target construction."""
+        import tracemalloc
+
+        rng = np.random.default_rng(0)
+        num_items = 400
+        padded = rng.integers(0, num_items + 1, size=(64, 41))
+        dense_bytes = 64 * 40 * (num_items + 1) * 8
+
+        def peak(**kwargs):
+            next_k_multi_hot(padded, 3, num_items, **kwargs)  # warm up
+            tracemalloc.start()
+            next_k_multi_hot(padded, 3, num_items, **kwargs)
+            _, high = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            return high
+
+        assert peak() >= dense_bytes  # allocates the dense target
+        buffer = np.empty((64, 40, num_items + 1))
+        assert peak(out=buffer) < dense_bytes / 4
+
+
+class TestEffectiveLengthsAndTrim:
+    def test_effective_lengths(self):
+        from repro.data import effective_lengths
+
+        padded = np.array([[0, 0, 1, 2], [1, 2, 3, 4], [0, 0, 0, 0]])
+        assert effective_lengths(padded).tolist() == [2, 4, 0]
+
+    def test_trim_keeps_max_length_plus_margin(self):
+        from repro.data import trim_batch
+
+        rows = np.array([[0, 0, 0, 1, 2], [0, 0, 0, 0, 3]])
+        trimmed = trim_batch(rows)
+        assert trimmed.shape == (2, 3)
+        assert trimmed.tolist() == [[0, 1, 2], [0, 0, 3]]
+
+    def test_trim_margin_widens_window(self):
+        from repro.data import trim_batch
+
+        rows = np.array([[0, 0, 0, 1, 2]])
+        assert trim_batch(rows, margin=2).shape == (1, 4)
+        # Margin never exceeds the full width.
+        assert trim_batch(rows, margin=99).shape == (1, 5)
+
+    def test_trim_returns_view(self):
+        from repro.data import trim_batch
+
+        rows = np.array([[0, 0, 1, 2]])
+        trimmed = trim_batch(rows)
+        assert trimmed.base is rows
+
+    def test_trim_never_below_two_columns(self):
+        from repro.data import trim_batch
+
+        rows = np.array([[0, 0, 0, 1]])
+        assert trim_batch(rows).shape == (1, 2)
+
+    def test_trim_invalid_margin(self):
+        from repro.data import trim_batch
+
+        with pytest.raises(ValueError):
+            trim_batch(np.array([[0, 1]]), margin=0)
+
+
+class TestBucketedMinibatchIndices:
+    def test_partition_and_length_band(self):
+        from repro.data import bucketed_minibatch_indices
+
+        rng = np.random.default_rng(3)
+        lengths = rng.integers(1, 65, size=200)
+        batches = list(bucketed_minibatch_indices(lengths, 16, rng))
+        flat = np.concatenate(batches)
+        assert sorted(flat.tolist()) == list(range(200))
+        for batch in batches:
+            assert len(batch) <= 16
+            ls = lengths[batch]
+            assert ls.max() < 2 * max(ls.min(), 1) + 1  # one pow-2 band
+
+    def test_deterministic_given_rng(self):
+        from repro.data import bucketed_minibatch_indices
+
+        lengths = np.random.default_rng(0).integers(1, 30, size=80)
+        runs = [
+            [
+                b.tolist()
+                for b in bucketed_minibatch_indices(
+                    lengths, 8, np.random.default_rng(7)
+                )
+            ]
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+    def test_zero_length_rows_are_kept(self):
+        from repro.data import bucketed_minibatch_indices
+
+        lengths = np.array([0, 1, 5, 0, 9])
+        batches = list(
+            bucketed_minibatch_indices(lengths, 2, np.random.default_rng(0))
+        )
+        assert sorted(np.concatenate(batches).tolist()) == [0, 1, 2, 3, 4]
+
+    def test_invalid_inputs(self):
+        from repro.data import bucketed_minibatch_indices
+
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            list(bucketed_minibatch_indices(np.array([1, 2]), 0, rng))
+        with pytest.raises(ValueError):
+            list(
+                bucketed_minibatch_indices(np.ones((2, 2)), 2, rng)
+            )

@@ -59,9 +59,21 @@ class TestSequenceEmbedding:
     def test_shape_validation(self, rng):
         layer = make(rng)
         with pytest.raises(ValueError):
-            layer(np.zeros((2, 4), dtype=np.int64))
+            layer(np.zeros((2, 7), dtype=np.int64))  # wider than window
         with pytest.raises(ValueError):
             layer(np.zeros(6, dtype=np.int64))
+
+    def test_short_widths_use_right_aligned_positions(self, rng):
+        """Column-trimmed batches (width < max_length) embed with the
+        *last* rows of the position matrix, so each position vector lands
+        on the same token as in the full-width batch."""
+        layer = make(rng)
+        layer.eval()
+        full = np.array([[0, 0, 0, 4, 5, 6]])
+        trimmed = full[:, 2:]
+        full_out = layer(full)[0].numpy()
+        trim_out = layer(trimmed)[0].numpy()
+        np.testing.assert_allclose(trim_out, full_out[:, 2:])
 
     def test_dropout_active_only_in_training(self, rng):
         layer = make(rng, dropout_rate=0.9)
