@@ -1,0 +1,204 @@
+"""Catalogue-scale retrieval benchmarks: IVF + exact re-rank vs dense.
+
+The tentpole claim of the retrieval stack, measured end to end on a
+100k-item synthetic catalogue: two-stage scoring (coarse probe →
+candidate scan → exact re-rank → full-width scatter) must beat the
+dense ``hidden @ W`` GEMM by **≥ 5× per request** while keeping
+**recall@10 ≥ 0.95** against the exact ranking.
+
+Setup notes:
+
+- The item table is *planted* with cluster structure (512 Gaussian
+  centers): learned item embeddings are strongly clustered in practice,
+  and IVF's nprobe/nlist trade-off is only meaningful on clusterable
+  geometry (isotropic noise is its pathological worst case and no one's
+  embedding table).  Recall is still *measured* against brute force, not
+  assumed.
+- Histories come from :func:`repro.data.zipf_histories` — catalogue-
+  scale without O(users × items) materialization (a satellite of the
+  same PR).
+- The dense baseline is the model's own ``score_batch`` — the exact
+  path every serving rung used before `IndexConfig` existed.
+
+``test_retrieval_speedup_gate`` enforces the headline bar, and
+``test_recall_curve_report`` sweeps recall@N vs nprobe and commits the
+curve to ``benchmarks/results/retrieval_recall.json``.  The recorded
+means are gated against ``benchmarks/BENCH_baseline.json`` by
+``compare_bench.py`` (``make bench-retrieval``).
+"""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.data import ZipfCatalogConfig, zipf_histories
+from repro.models import SASRec
+from repro.retrieval import IndexConfig, RetrievalEngine, recall_curve
+from repro.tensor import set_default_dtype
+from repro.tensor.topk import top_k_indices
+
+from conftest import RESULTS_DIR
+
+NUM_ITEMS = 100_000
+MAX_LENGTH = 6
+DIM = 96
+NUM_REQUESTS = 64
+PLANTED_CENTERS = 512
+PLANTED_NOISE = 0.2
+
+# The shipped operating point: ~0.4% of the catalogue scanned per query
+# (nprobe/nlist = 4/1024), int8 lists, 64 exactly re-ranked candidates.
+GATE_CONFIG = IndexConfig(
+    nlist=1024, nprobe=4, candidates=64, quantize="int8", seed=0,
+    kmeans_iters=4,
+)
+FLOAT_CONFIG = IndexConfig(
+    nlist=1024, nprobe=4, candidates=64, seed=0, kmeans_iters=4,
+)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def float32_compute():
+    previous = set_default_dtype(np.float32)
+    yield
+    set_default_dtype(previous)
+
+
+@pytest.fixture(scope="module")
+def model(float32_compute):
+    sasrec = SASRec(
+        NUM_ITEMS, MAX_LENGTH, dim=DIM, num_blocks=1, seed=0,
+        tie_weights=False,
+    )
+    sasrec.eval()
+    rng = np.random.default_rng(0)
+    centers = rng.standard_normal(
+        (PLANTED_CENTERS, DIM)
+    ).astype(np.float32) * 2.0
+    assign = rng.integers(0, PLANTED_CENTERS, size=NUM_ITEMS + 1)
+    planted = centers[assign] + PLANTED_NOISE * rng.standard_normal(
+        (NUM_ITEMS + 1, DIM)
+    ).astype(np.float32)
+    sasrec.output.weight.data[...] = planted.T
+    return sasrec
+
+
+@pytest.fixture(scope="module")
+def requests():
+    return zipf_histories(
+        ZipfCatalogConfig(
+            num_users=NUM_REQUESTS, num_items=NUM_ITEMS,
+            mean_length=8.0, max_length=16,
+        ),
+        seed=1,
+    )
+
+
+@pytest.fixture(scope="module")
+def exact_top10(model, requests):
+    return top_k_indices(model.score_batch(requests), 10)
+
+
+def _recall_at_10(rows, exact_top10):
+    got = top_k_indices(rows, 10)
+    return float(np.mean([
+        np.isin(want, have).mean()
+        for want, have in zip(exact_top10, got)
+    ]))
+
+
+def test_retrieval_dense_scoring(benchmark, model, requests):
+    """The O(|I|·d) dense baseline every rung paid before the index."""
+    rows = benchmark(lambda: model.score_batch(requests))
+    assert rows.shape == (NUM_REQUESTS, NUM_ITEMS + 1)
+
+
+@pytest.mark.parametrize(
+    "config", [GATE_CONFIG, FLOAT_CONFIG], ids=["int8", "f32"]
+)
+def test_retrieval_ivf(benchmark, model, requests, exact_top10, config):
+    """Two-stage scoring at the shipped operating point (int8 lists)
+    and its float32 ablation — same probes, 4× the scan traffic."""
+    engine = RetrievalEngine(model, config)
+    rows = benchmark(lambda: engine.score_batch(requests))
+    assert rows.shape == (NUM_REQUESTS, NUM_ITEMS + 1)
+    recall = _recall_at_10(engine.score_batch(requests), exact_top10)
+    benchmark.extra_info["recall_at_10"] = round(recall, 4)
+    benchmark.extra_info["rows_per_query"] = round(
+        engine.index.scanned / engine.index.searches, 1
+    )
+    assert recall >= 0.95
+
+
+def test_retrieval_speedup_gate(model, requests, exact_top10):
+    """The PR's acceptance bar: ≥ 5× per-request speedup over dense
+    scoring at recall@10 ≥ 0.95 on the 100k-item catalogue.
+
+    Timed as *interleaved* (dense, ivf) pairs with the median per-pair
+    ratio as the verdict: this host is a shared VM whose effective CPU
+    and memory bandwidth drift by 2-3× over minutes, and back-to-back
+    blocks of one path can land in different regimes.  A pair straddles
+    at most one drift boundary, and the median discards the straddlers.
+    """
+    engine = RetrievalEngine(model, GATE_CONFIG)
+
+    for _ in range(3):  # warm caches, scratch buffers, BLAS threads
+        model.score_batch(requests)
+        engine.score_batch(requests)
+    ratios, dense_times, ivf_times = [], [], []
+    for _ in range(9):
+        start = time.perf_counter()
+        model.score_batch(requests)
+        mid = time.perf_counter()
+        engine.score_batch(requests)
+        end = time.perf_counter()
+        dense_times.append(mid - start)
+        ivf_times.append(end - mid)
+        ratios.append((mid - start) / (end - mid))
+    dense_time = float(np.median(dense_times))
+    ivf_time = float(np.median(ivf_times))
+    speedup = float(np.median(ratios))
+    recall = _recall_at_10(engine.score_batch(requests), exact_top10)
+    print(
+        f"\ndense {dense_time / NUM_REQUESTS * 1e6:.0f}us/req, "
+        f"ivf {ivf_time / NUM_REQUESTS * 1e6:.0f}us/req, "
+        f"speedup {speedup:.1f}x, recall@10 {recall:.3f}"
+    )
+    assert recall >= 0.95, (
+        f"recall@10 {recall:.3f} < 0.95 at the gate operating point"
+    )
+    assert speedup >= 5.0, (
+        f"IVF path is only {speedup:.2f}x dense scoring; the two-stage "
+        f"fast path has regressed"
+    )
+
+
+def test_recall_curve_report(model, requests):
+    """Recall@N vs nprobe at the shipped nlist/candidates, committed to
+    ``benchmarks/results/retrieval_recall.json`` so the trade-off table
+    in docs/SERVING.md stays reproducible."""
+    curve = recall_curve(
+        model, requests, GATE_CONFIG,
+        nprobes=(1, 2, 4, 8, 16, 32), top_ns=(1, 5, 10, 20),
+    )
+    recalls_at_10 = [
+        point["recall"]["10"] for point in curve["curve"]
+    ]
+    # More probes widen the scanned pool; coverage can only dip by
+    # top-C cutoff noise, never trend downward.
+    for earlier, later in zip(recalls_at_10, recalls_at_10[1:]):
+        assert later >= earlier - 0.01
+    assert recalls_at_10[-1] >= 0.95
+    by_nprobe = {
+        point["nprobe"]: point["recall"] for point in curve["curve"]
+    }
+    assert by_nprobe[GATE_CONFIG.nprobe]["10"] >= 0.95
+
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    out = RESULTS_DIR / "retrieval_recall.json"
+    out.write_text(json.dumps(curve, indent=2) + "\n")
+    print(f"\nnprobe -> recall@10: "
+          + ", ".join(f"{p['nprobe']}: {p['recall']['10']:.3f}"
+                      for p in curve["curve"]))

@@ -108,6 +108,7 @@ def cmd_train(args) -> int:
         num_workers=args.num_workers,
         trim_batches=not args.no_trim,
         bucket_by_length=args.bucket_by_length,
+        bucket_epochs=args.bucket_epochs,
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
         keep_last=args.keep_last,
@@ -166,6 +167,7 @@ def cmd_serve_smoke(args) -> int:
             epochs=args.epochs,
             verbose=not args.quiet,
             engine=args.engine,
+            retrieval=args.retrieval,
         )
     except SmokeFailure as failure:
         print(f"serve-smoke FAILED: {failure}", file=sys.stderr)
@@ -235,6 +237,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="build minibatches from power-of-two length buckets so "
              "trimming pays on long-tail corpora (changes batch "
              "composition vs the uniform shuffle)")
+    train.add_argument(
+        "--bucket-epochs", type=int, default=None,
+        help="with --bucket-by-length: bucket only the first N epochs, "
+             "then fall back to the uniform shuffle (cheap early "
+             "epochs, unbiased batch mixing late)")
     train.add_argument("--out", required=True, help="checkpoint path (.npz)")
     train.add_argument(
         "--checkpoint-dir", default=None,
@@ -301,6 +308,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "recommend_many instead of one call per "
                             "request; the same fault invariants must "
                             "hold, plus real coalescing/cache activity")
+    smoke.add_argument("--retrieval", action="store_true",
+                       help="(implies --engine) serve through an "
+                            "approximate IVF retrieval index + exact "
+                            "re-rank; the run asserts the two-stage "
+                            "path actually handled requests")
     smoke.add_argument("--quiet", action="store_true")
     smoke.set_defaults(func=cmd_serve_smoke)
 

@@ -287,12 +287,35 @@ class VSAN(NeuralSequentialRecommender):
             # Sampling draws noise for every position; keep the full path
             # so the reparameterization RNG stream matches forward_scores.
             return super().forward_last(padded)
+        return self.prediction_layer(self.forward_last_hidden(padded))
+
+    # ------------------------------------------------------------------
+    # Approximate-retrieval hooks (repro.retrieval)
+    # ------------------------------------------------------------------
+    @property
+    def supports_retrieval(self) -> bool:
+        # Sampling at eval draws fresh reparameterization noise per call:
+        # there is no deterministic query vector to index against.
+        return not self.sample_at_eval
+
+    def forward_last_hidden(self, padded: np.ndarray) -> Tensor:
+        """The deterministic (posterior-mean) hidden state that feeds the
+        Eq. 19 prediction GEMM, sliced to the final position (eval-mode
+        only — training must keep the sampling RNG stream intact)."""
         encoded, timeline_mask, key_padding_mask = self.inference_layer(
             padded
         )
         z = self.mu_head(encoded) if self.use_latent else encoded
         hidden = self.generative_layer(z, timeline_mask, key_padding_mask)
-        return self.prediction_layer(hidden[:, -1, :])
+        return hidden[:, -1, :]
+
+    def output_head(self) -> tuple[np.ndarray, np.ndarray | None]:
+        if self.tie_weights:
+            return self.embedding.item_embedding.weight.data.T, None
+        bias = (
+            self.output.bias.data if self.output.bias is not None else None
+        )
+        return self.output.weight.data, bias
 
     def training_elbo(self, padded: np.ndarray) -> ELBOTerms:
         """β-ELBO of Eq. 20 over a padded batch, terms kept separate.

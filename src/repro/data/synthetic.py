@@ -41,9 +41,12 @@ __all__ = [
     "BEAUTY_LIKE",
     "ML1M_LIKE",
     "WorldInfo",
+    "ZipfCatalogConfig",
     "generate",
     "generate_with_info",
+    "generate_zipf_catalog",
     "tiny_config",
+    "zipf_histories",
 ]
 
 
@@ -312,3 +315,107 @@ def generate_with_info(
         user_mixtures=mixtures,
     )
     return log, info
+
+
+# ----------------------------------------------------------------------
+# Catalogue-scale Zipf generator (retrieval benchmarks)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ZipfCatalogConfig:
+    """A cheap catalogue-scale interaction generator.
+
+    :func:`generate` above simulates *behavioural* structure one event
+    at a time — perfect for quality experiments, far too slow for the
+    100k+-item catalogues the retrieval benchmarks need.  This config
+    drops the latent structure and keeps only the property retrieval
+    cares about: a Zipf-popular item marginal over a huge vocabulary.
+    Everything is vectorized draws — O(total events), never
+    O(users × items).
+
+    Args:
+        num_users: sequence count.
+        num_items: catalogue size (items are ids ``1..num_items`` in
+            :func:`zipf_histories`, ``0..num_items-1`` in the raw log).
+        min_length / mean_length / max_length: clipped-lognormal
+            sequence-length distribution (same shape as
+            :func:`_sample_length`).
+        zipf_exponent: popularity decay; ~1.0–1.3 matches real logs.
+    """
+
+    num_users: int = 256
+    num_items: int = 100_000
+    min_length: int = 4
+    mean_length: float = 12.0
+    max_length: int = 50
+    zipf_exponent: float = 1.1
+
+    def __post_init__(self):
+        if self.num_users < 1:
+            raise ValueError("num_users must be >= 1")
+        if self.num_items < 1:
+            raise ValueError("num_items must be >= 1")
+        if not 0 < self.min_length <= self.mean_length <= self.max_length:
+            raise ValueError("lengths must satisfy min <= mean <= max")
+        if self.zipf_exponent <= 0:
+            raise ValueError("zipf_exponent must be positive")
+
+
+def _zipf_lengths(
+    config: ZipfCatalogConfig, rng: np.random.Generator
+) -> np.ndarray:
+    sigma = 0.45
+    mu = np.log(config.mean_length) - 0.5 * sigma**2
+    lengths = np.round(rng.lognormal(mu, sigma, size=config.num_users))
+    return np.clip(
+        lengths, config.min_length, config.max_length
+    ).astype(np.int64)
+
+
+def generate_zipf_catalog(
+    config: ZipfCatalogConfig, seed: int
+) -> InteractionLog:
+    """One vectorized pass: Zipf item draws over a huge catalogue.
+
+    Popularity rank is shuffled over ids (the head is not the lowest
+    ids), ratings are a constant 5.0 (nothing here exercises the rating
+    filter), and timestamps count 0..length-1 per user.
+    """
+    rng = make_rng(seed)
+    lengths = _zipf_lengths(config, rng)
+    total = int(lengths.sum())
+    ranks = np.arange(1, config.num_items + 1, dtype=np.float64)
+    weights = ranks ** (-config.zipf_exponent)
+    rng.shuffle(weights)
+    weights /= weights.sum()
+    items = rng.choice(config.num_items, size=total, p=weights)
+    users = np.repeat(np.arange(config.num_users), lengths)
+    starts = np.repeat(np.cumsum(lengths) - lengths, lengths)
+    timestamps = np.arange(total) - starts
+    return InteractionLog(
+        users=users,
+        items=items,
+        ratings=np.full(total, 5.0),
+        timestamps=timestamps,
+    )
+
+
+def zipf_histories(
+    config: ZipfCatalogConfig, seed: int
+) -> list[np.ndarray]:
+    """Per-user history arrays with ids in ``1..num_items`` — directly
+    scoreable against a model built with ``num_items`` items.
+
+    Bypasses :func:`repro.data.prepare_corpus` on purpose: corpus
+    preparation re-indexes the vocabulary to the items actually seen,
+    which would shrink a 100k catalogue down to the few thousand items a
+    few hundred test users touch — defeating the point of a
+    catalogue-scale benchmark.
+    """
+    log = generate_zipf_catalog(config, seed)
+    boundaries = np.flatnonzero(np.diff(log.users)) + 1
+    return [
+        np.asarray(chunk, dtype=np.int64) + 1
+        for chunk in np.split(log.items, boundaries)
+    ]
+

@@ -52,15 +52,90 @@ class Recommender(ABC):
         """Score several histories; default loops over :meth:`score`."""
         return np.stack([self.score(history) for history in histories])
 
-    def score_last(self, histories: list[np.ndarray]) -> np.ndarray:
+    def score_last(
+        self,
+        histories: list[np.ndarray],
+        candidates: np.ndarray | None = None,
+    ) -> np.ndarray:
         """Next-item scores only — the serving hot path.
 
         :meth:`score_batch` already carries last-position semantics (one
         score row per history), so the default simply delegates; the
         neural models override the *implementation* to slice the hidden
         state to the final position before the output GEMM.
+
+        ``candidates`` restricts scoring to a per-request candidate set:
+        a ``(batch, C)`` integer matrix of item ids (the output of an
+        approximate retrieval stage, see :mod:`repro.retrieval`) for
+        which a ``(batch, C)`` matrix of *exact* scores is returned.
+        The default computes the full row and gathers — always correct;
+        the neural models override to pay only a C-column GEMM.
         """
-        return self.score_batch(histories)
+        full = self.score_batch(histories)
+        if candidates is None:
+            return full
+        candidates = np.asarray(candidates, dtype=np.int64)
+        return np.take_along_axis(full, candidates, axis=1)
+
+    # ------------------------------------------------------------------
+    # Approximate-retrieval protocol (opt-in; see repro.retrieval)
+    # ------------------------------------------------------------------
+    #: Whether the model factors its last-position scoring as
+    #: ``hidden @ W (+ b)`` against a static item lookup table — the
+    #: structure a maximum-inner-product index needs.  Models that set
+    #: this implement :meth:`output_head` and :meth:`hidden_last`.
+    supports_retrieval: bool = False
+
+    def output_head(self) -> tuple[np.ndarray, np.ndarray | None]:
+        """The final output GEMM's parameters ``(weights, bias)``.
+
+        ``weights`` has shape ``(hidden_dim, num_items + 1)`` (column
+        ``i`` scores item ``i``, matching :class:`repro.nn.Linear`'s
+        ``y = x @ W + b`` orientation); ``bias`` is ``(num_items + 1,)``
+        or ``None`` for tied-embedding heads.  Returned arrays are live
+        views of the parameters — callers must not mutate them.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not expose an item lookup table"
+        )
+
+    def hidden_last(self, histories: list[np.ndarray]) -> np.ndarray:
+        """Final-position hidden states ``(batch, hidden_dim)`` — the
+        exact input of the :meth:`output_head` GEMM, so
+        ``hidden_last(h) @ W + b`` reproduces ``score_last(h)`` (up to
+        the padding-slot ``-inf`` sentinel)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not expose last-position hidden "
+            "states"
+        )
+
+    def score_candidates(
+        self, hidden: np.ndarray, candidates: np.ndarray
+    ) -> np.ndarray:
+        """Exact logits of ``candidates`` given :meth:`hidden_last`
+        output — the re-rank half of a two-stage retrieval pipeline.
+
+        Args:
+            hidden: ``(batch, hidden_dim)`` from :meth:`hidden_last`.
+            candidates: ``(batch, C)`` item ids (need not be distinct).
+
+        Returns:
+            ``(batch, C)`` scores; entry ``[b, j]`` equals the
+            ``candidates[b, j]`` column of the full output GEMM.
+        """
+        weights, bias = self.output_head()
+        hidden = np.asarray(hidden)
+        candidates = np.asarray(candidates, dtype=np.int64)
+        # Gather candidate columns as (batch, C, hidden_dim) rows of the
+        # transposed table, then contract against each hidden state: a
+        # C-column GEMM instead of the full |I|-column one.
+        gathered = weights.T[candidates]
+        scores = np.einsum(
+            "bd,bcd->bc", hidden, gathered, optimize=True
+        )
+        if bias is not None:
+            scores = scores + bias[candidates]
+        return scores
 
 
 class NeuralSequentialRecommender(Module, Recommender):
@@ -190,6 +265,49 @@ class NeuralSequentialRecommender(Module, Recommender):
         scores = logits.numpy().copy()
         scores[:, 0] = -np.inf
         return scores
+
+    # ------------------------------------------------------------------
+    # Approximate-retrieval protocol (see Recommender for the contract)
+    # ------------------------------------------------------------------
+    def forward_last_hidden(self, padded: np.ndarray) -> Tensor:
+        """Final-position hidden state ``(batch, hidden_dim)`` feeding
+        the :meth:`output_head` GEMM (eval-mode only).  Implemented by
+        models that declare ``supports_retrieval``."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement forward_last_hidden"
+        )
+
+    def hidden_last(self, histories: list[np.ndarray]) -> np.ndarray:
+        """Padded, tape-free, eval-mode :meth:`forward_last_hidden` over
+        raw histories — the query-vector half of a retrieval pipeline."""
+        self.eval()
+        padded = self._padded_buffer(len(histories))
+        for row, history in zip(padded, histories):
+            pad_left_into(np.asarray(history, dtype=np.int64), row)
+        with no_grad():
+            hidden = self.forward_last_hidden(padded)
+        return hidden.numpy()
+
+    def score_last(
+        self,
+        histories: list[np.ndarray],
+        candidates: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Candidate-restricted last-position scoring.
+
+        With ``candidates=None`` this is :meth:`score_batch` (one full
+        score row per history).  With a ``(batch, C)`` candidate matrix
+        and a retrieval-capable model, only the trunk plus a C-column
+        output GEMM run — the exact re-rank path of
+        :class:`repro.retrieval.RetrievalEngine`.
+        """
+        if candidates is None:
+            return self.score_batch(histories)
+        if not self.supports_retrieval:
+            return super().score_last(histories, candidates)
+        return self.score_candidates(
+            self.hidden_last(histories), candidates
+        )
 
     def padded_training_rows(self, corpus: SequenceCorpus) -> np.ndarray:
         """All training users as one padded matrix (plus one extra column

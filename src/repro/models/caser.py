@@ -75,14 +75,17 @@ class Caser(NeuralSequentialRecommender):
         self.dropout = Dropout(dropout_rate, dropout_rng)
         self.output = Linear(dim, num_items + 1, init_rng)
 
-    def _window_features(self, windows: np.ndarray) -> Tensor:
-        """Score features for ``(batch, window)`` id windows."""
+    def _window_hidden(self, windows: np.ndarray) -> Tensor:
+        """Pre-output hidden state for ``(batch, window)`` id windows."""
         embedded = self.item_embedding(windows)
         features = concatenate(
             [self.horizontal(embedded), self.vertical(embedded)], axis=-1
         )
-        hidden = self.dropout(self.hidden(features).relu())
-        return self.output(hidden)
+        return self.dropout(self.hidden(features).relu())
+
+    def _window_features(self, windows: np.ndarray) -> Tensor:
+        """Score features for ``(batch, window)`` id windows."""
+        return self.output(self._window_hidden(windows))
 
     def forward_scores(self, padded: np.ndarray) -> Tensor:
         """Per-position logits by sliding the window over the sequence.
@@ -119,20 +122,36 @@ class Caser(NeuralSequentialRecommender):
         """
         if self.training:
             return super().forward_last(padded)
+        return self._window_features(self._last_window(padded))
+
+    # ------------------------------------------------------------------
+    # Approximate-retrieval hooks (repro.retrieval)
+    # ------------------------------------------------------------------
+    supports_retrieval = True
+
+    def _last_window(self, padded: np.ndarray) -> np.ndarray:
+        """The ``(batch, window)`` id slice ending at the final item."""
         padded = np.asarray(padded, dtype=np.int64)
         batch, length = padded.shape
         if length >= self.window:
-            windows = padded[:, -self.window:]
-        else:
-            windows = np.concatenate(
-                [
-                    np.full((batch, self.window - length), PAD_ID,
-                            dtype=np.int64),
-                    padded,
-                ],
-                axis=1,
-            )
-        return self._window_features(windows)
+            return padded[:, -self.window:]
+        return np.concatenate(
+            [
+                np.full((batch, self.window - length), PAD_ID,
+                        dtype=np.int64),
+                padded,
+            ],
+            axis=1,
+        )
+
+    def forward_last_hidden(self, padded: np.ndarray) -> Tensor:
+        return self._window_hidden(self._last_window(padded))
+
+    def output_head(self) -> tuple[np.ndarray, np.ndarray | None]:
+        bias = (
+            self.output.bias.data if self.output.bias is not None else None
+        )
+        return self.output.weight.data, bias
 
     def training_loss(self, padded: np.ndarray) -> Tensor:
         """Cross-entropy over the valid sliding windows of the batch.

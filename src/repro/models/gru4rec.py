@@ -62,9 +62,23 @@ class GRU4Rec(NeuralSequentialRecommender):
             # Dropout would draw a differently-shaped mask than the full
             # pass; scoring paths are eval-mode, so only they fast-path.
             return super().forward_last(padded)
+        return self.output(self.forward_last_hidden(padded))
+
+    # ------------------------------------------------------------------
+    # Approximate-retrieval hooks (repro.retrieval)
+    # ------------------------------------------------------------------
+    supports_retrieval = True
+
+    def forward_last_hidden(self, padded: np.ndarray) -> Tensor:
         embedded = self.dropout(self.item_embedding(padded))
         hidden, _ = self.gru(embedded)
-        return self.output(self.dropout(hidden[:, -1, :]))
+        return self.dropout(hidden[:, -1, :])
+
+    def output_head(self) -> tuple[np.ndarray, np.ndarray | None]:
+        bias = (
+            self.output.bias.data if self.output.bias is not None else None
+        )
+        return self.output.weight.data, bias
 
     def training_loss(self, padded: np.ndarray) -> Tensor:
         inputs, targets, weights = shift_targets(padded)

@@ -98,10 +98,26 @@ class SASRec(NeuralSequentialRecommender):
     def forward_last(self, padded: np.ndarray) -> Tensor:
         """Last-position logits: slice the hidden state to the final
         position before the item-vocabulary GEMM (O(|I|) per request)."""
-        hidden = self.forward_hidden(padded)[:, -1, :]
+        hidden = self.forward_last_hidden(padded)
         if self.tie_weights:
             return hidden @ self.embedding.item_embedding.weight.T
         return self.output(hidden)
+
+    # ------------------------------------------------------------------
+    # Approximate-retrieval hooks (repro.retrieval)
+    # ------------------------------------------------------------------
+    supports_retrieval = True
+
+    def forward_last_hidden(self, padded: np.ndarray) -> Tensor:
+        return self.forward_hidden(padded)[:, -1, :]
+
+    def output_head(self) -> tuple[np.ndarray, np.ndarray | None]:
+        if self.tie_weights:
+            return self.embedding.item_embedding.weight.data.T, None
+        bias = (
+            self.output.bias.data if self.output.bias is not None else None
+        )
+        return self.output.weight.data, bias
 
     def training_loss(self, padded: np.ndarray) -> Tensor:
         inputs, targets, weights = shift_targets(padded)

@@ -130,9 +130,28 @@ class SVAE(NeuralSequentialRecommender):
             # Sampling draws per-position noise; keep the RNG stream of
             # the full pass.  Scoring paths are eval-mode.
             return super().forward_last(padded)
+        return self.decoder_out(self.forward_last_hidden(padded))
+
+    # ------------------------------------------------------------------
+    # Approximate-retrieval hooks (repro.retrieval)
+    # ------------------------------------------------------------------
+    supports_retrieval = True
+
+    def forward_last_hidden(self, padded: np.ndarray) -> Tensor:
+        """Decoder hidden state at the posterior mean of the final
+        position — everything in :meth:`decode` before ``decoder_out``."""
         embedded = self.dropout(self.item_embedding(padded))
         hidden, _ = self.encoder(embedded)
-        return self.decode(self.mu_head(hidden[:, -1, :]))
+        z = self.mu_head(hidden[:, -1, :])
+        return self.dropout(self.decoder_hidden(z).tanh())
+
+    def output_head(self) -> tuple[np.ndarray, np.ndarray | None]:
+        bias = (
+            self.decoder_out.bias.data
+            if self.decoder_out.bias is not None
+            else None
+        )
+        return self.decoder_out.weight.data, bias
 
     def training_loss(self, padded: np.ndarray) -> Tensor:
         inputs, targets, weights, multi_hot = reconstruction_targets(

@@ -1,0 +1,22 @@
+"""Two-stage approximate retrieval for catalogue-scale serving.
+
+An IVF maximum-inner-product index (:mod:`~repro.retrieval.index`)
+prunes the item catalogue to top-C candidates per query; the model then
+re-scores those candidates exactly (:mod:`~repro.retrieval.engine`),
+so ranking error is confined to candidate misses — measured directly by
+:mod:`~repro.retrieval.recall`.  Wired into serving via
+``EngineConfig(index=IndexConfig(...))``.
+"""
+
+from .engine import RetrievalEngine
+from .index import IndexConfig, IVFIndex, kmeans
+from .recall import candidate_recall, recall_curve
+
+__all__ = [
+    "IVFIndex",
+    "IndexConfig",
+    "RetrievalEngine",
+    "candidate_recall",
+    "kmeans",
+    "recall_curve",
+]

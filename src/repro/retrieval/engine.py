@@ -1,0 +1,188 @@
+"""Two-stage scoring: IVF candidate retrieval + exact re-rank.
+
+:class:`RetrievalEngine` replaces a model's dense ``score_batch`` with
+
+1. ``hidden_last`` — the model's final hidden state (unchanged cost),
+2. :meth:`IVFIndex.search` — approximate top-C candidate ids, and
+3. an **exact** re-rank of just those C items against a contiguous
+   copy of the model's output head (arithmetically the model's own
+   ``score_candidates``, laid out for sequential gathers).
+
+The output keeps the repo-wide score contract: a full-width
+``(B, num_items + 1)`` row with ``-inf`` at every non-candidate position
+(the same "excluded item" sentinel ``rank_items_batch`` already
+understands), so the micro-batcher, score cache, service ranking, and
+evaluation all compose without modification.
+
+Bias handling uses the classic MIPS augmentation: an output head
+``h·w_i + b_i`` becomes a pure inner product by appending ``b_i`` as an
+extra coordinate of every item vector and ``1.0`` to every query — the
+index then ranks by exactly the quantity the model scores with.
+
+**Exact mode** (``nprobe >= nlist``, no quantization, ``candidates``
+covering the catalogue) short-circuits to the model's own
+``score_batch``: bitwise-identical to dense scoring by construction,
+not merely numerically close — slicing the GEMM differently would let
+BLAS blocking perturb low-order bits.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from .index import IndexConfig, IVFIndex
+
+__all__ = ["RetrievalEngine"]
+
+
+class RetrievalEngine:
+    """Candidate-retrieval scoring wrapper around one model.
+
+    Args:
+        model: a recommender with ``supports_retrieval`` truthy (the
+            hooks ``output_head`` / ``hidden_last`` /
+            ``score_candidates`` must be functional).
+        config: see :class:`IndexConfig`.
+
+    Raises:
+        ValueError: if the model does not support retrieval (callers
+            that want graceful fallback check ``supports_retrieval``
+            first — :class:`repro.serve.engine.InferenceEngine` does).
+    """
+
+    def __init__(self, model, config: IndexConfig):
+        if not getattr(model, "supports_retrieval", False):
+            raise ValueError(
+                f"{getattr(model, 'name', type(model).__name__)} does not "
+                "support retrieval (supports_retrieval is falsy)"
+            )
+        self._model = model
+        self.config = config
+        weights, bias = model.output_head()
+        # Rows 1..N of the transposed head are the item vectors; index 0
+        # is PAD and must never be retrievable.
+        items = np.ascontiguousarray(weights.T[1:], dtype=np.float32)
+        self._has_bias = bias is not None
+        if self._has_bias:
+            items = np.concatenate(
+                [items, np.asarray(bias, dtype=np.float32)[1:, None]],
+                axis=1,
+            )
+        self.num_items = items.shape[0]
+        # Kept contiguous for the re-rank: gathering C rows per query
+        # from this table touches C·d sequential floats, whereas going
+        # through ``score_candidates`` (which gathers columns of the
+        # live head) strides across the full table per element — at
+        # catalogue scale that one layout difference is most of the
+        # re-rank cost.  Arithmetic is the model's own head either way.
+        self._items = items
+        ids = np.arange(1, self.num_items + 1, dtype=np.int64)
+        nlist = config.nlist
+        if nlist is None:
+            nlist = max(1, int(round(np.sqrt(self.num_items))))
+        nlist = min(nlist, self.num_items)
+        self.exact = (
+            config.nprobe >= nlist
+            and config.quantize is None
+            and config.candidates >= self.num_items
+        )
+        self.passthroughs = 0
+        self._out_pool: np.ndarray | None = None
+        self._dirty: np.ndarray | None = None
+        if self.exact:
+            # Dense scoring IS the exact search here; skip the build.
+            self.index = None
+        else:
+            self.index = IVFIndex.build(items, ids, config)
+
+    def score_batch(self, histories) -> np.ndarray:
+        """Full-width score rows, ``-inf`` outside the candidates.
+
+        The returned array may come from an internal buffer pool: it is
+        yours to read for as long as you hold a reference, but once you
+        release it (and every view into it) the engine may recycle the
+        pages for a later batch.  Do not mutate a row you are about to
+        release — standard practice for pooled numpy results.  Holding
+        on to results is always safe: the pool only reuses a buffer the
+        caller has fully dropped (checked by refcount), paying a fresh
+        allocation otherwise.
+        """
+        if self.exact:
+            self.passthroughs += len(histories)
+            return self._model.score_batch(histories)
+        hidden = self._model.hidden_last(histories)
+        queries = self.augment_queries(hidden)
+        cand = self.index.search(queries)
+        # Exact re-rank: the candidates' rows of the (bias-augmented)
+        # head, one batched (C, d) @ (d,) product per query.  -1 marks
+        # slots whose probed lists held fewer than C items; they gather
+        # row 0 here and are routed to the PAD column below.
+        gathered = self._items[np.maximum(cand - 1, 0)]
+        scores = np.matmul(gathered, queries[:, :, None])[:, :, 0]
+        out = self._rows_buffer(cand.shape[0], scores.dtype)
+        # Candidate ids are >= 1 and column 0 (PAD) is -inf by contract,
+        # so -1 slots can scatter into column 0 branch-free: the column
+        # is re-masked right after, and un-scattering it is a no-op.
+        safe = np.maximum(cand, 0)
+        np.put_along_axis(out, safe, scores, axis=1)
+        out[:, 0] = -np.inf
+        self._dirty = safe
+        return out
+
+    def _rows_buffer(self, batch: int, dtype) -> np.ndarray:
+        """An all ``-inf`` ``(batch, num_items + 1)`` row block.
+
+        Filling ~25 MB of fresh pages per request costs more than the
+        entire approximate scan, so the engine recycles its previous
+        output when — and only when — the caller has released it
+        (refcount check), resetting just the entries the previous
+        scatter touched instead of the full width.
+        """
+        width = self.num_items + 1
+        pool = self._out_pool
+        # Refcount 3 = the `_out_pool` attribute, the `pool` local, and
+        # getrefcount's own argument — i.e. no caller holds the buffer
+        # or any view into it (views keep their base alive).
+        if (
+            pool is not None
+            and pool.dtype == dtype
+            and pool.shape[0] >= batch
+            and sys.getrefcount(pool) == 3
+        ):
+            if self._dirty is not None:
+                np.put_along_axis(
+                    pool[: len(self._dirty)], self._dirty, -np.inf,
+                    axis=1,
+                )
+                self._dirty = None
+            return pool[:batch]
+        out = np.full((batch, width), -np.inf, dtype=dtype)
+        self._out_pool = out
+        self._dirty = None
+        return out
+
+    def augment_queries(self, hidden: np.ndarray) -> np.ndarray:
+        """Index-space query vectors for ``(B, d)`` hidden states — a
+        ``1.0`` coordinate is appended when the head has a bias (the
+        MIPS bias-augmentation; no-op for bias-free heads)."""
+        if not self._has_bias:
+            return hidden
+        return np.concatenate(
+            [hidden, np.ones((hidden.shape[0], 1), dtype=hidden.dtype)],
+            axis=1,
+        )
+
+    def snapshot(self) -> dict:
+        """Counters + effective configuration for observability."""
+        return {
+            "exact": self.exact,
+            "nlist": self.index.nlist if self.index is not None else 0,
+            "nprobe": self.config.nprobe,
+            "candidates": self.config.candidates,
+            "quantize": self.config.quantize,
+            "searches": self.index.searches if self.index else 0,
+            "scanned": self.index.scanned if self.index else 0,
+            "passthroughs": self.passthroughs,
+        }

@@ -1,0 +1,396 @@
+"""IVF-style partitioned maximum-inner-product index.
+
+The serving bottleneck at catalogue scale is the dense ``hidden @ W``
+GEMM over every item (O(|I|·d) per request).  This module trades that
+for a two-stage scan:
+
+1. a seeded k-means **coarse quantizer** partitions the item vectors
+   into ``nlist`` inverted lists, and
+2. each query probes only the ``nprobe`` centroids with the largest
+   inner product, scanning just those lists for its top-``candidates``
+   items.
+
+The scan cost drops to roughly ``nprobe/nlist`` of the dense GEMM; the
+caller then re-scores the surviving candidates *exactly* (see
+:mod:`repro.retrieval.engine`), so approximation only ever loses items
+that never entered the candidate set — recall@N against the exact
+ranking is the single quality number that matters, and the benchmark
+suite measures it directly.
+
+Optionally the in-partition vectors are stored as **int8 codes** under
+a global per-dimension affine quantizer (``v ≈ q_min + code * q_step``),
+shrinking the index 4× and the scan's memory traffic with it.  Scores
+against codes decompose exactly:
+
+    q · v̂ = (q * q_step) · code + q · q_min
+
+so the scan stays one small matrix product plus a per-query scalar.
+
+Storage is a single partition-sorted vector matrix plus a ``bounds``
+offset array (not per-list objects): a batch search then needs one
+fancy-gather of every probed row followed by one contiguous GEMV per
+query — numpy-call overhead per *query*, not per (query, list) pair,
+which is the difference between the scan beating the dense GEMM and
+drowning in interpreter dispatch.
+
+Everything is deterministic given ``IndexConfig.seed`` — k-means init,
+sampling, and empty-cluster reseeding all draw from one
+``default_rng(seed)`` stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..tensor.topk import top_k_indices
+
+__all__ = ["IndexConfig", "IVFIndex", "kmeans"]
+
+
+@dataclass(frozen=True)
+class IndexConfig:
+    """Parameters of the IVF maximum-inner-product index.
+
+    Args:
+        nlist: number of k-means partitions.  ``None`` auto-sizes to
+            ``round(sqrt(n))`` at build time (the classic IVF heuristic:
+            balances centroid-probe cost against list-scan cost).
+        nprobe: how many partitions each query scans.  ``nprobe >=
+            nlist`` (with ``quantize=None``) makes retrieval **exact**
+            and the engine short-circuits to dense scoring.
+        candidates: top-C items returned per query for exact re-ranking.
+            Must comfortably exceed the largest N anyone ranks at
+            (recall@N can never exceed candidate coverage).
+        quantize: ``None`` for float32 lists, ``"int8"`` for scalar
+            quantization of the stored vectors.
+        seed: k-means determinism (init, sampling, reseeding).
+        kmeans_iters: Lloyd iterations for the coarse quantizer.
+        train_sample: at most this many vectors train the quantizer
+            (assignment still runs over all of them).
+    """
+
+    nlist: int | None = None
+    nprobe: int = 8
+    candidates: int = 256
+    quantize: str | None = None
+    seed: int = 0
+    kmeans_iters: int = 8
+    train_sample: int = 16384
+
+    def __post_init__(self) -> None:
+        if self.nlist is not None and self.nlist < 1:
+            raise ValueError(f"nlist must be >= 1, got {self.nlist}")
+        if self.nprobe < 1:
+            raise ValueError(f"nprobe must be >= 1, got {self.nprobe}")
+        if self.candidates < 1:
+            raise ValueError(
+                f"candidates must be >= 1, got {self.candidates}"
+            )
+        if self.quantize not in (None, "int8"):
+            raise ValueError(
+                f"quantize must be None or 'int8', got {self.quantize!r}"
+            )
+        if self.kmeans_iters < 1:
+            raise ValueError(
+                f"kmeans_iters must be >= 1, got {self.kmeans_iters}"
+            )
+        if self.train_sample < 1:
+            raise ValueError(
+                f"train_sample must be >= 1, got {self.train_sample}"
+            )
+
+
+def _assign(vectors: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Nearest-centroid assignment under squared Euclidean distance.
+
+    ``argmin ||x - c||²`` = ``argmax x·c - ||c||²/2`` — one GEMM plus a
+    per-centroid scalar.  Chunked over rows so the affinity matrix stays
+    ~128 MB no matter how large ``n * nlist`` grows (at catalogue scale
+    the full matrix would be gigabytes).
+    """
+    offset = -0.5 * np.einsum("cd,cd->c", centroids, centroids)
+    n = vectors.shape[0]
+    chunk = max(1024, 33_554_432 // max(1, centroids.shape[0]))
+    out = np.empty(n, dtype=np.int64)
+    for start in range(0, n, chunk):
+        stop = min(start + chunk, n)
+        affinity = vectors[start:stop] @ centroids.T
+        affinity += offset
+        out[start:stop] = np.argmax(affinity, axis=1)
+    return out
+
+
+def kmeans(
+    vectors: np.ndarray,
+    nlist: int,
+    rng: np.random.Generator,
+    iters: int = 8,
+    train_sample: int = 16384,
+) -> np.ndarray:
+    """Seeded Lloyd's k-means; returns ``(nlist, d)`` centroids.
+
+    Trains on at most ``train_sample`` rows (sampled without
+    replacement) — at catalogue scale the centroid estimate converges
+    long before the full dataset is needed, and build time stays
+    O(sample·nlist·d·iters).  Empty clusters are reseeded onto random
+    training rows so all ``nlist`` lists stay usable.
+    """
+    n = vectors.shape[0]
+    if nlist > n:
+        raise ValueError(f"nlist={nlist} exceeds {n} vectors")
+    if n > train_sample:
+        train = vectors[rng.choice(n, size=train_sample, replace=False)]
+    else:
+        train = vectors
+    centroids = train[
+        rng.choice(train.shape[0], size=nlist, replace=False)
+    ].copy()
+    for _ in range(iters):
+        assign = _assign(train, centroids)
+        counts = np.bincount(assign, minlength=nlist)
+        sums = np.zeros_like(centroids)
+        for d in range(train.shape[1]):
+            # Per-dimension bincount beats np.add.at by a wide margin
+            # and stays deterministic (pure summation order per dim).
+            sums[:, d] = np.bincount(
+                assign, weights=train[:, d], minlength=nlist
+            )
+        empty = counts == 0
+        counts = np.maximum(counts, 1)
+        centroids = sums / counts[:, None]
+        if empty.any():
+            reseed = rng.choice(train.shape[0], size=int(empty.sum()))
+            centroids[empty] = train[reseed]
+    return centroids.astype(vectors.dtype, copy=False)
+
+
+class IVFIndex:
+    """Inverted-file index over a fixed set of item vectors.
+
+    Build once from the embedding table (see
+    :class:`repro.retrieval.RetrievalEngine`), then :meth:`search`
+    batches of query vectors.  The index is immutable — model hot-swaps
+    build a fresh one (engine-level versioning mirrors ``ScoreCache``).
+    """
+
+    def __init__(
+        self,
+        centroids: np.ndarray,
+        sorted_ids: np.ndarray,
+        sorted_vectors: np.ndarray,
+        bounds: np.ndarray,
+        config: IndexConfig,
+        quant: tuple[np.ndarray, np.ndarray] | None,
+    ):
+        self.centroids = centroids
+        self._ids = sorted_ids          # (n,) partition-sorted
+        self._vectors = sorted_vectors  # (n, d) float32 or (n, d) uint8
+        self._bounds = bounds           # (nlist + 1,) offsets into both
+        self.config = config
+        self.quant = quant  # (q_min, q_step) when int8, else None
+        self.num_vectors = int(len(sorted_ids))
+        self.searches = 0
+        self.scanned = 0
+        self._scratch: dict[str, np.ndarray] = {}
+
+    @property
+    def nlist(self) -> int:
+        return self.centroids.shape[0]
+
+    @property
+    def list_ids(self) -> list[np.ndarray]:
+        """Per-partition id arrays (views; mostly for tests/debugging)."""
+        return [
+            self._ids[self._bounds[p]:self._bounds[p + 1]]
+            for p in range(self.nlist)
+        ]
+
+    @property
+    def list_vectors(self) -> list[np.ndarray]:
+        """Per-partition stored vectors (views)."""
+        return [
+            self._vectors[self._bounds[p]:self._bounds[p + 1]]
+            for p in range(self.nlist)
+        ]
+
+    @classmethod
+    def build(
+        cls,
+        vectors: np.ndarray,
+        ids: np.ndarray,
+        config: IndexConfig,
+    ) -> "IVFIndex":
+        """Partition ``vectors`` (rows identified by ``ids``).
+
+        Args:
+            vectors: ``(n, d)`` float item vectors.
+            ids: ``(n,)`` integer ids returned by :meth:`search`.
+            config: see :class:`IndexConfig`.
+        """
+        vectors = np.ascontiguousarray(vectors, dtype=np.float32)
+        ids = np.asarray(ids, dtype=np.int64)
+        if vectors.ndim != 2:
+            raise ValueError(f"vectors must be 2-D, got {vectors.shape}")
+        if ids.shape != (vectors.shape[0],):
+            raise ValueError(
+                f"ids shape {ids.shape} does not match "
+                f"{vectors.shape[0]} vectors"
+            )
+        n = vectors.shape[0]
+        nlist = config.nlist
+        if nlist is None:
+            nlist = max(1, int(round(np.sqrt(n))))
+        nlist = min(nlist, n)
+        rng = np.random.default_rng(config.seed)
+        centroids = kmeans(
+            vectors,
+            nlist,
+            rng,
+            iters=config.kmeans_iters,
+            train_sample=config.train_sample,
+        )
+        assign = _assign(vectors, centroids)
+        order = np.argsort(assign, kind="stable")
+        bounds = np.searchsorted(assign[order], np.arange(nlist + 1))
+        quant = None
+        if config.quantize == "int8":
+            q_min = vectors.min(axis=0)
+            span = vectors.max(axis=0) - q_min
+            q_step = np.maximum(span, 1e-12) / 255.0
+            stored = np.clip(
+                np.rint((vectors - q_min) / q_step), 0, 255
+            ).astype(np.uint8)
+            quant = (
+                q_min.astype(np.float32),
+                q_step.astype(np.float32),
+            )
+        else:
+            stored = vectors
+        return cls(
+            centroids,
+            ids[order],
+            np.ascontiguousarray(stored[order]),
+            bounds.astype(np.int64),
+            config,
+            quant,
+        )
+
+    def search(
+        self,
+        queries: np.ndarray,
+        nprobe: int | None = None,
+        count: int | None = None,
+    ) -> np.ndarray:
+        """Top-``count`` candidate ids per query (unordered, -1 padded).
+
+        Args:
+            queries: ``(B, d)`` query vectors.
+            nprobe: partitions to scan (default: config value).
+            count: candidates to return (default: config value).
+
+        Returns:
+            ``(B, count)`` int64 ids; rows with fewer than ``count``
+            reachable items carry ``-1`` in the unused slots.  Order
+            within a row is unspecified — the engine re-scores exactly
+            anyway.
+        """
+        queries = np.ascontiguousarray(queries, dtype=np.float32)
+        if queries.ndim != 2:
+            raise ValueError(f"queries must be 2-D, got {queries.shape}")
+        nprobe = self.config.nprobe if nprobe is None else nprobe
+        count = self.config.candidates if count is None else count
+        nlist = self.nlist
+        nprobe = min(nprobe, nlist)
+        batch = queries.shape[0]
+        if self.num_vectors == 0:
+            self.searches += batch
+            return np.full((batch, count), -1, dtype=np.int64)
+        affinity = queries @ self.centroids.T
+        if nprobe >= nlist:
+            probes = np.broadcast_to(
+                np.arange(nlist), (batch, nlist)
+            )
+        else:
+            probes = np.argpartition(
+                affinity, nlist - nprobe, axis=1
+            )[:, nlist - nprobe:]
+        # One flat gather of every probed row for the whole batch (the
+        # probed spans are laid out query-major, so each query's rows
+        # form one contiguous segment of the scratch), then a short
+        # per-query loop of GEMV + argpartition over those segments.
+        # The scratch is persistent and grow-only: stable large
+        # allocations keep the allocator from re-faulting fresh pages
+        # on every request, which costs more than the scan itself.
+        starts = self._bounds[probes]                      # (B, P)
+        sizes = (self._bounds[probes + 1] - starts).ravel()
+        seg = sizes.reshape(batch, nprobe).sum(axis=1)     # rows/query
+        total = int(sizes.sum())
+        offsets = np.cumsum(sizes) - sizes
+        flat = (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(offsets, sizes)
+            + np.repeat(starts.ravel(), sizes)
+        )
+        gathered = self._buffer(
+            "gathered", (total, self._vectors.shape[1]),
+            self._vectors.dtype,
+        )
+        np.take(self._vectors, flat, axis=0, out=gathered)
+        if self.quant is None:
+            scan_queries = queries
+        else:
+            # q·v̂ decomposition: codes multiply the per-dim-scaled
+            # query; the q·q_min offset is constant per query — it
+            # cannot change the per-query top-C and is skipped.
+            _, q_step = self.quant
+            scan_queries = queries * q_step
+        # Kept rows accumulate into one (B, count) block so the id
+        # translation and the -1 fill happen as two vector ops after the
+        # loop instead of 2·B tiny ones inside it — at this scale the
+        # scan loop is dispatch-bound, not FLOP-bound.
+        keep = self._buffer("keep", (batch, count), np.int64)
+        keep[:] = 0
+        kept = np.zeros(batch, dtype=np.int64)
+        ends = np.cumsum(seg)
+        for b in range(batch):
+            lo, hi = ends[b] - seg[b], ends[b]
+            m = hi - lo
+            if m == 0:
+                continue
+            rows = flat[lo:hi]
+            if m > count:
+                scores = gathered[lo:hi] @ scan_queries[b]
+                rows = rows[
+                    np.argpartition(scores, m - count)[m - count:]
+                ]
+                m = count
+            keep[b, :m] = rows
+            kept[b] = m
+        out = self._ids[keep]
+        out[np.arange(count) >= kept[:, None]] = -1
+        self.scanned += total
+        self.searches += batch
+        return out
+
+    def _buffer(
+        self, name: str, shape: tuple, dtype
+    ) -> np.ndarray:
+        """Persistent grow-only scratch (see :meth:`search`)."""
+        needed = int(np.prod(shape))
+        held = self._scratch.get(name)
+        if held is None or held.size < needed or held.dtype != dtype:
+            held = np.empty(max(needed, 1), dtype=dtype)
+            self._scratch[name] = held
+        return held[:needed].reshape(shape)
+
+    def probe_centroids(
+        self, queries: np.ndarray, nprobe: int
+    ) -> np.ndarray:
+        """Top-``nprobe`` centroid indices per query, best first (used
+        by the recall harness to sweep nprobe without re-searching)."""
+        queries = np.ascontiguousarray(queries, dtype=np.float32)
+        return top_k_indices(
+            queries @ self.centroids.T, min(nprobe, self.nlist)
+        )

@@ -24,6 +24,7 @@ degrade gracefully instead of falling over.  The pieces:
 See ``docs/SERVING.md`` for the fault model and ladder semantics.
 """
 
+from ..retrieval import IndexConfig
 from .breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
 from .engine import EngineConfig, InferenceEngine, MicroBatcher, ScoreCache
 from .errors import (
@@ -56,6 +57,7 @@ __all__ = [
     "FaultInjector",
     "FaultyRecommender",
     "HALF_OPEN",
+    "IndexConfig",
     "InferenceEngine",
     "InjectedFault",
     "InvalidRequest",

@@ -37,9 +37,24 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..retrieval import IndexConfig, RetrievalEngine
 from ..tensor import no_grad
 
 __all__ = ["EngineConfig", "InferenceEngine", "MicroBatcher", "ScoreCache"]
+
+
+def _cacheable(row: np.ndarray) -> bool:
+    """Whether a score row may enter the cache.
+
+    NaN or +inf marks a degraded forward (the same poison
+    ``rank_items_batch`` rejects) — a transient burst must not become a
+    sticky entry that re-fails every hit.  ``-inf`` is the legitimate
+    "item excluded" sentinel (the padding slot always carries it, and
+    approximate retrieval masks every non-candidate with it), so rows
+    containing it cache normally.
+    """
+    rest = row[1:]
+    return not (np.isnan(rest).any() or np.isposinf(rest).any())
 
 
 @dataclass
@@ -57,11 +72,18 @@ class EngineConfig:
             flush is *due* (``0`` = a flush is due as soon as anything is
             queued; only streaming callers that poll
             :meth:`MicroBatcher.due` feel this knob).
+        index: approximate-retrieval configuration
+            (:class:`repro.retrieval.IndexConfig`).  ``None`` keeps
+            dense scoring; set it to route ``score_batch`` through the
+            two-stage IVF retrieve + exact re-rank path.  Models without
+            retrieval hooks fall back to dense scoring silently (the
+            fallback is visible in :meth:`InferenceEngine.snapshot`).
     """
 
     max_batch: int = 32
     cache_capacity: int = 4096
     max_delay: float = 0.0
+    index: IndexConfig | None = None
 
     def __post_init__(self):
         if self.max_batch < 1:
@@ -287,6 +309,8 @@ class InferenceEngine:
         self.config = config or EngineConfig()
         self._model = model
         self.model_version = 0
+        self._retrieval: RetrievalEngine | None = None
+        self._retrieval_unsupported = False
         self.cache = (
             ScoreCache(self.config.cache_capacity)
             if self.config.cache_capacity else None
@@ -316,10 +340,15 @@ class InferenceEngine:
         The invalidation rule on reload: the version in every cache key
         is bumped (so stale entries can never be served) *and* the cache
         is cleared eagerly (so their memory is released now, not via
-        LRU churn).
+        LRU churn).  The retrieval index is versioned the same way: it
+        is dropped here and lazily rebuilt from the *new* model's
+        embedding table on the next scored request, so a stale index can
+        never rank on behalf of a swapped-in model.
         """
         self._model = model
         self.model_version += 1
+        self._retrieval = None
+        self._retrieval_unsupported = False
         if self.cache is not None:
             self.cache.clear()
 
@@ -337,9 +366,31 @@ class InferenceEngine:
             history = history[-window:]
         return (self.model_version, history.tobytes())
 
+    def _ensure_retrieval(self) -> RetrievalEngine | None:
+        """The retrieval engine for the current model, built lazily.
+
+        Returns ``None`` (and remembers it until the next
+        :meth:`set_model`) when no index is configured or the wrapped
+        model lacks the retrieval hooks — dense scoring then serves.
+        """
+        if self.config.index is None or self._retrieval_unsupported:
+            return None
+        if self._retrieval is None:
+            if not getattr(self._model, "supports_retrieval", False):
+                self._retrieval_unsupported = True
+                return None
+            with no_grad():
+                self._retrieval = RetrievalEngine(
+                    self._model, self.config.index
+                )
+        return self._retrieval
+
     def _score_chunk(self, histories: list[np.ndarray]) -> np.ndarray:
         """One batched forward, guaranteed tape-free."""
+        retrieval = self._ensure_retrieval()
         with no_grad():
+            if retrieval is not None:
+                return retrieval.score_batch(histories)
             return self._model.score_batch(histories)
 
     def score(self, history: np.ndarray) -> np.ndarray:
@@ -373,10 +424,7 @@ class InferenceEngine:
             self.batcher.flush()
         for index, key, ticket in pending:
             row = ticket.scores()
-            # Only finite rows are cached (index 0 is the padding slot
-            # and is legitimately -inf): a transient NaN burst must not
-            # become a sticky cache entry that re-fails every hit.
-            if self.cache is not None and np.isfinite(row[1:]).all():
+            if self.cache is not None and _cacheable(row):
                 self.cache.put(key, row)
             results[index] = row
         return np.stack(results)
@@ -409,7 +457,7 @@ class InferenceEngine:
                 row = ticket.scores()
             except Exception:  # noqa: BLE001 — warming is best-effort
                 continue
-            if np.isfinite(row[1:]).all():
+            if _cacheable(row):
                 self.cache.put(key, row)
                 warmed += 1
         return warmed
@@ -427,4 +475,9 @@ class InferenceEngine:
                 self.cache.snapshot() if self.cache is not None else None
             ),
             "batcher": self.batcher.snapshot(),
+            "retrieval": (
+                self._retrieval.snapshot()
+                if self._retrieval is not None
+                else None
+            ),
         }

@@ -145,6 +145,25 @@ class FaultyRecommender:
         scores = self.inner.score_batch(histories)
         return self.injector.poison(scores)
 
+    # ------------------------------------------------------------------
+    # Retrieval hooks: faults strike the model forward (hidden_last),
+    # exactly where they strike dense scoring, so the two-stage path
+    # degrades through the same breaker/retry/non-finite machinery.
+    # ------------------------------------------------------------------
+    @property
+    def supports_retrieval(self) -> bool:
+        return bool(getattr(self.inner, "supports_retrieval", False))
+
+    def output_head(self):
+        return self.inner.output_head()
+
+    def hidden_last(self, histories) -> np.ndarray:
+        self.injector.before_call()
+        return self.injector.poison(self.inner.hidden_last(histories))
+
+    def score_candidates(self, hidden, candidates) -> np.ndarray:
+        return self.inner.score_candidates(hidden, candidates)
+
 
 # ----------------------------------------------------------------------
 # Checkpoint corruption helpers

@@ -31,6 +31,7 @@ import numpy as np
 
 from ..data import generate, prepare_corpus, read_interactions_csv, tiny_config
 from ..train import Trainer, TrainerConfig
+from ..retrieval import IndexConfig
 from .breaker import CLOSED, CircuitBreaker
 from .engine import EngineConfig
 from .errors import CheckpointError
@@ -103,6 +104,7 @@ def run_smoke(
     epochs: int = 2,
     verbose: bool = True,
     engine: bool = False,
+    retrieval: bool = False,
 ) -> int:
     """Run the smoke scenario; returns 0 on success.
 
@@ -121,10 +123,15 @@ def run_smoke(
             cache) and drive traffic through ``recommend_many`` — the
             same fault invariants must hold, plus the engine must show
             real coalescing and cache activity.
+        retrieval: (implies ``engine``) configure an *approximate* IVF
+            index on every rung's engine; the run then additionally
+            asserts the two-stage path actually served requests (index
+            searches happened and the index was not in exact mode).
     """
     from ..core import VSAN
     from ..models import POP, SASRec
 
+    engine = engine or retrieval
     log = print if verbose else (lambda *args, **kwargs: None)
     registry = {"VSAN": VSAN, "SASRec": SASRec}
 
@@ -190,11 +197,28 @@ def run_smoke(
                 failure_threshold=0.5, window=8, min_calls=4,
                 cooldown=cooldown, half_open_probes=2,
             ),
-            engine=EngineConfig(max_batch=16) if engine else None,
+            engine=(
+                EngineConfig(
+                    max_batch=16,
+                    index=(
+                        # Deliberately approximate: half the lists
+                        # probed, so exact-mode short-circuiting cannot
+                        # mask a broken two-stage path.
+                        IndexConfig(
+                            nlist=4, nprobe=2,
+                            candidates=max(24, num_items // 2),
+                            seed=seed,
+                        )
+                        if retrieval else None
+                    ),
+                )
+                if engine else None
+            ),
         )
         if engine:
             log("engine mode: micro-batched recommend_many "
-                "(max_batch=16, LRU score cache)")
+                f"(max_batch=16, LRU score cache"
+                f"{', approximate IVF retrieval' if retrieval else ''})")
 
         def serve_chunk(chunk):
             """One service call per request, or one coalesced batch."""
@@ -293,6 +317,28 @@ def run_smoke(
                 f"{snap['batcher']['largest_flush']}, cache hit rate "
                 f"{snap['cache']['hit_rate']:.0%}"
             )
+            if retrieval:
+                retr = snap["retrieval"]
+                _require(
+                    retr is not None,
+                    "retrieval mode requested but the primary engine "
+                    "never built an index",
+                )
+                _require(
+                    not retr["exact"],
+                    "retrieval smoke must exercise the approximate "
+                    "path, but the index ran in exact mode",
+                )
+                _require(
+                    retr["searches"] > 0,
+                    "retrieval index built but no request was served "
+                    "through it",
+                )
+                log(
+                    f"retrieval OK: {retr['searches']} searches over "
+                    f"nlist={retr['nlist']} nprobe={retr['nprobe']}, "
+                    f"{retr['scanned']} vectors scanned"
+                )
         log("phase 2 OK: breaker re-closed, primary restored")
         log(json.dumps(stats, indent=2, sort_keys=True))
         # The one-line verdict is printed even in quiet mode.

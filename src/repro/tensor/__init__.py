@@ -29,6 +29,7 @@ from .fused import (
 )
 from .gradcheck import gradcheck, numerical_gradient
 from .random import make_rng, spawn_rngs
+from .topk import top_k_indices, top_k_partition
 from .tensor import (
     Tensor,
     arange,
@@ -86,6 +87,8 @@ __all__ = [
     "tanh",
     "tape_node_count",
     "tensor",
+    "top_k_indices",
+    "top_k_partition",
     "where",
     "zeros",
 ]

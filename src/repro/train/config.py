@@ -57,6 +57,15 @@ class TrainerConfig:
     not step-for-step comparable with the uniform shuffle, hence off by
     default."""
 
+    bucket_epochs: int | None = None
+    """Scheduled bucket mixing: with ``bucket_by_length``, only epochs
+    ``1..bucket_epochs`` draw bucketed batches; later epochs use the
+    uniform shuffle.  Early epochs (where the loss moves most and the
+    O(L²) trimming savings matter most) stay cheap, while late epochs
+    regain fully mixed batch composition.  ``None`` buckets every epoch.
+    Requires ``bucket_by_length=True``; the epoch count — not wall time —
+    drives the switch, so resumed runs schedule identically."""
+
     worker_timeout: float = 120.0
     """Seconds the parent waits on a gradient worker before declaring it
     dead (only used with ``num_workers > 1``).  A killed or hung worker
@@ -104,6 +113,13 @@ class TrainerConfig:
                 "compute_dtype must be 'float32', 'float64', or None; "
                 f"got {self.compute_dtype!r}"
             )
+        if self.bucket_epochs is not None:
+            if not self.bucket_by_length:
+                raise ValueError(
+                    "bucket_epochs requires bucket_by_length=True"
+                )
+            if self.bucket_epochs < 1:
+                raise ValueError("bucket_epochs must be >= 1 when set")
         if self.num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         if self.worker_timeout <= 0:

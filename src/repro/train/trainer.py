@@ -215,8 +215,24 @@ class Trainer:
     # ------------------------------------------------------------------
     # Shared batching helpers
     # ------------------------------------------------------------------
-    def _epoch_batches(self, num_rows: int, rng: np.random.Generator):
-        if self.config.bucket_by_length:
+    def _epoch_batches(
+        self, num_rows: int, rng: np.random.Generator, epoch: int = 1
+    ):
+        """Minibatch index arrays for one epoch.
+
+        With ``bucket_by_length``, epochs up to ``bucket_epochs`` draw
+        length-bucketed batches and later epochs switch to the uniform
+        shuffle (scheduled mixing; ``bucket_epochs=None`` buckets every
+        epoch).  Both branches consume the same per-epoch ``rng``, so
+        the schedule stays deterministic for a given seed — including
+        across checkpoint resumes, where the epoch number (not elapsed
+        work) decides the branch.
+        """
+        bucketed = self.config.bucket_by_length and (
+            self.config.bucket_epochs is None
+            or epoch <= self.config.bucket_epochs
+        )
+        if bucketed:
             return bucketed_minibatch_indices(
                 self._lengths, self.config.batch_size, rng
             )
@@ -290,7 +306,7 @@ class Trainer:
                 model.train()
                 self._begin_epoch(epoch)
                 totals = _EpochTotals()
-                for batch in self._epoch_batches(len(padded), rng):
+                for batch in self._epoch_batches(len(padded), rng, epoch):
                     self._train_step(
                         model, optimizer, padded, batch, totals,
                         history, epoch,

@@ -158,3 +158,83 @@ class TestWorldInfo:
         ]
         assert all(e >= 0 for e in entropies)
         assert max(entropies) > min(entropies)  # users genuinely differ
+
+
+class TestZipfCatalog:
+    """Catalogue-scale generator for the retrieval benchmarks."""
+
+    def test_deterministic(self):
+        from repro.data import ZipfCatalogConfig, generate_zipf_catalog
+
+        config = ZipfCatalogConfig(num_users=50, num_items=5000)
+        a = generate_zipf_catalog(config, seed=4)
+        b = generate_zipf_catalog(config, seed=4)
+        np.testing.assert_array_equal(a.items, b.items)
+        np.testing.assert_array_equal(a.users, b.users)
+        c = generate_zipf_catalog(config, seed=5)
+        assert not np.array_equal(a.items, c.items)
+
+    def test_shapes_and_ranges(self):
+        from repro.data import ZipfCatalogConfig, generate_zipf_catalog
+
+        config = ZipfCatalogConfig(
+            num_users=40, num_items=3000, min_length=3, mean_length=8.0,
+            max_length=20,
+        )
+        log = generate_zipf_catalog(config, seed=0)
+        assert set(np.unique(log.users).tolist()) == set(range(40))
+        assert log.items.min() >= 0 and log.items.max() < 3000
+        counts = np.bincount(log.users)
+        assert counts.min() >= 3 and counts.max() <= 20
+        # Timestamps restart at 0 per user and increase by 1.
+        for user in (0, 17, 39):
+            stamps = log.timestamps[log.users == user]
+            np.testing.assert_array_equal(stamps, np.arange(len(stamps)))
+
+    def test_head_heavy_popularity(self):
+        from repro.data import ZipfCatalogConfig, generate_zipf_catalog
+
+        config = ZipfCatalogConfig(
+            num_users=400, num_items=10_000, mean_length=20.0,
+            max_length=50, zipf_exponent=1.2,
+        )
+        log = generate_zipf_catalog(config, seed=1)
+        counts = np.sort(np.bincount(log.items, minlength=10_000))[::-1]
+        top_share = counts[:100].sum() / counts.sum()
+        # Zipf(1.2): the top 1% of items dominates the traffic.
+        assert top_share > 0.3
+        # ...while the catalogue stays huge and mostly cold.
+        assert (counts == 0).sum() > 5_000
+
+    def test_histories_are_one_indexed_full_vocab(self):
+        from repro.data import ZipfCatalogConfig, zipf_histories
+
+        config = ZipfCatalogConfig(num_users=30, num_items=2000)
+        histories = zipf_histories(config, seed=2)
+        assert len(histories) == 30
+        all_items = np.concatenate(histories)
+        assert all_items.min() >= 1 and all_items.max() <= 2000
+        assert all(h.dtype == np.int64 for h in histories)
+
+    def test_no_dense_materialization_at_scale(self):
+        """100k items x 64 users must run in well under a second."""
+        import time
+
+        from repro.data import ZipfCatalogConfig, zipf_histories
+
+        config = ZipfCatalogConfig(num_users=64, num_items=100_000)
+        start = time.perf_counter()
+        histories = zipf_histories(config, seed=0)
+        elapsed = time.perf_counter() - start
+        assert len(histories) == 64
+        assert elapsed < 5.0  # O(events), not O(users x items)
+
+    def test_config_validation(self):
+        from repro.data import ZipfCatalogConfig
+
+        with pytest.raises(ValueError):
+            ZipfCatalogConfig(num_users=0)
+        with pytest.raises(ValueError):
+            ZipfCatalogConfig(min_length=10, mean_length=5.0)
+        with pytest.raises(ValueError):
+            ZipfCatalogConfig(zipf_exponent=0.0)

@@ -1,0 +1,125 @@
+"""Candidate-restricted ``score_last`` parity across every model.
+
+The re-rank half of the retrieval pipeline must return *exactly* the
+scores dense scoring would (same GEMM inputs, just fewer columns), for
+every retrieval-capable model — and the gather-based default must cover
+models without the hooks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import VSAN
+from repro.models import POP, Caser, GRU4Rec, SASRec, SVAE
+
+NUM_ITEMS = 40
+MAX_LENGTH = 10
+
+
+def _histories(count=6, seed=3):
+    rng = np.random.default_rng(seed)
+    return [
+        rng.integers(1, NUM_ITEMS + 1, size=int(n)).astype(np.int64)
+        for n in rng.integers(2, MAX_LENGTH + 3, size=count)
+    ]
+
+
+def _candidates(batch, per_row=9, seed=5):
+    rng = np.random.default_rng(seed)
+    return rng.integers(
+        1, NUM_ITEMS + 1, size=(batch, per_row)
+    ).astype(np.int64)
+
+
+MODELS = [
+    pytest.param(
+        lambda: VSAN(NUM_ITEMS, MAX_LENGTH, dim=16, h1=1, h2=1, k=1,
+                     seed=0),
+        id="vsan",
+    ),
+    pytest.param(
+        lambda: VSAN(NUM_ITEMS, MAX_LENGTH, dim=16, h1=1, h2=1, k=1,
+                     tie_weights=True, seed=0),
+        id="vsan-tied",
+    ),
+    pytest.param(
+        lambda: SASRec(NUM_ITEMS, MAX_LENGTH, dim=16, num_blocks=1,
+                       seed=0),
+        id="sasrec-tied",
+    ),
+    pytest.param(
+        lambda: SASRec(NUM_ITEMS, MAX_LENGTH, dim=16, num_blocks=1,
+                       tie_weights=False, seed=0),
+        id="sasrec",
+    ),
+    pytest.param(
+        lambda: GRU4Rec(NUM_ITEMS, MAX_LENGTH, dim=16, seed=0),
+        id="gru4rec",
+    ),
+    pytest.param(
+        lambda: Caser(NUM_ITEMS, MAX_LENGTH, dim=16, window=3, seed=0),
+        id="caser",
+    ),
+    pytest.param(
+        lambda: SVAE(NUM_ITEMS, MAX_LENGTH, dim=16, seed=0),
+        id="svae",
+    ),
+]
+
+
+@pytest.mark.parametrize("build", MODELS)
+class TestCandidateParity:
+    def test_matches_dense_gather(self, build):
+        model = build()
+        model.eval()
+        histories = _histories()
+        candidates = _candidates(len(histories))
+        dense = model.score_batch(histories)
+        partial = model.score_last(histories, candidates=candidates)
+        gathered = np.take_along_axis(dense, candidates, axis=1)
+        np.testing.assert_allclose(
+            partial, gathered, rtol=0, atol=1e-5
+        )
+
+    def test_head_reconstructs_dense_scores(self, build):
+        model = build()
+        model.eval()
+        assert model.supports_retrieval
+        histories = _histories()
+        weights, bias = model.output_head()
+        hidden = model.hidden_last(histories)
+        manual = hidden @ weights
+        if bias is not None:
+            manual = manual + bias
+        dense = model.score_batch(histories)
+        np.testing.assert_allclose(
+            manual[:, 1:], dense[:, 1:], rtol=0, atol=1e-5
+        )
+
+    def test_none_candidates_is_score_batch(self, build):
+        model = build()
+        model.eval()
+        histories = _histories(count=3)
+        np.testing.assert_array_equal(
+            model.score_last(histories), model.score_batch(histories)
+        )
+
+
+def test_vsan_sampling_disables_retrieval(tiny_corpus):
+    model = VSAN(NUM_ITEMS, MAX_LENGTH, dim=16, h1=1, h2=1, k=1,
+                 sample_at_eval=True, seed=0)
+    assert not model.supports_retrieval
+
+
+def test_default_gather_path_for_non_neural(tiny_corpus):
+    pop = POP(tiny_corpus.num_items).fit(tiny_corpus)
+    assert not pop.supports_retrieval
+    histories = tiny_corpus.sequences[:4]
+    candidates = np.tile(
+        np.arange(1, 8, dtype=np.int64), (len(histories), 1)
+    )
+    partial = pop.score_last(histories, candidates=candidates)
+    dense = pop.score_batch(histories)
+    np.testing.assert_array_equal(
+        partial, np.take_along_axis(dense, candidates, axis=1)
+    )

@@ -1,0 +1,216 @@
+"""IVF index unit tests: build determinism, search correctness against
+brute force, quantization error bounds, and edge-case handling."""
+
+import numpy as np
+import pytest
+
+from repro.retrieval import IndexConfig, IVFIndex, kmeans
+from repro.tensor.random import make_rng
+from repro.tensor.topk import top_k_indices, top_k_partition
+
+
+def _clustered_vectors(
+    n=600, dim=12, centers=8, seed=7
+) -> np.ndarray:
+    """Blob-structured vectors (k-means has something real to find)."""
+    rng = make_rng(seed)
+    mus = rng.standard_normal((centers, dim)) * 3.0
+    assign = rng.integers(0, centers, size=n)
+    return (
+        mus[assign] + 0.3 * rng.standard_normal((n, dim))
+    ).astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def vectors():
+    return _clustered_vectors()
+
+
+@pytest.fixture(scope="module")
+def ids(vectors):
+    return np.arange(1, len(vectors) + 1, dtype=np.int64)
+
+
+class TestTopK:
+    def test_partition_matches_argsort(self, rng):
+        values = rng.standard_normal((5, 40))
+        picked = top_k_partition(values, 7)
+        best = np.argsort(-values, axis=1)[:, :7]
+        for got, want in zip(picked, best):
+            assert set(got.tolist()) == set(want.tolist())
+
+    def test_indices_are_ordered(self, rng):
+        values = rng.standard_normal((4, 30))
+        ranked = top_k_indices(values, 6)
+        np.testing.assert_array_equal(
+            ranked, np.argsort(-values, axis=1, kind="stable")[:, :6]
+        )
+
+    def test_k_clipped_to_n(self):
+        values = np.array([3.0, 1.0, 2.0])
+        np.testing.assert_array_equal(
+            top_k_indices(values, 10), [0, 2, 1]
+        )
+
+    def test_ties_keep_index_order(self):
+        values = np.array([[1.0, 5.0, 5.0, 0.0]])
+        np.testing.assert_array_equal(
+            top_k_indices(values, 3), [[1, 2, 0]]
+        )
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError, match="k must be"):
+            top_k_partition(np.zeros(4), 0)
+
+
+class TestKMeans:
+    def test_deterministic(self, vectors):
+        a = kmeans(vectors, 8, make_rng(11))
+        b = kmeans(vectors, 8, make_rng(11))
+        np.testing.assert_array_equal(a, b)
+
+    def test_seed_changes_result(self, vectors):
+        a = kmeans(vectors, 8, make_rng(11))
+        b = kmeans(vectors, 8, make_rng(12))
+        assert not np.array_equal(a, b)
+
+    def test_recovers_blob_structure(self, vectors):
+        # Over-segment (16 centroids for 8 blobs) so random init almost
+        # surely lands a centroid in every blob; each point should then
+        # sit within blob-noise distance (~0.3·sqrt(12)≈1) of a centroid.
+        centroids = kmeans(vectors, 16, make_rng(0))
+        dists = np.linalg.norm(
+            vectors[:, None, :] - centroids[None, :, :], axis=-1
+        )
+        assert float(np.median(dists.min(axis=1))) < 1.5
+
+    def test_nlist_exceeding_vectors_raises(self, vectors):
+        with pytest.raises(ValueError, match="exceeds"):
+            kmeans(vectors[:4], 8, make_rng(0))
+
+    def test_sampled_training(self, vectors):
+        small = kmeans(vectors, 4, make_rng(3), train_sample=64)
+        assert small.shape == (4, vectors.shape[1])
+        assert np.isfinite(small).all()
+
+
+class TestIndexBuild:
+    def test_partitions_cover_all_ids(self, vectors, ids):
+        index = IVFIndex.build(vectors, ids, IndexConfig(nlist=8))
+        stored = np.concatenate(index.list_ids)
+        assert sorted(stored.tolist()) == ids.tolist()
+        assert index.num_vectors == len(ids)
+
+    def test_auto_nlist_is_sqrt(self, vectors, ids):
+        index = IVFIndex.build(vectors, ids, IndexConfig())
+        assert index.nlist == int(round(np.sqrt(len(ids))))
+
+    def test_build_deterministic(self, vectors, ids):
+        config = IndexConfig(nlist=8, seed=5)
+        a = IVFIndex.build(vectors, ids, config)
+        b = IVFIndex.build(vectors, ids, config)
+        np.testing.assert_array_equal(a.centroids, b.centroids)
+        for la, lb in zip(a.list_ids, b.list_ids):
+            np.testing.assert_array_equal(la, lb)
+
+    def test_id_shape_mismatch_raises(self, vectors):
+        with pytest.raises(ValueError, match="ids shape"):
+            IVFIndex.build(vectors, np.arange(3), IndexConfig())
+
+    def test_int8_reconstruction_error_bounded(self, vectors, ids):
+        index = IVFIndex.build(
+            vectors, ids, IndexConfig(nlist=8, quantize="int8")
+        )
+        q_min, q_step = index.quant
+        for part in range(index.nlist):
+            codes = index.list_vectors[part]
+            assert codes.dtype == np.uint8
+            approx = q_min + codes.astype(np.float32) * q_step
+            # Reconstruction stays within one quantization step per dim.
+            original = vectors[index.list_ids[part] - 1]
+            assert np.all(np.abs(approx - original) <= q_step + 1e-6)
+
+
+class TestIndexConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(nlist=0),
+            dict(nprobe=0),
+            dict(candidates=0),
+            dict(quantize="int4"),
+            dict(kmeans_iters=0),
+            dict(train_sample=0),
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            IndexConfig(**kwargs)
+
+
+class TestSearch:
+    def test_exhaustive_probe_matches_brute_force(self, vectors, ids, rng):
+        index = IVFIndex.build(vectors, ids, IndexConfig(nlist=8))
+        queries = rng.standard_normal((6, vectors.shape[1])).astype(
+            np.float32
+        )
+        got = index.search(queries, nprobe=8, count=25)
+        exact = queries @ vectors.T
+        want = top_k_partition(exact, 25)
+        for row_got, row_want in zip(got, want):
+            assert set(row_got.tolist()) == set((row_want + 1).tolist())
+
+    def test_partial_probe_returns_subset_of_catalog(
+        self, vectors, ids, rng
+    ):
+        index = IVFIndex.build(vectors, ids, IndexConfig(nlist=8))
+        queries = rng.standard_normal((4, vectors.shape[1])).astype(
+            np.float32
+        )
+        got = index.search(queries, nprobe=2, count=50)
+        assert got.shape == (4, 50)
+        real = got[got >= 0]
+        assert np.isin(real, ids).all()
+
+    def test_pads_with_minus_one_when_lists_too_small(self):
+        rng = make_rng(0)
+        vectors = rng.standard_normal((20, 4)).astype(np.float32)
+        ids = np.arange(1, 21, dtype=np.int64)
+        index = IVFIndex.build(vectors, ids, IndexConfig(nlist=5))
+        out = index.search(vectors[:2], nprobe=1, count=15)
+        assert (out == -1).any()
+        for row in out:
+            real = row[row >= 0]
+            assert len(np.unique(real)) == len(real)
+
+    def test_search_counters(self, vectors, ids, rng):
+        index = IVFIndex.build(vectors, ids, IndexConfig(nlist=8))
+        queries = rng.standard_normal((3, vectors.shape[1])).astype(
+            np.float32
+        )
+        index.search(queries, nprobe=2, count=10)
+        assert index.searches == 3
+        assert index.scanned > 0
+
+    def test_int8_search_still_finds_neighbors(self, vectors, ids):
+        # int8 candidates must cover the exact top-10 well: quantization
+        # noise can reorder near-ties inside a blob but not push a true
+        # neighbor out of a 50-candidate set.
+        f32 = IVFIndex.build(vectors, ids, IndexConfig(nlist=8))
+        i8 = IVFIndex.build(
+            vectors, ids, IndexConfig(nlist=8, quantize="int8")
+        )
+        assert f32.quant is None and i8.quant is not None
+        queries = vectors[:10]
+        got = i8.search(queries, nprobe=8, count=50)
+        exact_top = top_k_partition(queries @ vectors.T, 10) + 1
+        hits = sum(
+            int(np.isin(want, row).sum())
+            for want, row in zip(exact_top, got)
+        )
+        assert hits / exact_top.size >= 0.9
+
+    def test_rejects_non_2d_queries(self, vectors, ids):
+        index = IVFIndex.build(vectors, ids, IndexConfig(nlist=4))
+        with pytest.raises(ValueError, match="2-D"):
+            index.search(vectors[0])

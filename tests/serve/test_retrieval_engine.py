@@ -1,0 +1,257 @@
+"""Two-stage retrieval through the serving stack.
+
+Pins the ISSUE-level guarantees: exact-mode output is *bitwise*
+identical to dense scoring (alone, under the micro-batcher, and under
+fault degradation), the approximate path keeps the full-width score
+contract, and a `set_model` hot-swap atomically invalidates both the
+score cache and the retrieval index (stale-index serving impossible).
+"""
+
+import numpy as np
+import pytest
+
+from repro.models import SASRec
+from repro.retrieval import IndexConfig, RetrievalEngine
+from repro.serve import (
+    EngineConfig,
+    FaultInjector,
+    FaultyRecommender,
+    InferenceEngine,
+)
+from repro.tensor import set_default_dtype
+
+NUM_ITEMS = 60
+MAX_LENGTH = 12
+
+
+@pytest.fixture(scope="module", autouse=True)
+def float32_default():
+    previous = set_default_dtype(np.float32)
+    yield
+    set_default_dtype(previous)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return SASRec(
+        NUM_ITEMS, MAX_LENGTH, dim=16, num_blocks=1, seed=0,
+        tie_weights=False,
+    )
+
+
+@pytest.fixture(scope="module")
+def histories():
+    rng = np.random.default_rng(9)
+    return [
+        rng.integers(1, NUM_ITEMS + 1, size=int(n)).astype(np.int64)
+        for n in rng.integers(2, MAX_LENGTH + 4, size=12)
+    ]
+
+
+EXACT = IndexConfig(nlist=1, nprobe=1, candidates=NUM_ITEMS)
+APPROX = IndexConfig(nlist=6, nprobe=2, candidates=16, seed=0)
+
+
+class TestExactModeBitwise:
+    def test_direct_engine(self, model, histories):
+        dense = model.score_batch(histories)
+        engine = RetrievalEngine(model, EXACT)
+        assert engine.exact
+        np.testing.assert_array_equal(
+            engine.score_batch(histories), dense
+        )
+
+    def test_under_micro_batcher(self, model, histories):
+        plain = InferenceEngine(
+            model, EngineConfig(max_batch=4, cache_capacity=0)
+        )
+        retrieval = InferenceEngine(
+            model,
+            EngineConfig(max_batch=4, cache_capacity=0, index=EXACT),
+        )
+        a = plain.score_batch(histories)
+        b = retrieval.score_batch(histories)
+        np.testing.assert_array_equal(a, b)
+        snap = retrieval.snapshot()["retrieval"]
+        assert snap["exact"] and snap["passthroughs"] == len(histories)
+
+    def test_under_fault_degradation(self, model, histories):
+        # Same injector seed on both sides: the fault decision stream
+        # must be consumed identically by the dense and retrieval paths,
+        # so degraded outputs stay bitwise equal too.
+        def build(index):
+            faulty = FaultyRecommender(
+                model, FaultInjector(nan_rate=0.5, seed=4)
+            )
+            return InferenceEngine(
+                faulty,
+                EngineConfig(max_batch=4, cache_capacity=0, index=index),
+            )
+
+        plain, retrieval = build(None), build(EXACT)
+        for chunk in (histories[:5], histories[5:]):
+            np.testing.assert_array_equal(
+                plain.score_batch(chunk), retrieval.score_batch(chunk)
+            )
+
+    def test_injected_errors_match(self, model, histories):
+        def build(index):
+            faulty = FaultyRecommender(
+                model, FaultInjector(error_rate=0.6, seed=2)
+            )
+            return InferenceEngine(
+                faulty,
+                EngineConfig(max_batch=4, cache_capacity=0, index=index),
+            )
+
+        plain, retrieval = build(None), build(EXACT)
+        for chunk in (histories[:4], histories[4:8], histories[8:]):
+            outcomes = []
+            for engine in (plain, retrieval):
+                try:
+                    outcomes.append(engine.score_batch(chunk))
+                except Exception as error:  # noqa: BLE001
+                    outcomes.append(type(error).__name__)
+            if isinstance(outcomes[0], str):
+                assert outcomes[0] == outcomes[1]
+            else:
+                np.testing.assert_array_equal(*outcomes)
+
+
+class TestApproximatePath:
+    def test_full_width_rows_with_masked_non_candidates(
+        self, model, histories
+    ):
+        engine = RetrievalEngine(model, APPROX)
+        rows = engine.score_batch(histories)
+        assert rows.shape == (len(histories), NUM_ITEMS + 1)
+        assert np.isneginf(rows[:, 0]).all()
+        finite = np.isfinite(rows)
+        assert (finite.sum(axis=1) <= APPROX.candidates).all()
+        assert (finite.sum(axis=1) > 0).all()
+
+    def test_candidate_scores_are_exact(self, model, histories):
+        # "Exact re-rank" = the same GEMM inputs as dense scoring; the
+        # C-column gather contracts in a different order than the full
+        # GEMM, so equality is to float32 rounding, not bitwise (only
+        # exact *mode* promises bitwise identity).
+        engine = RetrievalEngine(model, APPROX)
+        rows = engine.score_batch(histories)
+        dense = model.score_batch(histories)
+        mask = np.isfinite(rows)
+        np.testing.assert_allclose(
+            rows[mask], dense[mask], rtol=0, atol=1e-5
+        )
+
+    def test_faulty_nan_rows_degrade_not_crash(self, model, histories):
+        faulty = FaultyRecommender(
+            model, FaultInjector(nan_rate=1.0, seed=0)
+        )
+        engine = RetrievalEngine(faulty, APPROX)
+        rows = engine.score_batch(histories[:3])
+        # NaN-poisoned hidden states surface as NaN candidate scores —
+        # the same non-finite signal the service's guard rejects.
+        assert np.isnan(rows).any()
+
+    def test_unsupported_model_is_rejected(self):
+        class Dense:
+            name = "dense-only"
+
+            def score_batch(self, histories):
+                return np.zeros((len(histories), NUM_ITEMS + 1))
+
+        with pytest.raises(ValueError, match="does not support"):
+            RetrievalEngine(Dense(), APPROX)
+
+    def test_engine_falls_back_silently_for_unsupported(self, histories):
+        class Dense:
+            name = "dense-only"
+            max_length = MAX_LENGTH
+
+            def score_batch(self, histories):
+                rows = np.tile(
+                    np.arange(NUM_ITEMS + 1, dtype=np.float32),
+                    (len(histories), 1),
+                )
+                rows[:, 0] = -np.inf
+                return rows
+
+        engine = InferenceEngine(
+            Dense(), EngineConfig(cache_capacity=0, index=APPROX)
+        )
+        rows = engine.score_batch(histories[:2])
+        assert np.isfinite(rows[:, 1:]).all()
+        assert engine.snapshot()["retrieval"] is None
+
+
+class TestVersionCoupling:
+    """Satellite: hot-swap must atomically invalidate cache AND index."""
+
+    def _engine(self):
+        model = SASRec(
+            NUM_ITEMS, MAX_LENGTH, dim=16, num_blocks=1, seed=1,
+            tie_weights=False,
+        )
+        return model, InferenceEngine(
+            model, EngineConfig(max_batch=4, index=APPROX)
+        )
+
+    def test_set_model_drops_cache_and_index(self, histories):
+        model, engine = self._engine()
+        before = engine.score_batch(histories)
+        assert engine.cache.hits + engine.cache.misses > 0
+        old_index = engine._retrieval
+        assert old_index is not None
+
+        replacement = SASRec(
+            NUM_ITEMS, MAX_LENGTH, dim=16, num_blocks=1, seed=99,
+            tie_weights=False,
+        )
+        engine.set_model(replacement)
+        assert engine._retrieval is None
+        assert len(engine.cache) == 0
+        assert engine.cache.invalidations == 1
+
+        after = engine.score_batch(histories)
+        # A fresh index was built from the NEW model's table...
+        assert engine._retrieval is not None
+        assert engine._retrieval is not old_index
+        # ...and what gets served is the new model's scoring, not any
+        # stale cached/indexed artifact of the old weights.
+        expected = RetrievalEngine(replacement, APPROX).score_batch(
+            histories
+        )
+        np.testing.assert_array_equal(after, expected)
+        assert not np.array_equal(before, after)
+
+    def test_swap_resets_unsupported_flag(self, histories):
+        class Dense:
+            name = "dense-only"
+            max_length = MAX_LENGTH
+
+            def score_batch(self, histories):
+                rows = np.ones(
+                    (len(histories), NUM_ITEMS + 1), dtype=np.float32
+                )
+                rows[:, 0] = -np.inf
+                return rows
+
+        _, engine = self._engine()
+        engine.set_model(Dense())
+        engine.score_batch(histories[:2])
+        assert engine._retrieval_unsupported
+        model = SASRec(
+            NUM_ITEMS, MAX_LENGTH, dim=16, num_blocks=1, seed=3,
+            tie_weights=False,
+        )
+        engine.set_model(model)
+        assert not engine._retrieval_unsupported
+        engine.score_batch(histories[:2])
+        assert engine.snapshot()["retrieval"] is not None
+
+    def test_approximate_rows_are_cacheable(self, histories):
+        _, engine = self._engine()
+        engine.score_batch(histories)
+        hits_before = engine.cache.hits
+        engine.score_batch(histories)
+        assert engine.cache.hits > hits_before

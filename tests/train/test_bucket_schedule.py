@@ -1,0 +1,123 @@
+"""Scheduled bucket mixing: bucketed early epochs, uniform late.
+
+Satellite of the retrieval PR (the PR 5 carry-over): `bucket_epochs`
+switches `_epoch_batches` from length-bucketed to uniform-shuffle
+batch composition at a fixed epoch boundary, deterministically.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.batching import effective_lengths
+from repro.models import SASRec
+from repro.tensor.random import make_rng
+from repro.train import Trainer, TrainerConfig
+
+
+def _bucket_widths(lengths, batches):
+    """Max/min effective-length ratio per batch (1-ish when bucketed)."""
+    return [
+        lengths[batch].max() / max(1, lengths[batch].min())
+        for batch in batches
+    ]
+
+
+class TestSchedule:
+    def _trainer(self, padded, **kwargs):
+        trainer = Trainer(TrainerConfig(
+            epochs=4, batch_size=8, bucket_by_length=True, **kwargs
+        ))
+        trainer._lengths = effective_lengths(padded)
+        return trainer
+
+    @pytest.fixture()
+    def padded(self, rng):
+        # Ragged lengths: rows of 2..20 real items in a 21-wide matrix.
+        rows = np.zeros((64, 21), dtype=np.int64)
+        for row in rows:
+            n = int(rng.integers(2, 21))
+            row[-n:] = rng.integers(1, 30, size=n)
+        return rows
+
+    def test_switches_at_boundary(self, padded):
+        trainer = self._trainer(padded, bucket_epochs=2)
+        lengths = trainer._lengths
+        for epoch, expect_bucketed in [(1, True), (2, True), (3, False),
+                                       (4, False)]:
+            batches = list(
+                trainer._epoch_batches(len(padded), make_rng(0), epoch)
+            )
+            covered = np.sort(np.concatenate(batches))
+            np.testing.assert_array_equal(covered, np.arange(len(padded)))
+            widths = _bucket_widths(lengths, batches)
+            if expect_bucketed:
+                # Power-of-two buckets: within-batch spread stays < 2x.
+                assert max(widths) <= 2.0
+            else:
+                # A uniform shuffle of 2..20-length rows essentially
+                # always mixes across buckets at batch size 8.
+                assert max(widths) > 2.0
+
+    def test_none_buckets_every_epoch(self, padded):
+        trainer = self._trainer(padded, bucket_epochs=None)
+        lengths = trainer._lengths
+        for epoch in (1, 4):
+            batches = list(
+                trainer._epoch_batches(len(padded), make_rng(0), epoch)
+            )
+            assert max(_bucket_widths(lengths, batches)) <= 2.0
+
+    def test_uniform_branch_matches_unbucketed_trainer(self, padded):
+        scheduled = self._trainer(padded, bucket_epochs=1)
+        uniform = Trainer(TrainerConfig(epochs=4, batch_size=8))
+        uniform._lengths = effective_lengths(padded)
+        a = list(scheduled._epoch_batches(len(padded), make_rng(7), 3))
+        b = list(uniform._epoch_batches(len(padded), make_rng(7), 3))
+        for batch_a, batch_b in zip(a, b):
+            np.testing.assert_array_equal(batch_a, batch_b)
+
+
+class TestDeterminism:
+    def test_two_runs_bitwise_identical(self, tiny_corpus):
+        def run():
+            model = SASRec(
+                tiny_corpus.num_items, 12, dim=8, num_blocks=1, seed=0
+            )
+            config = TrainerConfig(
+                epochs=3, batch_size=16, seed=11,
+                bucket_by_length=True, bucket_epochs=2,
+            )
+            history = Trainer(config).fit(model, tiny_corpus)
+            return history.losses, {
+                name: param.data.copy()
+                for name, param in model.named_parameters()
+            }
+
+        losses_a, params_a = run()
+        losses_b, params_b = run()
+        assert losses_a == losses_b
+        for name in params_a:
+            np.testing.assert_array_equal(params_a[name], params_b[name])
+
+    def test_schedule_changes_training_trajectory(self, tiny_corpus):
+        def run(bucket_epochs):
+            model = SASRec(
+                tiny_corpus.num_items, 12, dim=8, num_blocks=1, seed=0
+            )
+            config = TrainerConfig(
+                epochs=3, batch_size=16, seed=11,
+                bucket_by_length=True, bucket_epochs=bucket_epochs,
+            )
+            return Trainer(config).fit(model, tiny_corpus).losses
+
+        assert run(1) != run(3)
+
+
+class TestValidation:
+    def test_requires_bucket_by_length(self):
+        with pytest.raises(ValueError, match="requires bucket_by_length"):
+            TrainerConfig(bucket_epochs=2)
+
+    def test_requires_positive(self):
+        with pytest.raises(ValueError, match="must be >= 1"):
+            TrainerConfig(bucket_by_length=True, bucket_epochs=0)
