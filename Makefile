@@ -1,7 +1,8 @@
 # Convenience targets for the VSAN reproduction.
 
 .PHONY: install test bench bench-serve bench-train bench-retrieval \
-	bench-full experiments examples clean resume-smoke serve-smoke
+	bench-cluster bench-full experiments examples clean resume-smoke \
+	serve-smoke
 
 install:
 	python setup.py develop
@@ -54,6 +55,18 @@ bench-retrieval:
 		-k "speedup_gate or recall_curve" -q -s
 	python benchmarks/compare_bench.py BENCH_retrieval.json --threshold 0.6
 
+# Sharded-cluster benchmarks: open-loop Zipf replay from a 1M-user
+# population through 1 and 2 shard worker processes, then the gates —
+# sustained req/s + p99 with exact accounting across merged shard
+# stats, and shed-don't-wedge under overload (gates are skipped under
+# --benchmark-only, so they run second).
+bench-cluster:
+	PYTHONPATH=src pytest benchmarks/test_cluster.py \
+		--benchmark-only --benchmark-json=BENCH_cluster.json
+	PYTHONPATH=src pytest benchmarks/test_cluster.py \
+		-k gate -q -s
+	python benchmarks/compare_bench.py BENCH_cluster.json
+
 # Crash-injection smoke test: SIGKILL a checkpointing training run,
 # resume it, and require bit-identical losses/weights vs. straight-through.
 resume-smoke:
@@ -67,6 +80,7 @@ resume-smoke:
 # for every request.
 serve-smoke:
 	PYTHONPATH=src python -m repro serve-smoke --requests 100
+	PYTHONPATH=src python -m repro serve-smoke --cluster --requests 200
 	PYTHONPATH=src pytest tests/serve -q
 
 bench-all:

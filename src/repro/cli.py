@@ -153,9 +153,16 @@ def cmd_recommend(args) -> int:
 
 
 def cmd_serve_smoke(args) -> int:
-    from .serve.smoke import SmokeFailure, run_smoke
+    from .serve.smoke import SmokeFailure, run_cluster_smoke, run_smoke
 
     try:
+        if args.cluster:
+            return run_cluster_smoke(
+                requests=args.requests,
+                num_shards=args.shards,
+                seed=args.seed,
+                verbose=not args.quiet,
+            )
         return run_smoke(
             requests=args.requests,
             seed=args.seed,
@@ -233,10 +240,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable per-batch column trimming (on by default for the "
              "attention models; trimming is loss-exact)")
     train.add_argument(
-        "--bucket-by-length", action="store_true",
+        "--bucket-by-length", action=argparse.BooleanOptionalAction,
+        default=True,
         help="build minibatches from power-of-two length buckets so "
-             "trimming pays on long-tail corpora (changes batch "
-             "composition vs the uniform shuffle)")
+             "trimming pays on long-tail corpora (on by default; "
+             "--no-bucket-by-length restores the uniform shuffle for "
+             "step-for-step comparable runs)")
     train.add_argument(
         "--bucket-epochs", type=int, default=None,
         help="with --bucket-by-length: bucket only the first N epochs, "
@@ -313,6 +322,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "approximate IVF retrieval index + exact "
                             "re-rank; the run asserts the two-stage "
                             "path actually handled requests")
+    smoke.add_argument("--cluster", action="store_true",
+                       help="drill the sharded ServingCluster instead: "
+                            "open-loop Zipf load over a 1M-user "
+                            "population, a SIGKILL-one-shard drill "
+                            "(must shed, never hang, accounting exact), "
+                            "and a canary rollout that must roll back "
+                            "when the canary trips the primary breaker")
+    smoke.add_argument("--shards", type=int, default=3,
+                       help="(with --cluster) shard worker processes")
     smoke.add_argument("--quiet", action="store_true")
     smoke.set_defaults(func=cmd_serve_smoke)
 

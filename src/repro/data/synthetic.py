@@ -42,11 +42,13 @@ __all__ = [
     "ML1M_LIKE",
     "WorldInfo",
     "ZipfCatalogConfig",
+    "ZipfTrafficConfig",
     "generate",
     "generate_with_info",
     "generate_zipf_catalog",
     "tiny_config",
     "zipf_histories",
+    "zipf_traffic",
 ]
 
 
@@ -398,6 +400,119 @@ def generate_zipf_catalog(
         ratings=np.full(total, 5.0),
         timestamps=timestamps,
     )
+
+
+# ----------------------------------------------------------------------
+# Serving-traffic generator (cluster load harness)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ZipfTrafficConfig:
+    """Open-loop request traffic over a huge user population.
+
+    Where :class:`ZipfCatalogConfig` scales the *catalogue*, this scales
+    the *audience*: request arrivals are a Poisson process at ``rate``
+    req/s, the requesting user is drawn from a Zipf popularity law over
+    ``num_users`` (a head of hot users returns constantly, a huge cold
+    tail appears once — the regime that makes per-user score caches and
+    consistent-hash affinity measurable), and each user's history is
+    derived *deterministically from the user id*, so user 123456 has the
+    same history every time they appear, across requests and across
+    runs.  Only the users who actually show up cost anything: memory and
+    time are O(requests), never O(num_users), which is what makes a 1M-
+    user population practical.
+
+    Args:
+        num_users: user-population size (ids ``0..num_users-1``).
+        num_items: catalogue size; history item ids are ``1..num_items``.
+        num_requests: arrivals to generate.
+        rate: offered load in requests/second (Poisson arrivals).
+        user_zipf_exponent: popularity decay over users (~1.0 gives the
+            classic hot-head/cold-tail split).
+        item_zipf_exponent: popularity decay over items within
+            histories.
+        min_length / mean_length / max_length: clipped-lognormal
+            history-length distribution.
+    """
+
+    num_users: int = 1_000_000
+    num_items: int = 1_000
+    num_requests: int = 10_000
+    rate: float = 1_000.0
+    user_zipf_exponent: float = 1.0
+    item_zipf_exponent: float = 1.1
+    min_length: int = 1
+    mean_length: float = 8.0
+    max_length: int = 50
+
+    def __post_init__(self):
+        if self.num_users < 1:
+            raise ValueError("num_users must be >= 1")
+        if self.num_items < 1:
+            raise ValueError("num_items must be >= 1")
+        if self.num_requests < 1:
+            raise ValueError("num_requests must be >= 1")
+        if self.rate <= 0:
+            raise ValueError("rate must be positive")
+        if self.user_zipf_exponent <= 0 or self.item_zipf_exponent <= 0:
+            raise ValueError("zipf exponents must be positive")
+        if not 0 < self.min_length <= self.mean_length <= self.max_length:
+            raise ValueError("lengths must satisfy min <= mean <= max")
+
+
+def zipf_traffic(config: ZipfTrafficConfig, seed: int):
+    """Yield ``(user_id, history, arrival_seconds)`` open-loop arrivals.
+
+    Arrival times are exponential-gap (Poisson) at ``config.rate`` and
+    strictly increasing from ~0; users follow the Zipf popularity law
+    with popularity rank shuffled over ids; histories are cached per
+    user within one generator and re-derived identically across
+    generators from ``SeedSequence((seed, user))``.
+    """
+    rng = make_rng(seed)
+    # Who is asking: inverse-CDF over Zipf user popularity, rank
+    # shuffled over ids so hot users are spread across the id space
+    # (and therefore across consistent-hash shards).
+    user_ranks = np.arange(1, config.num_users + 1, dtype=np.float64)
+    user_weights = user_ranks ** (-config.user_zipf_exponent)
+    user_cum = np.cumsum(user_weights / user_weights.sum())
+    user_of_rank = rng.permutation(config.num_users)
+    rank_index = np.minimum(
+        np.searchsorted(
+            user_cum, rng.random(config.num_requests), side="right"
+        ),
+        config.num_users - 1,
+    )
+    # When: Poisson arrivals at the target rate.
+    arrivals = np.cumsum(
+        rng.exponential(1.0 / config.rate, size=config.num_requests)
+    )
+    # What they watched: per-user deterministic histories.
+    item_ranks = np.arange(1, config.num_items + 1, dtype=np.float64)
+    item_weights = item_ranks ** (-config.item_zipf_exponent)
+    item_cum = np.cumsum(item_weights / item_weights.sum())
+    sigma = 0.45
+    mu = np.log(config.mean_length) - 0.5 * sigma**2
+    histories: dict[int, np.ndarray] = {}
+    for index in range(config.num_requests):
+        user = int(user_of_rank[rank_index[index]])
+        history = histories.get(user)
+        if history is None:
+            user_rng = np.random.default_rng(
+                np.random.SeedSequence((seed, user))
+            )
+            length = int(np.clip(
+                np.round(user_rng.lognormal(mu, sigma)),
+                config.min_length, config.max_length,
+            ))
+            history = (1 + np.minimum(
+                np.searchsorted(
+                    item_cum, user_rng.random(length), side="right"
+                ),
+                config.num_items - 1,
+            )).astype(np.int64)
+            histories[user] = history
+        yield user, history, float(arrivals[index])
 
 
 def zipf_histories(

@@ -11,6 +11,11 @@ degrade gracefully instead of falling over.  The pieces:
   guaranteed no-tape forwards, request micro-batching
   (:class:`MicroBatcher`), and an LRU :class:`ScoreCache` keyed on
   (model version, history suffix) with invalidation on hot-swap.
+- :class:`ServingCluster` — N shard worker processes (one full service
+  each, forked via :class:`repro.pool.ForkedWorkerPool`) behind a
+  :class:`ConsistentHashRing` user router, with admission control /
+  load shedding, dead-shard rerouting, canary rollout with automatic
+  rollback, and merged cross-shard accounting.
 - :class:`CircuitBreaker` — closed/open/half-open rung guard.
 - :class:`RetryPolicy` — exponential backoff with seeded jitter.
 - :mod:`repro.serve.faults` — a seeded fault injector (latency spikes,
@@ -26,10 +31,17 @@ See ``docs/SERVING.md`` for the fault model and ladder semantics.
 
 from ..retrieval import IndexConfig
 from .breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from .cluster import (
+    ClusterConfig,
+    ConsistentHashRing,
+    RolloutReport,
+    ServingCluster,
+)
 from .engine import EngineConfig, InferenceEngine, MicroBatcher, ScoreCache
 from .errors import (
     AllRungsFailed,
     CheckpointError,
+    ClusterError,
     DeadlineExceeded,
     InvalidRequest,
     ServeError,
@@ -52,6 +64,9 @@ __all__ = [
     "CLOSED",
     "CheckpointError",
     "CircuitBreaker",
+    "ClusterConfig",
+    "ClusterError",
+    "ConsistentHashRing",
     "DeadlineExceeded",
     "EngineConfig",
     "FaultInjector",
@@ -67,8 +82,10 @@ __all__ = [
     "Recommendation",
     "RecommendService",
     "RetryPolicy",
+    "RolloutReport",
     "ScoreCache",
     "RungStats",
+    "ServingCluster",
     "ServeError",
     "ServiceConfig",
     "ServiceStats",

@@ -1,0 +1,781 @@
+"""Sharded multi-process serving: the million-user cluster layer.
+
+:class:`ServingCluster` runs N shard worker processes — each a full
+:class:`repro.serve.RecommendService` (fallback chain, breakers,
+retries, cumulative deadlines, optionally an
+:class:`~repro.serve.engine.InferenceEngine` per rung) — behind a
+consistent-hash user router in the parent:
+
+- **Sharding** — :class:`ConsistentHashRing` maps each ``user_id`` to one
+  shard via a seeded-stable blake2b ring with virtual nodes, so the
+  same user always lands on the same shard (cache/affinity) and a dead
+  shard's keyspace redistributes evenly over the survivors instead of
+  rolling over onto one neighbour.
+- **Workers** — shard processes come from
+  :class:`repro.pool.ForkedWorkerPool` (the machinery the parallel
+  trainer uses): ``fork`` inheritance hands every worker its replica of
+  the live rung models with zero pickling, and teardown signals all
+  workers before joining any against one shared deadline.
+- **Admission control** — the router tracks per-shard queue depth and
+  an EWMA of service time; a request whose predicted wait exceeds the
+  deadline budget (times ``shed_margin``), or that would overflow
+  ``max_queue``, is **shed** at the door — a fast typed rejection
+  instead of a doomed queue entry (the shard's own cumulative deadline
+  accounting would only reject it later, after it wasted queue time).
+- **Failure** — a shard that dies (SIGKILL drill, OOM) is detected by
+  pipe EOF: its in-flight requests are counted ``failed``, its unsent
+  queue reroutes through the updated ring, and the ring drops it so new
+  traffic flows to survivors.  The cluster never hangs on a dead shard.
+- **Canary rollout** — :meth:`ServingCluster.rollout` hot-swaps a new
+  model (object or checkpoint path, via the engine's ``set_model``
+  version bump) one shard at a time, sends probe traffic, and declares
+  the shard unhealthy unless every probe is served *by the swapped
+  rung* with zero new breaker trips — on failure every already-swapped
+  shard rolls back to its pre-canary model, in reverse order.
+- **Accounting** — the parent keeps the cluster invariant
+  ``submitted == completed + shed + failed (+ in-flight)`` while each
+  shard keeps the single-process invariant; :meth:`ServingCluster.stats`
+  merges the shard ``ServiceStats`` (:meth:`ServiceStats.merge`) so the
+  fleet-wide snapshot satisfies ``accounted()`` exactly like one
+  process would.
+
+The open-loop load harness lives in :meth:`ServingCluster.run_load`:
+it replays a seeded arrival schedule (e.g.
+:func:`repro.data.synthetic.zipf_traffic` at 1M users) without waiting
+for completions — arrivals keep coming whether or not the cluster keeps
+up, which is what makes the measured p99 and shed rate honest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+import traceback
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from multiprocessing import connection as _mpc
+
+from ..pool import ForkedWorkerPool, WorkerError
+from .errors import ClusterError, ServeError
+from .stats import LatencyTracker, ServiceStats
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterError",
+    "ConsistentHashRing",
+    "RolloutReport",
+    "ServingCluster",
+]
+
+
+class ConsistentHashRing:
+    """Stable consistent hashing with virtual nodes.
+
+    Points come from blake2b (not Python's salted ``hash()``), so the
+    user → shard mapping is identical across processes and runs.  Each
+    node owns ``replicas`` points on the ring; removing a node hands
+    its arcs to the *next* points clockwise, which — with enough
+    virtual nodes — spreads the orphaned keyspace over all survivors
+    roughly evenly.
+    """
+
+    def __init__(self, nodes=(), replicas: int = 64):
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = replicas
+        self.nodes: set = set()
+        self._points: list[int] = []
+        self._owners: list = []
+        for node in nodes:
+            self.add(node)
+
+    @staticmethod
+    def _hash(key: str) -> int:
+        digest = hashlib.blake2b(key.encode("utf8"), digest_size=8)
+        return int.from_bytes(digest.digest(), "big")
+
+    def add(self, node) -> None:
+        if node in self.nodes:
+            return
+        self.nodes.add(node)
+        for replica in range(self.replicas):
+            point = self._hash(f"{node}#{replica}")
+            index = bisect_right(self._points, point)
+            self._points.insert(index, point)
+            self._owners.insert(index, node)
+
+    def remove(self, node) -> None:
+        if node not in self.nodes:
+            return
+        self.nodes.discard(node)
+        keep = [
+            (point, owner)
+            for point, owner in zip(self._points, self._owners)
+            if owner != node
+        ]
+        self._points = [point for point, _ in keep]
+        self._owners = [owner for _, owner in keep]
+
+    def lookup(self, key):
+        """The node owning ``key`` (``None`` on an empty ring)."""
+        if not self._points:
+            return None
+        point = self._hash(str(key))
+        index = bisect_right(self._points, point)
+        if index == len(self._points):
+            index = 0
+        return self._owners[index]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+@dataclass
+class ClusterConfig:
+    """Router policy knobs.
+
+    Args:
+        num_shards: shard worker processes to fork.
+        replicas: virtual nodes per shard on the hash ring.
+        max_queue: hard cap on per-shard outstanding requests (queued +
+            in flight); submissions beyond it are shed.
+        deadline: the per-request budget the *router* sheds against
+            (``None`` disables predicted-wait shedding; the shards'
+            own ``ServiceConfig.deadline`` still applies in-service).
+        shed_margin: shed when ``predicted_wait > shed_margin *
+            deadline`` — < 1 sheds conservatively early, > 1 tolerates
+            brief overloads.
+        batch_size: requests coalesced into one pipe message per shard
+            (shard-side micro-batching then applies within the
+            service's engine, when configured).
+        worker_timeout: seconds a control message may wait on a shard
+            before the shard is declared hung.
+        top_n: ranking length forwarded with every request (``None`` =
+            the shard service's default).
+        ewma_alpha: smoothing for the per-shard service-time estimate
+            driving predicted-wait shedding.
+    """
+
+    num_shards: int = 2
+    replicas: int = 64
+    max_queue: int = 64
+    deadline: float | None = None
+    shed_margin: float = 1.0
+    batch_size: int = 32
+    worker_timeout: float = 30.0
+    top_n: int | None = None
+    ewma_alpha: float = 0.2
+
+    def __post_init__(self):
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if self.replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        if self.max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be positive (or None)")
+        if self.shed_margin <= 0:
+            raise ValueError("shed_margin must be positive")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.worker_timeout <= 0:
+            raise ValueError("worker_timeout must be positive")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+
+
+@dataclass
+class RolloutReport:
+    """Outcome of one canary rollout."""
+
+    ok: bool
+    rung: str
+    swapped: list = field(default_factory=list)
+    rolled_back: bool = False
+    failed_shard: int | None = None
+    reason: str | None = None
+
+
+def _serve_batch(service, entries, top_n):
+    """Run one coalesced batch through the shard's service."""
+    replies = []
+    histories = [history for _, history in entries]
+    results = service.recommend_many(histories, top_n=top_n)
+    for (request_id, _), outcome in zip(entries, results):
+        if isinstance(outcome, ServeError):
+            replies.append((
+                request_id, False,
+                (type(outcome).__name__, str(outcome)),
+            ))
+        else:
+            replies.append((
+                request_id, True,
+                (outcome.items, outcome.rung, outcome.latency,
+                 outcome.degraded, outcome.fallbacks),
+            ))
+    return replies
+
+
+def _shard_loop(index, conn, service_factory, registry) -> None:
+    """Body of one shard worker (runs in the forked child).
+
+    The service — and every rung model it wraps — is built/inherited
+    *inside* the child, so shards are fully independent replicas.
+    ``stash`` keeps each rung's pre-canary model so a ``rollback``
+    message can restore it without shipping models back over the pipe.
+    """
+    try:
+        service = service_factory()
+        stash: dict = {}
+        while True:
+            message = conn.recv()
+            kind = message[0]
+            if kind == "batch":
+                conn.send(
+                    ("results", _serve_batch(service, message[1], message[2]))
+                )
+            elif kind == "probe":
+                conn.send(
+                    ("probed", _serve_batch(service, message[1], message[2]))
+                )
+            elif kind == "stats":
+                conn.send(("stats", service.raw_stats(), service.stats()))
+            elif kind == "describe":
+                conn.send(("described", service.describe_rungs()))
+            elif kind == "swap":
+                _, rung, payload = message
+                try:
+                    previous = service.current_model(rung)
+                    if isinstance(payload, (str, os.PathLike)):
+                        service.reload_rung(rung, payload, registry or {})
+                    else:
+                        service.swap_model(rung, payload)
+                    # Keep the *oldest* pre-canary model: two swaps
+                    # without a rollback still roll back to the model
+                    # that predates the whole rollout.
+                    stash.setdefault(rung, previous)
+                    conn.send(("swapped", service.describe_rungs()[rung]))
+                except Exception as error:  # noqa: BLE001 — report, don't die
+                    conn.send((
+                        "swap_failed",
+                        f"{type(error).__name__}: {error}",
+                    ))
+            elif kind == "rollback":
+                for rung, model in stash.items():
+                    service.swap_model(rung, model)
+                stash.clear()
+                conn.send(("rolled_back", service.describe_rungs()))
+            elif kind == "stop":
+                return
+            else:  # pragma: no cover - protocol guard
+                raise RuntimeError(f"unknown message {kind!r}")
+    except (EOFError, KeyboardInterrupt):  # parent went away
+        return
+    except Exception:  # surface the traceback in the parent
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except OSError:
+            pass
+
+
+class _Inflight:
+    __slots__ = ("user", "submitted")
+
+    def __init__(self, user, submitted: float):
+        self.user = user
+        self.submitted = submitted
+
+
+class ServingCluster:
+    """N shard services behind a consistent-hash router.
+
+    Args:
+        service_factory: zero-argument callable building one
+            :class:`~repro.serve.RecommendService`; called *inside*
+            each forked shard, so models built before construction are
+            inherited copy-on-write (never pickled).
+        config: :class:`ClusterConfig` router policy.
+        registry: ``{class_name: class}`` map for checkpoint-path
+            rollouts (forwarded to ``reload_rung``).
+        clock: injectable wall clock (latency accounting).
+
+    Data plane: :meth:`submit` routes/sheds/queues one request,
+    :meth:`pump` drains ready replies, :meth:`drain` settles everything
+    outstanding.  Control plane: :meth:`stats`, :meth:`rollout`,
+    :meth:`kill_shard` (fault drill), :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        service_factory,
+        config: ClusterConfig | None = None,
+        registry: dict | None = None,
+        clock=time.monotonic,
+    ):
+        self.config = config or ClusterConfig()
+        self._clock = clock
+        self.pool = ForkedWorkerPool(role="shard worker")
+        for _ in range(self.config.num_shards):
+            self.pool.spawn(_shard_loop, service_factory, registry)
+        shard_ids = list(range(self.config.num_shards))
+        self.ring = ConsistentHashRing(
+            shard_ids, replicas=self.config.replicas
+        )
+        self._live: set[int] = set(shard_ids)
+        self._pending: dict[int, list] = {s: [] for s in shard_ids}
+        self._inflight: dict[int, dict] = {s: {} for s in shard_ids}
+        self._ewma: dict[int, float | None] = {s: None for s in shard_ids}
+        self._next_id = 0
+        self.submitted = 0
+        self.completed = 0
+        self.shed = 0
+        self.failed = 0
+        self.latency = LatencyTracker(capacity=65536)
+        self.records: list[tuple] = []
+        self.keep_records = True
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ServingCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Tear the shard pool down (signal-all, shared join deadline)."""
+        self.pool.stop()
+        self._live.clear()
+
+    @property
+    def live_shards(self) -> list[int]:
+        return sorted(self._live)
+
+    @property
+    def inflight(self) -> int:
+        return sum(len(entries) for entries in self._inflight.values()) + \
+            sum(len(entries) for entries in self._pending.values())
+
+    def accounted(self) -> bool:
+        """The cluster-level invariant: every submission is completed,
+        shed, failed, or still in flight."""
+        return self.submitted == (
+            self.completed + self.shed + self.failed + self.inflight
+        )
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+    def submit(self, user, history) -> str:
+        """Route one request; returns ``"queued"`` or ``"shed"``
+        (``"failed"`` when no shard is live).
+
+        Shedding happens *here*, at admission: a request that would
+        overflow the shard's queue, or whose predicted wait
+        (queue depth × EWMA service time) already exceeds the deadline
+        budget, is refused immediately instead of queued to die.
+        """
+        self.submitted += 1
+        shard = self.ring.lookup(user)
+        if shard is None:
+            self.failed += 1
+            self._record(None, user, "failed", None, None)
+            return "failed"
+        depth = len(self._pending[shard]) + len(self._inflight[shard])
+        config = self.config
+        if depth >= config.max_queue:
+            self.shed += 1
+            self._record(shard, user, "shed", None, None)
+            return "shed"
+        ewma = self._ewma[shard]
+        if (
+            config.deadline is not None
+            and ewma is not None
+            and (depth + 1) * ewma > config.shed_margin * config.deadline
+        ):
+            self.shed += 1
+            self._record(shard, user, "shed", None, None)
+            return "shed"
+        request_id = self._next_id
+        self._next_id += 1
+        self._pending[shard].append((request_id, user, history))
+        if len(self._pending[shard]) >= config.batch_size:
+            self._flush_shard(shard)
+        return "queued"
+
+    def flush(self) -> None:
+        """Send every queued request to its shard."""
+        for shard in list(self._live):
+            if self._pending[shard]:
+                self._flush_shard(shard)
+
+    def pump(self, timeout: float = 0.0) -> int:
+        """Drain ready shard replies; returns completions processed."""
+        before = self.completed + self.failed
+        for shard in self._wait_ready(timeout):
+            self._read_shard(shard)
+        return (self.completed + self.failed) - before
+
+    def drain(self, timeout: float = 30.0) -> None:
+        """Flush and settle every outstanding request.
+
+        A shard that stops answering within ``timeout`` is declared
+        dead (its in-flight requests become ``failed``) — the cluster
+        sheds rather than hangs.
+        """
+        self.flush()
+        deadline = self._clock() + timeout
+        while self.inflight and self._clock() < deadline:
+            self.flush()
+            if not self.pump(timeout=0.05):
+                # Nothing arrived: check for silently-dead shards.
+                for shard in list(self._live):
+                    if not self.pool.alive(shard):
+                        self._shard_died(shard)
+        if self.inflight:  # pragma: no cover - hung-shard escalation
+            for shard in list(self._live):
+                if self._inflight[shard] or self._pending[shard]:
+                    self.pool.kill(shard)
+                    self._shard_died(shard)
+
+    def _flush_shard(self, shard: int) -> None:
+        batch = self._pending[shard]
+        if not batch:
+            return
+        self._pending[shard] = []
+        now = self._clock()
+        entries = [(rid, history) for rid, _, history in batch]
+        for rid, user, _ in batch:
+            self._inflight[shard][rid] = _Inflight(user, now)
+        try:
+            self.pool.send(
+                shard, ("batch", entries, self.config.top_n)
+            )
+        except WorkerError:
+            self._shard_died(shard)
+
+    def _wait_ready(self, timeout: float) -> list[int]:
+        by_conn = {
+            self.pool.connections[shard]: shard
+            for shard in sorted(self._live)
+        }
+        if not by_conn:
+            return []
+        ready = _mpc.wait(list(by_conn), timeout=timeout)
+        return [by_conn[conn] for conn in ready]
+
+    def _read_shard(self, shard: int) -> None:
+        try:
+            message = self.pool.connections[shard].recv()
+        except (EOFError, OSError):
+            self._shard_died(shard)
+            return
+        self._dispatch(shard, message)
+
+    def _dispatch(self, shard: int, message) -> None:
+        kind = message[0]
+        if kind == "results":
+            self._absorb_results(shard, message[1])
+        elif kind == "error":
+            # The shard's loop itself broke: nothing more will come.
+            self.pool.kill(shard)
+            self._shard_died(shard)
+            raise WorkerError(
+                f"shard worker {shard} raised:\n{message[1]}"
+            )
+        else:  # pragma: no cover - protocol guard
+            raise WorkerError(
+                f"shard worker {shard} sent unexpected {kind!r}"
+            )
+
+    def _absorb_results(self, shard: int, replies) -> None:
+        now = self._clock()
+        config = self.config
+        for request_id, ok, payload in replies:
+            entry = self._inflight[shard].pop(request_id, None)
+            if entry is None:  # pragma: no cover - protocol guard
+                continue
+            self.completed += 1
+            round_trip = now - entry.submitted
+            self.latency.add(round_trip)
+            if ok:
+                # EWMA on the *service-side* latency (payload[2]):
+                # round-trip includes queueing, which would feed back
+                # into the shed predictor and over-shed.
+                service_time = payload[2]
+                previous = self._ewma[shard]
+                self._ewma[shard] = service_time if previous is None else (
+                    (1.0 - config.ewma_alpha) * previous
+                    + config.ewma_alpha * service_time
+                )
+                self._record(
+                    shard, entry.user, "ok", payload[1], round_trip
+                )
+            else:
+                self._record(
+                    shard, entry.user, f"error:{payload[0]}", None,
+                    round_trip,
+                )
+
+    def _shard_died(self, shard: int) -> None:
+        if shard not in self._live:
+            return
+        self._live.discard(shard)
+        self.ring.remove(shard)
+        # In-flight work died with the shard.
+        for request_id, entry in self._inflight[shard].items():
+            self.failed += 1
+            self._record(shard, entry.user, "failed", None, None)
+        self._inflight[shard].clear()
+        # Unsent work never left the router: reroute via the new ring.
+        orphans = self._pending[shard]
+        self._pending[shard] = []
+        for request_id, user, history in orphans:
+            self.submitted -= 1  # re-submission will recount it
+            self.submit(user, history)
+
+    def _record(self, shard, user, status, rung, latency) -> None:
+        if self.keep_records:
+            self.records.append((shard, user, status, rung, latency))
+
+    # ------------------------------------------------------------------
+    # Fault drill
+    # ------------------------------------------------------------------
+    def kill_shard(self, shard: int) -> None:
+        """SIGKILL one shard worker mid-run (drill hook).  Discovery is
+        left to the data path: the next read sees EOF, fails the
+        shard's in-flight requests, reroutes its queue, and shrinks the
+        ring — exactly what a real OOM kill would exercise."""
+        self.pool.kill(shard)
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+    def _control(self, shard: int, message, expected: tuple):
+        """Send a control message and wait for its reply, absorbing any
+        interleaved data-plane results (pipes are FIFO)."""
+        try:
+            self.pool.send(shard, message)
+        except WorkerError:
+            self._shard_died(shard)
+            raise ClusterError(
+                f"shard {shard} died before {message[0]!r}"
+            ) from None
+        deadline = self._clock() + self.config.worker_timeout
+        connection = self.pool.connections[shard]
+        while self._clock() < deadline:
+            if not connection.poll(0.05):
+                if not self.pool.alive(shard):
+                    self._shard_died(shard)
+                    raise ClusterError(
+                        f"shard {shard} died during {message[0]!r}"
+                    )
+                continue
+            try:
+                reply = connection.recv()
+            except (EOFError, OSError):
+                self._shard_died(shard)
+                raise ClusterError(
+                    f"shard {shard} died during {message[0]!r}"
+                ) from None
+            if reply[0] == "results":
+                self._absorb_results(shard, reply[1])
+                continue
+            if reply[0] in expected:
+                return reply
+            if reply[0] == "error":
+                self.pool.kill(shard)
+                self._shard_died(shard)
+                raise WorkerError(
+                    f"shard worker {shard} raised:\n{reply[1]}"
+                )
+            raise ClusterError(  # pragma: no cover - protocol guard
+                f"shard {shard} sent {reply[0]!r}, expected {expected}"
+            )
+        raise ClusterError(
+            f"shard {shard} sent no {expected} reply within "
+            f"{self.config.worker_timeout:.0f}s"
+        )
+
+    def describe(self) -> dict[int, dict]:
+        """Per-shard, per-rung model identity (class name + version)."""
+        return {
+            shard: self._control(shard, ("describe",), ("described",))[1]
+            for shard in sorted(self._live)
+        }
+
+    def stats(self) -> dict:
+        """Cluster-wide snapshot: router accounting plus the merged
+        shard ``ServiceStats`` (which must satisfy the same
+        ``accounted()`` invariant as a single process)."""
+        merged = ServiceStats([])
+        per_shard = {}
+        for shard in sorted(self._live):
+            reply = self._control(shard, ("stats",), ("stats",))
+            merged.merge(reply[1])
+            per_shard[shard] = reply[2]
+        return {
+            "cluster": {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "shed": self.shed,
+                "failed": self.failed,
+                "inflight": self.inflight,
+                "accounted": self.accounted(),
+                "live_shards": self.live_shards,
+                "latency": self.latency.summary(),
+            },
+            "service": merged.snapshot(),
+            "per_shard": per_shard,
+        }
+
+    def merged_service_stats(self) -> ServiceStats:
+        """The raw merged :class:`ServiceStats` across live shards."""
+        merged = ServiceStats([])
+        for shard in sorted(self._live):
+            merged.merge(self._control(shard, ("stats",), ("stats",))[1])
+        return merged
+
+    # ------------------------------------------------------------------
+    # Canary rollout
+    # ------------------------------------------------------------------
+    def rollout(
+        self,
+        rung: str,
+        model_or_path,
+        probe_histories,
+        probes_per_shard: int = 8,
+    ) -> RolloutReport:
+        """Rolling canary hot-swap of ``rung`` across all live shards.
+
+        One shard at a time: swap (object or checkpoint path — the
+        engine's ``set_model`` version bump invalidates that shard's
+        score cache), then replay ``probes_per_shard`` probe requests
+        directly at the shard.  The shard is healthy only if **every**
+        probe is served *by the swapped rung* (no degraded fallbacks)
+        and the rung's breaker records **zero new trips**.  Any
+        unhealthy shard aborts the rollout and rolls every
+        already-swapped shard back to its pre-canary model, in reverse
+        order.  Probe traffic is accounted shard-side like any other
+        traffic but does not touch the router's counters.
+        """
+        probe_histories = list(probe_histories)
+        if not probe_histories:
+            raise ValueError("rollout needs at least one probe history")
+        report = RolloutReport(ok=True, rung=rung)
+        for shard in sorted(self._live):
+            reply = self._control(
+                shard, ("swap", rung, model_or_path),
+                ("swapped", "swap_failed"),
+            )
+            if reply[0] == "swap_failed":
+                report.ok = False
+                report.failed_shard = shard
+                report.reason = f"swap failed: {reply[1]}"
+                break
+            report.swapped.append(shard)
+            healthy, reason = self._probe_shard(
+                shard, rung, probe_histories, probes_per_shard
+            )
+            if not healthy:
+                report.ok = False
+                report.failed_shard = shard
+                report.reason = reason
+                break
+        if not report.ok and report.swapped:
+            for shard in reversed(report.swapped):
+                if shard in self._live:
+                    self._control(shard, ("rollback",), ("rolled_back",))
+            report.rolled_back = True
+        return report
+
+    def _probe_shard(
+        self, shard: int, rung: str, probe_histories, probes: int
+    ) -> tuple[bool, str | None]:
+        before = self._control(shard, ("stats",), ("stats",))[2]
+        trips_before = self._breaker_trips(before, rung)
+        entries = [
+            (index, probe_histories[index % len(probe_histories)])
+            for index in range(probes)
+        ]
+        reply = self._control(
+            shard, ("probe", entries, self.config.top_n), ("probed",)
+        )
+        for _, ok, payload in reply[1]:
+            if not ok:
+                return False, (
+                    f"probe failed on shard {shard}: "
+                    f"{payload[0]}: {payload[1]}"
+                )
+            if payload[1] != rung:
+                return False, (
+                    f"probe degraded past the canary on shard {shard}: "
+                    f"served by {payload[1]!r}, expected {rung!r}"
+                )
+        after = self._control(shard, ("stats",), ("stats",))[2]
+        trips_after = self._breaker_trips(after, rung)
+        if trips_after > trips_before:
+            return False, (
+                f"breaker tripped on shard {shard} during probes "
+                f"({trips_after - trips_before} new trips)"
+            )
+        return True, None
+
+    @staticmethod
+    def _breaker_trips(snapshot: dict, rung: str) -> int:
+        breaker = snapshot.get("rungs", {}).get(rung, {}).get("breaker")
+        return int(breaker.get("times_opened", 0)) if breaker else 0
+
+    # ------------------------------------------------------------------
+    # Open-loop load harness
+    # ------------------------------------------------------------------
+    def run_load(
+        self,
+        traffic,
+        pace: bool = False,
+        sleep=time.sleep,
+        drain_timeout: float = 30.0,
+    ) -> dict:
+        """Replay an arrival schedule open-loop and report the run.
+
+        ``traffic`` yields ``(user_id, history, arrival_time)`` with
+        arrival times in seconds from the start of the run (e.g.
+        :func:`repro.data.synthetic.zipf_traffic`).  Open loop means
+        arrivals are *not* gated on completions: each is submitted at
+        its scheduled time (when ``pace`` is true; as fast as possible
+        otherwise), the router sheds what the fleet cannot absorb, and
+        replies are drained opportunistically between submissions.
+
+        Returns a report with sustained throughput (completions /
+        wall-clock), the round-trip latency summary (p50/p95/p99), shed
+        and failure counts, and both accounting invariants.
+        """
+        started = self._clock()
+        offered = 0
+        for user, history, arrival in traffic:
+            if pace:
+                lag = arrival - (self._clock() - started)
+                if lag > 0:
+                    sleep(lag)
+            self.submit(user, history)
+            offered += 1
+            self.pump(timeout=0.0)
+        self.drain(timeout=drain_timeout)
+        wall = max(self._clock() - started, 1e-9)
+        merged = self.merged_service_stats()
+        return {
+            "offered": offered,
+            "wall_seconds": round(wall, 4),
+            "sustained_rps": round(self.completed / wall, 2),
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "shed": self.shed,
+            "failed": self.failed,
+            "latency": self.latency.summary(),
+            "cluster_accounted": self.accounted(),
+            "service_accounted": merged.accounted(),
+            "live_shards": self.live_shards,
+        }

@@ -25,6 +25,7 @@ from ..nn.serialization import CheckpointError
 __all__ = [
     "AllRungsFailed",
     "CheckpointError",
+    "ClusterError",
     "DeadlineExceeded",
     "InvalidRequest",
     "ServeError",
@@ -58,3 +59,8 @@ class AllRungsFailed(ServeError):
 
 class TransientError(ServeError):
     """A failure expected to clear on its own; safe to retry in place."""
+
+
+class ClusterError(ServeError):
+    """A cluster control-plane operation failed (no live shards, a
+    control message timed out, or a rollout could not be applied)."""

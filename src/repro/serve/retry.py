@@ -74,9 +74,17 @@ class RetryPolicy:
         fixed = delay * (1.0 - self.jitter)
         return fixed + float(self._rng.uniform(0.0, delay * self.jitter))
 
-    def pause(self, retry_index: int) -> None:
-        """Sleep the jittered backoff before retry ``retry_index``."""
-        self._sleep(self.backoff(retry_index))
+    def pause(self, retry_index: int, limit: float | None = None) -> None:
+        """Sleep the jittered backoff before retry ``retry_index``.
+
+        ``limit`` caps the sleep (e.g. at a deadline's remaining
+        budget) so a backoff can never overshoot the time the caller
+        actually has left.
+        """
+        delay = self.backoff(retry_index)
+        if limit is not None:
+            delay = min(delay, limit)
+        self._sleep(delay)
 
     def run(self, fn, retry_on: tuple[type, ...] = (Exception,)):
         """Call ``fn()`` up to ``max_attempts`` times.

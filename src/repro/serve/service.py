@@ -23,7 +23,11 @@ error, never a silent garbage ranking:
    the budget is counted as a ``timeout`` failure on that rung and
    traffic degrades to the next rung (a late-but-valid degraded answer
    beats no answer; the breaker is what protects latency over time by
-   skipping a persistently slow rung).  :class:`DeadlineExceeded` is
+   skipping a persistently slow rung).  The budget is **cumulative**
+   across the whole request: every call is charged against what earlier
+   rungs, retries, and backoffs left over, each retry backoff is capped
+   at the remaining budget, and a retry is skipped outright when the
+   remainder cannot cover ``base_delay``.  :class:`DeadlineExceeded` is
    raised only when *no* rung could answer and the budget was spent.
 5. **Accounting** — :meth:`RecommendService.stats` snapshots per-rung
    attempts/failures/latencies and breaker states; every request lands
@@ -309,6 +313,12 @@ class RecommendService:
         for attempt in range(self.retry.max_attempts):
             rstats.attempts += 1
             called_at = self._clock()
+            # The budget is cumulative across the whole request: each
+            # call only gets what earlier rungs, retries, and backoffs
+            # left over — never a fresh full budget.
+            remaining = (
+                None if budget is None else budget - (called_at - start)
+            )
             try:
                 scores = rung.model.score_batch([history])
             except Exception as error:  # noqa: BLE001 — rung isolation
@@ -318,23 +328,22 @@ class RecommendService:
                 if (
                     isinstance(error, TransientError)
                     and attempt < self.retry.max_attempts - 1
-                    and (
-                        budget is None
-                        or self._clock() - start < budget
-                    )
+                    and self._pause_within_budget(attempt, start, budget)
                 ):
-                    self.retry.pause(attempt)
                     continue
                 return None
             elapsed = self._clock() - called_at
-            if budget is not None and elapsed > budget:
-                # The call returned, but took longer than the budget: a
-                # caller with a real deadline has given up on it, so it
-                # counts as a failure and a cheaper rung gets a shot.
+            if budget is not None and elapsed > max(remaining, 0.0):
+                # The call returned, but outran what was left of the
+                # budget: a caller with a real deadline has given up on
+                # it, so it counts as a failure and a cheaper rung gets
+                # a shot.
                 rung.breaker.record_failure()
                 rstats.failures["timeout"] += 1
                 causes[rung.name] = (
-                    f"timeout ({elapsed:.3f}s > {budget}s budget)"
+                    f"timeout ({elapsed:.3f}s call with "
+                    f"{max(remaining, 0.0):.3f}s of the {budget}s "
+                    f"budget left)"
                 )
                 return None
             try:
@@ -349,6 +358,24 @@ class RecommendService:
             rstats.latency.add(elapsed)
             return ranked
         return None
+
+    def _pause_within_budget(self, attempt, start, budget) -> bool:
+        """Back off before a retry iff the remaining budget allows it.
+
+        Returns ``False`` (skip the retry entirely) when the budget is
+        spent or the remainder cannot even cover ``base_delay`` — a
+        retry that would start after the deadline helps nobody.  The
+        pause itself is capped at the remaining budget so a jittered
+        backoff can never sleep the request past its deadline.
+        """
+        if budget is None:
+            self.retry.pause(attempt)
+            return True
+        remaining = budget - (self._clock() - start)
+        if remaining <= 0.0 or remaining < self.retry.base_delay:
+            return False
+        self.retry.pause(attempt, limit=remaining)
+        return True
 
     # ------------------------------------------------------------------
     # Validation and ranking
@@ -460,6 +487,31 @@ class RecommendService:
             rung.model = model
         rung.breaker.reset()
 
+    def current_model(self, name: str):
+        """The model currently serving rung ``name`` (unwrapping the
+        engine when the rung routes through one) — what a canary
+        rollback must restore."""
+        rung = self._rung(name)
+        engine = rung.engine
+        return engine.model if engine is not None else rung.model
+
+    def describe_rungs(self) -> dict:
+        """Per-rung model identity: class name plus the engine's model
+        version (``None`` for direct model calls).  The cluster's canary
+        rollout uses this to assert which model generation each shard is
+        actually serving."""
+        description = {}
+        for rung in self._rungs:
+            engine = rung.engine
+            model = engine.model if engine is not None else rung.model
+            description[rung.name] = {
+                "model": type(model).__name__,
+                "version": (
+                    engine.model_version if engine is not None else None
+                ),
+            }
+        return description
+
     def breaker(self, name: str) -> CircuitBreaker:
         """The breaker guarding rung ``name`` (for tests/ops)."""
         return self._rung(name).breaker
@@ -472,6 +524,12 @@ class RecommendService:
             f"no rung named {name!r}; have "
             f"{[rung.name for rung in self._rungs]}"
         )
+
+    def raw_stats(self) -> ServiceStats:
+        """The live :class:`ServiceStats` object (picklable), so shard
+        processes can ship it over a pipe for cross-process
+        :meth:`ServiceStats.merge` aggregation."""
+        return self._stats
 
     def stats(self) -> dict:
         """JSON-friendly snapshot of all counters and breaker states

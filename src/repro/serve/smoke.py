@@ -40,7 +40,7 @@ from .loading import safe_load_model
 from .retry import RetryPolicy
 from .service import Recommendation, RecommendService, ServiceConfig
 
-__all__ = ["SmokeFailure", "run_smoke"]
+__all__ = ["SmokeFailure", "run_cluster_smoke", "run_smoke"]
 
 
 class SmokeFailure(AssertionError):
@@ -344,4 +344,215 @@ def run_smoke(
         # The one-line verdict is printed even in quiet mode.
         print(f"serve-smoke OK: {requests}/{requests} valid rankings, "
               f"{stats['fallbacks']} served from fallback rungs")
+    return 0
+
+
+class _FlakyCanary:
+    """A canary that fails its first call, then serves correctly.
+
+    One :class:`~repro.serve.errors.TransientError` per shard replica is
+    exactly enough to trip a hair-trigger breaker during rollout probes
+    — while the in-place retry still serves every probe from the canary
+    rung itself, so the breaker trip (not a degraded probe) is what the
+    rollout health check must catch.
+    """
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.name = f"flaky-canary({getattr(inner, 'name', type(inner).__name__)})"
+        self._failures_left = 1
+
+    def score(self, history: np.ndarray) -> np.ndarray:
+        return self.score_batch([history])[0]
+
+    def score_batch(self, histories) -> np.ndarray:
+        from .errors import TransientError
+
+        if self._failures_left > 0:
+            self._failures_left -= 1
+            raise TransientError("injected canary fault")
+        return self.inner.score_batch(histories)
+
+
+def run_cluster_smoke(
+    requests: int = 300,
+    num_shards: int = 3,
+    seed: int = 0,
+    rate: float = 500.0,
+    verbose: bool = True,
+) -> int:
+    """Three drills against a live sharded cluster; returns 0 on success.
+
+    1. **Load** — replay seeded Zipf traffic (1M-user population) open
+       loop through ``num_shards`` forked shard services; every arrival
+       must land in exactly one outcome bucket, cluster-side and in the
+       merged shard :class:`~repro.serve.ServiceStats`.
+    2. **Kill drill** — SIGKILL one shard while its queue is full.  The
+       drain must return (shed/failed, never hung), accounting must stay
+       exact, and rerouted traffic for the dead shard's users must be
+       served by the survivors.
+    3. **Canary rollback** — roll out a canary that trips the primary
+       breaker during probes; the rollout must abort, roll every swapped
+       shard back, and ``describe()`` must show the prior model
+       restored on every shard.
+
+    Args:
+        requests: arrivals for the load phase (the kill drill replays
+            half as many more).
+        num_shards: shard worker processes.
+        seed: seeds traffic, models, and the injected canary fault.
+        rate: offered load of the generated schedule, req/s.
+        verbose: print per-phase progress.
+    """
+    from types import SimpleNamespace
+
+    from ..core import VSAN
+    from ..data.synthetic import (
+        ZipfCatalogConfig,
+        ZipfTrafficConfig,
+        zipf_histories,
+        zipf_traffic,
+    )
+    from ..models import POP
+    from .breaker import CircuitBreaker
+    from .cluster import ClusterConfig, ServingCluster
+
+    log = print if verbose else (lambda *args, **kwargs: None)
+
+    traffic_config = ZipfTrafficConfig(
+        num_users=1_000_000, num_items=200, num_requests=requests,
+        rate=rate, max_length=18,
+    )
+    num_items = traffic_config.num_items
+
+    # Models are built in the parent and inherited by each forked shard
+    # (copy-on-write, never pickled).  An untrained VSAN scores finite,
+    # valid rankings — the drills exercise the serving machinery, not
+    # ranking quality.
+    primary = VSAN(num_items=num_items, max_length=20, dim=16,
+                   h1=1, h2=1, k=1, seed=seed)
+    pop = POP(num_items).fit(SimpleNamespace(
+        num_items=num_items,
+        sequences=zipf_histories(
+            ZipfCatalogConfig(num_users=32, num_items=num_items), seed
+        ),
+    ))
+
+    def factory():
+        return RecommendService(
+            [("VSAN", primary), ("POP", pop)],
+            num_items=num_items,
+            config=ServiceConfig(top_n=10, deadline=2.0),
+            retry=RetryPolicy(max_attempts=3, base_delay=0.001,
+                              max_delay=0.002, seed=seed),
+            breaker_factory=lambda: CircuitBreaker(
+                # Hair trigger: a single failure trips.  Healthy-phase
+                # traffic never fails, so only the canary drill arms it.
+                failure_threshold=0.5, window=6, min_calls=1,
+                cooldown=30.0,
+            ),
+        )
+
+    with ServingCluster(
+        factory,
+        config=ClusterConfig(num_shards=num_shards, batch_size=8,
+                             max_queue=64, deadline=2.0,
+                             worker_timeout=20.0),
+    ) as cluster:
+        log(f"cluster: {num_shards} shards, "
+            f"{traffic_config.num_users:,} simulated users")
+
+        # -- Phase 1: open-loop Zipf load ------------------------------
+        log(f"phase 1: {requests} Zipf arrivals at {rate:.0f} req/s "
+            f"(open loop)")
+        report = cluster.run_load(
+            zipf_traffic(traffic_config, seed), drain_timeout=20.0
+        )
+        _require(report["cluster_accounted"],
+                 f"cluster accounting drifted under load: {report}")
+        _require(report["service_accounted"],
+                 "merged shard stats violate accounted() under load")
+        _require(report["completed"] > 0, "load phase completed nothing")
+        log(f"  sustained {report['sustained_rps']:.0f} req/s, "
+            f"p99 {report['latency'].get('p99_ms', 0.0):.1f} ms, "
+            f"{report['shed']} shed, {report['failed']} failed")
+
+        # -- Phase 2: kill one shard mid-run ---------------------------
+        victim = cluster.live_shards[0]
+        log(f"phase 2: kill drill — SIGKILL shard {victim} with "
+            f"traffic queued")
+        drill = list(zipf_traffic(
+            ZipfTrafficConfig(
+                num_users=traffic_config.num_users, num_items=num_items,
+                num_requests=max(requests // 2, 50), rate=rate,
+                max_length=18,
+            ),
+            seed + 1,
+        ))
+        for user, history, _ in drill[: len(drill) // 2]:
+            cluster.submit(user, history)
+        cluster.kill_shard(victim)
+        for user, history, _ in drill[len(drill) // 2:]:
+            cluster.submit(user, history)
+        drill_started = time.monotonic()
+        cluster.drain(timeout=15.0)
+        drill_elapsed = time.monotonic() - drill_started
+        _require(drill_elapsed < 15.0,
+                 f"drain hung for {drill_elapsed:.1f}s after the kill")
+        _require(victim not in cluster.live_shards,
+                 f"dead shard {victim} still marked live")
+        _require(len(cluster.live_shards) == num_shards - 1,
+                 f"expected {num_shards - 1} survivors, have "
+                 f"{cluster.live_shards}")
+        _require(cluster.accounted(),
+                 "cluster accounting drifted across the shard kill")
+        stats = cluster.stats()
+        _require(stats["service"]["accounted"],
+                 "merged shard stats violate accounted() after the kill")
+        log(f"  shard {victim} gone in {drill_elapsed:.2f}s: "
+            f"{cluster.failed} failed with it, queue rerouted, "
+            f"{cluster.completed} served total, accounting exact")
+
+        # -- Phase 3: canary rollout with injected breaker trip --------
+        log("phase 3: canary rollback drill — canary trips the primary "
+            "breaker during probes")
+        before = cluster.describe()
+        canary = _FlakyCanary(
+            VSAN(num_items=num_items, max_length=20, dim=16,
+                 h1=1, h2=1, k=1, seed=seed + 7)
+        )
+        probes = [history for _, history, _ in drill[:4]]
+        # One probe per shard: the canary serves it (retry in place)
+        # while the hair-trigger breaker records the trip; a second
+        # probe would short-circuit to the fallback and mask the trip
+        # behind a degraded-probe verdict.
+        rollout = cluster.rollout("VSAN", canary, probes,
+                                  probes_per_shard=1)
+        _require(not rollout.ok, "flaky canary rollout reported ok")
+        _require(rollout.rolled_back,
+                 "failed rollout did not roll swapped shards back")
+        _require("breaker tripped" in (rollout.reason or ""),
+                 f"rollback happened for the wrong reason: "
+                 f"{rollout.reason}")
+        after = cluster.describe()
+        _require(after == before,
+                 f"rollback did not restore the prior models: "
+                 f"{before} -> {after}")
+        log(f"  rollout aborted on shard {rollout.failed_shard} "
+            f"({rollout.reason}); all shards restored to "
+            f"{before[cluster.live_shards[0]]['VSAN']['model']}")
+
+        final = cluster.stats()
+        _require(final["cluster"]["accounted"],
+                 "final cluster accounting drifted")
+        _require(final["service"]["accounted"],
+                 "final merged shard stats violate accounted()")
+        log(json.dumps(final["cluster"], indent=2, sort_keys=True))
+        # The one-line verdict is printed even in quiet mode.
+        print(
+            f"serve-smoke cluster OK: {cluster.completed}/"
+            f"{cluster.submitted} served, {cluster.shed} shed, "
+            f"{cluster.failed} failed with the killed shard, canary "
+            f"rolled back on breaker trip"
+        )
     return 0

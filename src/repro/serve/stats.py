@@ -29,6 +29,21 @@ class LatencyTracker:
     def __len__(self) -> int:
         return len(self._samples)
 
+    def merge(self, other: "LatencyTracker") -> None:
+        """Pool another tracker's reservoir into this one.
+
+        The capacity grows to hold both windows, so merging N shard
+        trackers keeps every shard's retained samples — percentiles over
+        the merged reservoir weight each shard by how much traffic it
+        actually kept, same as a single-process tracker would have.
+        """
+        combined = list(self._samples) + list(other._samples)
+        capacity = max(
+            self._samples.maxlen or 0, other._samples.maxlen or 0,
+            len(combined),
+        )
+        self._samples = deque(combined, maxlen=capacity)
+
     def summary(self) -> dict:
         """count/mean/p50/p95/p99/max over the retained window, in ms."""
         if not self._samples:
@@ -59,6 +74,15 @@ class RungStats:
         self.failures: Counter[str] = Counter()
         self.short_circuited = 0
         self.latency = LatencyTracker()
+
+    def merge(self, other: "RungStats") -> None:
+        """Fold another process's counters for the same rung into this
+        one (sums counters, pools the latency reservoir)."""
+        self.attempts += other.attempts
+        self.successes += other.successes
+        self.failures.update(other.failures)
+        self.short_circuited += other.short_circuited
+        self.latency.merge(other.latency)
 
     def snapshot(self) -> dict:
         return {
@@ -94,6 +118,26 @@ class ServiceStats:
             + self.exhausted
             + self.deadline_exceeded
         )
+
+    def merge(self, other: "ServiceStats") -> None:
+        """Aggregate another process's stats into this one.
+
+        Counters sum, per-rung stats merge rung-by-rung (rungs the
+        other side has and this side doesn't are adopted), and latency
+        reservoirs pool — so a cluster's merged snapshot satisfies the
+        same :meth:`accounted` invariant as a single-process run.
+        """
+        self.requests += other.requests
+        self.rejected += other.rejected
+        self.exhausted += other.exhausted
+        self.deadline_exceeded += other.deadline_exceeded
+        self.served.update(other.served)
+        self.fallbacks += other.fallbacks
+        for name, rstats in other.rungs.items():
+            if name in self.rungs:
+                self.rungs[name].merge(rstats)
+            else:
+                self.rungs[name] = rstats
 
     def snapshot(
         self,

@@ -47,15 +47,19 @@ class TrainerConfig:
     O(L²), so long-tail corpora train several times faster trimmed —
     see :func:`repro.data.batching.trim_batch`."""
 
-    bucket_by_length: bool = False
+    bucket_by_length: bool = True
     """Build minibatches from power-of-two length buckets
     (:func:`repro.data.batching.bucketed_minibatch_indices`) instead of
     a uniform shuffle.  Batches then mix only rows within a 2× length
     band, which is what makes ``trim_batches`` bite when a corpus has a
     long tail (one long row no longer forces a whole batch wide).
-    Changes batch composition — same model quality in expectation, but
-    not step-for-step comparable with the uniform shuffle, hence off by
-    default."""
+    On by default — it is the right call on every long-tail corpus the
+    paper uses; disable it (``bucket_by_length=False``, or
+    ``--no-bucket-by-length`` on the CLI) when a run must stay
+    step-for-step comparable with the historical uniform shuffle
+    (same model quality in expectation, different batch composition).
+    Checkpoints carry no batching state, so either setting resumes the
+    other's checkpoints."""
 
     bucket_epochs: int | None = None
     """Scheduled bucket mixing: with ``bucket_by_length``, only epochs

@@ -41,12 +41,14 @@ Failure handling: a worker that dies (OOM-kill, segfault, deliberate
 :attr:`ParallelTrainer.fault_exit_at` injection) or hangs longer than
 ``TrainerConfig.worker_timeout`` surfaces as a :class:`WorkerError` in
 the parent — never a hang — and the remaining workers are torn down.
+The fork/pipe/teardown machinery itself lives in
+:class:`repro.pool.ForkedWorkerPool`, shared with the serving cluster
+(:mod:`repro.serve.cluster`).
 """
 
 from __future__ import annotations
 
 import ctypes
-import multiprocessing
 import os
 import traceback
 from multiprocessing.sharedctypes import RawArray
@@ -54,6 +56,7 @@ from multiprocessing.sharedctypes import RawArray
 import numpy as np
 
 from ..optim import clip_grad_norm
+from ..pool import ForkedWorkerPool, WorkerError
 from .trainer import Trainer, _EpochTotals
 
 __all__ = ["ParallelTrainer", "WorkerError", "supervision_weight_sum"]
@@ -62,10 +65,6 @@ _CTYPES = {
     np.dtype(np.float32): ctypes.c_float,
     np.dtype(np.float64): ctypes.c_double,
 }
-
-
-class WorkerError(RuntimeError):
-    """A gradient worker died, hung, or raised during a training step."""
 
 
 def supervision_weight_sum(
@@ -256,21 +255,14 @@ class ParallelTrainer(Trainer):
     def __init__(self, config=None):
         super().__init__(config)
         self.fault_exit_at: tuple[int, int] | None = None
-        self._processes: list = []
-        self._connections: list = []
+        self._pool: ForkedWorkerPool | None = None
 
     # ------------------------------------------------------------------
     # Worker lifecycle (Trainer hooks)
     # ------------------------------------------------------------------
     def _start_workers(self, model, optimizer, padded: np.ndarray) -> None:
         config = self.config
-        try:
-            context = multiprocessing.get_context("fork")
-        except ValueError as error:  # pragma: no cover - non-POSIX only
-            raise WorkerError(
-                "ParallelTrainer needs the 'fork' start method "
-                "(Linux/macOS); use num_workers=1 here"
-            ) from error
+        pool = ForkedWorkerPool(role="gradient worker")
         parameters = model.parameters()
         dtype = parameters[0].data.dtype
         if dtype not in _CTYPES:  # pragma: no cover - float32/64 only
@@ -284,114 +276,65 @@ class ParallelTrainer(Trainer):
         self._broadcast = np.frombuffer(broadcast_raw, dtype=dtype)
         self._broadcast_views = _param_views(self._broadcast, parameters)
         self._grad_views = []
-        self._processes = []
-        self._connections = []
+        self._pool = pool
         for worker in range(config.num_workers):
             grad_raw = RawArray(ctypes.c_double, total)
             self._grad_views.append(
                 np.frombuffer(grad_raw, dtype=np.float64)
             )
-            parent_conn, child_conn = context.Pipe()
             fault_after = None
             if self.fault_exit_at is not None:
                 fault_worker, fault_step = self.fault_exit_at
                 if fault_worker == worker:
                     fault_after = fault_step
-            process = context.Process(
-                target=_worker_loop,
-                args=(
-                    worker,
-                    child_conn,
-                    grad_raw,
-                    broadcast_raw,
-                    dtype,
-                    model,
-                    optimizer,
-                    padded,
-                    self._lengths,
-                    config.seed,
-                    self._trim_enabled,
-                    self._trim_margin,
-                    fault_after,
-                ),
-                daemon=True,
+            pool.spawn(
+                _worker_loop,
+                grad_raw,
+                broadcast_raw,
+                dtype,
+                model,
+                optimizer,
+                padded,
+                self._lengths,
+                config.seed,
+                self._trim_enabled,
+                self._trim_margin,
+                fault_after,
             )
-            process.start()
-            child_conn.close()
-            self._processes.append(process)
-            self._connections.append(parent_conn)
 
     def _stop_workers(self) -> None:
-        for connection in self._connections:
-            try:
-                connection.send(("stop",))
-            except (BrokenPipeError, OSError):
-                pass
-        for connection, process in zip(
-            self._connections, self._processes
-        ):
-            process.join(timeout=5.0)
-            if process.is_alive():  # pragma: no cover - defensive
-                process.terminate()
-                process.join(timeout=5.0)
-            connection.close()
-        self._processes = []
-        self._connections = []
+        # Delegated to the pool: signal every worker first, then join
+        # them all against one shared deadline (terminate/kill
+        # escalation for stragglers) — and stay idempotent, so the
+        # trainer's ``finally`` can always reap the pool after a raise
+        # mid-epoch without leaking processes.
+        if self._pool is not None:
+            self._pool.stop()
+            self._pool = None
         # The master's gradients alias the shared broadcast buffer;
         # detach them so nothing dangles past the run.
         for param in getattr(self, "_master_parameters", []):
             param.grad = None
 
     def _begin_epoch(self, epoch: int) -> None:
-        for worker in range(len(self._connections)):
+        for worker in range(len(self._pool)):
             self._send(worker, ("seed", epoch))
 
     def _sync_master(self, model) -> None:
-        if not self._connections:
+        if self._pool is None or len(self._pool) == 0:
             return
         self._send(0, ("state",))
         model.load_extra_state(self._receive(0, "state")[1])
 
     # ------------------------------------------------------------------
-    # Pipe helpers with liveness/timeout guards
+    # Pipe helpers (pool-backed liveness/timeout guards)
     # ------------------------------------------------------------------
     def _send(self, worker: int, message) -> None:
-        try:
-            self._connections[worker].send(message)
-        except (BrokenPipeError, OSError) as error:
-            raise self._worker_death(worker) from error
+        self._pool.send(worker, message)
 
     def _receive(self, worker: int, expected: str):
-        connection = self._connections[worker]
-        if not connection.poll(self.config.worker_timeout):
-            raise WorkerError(
-                f"gradient worker {worker} sent nothing for "
-                f"{self.config.worker_timeout:.0f}s (hung or livelocked); "
-                "aborting the run instead of waiting forever"
-            )
-        try:
-            message = connection.recv()
-        except (EOFError, OSError) as error:
-            raise self._worker_death(worker) from error
-        if message[0] == "error":
-            raise WorkerError(
-                f"gradient worker {worker} raised during training:\n"
-                f"{message[1]}"
-            )
-        if message[0] != expected:  # pragma: no cover - protocol guard
-            raise WorkerError(
-                f"gradient worker {worker} sent {message[0]!r}, "
-                f"expected {expected!r}"
-            )
-        return message
-
-    def _worker_death(self, worker: int) -> WorkerError:
-        process = self._processes[worker]
-        process.join(timeout=1.0)
-        return WorkerError(
-            f"gradient worker {worker} died mid-training "
-            f"(exit code {process.exitcode}); the training step cannot "
-            "be completed — restart from the latest checkpoint"
+        return self._pool.receive(
+            worker, expected, self.config.worker_timeout
         )
 
     # ------------------------------------------------------------------

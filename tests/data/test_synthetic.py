@@ -238,3 +238,89 @@ class TestZipfCatalog:
             ZipfCatalogConfig(min_length=10, mean_length=5.0)
         with pytest.raises(ValueError):
             ZipfCatalogConfig(zipf_exponent=0.0)
+
+
+class TestZipfTraffic:
+    def test_deterministic_and_user_sticky_histories(self):
+        from repro.data import ZipfTrafficConfig, zipf_traffic
+
+        config = ZipfTrafficConfig(
+            num_users=1_000_000, num_items=500, num_requests=300,
+            rate=100.0,
+        )
+        first = list(zipf_traffic(config, seed=7))
+        second = list(zipf_traffic(config, seed=7))
+        assert len(first) == 300
+        for (u1, h1, t1), (u2, h2, t2) in zip(first, second):
+            assert u1 == u2 and t1 == t2
+            np.testing.assert_array_equal(h1, h2)
+        # A user's history is a function of the user id alone: every
+        # repeat appearance replays the identical history.
+        by_user = {}
+        for user, history, _ in first:
+            seen = by_user.setdefault(user, history)
+            np.testing.assert_array_equal(seen, history)
+
+    def test_histories_valid_and_arrivals_increase(self):
+        from repro.data import ZipfTrafficConfig, zipf_traffic
+
+        config = ZipfTrafficConfig(
+            num_users=10_000, num_items=200, num_requests=500,
+            rate=250.0, min_length=2, mean_length=6.0, max_length=12,
+        )
+        previous = 0.0
+        for user, history, arrival in zipf_traffic(config, seed=3):
+            assert 0 <= user < 10_000
+            assert history.dtype == np.int64
+            assert 2 <= len(history) <= 12
+            assert history.min() >= 1 and history.max() <= 200
+            assert arrival > previous
+            previous = arrival
+        # ~500 requests at 250 req/s land near 2 simulated seconds.
+        assert 1.0 < previous < 4.0
+
+    def test_head_users_dominate(self):
+        from repro.data import ZipfTrafficConfig, zipf_traffic
+
+        config = ZipfTrafficConfig(
+            num_users=1_000_000, num_items=100, num_requests=2_000,
+            rate=1000.0, user_zipf_exponent=1.1,
+        )
+        counts = {}
+        for user, _, _ in zipf_traffic(config, seed=0):
+            counts[user] = counts.get(user, 0) + 1
+        top = sorted(counts.values(), reverse=True)
+        # Zipf head: a handful of hot users account for a large share
+        # of traffic while most of the million users never appear.
+        assert sum(top[:20]) / 2_000 > 0.25
+        assert len(counts) < 2_000
+
+    def test_cost_is_per_request_not_per_user(self):
+        """A 1M-user population must not cost O(num_users x items)."""
+        import time
+
+        from repro.data import ZipfTrafficConfig, zipf_traffic
+
+        config = ZipfTrafficConfig(
+            num_users=1_000_000, num_items=100_000, num_requests=200,
+            rate=100.0,
+        )
+        start = time.perf_counter()
+        traffic = list(zipf_traffic(config, seed=1))
+        elapsed = time.perf_counter() - start
+        assert len(traffic) == 200
+        assert elapsed < 5.0
+
+    def test_config_validation(self):
+        from repro.data import ZipfTrafficConfig
+
+        with pytest.raises(ValueError):
+            ZipfTrafficConfig(num_users=0)
+        with pytest.raises(ValueError):
+            ZipfTrafficConfig(rate=0.0)
+        with pytest.raises(ValueError):
+            ZipfTrafficConfig(num_requests=0)
+        with pytest.raises(ValueError):
+            ZipfTrafficConfig(user_zipf_exponent=0.0)
+        with pytest.raises(ValueError):
+            ZipfTrafficConfig(min_length=10, mean_length=4.0)

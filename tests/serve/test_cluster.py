@@ -1,0 +1,330 @@
+"""ServingCluster: consistent-hash routing, shard round trips, merged
+accounting, admission-control shedding, the kill-one-shard drill, and
+canary rollout/rollback."""
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    CircuitBreaker,
+    ClusterConfig,
+    ConsistentHashRing,
+    RecommendService,
+    RetryPolicy,
+    ServiceConfig,
+    ServingCluster,
+    TransientError,
+)
+
+from .conftest import NUM_ITEMS, FailingModel, StubModel
+
+
+class CanaryModel(StubModel):
+    """Distinguishable swap target (same contract as StubModel)."""
+
+    name = "canary"
+
+
+class BrokenCanaryModel(FailingModel):
+    """A canary that fails every call — probes must degrade."""
+
+    name = "broken-canary"
+
+
+def _no_sleep_retry(attempts=1):
+    return RetryPolicy(max_attempts=attempts, base_delay=0.0, jitter=0.0,
+                       sleep=lambda _: None)
+
+
+def make_factory(primary_builder=StubModel, retry_attempts=1,
+                 breaker_min_calls=3):
+    """A service factory closure; runs inside each forked shard."""
+
+    def factory():
+        return RecommendService(
+            [("primary", primary_builder()), ("pop", StubModel())],
+            num_items=NUM_ITEMS,
+            config=ServiceConfig(top_n=3, deadline=None),
+            retry=_no_sleep_retry(retry_attempts),
+            breaker_factory=lambda: CircuitBreaker(
+                failure_threshold=0.5, window=6,
+                min_calls=breaker_min_calls, cooldown=30.0,
+            ),
+        )
+
+    return factory
+
+
+def make_cluster(num_shards=2, factory=None, **config):
+    config.setdefault("batch_size", 4)
+    config.setdefault("worker_timeout", 20.0)
+    return ServingCluster(
+        factory or make_factory(),
+        config=ClusterConfig(num_shards=num_shards, **config),
+    )
+
+
+def submit_users(cluster, users):
+    for user in users:
+        cluster.submit(user, np.array([1 + user % 3, 2], dtype=np.int64))
+
+
+PROBES = [np.array([1, 2], dtype=np.int64), np.array([3], dtype=np.int64)]
+
+
+class TestConsistentHashRing:
+    def test_lookup_is_deterministic_across_instances(self):
+        a = ConsistentHashRing(range(4))
+        b = ConsistentHashRing(range(4))
+        keys = range(1000)
+        assert [a.lookup(k) for k in keys] == [b.lookup(k) for k in keys]
+
+    def test_spreads_keys_over_nodes(self):
+        ring = ConsistentHashRing(range(4), replicas=64)
+        counts = {n: 0 for n in range(4)}
+        for key in range(4000):
+            counts[ring.lookup(key)] += 1
+        for count in counts.values():
+            assert 400 < count < 2200  # rough balance, not exact quarters
+
+    def test_removal_only_moves_the_dead_nodes_keys(self):
+        ring = ConsistentHashRing(range(4))
+        before = {key: ring.lookup(key) for key in range(2000)}
+        ring.remove(2)
+        for key, owner in before.items():
+            if owner != 2:
+                assert ring.lookup(key) == owner
+            else:
+                assert ring.lookup(key) != 2
+
+    def test_empty_ring_returns_none(self):
+        ring = ConsistentHashRing([])
+        assert ring.lookup(1) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing([], replicas=0)
+
+
+class TestClusterConfig:
+    @pytest.mark.parametrize("kwargs", [
+        dict(num_shards=0), dict(max_queue=0), dict(deadline=0.0),
+        dict(shed_margin=0.0), dict(batch_size=0),
+        dict(worker_timeout=0.0), dict(ewma_alpha=0.0),
+    ])
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            ClusterConfig(**kwargs)
+
+
+class TestDataPlane:
+    def test_round_trip_and_merged_accounting(self):
+        with make_cluster(num_shards=2) as cluster:
+            submit_users(cluster, range(40))
+            cluster.drain()
+            assert cluster.completed == 40
+            assert cluster.shed == cluster.failed == 0
+            assert cluster.accounted()
+            stats = cluster.stats()
+            assert stats["cluster"]["accounted"]
+            # The merged shard ServiceStats satisfies the same
+            # invariant as a single-process run, and saw every request.
+            assert stats["service"]["accounted"]
+            assert stats["service"]["requests"] == 40
+            assert stats["service"]["served_by_rung"]["primary"] == 40
+            assert stats["cluster"]["latency"]["count"] == 40
+            # Traffic really was sharded: both shards served requests.
+            per_shard = stats["per_shard"]
+            assert len(per_shard) == 2
+            assert all(s["requests"] > 0 for s in per_shard.values())
+
+    def test_same_user_always_lands_on_same_shard(self):
+        with make_cluster(num_shards=3) as cluster:
+            for _ in range(3):
+                submit_users(cluster, range(30))
+            cluster.drain()
+            by_user = {}
+            for shard, user, status, rung, latency in cluster.records:
+                assert status == "ok"
+                by_user.setdefault(user, set()).add(shard)
+            assert all(len(shards) == 1 for shards in by_user.values())
+            assert len({s for v in by_user.values() for s in v}) == 3
+
+    def test_invalid_requests_account_as_completed_errors(self):
+        with make_cluster(num_shards=2) as cluster:
+            cluster.submit(1, np.array([], dtype=np.int64))  # empty
+            submit_users(cluster, range(5))
+            cluster.drain()
+            assert cluster.completed == 6
+            assert cluster.accounted()
+            statuses = [record[2] for record in cluster.records]
+            assert "error:InvalidRequest" in statuses
+            merged = cluster.stats()["service"]
+            assert merged["rejected"] == 1
+            assert merged["accounted"]
+
+    def test_queue_overflow_sheds_instead_of_queueing(self):
+        # batch_size > max_queue: nothing flushes until we say so, so
+        # the per-shard depth cap is what sheds.
+        with make_cluster(num_shards=2, batch_size=100,
+                          max_queue=3) as cluster:
+            submit_users(cluster, range(30))
+            assert cluster.shed > 0
+            assert cluster.shed + cluster.inflight == 30
+            cluster.drain()
+            assert cluster.accounted()
+            assert cluster.completed + cluster.shed == 30
+            shed_records = [r for r in cluster.records if r[2] == "shed"]
+            assert len(shed_records) == cluster.shed
+
+
+class TestKillDrill:
+    def test_dead_shard_fails_inflight_and_reroutes(self):
+        with make_cluster(num_shards=2, batch_size=100) as cluster:
+            submit_users(cluster, range(30))
+            victim = next(
+                s for s in cluster.live_shards if cluster._pending[s]
+            )
+            queued_on_victim = len(cluster._pending[victim])
+            cluster.kill_shard(victim)
+            # The flush hits the dead shard's broken pipe: its batch is
+            # failed, nothing hangs, and the ring drops the shard.
+            cluster.drain(timeout=10.0)
+            assert cluster.live_shards == [
+                s for s in range(2) if s != victim
+            ]
+            assert cluster.failed == queued_on_victim
+            assert cluster.completed == 30 - queued_on_victim
+            assert cluster.accounted()
+            # New traffic for the dead shard's users reroutes and serves.
+            submit_users(cluster, range(30))
+            cluster.drain(timeout=10.0)
+            assert cluster.failed == queued_on_victim
+            assert cluster.completed == (30 - queued_on_victim) + 30
+            assert cluster.accounted()
+            stats = cluster.stats()
+            assert stats["cluster"]["accounted"]
+            assert stats["service"]["accounted"]
+
+    def test_mid_flight_kill_is_shed_not_hung(self):
+        import time as _time
+
+        with make_cluster(num_shards=2, batch_size=1) as cluster:
+            submit_users(cluster, range(20))
+            victim = cluster.live_shards[0]
+            cluster.kill_shard(victim)
+            start = _time.monotonic()
+            cluster.drain(timeout=10.0)
+            assert _time.monotonic() - start < 10.0
+            assert victim not in cluster.live_shards
+            assert cluster.accounted()
+            assert cluster.completed + cluster.failed == 20
+
+
+class TestCanaryRollout:
+    def test_healthy_rollout_swaps_every_shard(self):
+        with make_cluster(num_shards=2) as cluster:
+            submit_users(cluster, range(10))
+            cluster.drain()
+            before = cluster.describe()
+            assert all(
+                d["primary"]["model"] == "StubModel"
+                for d in before.values()
+            )
+            report = cluster.rollout(
+                "primary", CanaryModel(), PROBES, probes_per_shard=4
+            )
+            assert report.ok
+            assert not report.rolled_back
+            assert report.swapped == cluster.live_shards
+            after = cluster.describe()
+            assert all(
+                d["primary"]["model"] == "CanaryModel"
+                for d in after.values()
+            )
+            # The fleet serves from the new model.
+            submit_users(cluster, range(10))
+            cluster.drain()
+            assert cluster.completed == 20
+            assert cluster.accounted()
+
+    def test_broken_canary_rolls_back_on_degraded_probes(self):
+        with make_cluster(num_shards=2) as cluster:
+            report = cluster.rollout(
+                "primary", BrokenCanaryModel(), PROBES, probes_per_shard=4
+            )
+            assert not report.ok
+            assert report.rolled_back
+            assert report.failed_shard == cluster.live_shards[0]
+            assert "degraded past the canary" in report.reason
+            # Every shard — including the failed one — restored the
+            # pre-canary model.
+            after = cluster.describe()
+            assert all(
+                d["primary"]["model"] == "StubModel"
+                for d in after.values()
+            )
+            submit_users(cluster, range(10))
+            cluster.drain()
+            assert cluster.completed == 10
+            assert cluster.accounted()
+
+    def test_flaky_canary_rolls_back_on_breaker_trip(self):
+        # The canary *serves* its probe (transient failure + in-place
+        # retry) but trips the breaker doing so: the trip, not the
+        # probe outcome, must abort the rollout.
+        factory = make_factory(
+            retry_attempts=3,
+            breaker_min_calls=1,  # hair-trigger: one failure trips
+        )
+        with ServingCluster(
+            factory,
+            config=ClusterConfig(num_shards=2, batch_size=4,
+                                 worker_timeout=20.0),
+        ) as cluster:
+            report = cluster.rollout(
+                "primary",
+                FailingModel(
+                    error=TransientError("flaky canary"), fail_first=1
+                ),
+                PROBES,
+                probes_per_shard=1,
+            )
+            assert not report.ok
+            assert report.rolled_back
+            assert "breaker tripped" in report.reason
+
+    def test_swap_failure_aborts_and_rolls_back_nothing_extra(self):
+        with make_cluster(num_shards=2) as cluster:
+            report = cluster.rollout(
+                "primary", "/nonexistent/checkpoint.npz", PROBES,
+            )
+            assert not report.ok
+            assert "swap failed" in report.reason
+            after = cluster.describe()
+            assert all(
+                d["primary"]["model"] == "StubModel"
+                for d in after.values()
+            )
+
+    def test_rollout_requires_probes(self):
+        with make_cluster(num_shards=1) as cluster:
+            with pytest.raises(ValueError):
+                cluster.rollout("primary", CanaryModel(), [])
+
+
+class TestRunLoad:
+    def test_open_loop_report(self):
+        with make_cluster(num_shards=2) as cluster:
+            traffic = [
+                (user, np.array([1 + user % 3], dtype=np.int64),
+                 0.001 * index)
+                for index, user in enumerate(range(50))
+            ]
+            report = cluster.run_load(traffic)
+            assert report["offered"] == 50
+            assert report["completed"] == 50
+            assert report["sustained_rps"] > 0
+            assert report["cluster_accounted"]
+            assert report["service_accounted"]
+            assert report["latency"]["count"] == 50

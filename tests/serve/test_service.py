@@ -283,6 +283,67 @@ class TestDeadline:
         assert stats["deadline_exceeded"] == 1
         assert stats["accounted"]
 
+    def test_budget_is_cumulative_across_rungs_and_retries(self):
+        # Regression test for the per-call accounting bug: every rung
+        # attempt used to get a *fresh* full budget (elapsed measured
+        # from called_at, compared against the whole budget) and
+        # retry.pause slept uncapped backoffs, so one request could
+        # legally burn ~rungs x attempts x budget of wall clock.
+        clock = FakeClock()
+        retry = RetryPolicy(
+            max_attempts=5, base_delay=0.04, multiplier=2.0, jitter=0.0,
+            sleep=clock.advance,
+        )
+        rungs = [
+            (name, FailingModel(error=TransientError("fault storm")))
+            for name in ("primary", "secondary", "tertiary")
+        ]
+        service = make_service(
+            rungs, clock=clock,
+            config=ServiceConfig(top_n=3, deadline=0.1),
+            retry=retry,
+        )
+        with pytest.raises(DeadlineExceeded):
+            service.recommend(np.array([1]))
+        # Old accounting slept 0.04 + 0.08 = 0.12s of backoff alone;
+        # cumulative accounting caps the second backoff at the
+        # remaining 0.06s and then stops retrying, so total in-service
+        # time never exceeds the budget.
+        assert clock.now <= 0.1
+        stats = service.stats()
+        assert stats["deadline_exceeded"] == 1
+        assert stats["accounted"]
+        # After the budget is spent the later rungs still get their one
+        # attempt (a late-but-valid answer beats none), but no retries:
+        # the remainder cannot cover base_delay.
+        assert stats["rungs"]["primary"]["attempts"] == 3
+        assert stats["rungs"]["secondary"]["attempts"] == 1
+        assert stats["rungs"]["tertiary"]["attempts"] == 1
+
+    def test_slow_call_charged_against_remaining_budget(self):
+        clock = FakeClock()
+
+        class SlowFailingModel(SlowModel):
+            def score_batch(self, histories):
+                self.clock.advance(self.delay)
+                raise RuntimeError("slow and broken")
+
+        service = make_service(
+            [("primary", SlowFailingModel(clock, delay=0.3)),
+             ("mid", SlowModel(clock, delay=0.3)),
+             ("fast", StubModel())],
+            clock=clock,
+            config=ServiceConfig(top_n=3, deadline=0.5),
+        )
+        rec = service.recommend(np.array([1]))
+        # The mid rung's 0.3s call had only 0.2s of budget left.  The
+        # old accounting compared it against the full 0.5s and served
+        # it; cumulative accounting times it out and the instant fast
+        # rung serves instead.
+        assert rec.rung == "fast"
+        stats = service.stats()
+        assert stats["rungs"]["mid"]["failures"]["timeout"] == 1
+
     def test_per_request_deadline_override(self):
         clock = FakeClock()
         service = make_service(

@@ -14,8 +14,10 @@ PACKAGES = [
     "repro.eval",
     "repro.models",
     "repro.core",
+    "repro.pool",
     "repro.train",
     "repro.serve",
+    "repro.serve.cluster",
     "repro.experiments",
 ]
 

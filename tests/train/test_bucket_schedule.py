@@ -69,7 +69,9 @@ class TestSchedule:
 
     def test_uniform_branch_matches_unbucketed_trainer(self, padded):
         scheduled = self._trainer(padded, bucket_epochs=1)
-        uniform = Trainer(TrainerConfig(epochs=4, batch_size=8))
+        uniform = Trainer(TrainerConfig(
+            epochs=4, batch_size=8, bucket_by_length=False,
+        ))
         uniform._lengths = effective_lengths(padded)
         a = list(scheduled._epoch_batches(len(padded), make_rng(7), 3))
         b = list(uniform._epoch_batches(len(padded), make_rng(7), 3))
@@ -115,8 +117,13 @@ class TestDeterminism:
 
 class TestValidation:
     def test_requires_bucket_by_length(self):
+        # bucket_by_length defaults on; the guard is about explicitly
+        # disabling it while still asking for a bucket schedule.
         with pytest.raises(ValueError, match="requires bucket_by_length"):
-            TrainerConfig(bucket_epochs=2)
+            TrainerConfig(bucket_by_length=False, bucket_epochs=2)
+
+    def test_bucketing_is_the_default(self):
+        assert TrainerConfig().bucket_by_length is True
 
     def test_requires_positive(self):
         with pytest.raises(ValueError, match="must be >= 1"):

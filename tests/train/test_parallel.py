@@ -114,15 +114,17 @@ class TestSerialParity:
     def test_ragged_batches_shard_cleanly(self, corpus):
         """More workers than rows in the last batch: the empty-shard
         path (zero gradient, lock-step annealing bump) must keep parity.
-        40 rows / batch 9 leaves a 4-row final batch for 6 workers."""
+        40 rows / batch 9 leaves a 4-row final batch for 6 workers
+        (uniform shuffle pinned: bucketing would reshape the tail)."""
         build = lambda: VSAN(10, 8, dim=12, k=2, dropout_rate=0.0,
                              use_latent=False, seed=1)
-        serial = Trainer(TrainerConfig(epochs=2, batch_size=9)).fit(
-            build(), corpus
-        )
+        serial = Trainer(TrainerConfig(
+            epochs=2, batch_size=9, bucket_by_length=False,
+        )).fit(build(), corpus)
         model = build()
         parallel = Trainer(
-            TrainerConfig(epochs=2, batch_size=9, num_workers=6)
+            TrainerConfig(epochs=2, batch_size=9, num_workers=6,
+                          bucket_by_length=False)
         ).fit(model, corpus)
         np.testing.assert_allclose(
             parallel.losses, serial.losses, rtol=1e-10
@@ -235,6 +237,28 @@ class TestCrashContainment:
         # A clean failure, not a hang waiting out the timeout.
         assert time.monotonic() - start < 20
         # And no orphaned worker processes.
+        for _ in range(50):
+            if not multiprocessing.active_children():
+                break
+            time.sleep(0.1)
+        assert multiprocessing.active_children() == []
+
+    def test_parent_exception_still_reaps_workers(self, corpus, monkeypatch):
+        """A raise in the parent mid-epoch (not a worker fault) must
+        still tear the forked pool down via the trainer's finally —
+        no leaked processes after a failed run."""
+        trainer = ParallelTrainer(
+            TrainerConfig(
+                epochs=2, batch_size=16, num_workers=3, worker_timeout=30
+            )
+        )
+
+        def explode(self, *args, **kwargs):
+            raise RuntimeError("parent-side failure mid-epoch")
+
+        monkeypatch.setattr(ParallelTrainer, "_train_step", explode)
+        with pytest.raises(RuntimeError, match="parent-side failure"):
+            trainer.fit(stochastic_vsan(), corpus)
         for _ in range(50):
             if not multiprocessing.active_children():
                 break
