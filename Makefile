@@ -2,7 +2,7 @@
 
 .PHONY: install test bench bench-serve bench-train bench-retrieval \
 	bench-cluster bench-full experiments examples clean resume-smoke \
-	serve-smoke
+	serve-smoke chaos-smoke
 
 install:
 	python setup.py develop
@@ -82,6 +82,16 @@ serve-smoke:
 	PYTHONPATH=src python -m repro serve-smoke --requests 100
 	PYTHONPATH=src python -m repro serve-smoke --cluster --requests 200
 	PYTHONPATH=src pytest tests/serve -q
+
+# Seeded chaos drill against the self-healing replicated cluster:
+# SIGKILLs and stall injections fired on a deterministic schedule under
+# paced load; replicated shards must lose zero requests, the accounting
+# invariants must hold at every checkpoint, and the supervisor must
+# respawn back to full capacity.  The hard wall-clock cap keeps a hung
+# drill from wedging CI — a timeout here IS a failure.
+chaos-smoke:
+	timeout 180 env PYTHONPATH=src \
+		python -m repro serve-smoke --chaos --requests 240
 
 bench-all:
 	pytest benchmarks/ --benchmark-only

@@ -15,6 +15,11 @@ Two things are measured:
   req/s, the cluster counters must satisfy ``accounted()``, and so must
   the **merged** per-shard :class:`repro.serve.ServiceStats` — the same
   invariant a single process keeps, now across the whole fleet.
+- ``test_cluster_chaos_drill`` / ``test_cluster_recovery_gate`` — a
+  seeded kill/stall schedule against a replicated self-healing cluster:
+  the benchmark records wall time with faults in flight, and the gate
+  bounds time-to-rejoin per death and the goodput dip depth while
+  requiring zero failed requests and full-capacity recovery.
 
 Request counts are deliberately modest: CI runs on small shared boxes
 (often one core), and the population size — not the arrival count — is
@@ -27,14 +32,21 @@ import numpy as np
 import pytest
 
 from repro.core import VSAN
-from repro.data.synthetic import ZipfTrafficConfig, zipf_traffic
+from repro.data.synthetic import (
+    ChaosScheduleConfig,
+    ZipfTrafficConfig,
+    chaos_schedule,
+    zipf_traffic,
+)
 from repro.serve import (
+    ChaosConfig,
     CircuitBreaker,
     ClusterConfig,
     RecommendService,
     RetryPolicy,
     ServiceConfig,
     ServingCluster,
+    run_chaos,
 )
 from repro.tensor import set_default_dtype
 
@@ -149,6 +161,100 @@ def test_cluster_throughput_gate(primary, traffic):
         f"cluster sustains only {report['sustained_rps']:.0f} req/s "
         f"(floor {GATE_MIN_RPS:.0f}); the sharded serving path has "
         f"regressed"
+    )
+
+
+CHAOS_SEED = 0
+CHAOS_REQUESTS = 240
+# Recovery gate bounds.  On the reference box a death is healed in
+# ~0.15s; gate at 5s so only a genuinely broken supervisor (or a
+# respawn storm) trips, not shared-runner scheduling noise.
+GATE_MAX_RECOVERY_SECONDS = 5.0
+GATE_MIN_AVAILABILITY = 0.95
+
+
+def run_chaos_drill(primary, pace=True):
+    """One seeded kill/stall drill against a 2x2 replicated cluster."""
+    config = ZipfTrafficConfig(
+        num_users=NUM_USERS, num_items=NUM_ITEMS,
+        num_requests=CHAOS_REQUESTS, rate=400.0, max_length=18,
+    )
+    schedule = chaos_schedule(
+        ChaosScheduleConfig(num_requests=CHAOS_REQUESTS, num_faults=4,
+                            kinds=("kill", "stall")),
+        CHAOS_SEED,
+    )
+    with ServingCluster(
+        make_factory(primary),
+        config=ClusterConfig(num_shards=2, replicas_per_shard=2,
+                             batch_size=8, max_queue=256,
+                             worker_timeout=20.0, respawn_backoff=0.05,
+                             stall_timeout=0.3, heartbeat_interval=0.1),
+    ) as cluster:
+        return run_chaos(
+            cluster, zipf_traffic(config, CHAOS_SEED), schedule,
+            ChaosConfig(stall_seconds=0.9, checkpoint_every=20,
+                        pace=pace),
+        )
+
+
+def test_cluster_chaos_drill(benchmark, primary):
+    """Paced replay with 4 seeded faults in flight: the mean tracks the
+    end-to-end drill wall time (fork, replay, heal, probe), and
+    ``extra_info`` carries the recovery metrics the gate bounds."""
+    state = {}
+
+    def run():
+        state["report"] = run_chaos_drill(primary)
+        return state["report"]
+
+    benchmark.pedantic(run, rounds=2, iterations=1)
+    report = state["report"]
+    assert report["cluster_accounted"]
+    assert report["service_accounted"]
+    benchmark.extra_info["availability"] = report["availability"]
+    benchmark.extra_info["respawns"] = report["respawns"]
+    benchmark.extra_info["max_recovery_seconds"] = (
+        report["max_recovery_seconds"]
+    )
+    benchmark.extra_info["goodput"] = report["goodput"]
+
+
+def test_cluster_recovery_gate(primary):
+    """Acceptance bar for the self-healing story: every fault healed
+    within the time-to-rejoin bound, zero failed requests on the
+    replicated fleet, goodput never fully stalled, and the cluster back
+    at full capacity serving probes."""
+    report = run_chaos_drill(primary)
+    print(
+        f"\nchaos(2x2, seed {CHAOS_SEED}): "
+        f"{report['faults_applied']} faults, "
+        f"availability {report['availability']:.3f}, "
+        f"{report['respawns']} respawns, "
+        f"worst heal {report['max_recovery_seconds']:.2f}s, "
+        f"goodput dip {report['goodput']['dip_depth']}"
+    )
+    assert report["faults_applied"] >= 3, "the schedule barely fired"
+    assert report["failed"] == 0, (
+        f"{report['failed']} requests failed on a replicated fleet — "
+        f"failover is broken"
+    )
+    assert report["availability"] >= GATE_MIN_AVAILABILITY
+    assert report["cluster_accounted"], "cluster counters drifted"
+    assert report["service_accounted"], (
+        "merged shard ServiceStats violate accounted()"
+    )
+    assert report["recovered"], "cluster never regained full capacity"
+    assert report["serving_shards"] == [0, 1]
+    assert report["probe_completed"] > 0
+    assert report["respawns"] >= 1
+    assert report["max_recovery_seconds"] <= GATE_MAX_RECOVERY_SECONDS, (
+        f"worst time-to-rejoin {report['max_recovery_seconds']:.2f}s "
+        f"exceeds the {GATE_MAX_RECOVERY_SECONDS:.0f}s recovery bound"
+    )
+    dip = report["goodput"]["dip_depth"]
+    assert dip is not None and dip < 1.0, (
+        f"goodput fully stalled during the drill (dip {dip})"
     )
 
 

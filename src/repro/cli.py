@@ -153,9 +153,23 @@ def cmd_recommend(args) -> int:
 
 
 def cmd_serve_smoke(args) -> int:
-    from .serve.smoke import SmokeFailure, run_cluster_smoke, run_smoke
+    from .serve.smoke import (
+        SmokeFailure,
+        run_chaos_smoke,
+        run_cluster_smoke,
+        run_smoke,
+    )
 
     try:
+        if args.chaos:
+            return run_chaos_smoke(
+                requests=max(args.requests, 120),
+                num_shards=args.shards,
+                replicas_per_shard=args.replicas,
+                faults=args.faults,
+                seed=args.seed,
+                verbose=not args.quiet,
+            )
         if args.cluster:
             return run_cluster_smoke(
                 requests=args.requests,
@@ -329,8 +343,22 @@ def build_parser() -> argparse.ArgumentParser:
                             "(must shed, never hang, accounting exact), "
                             "and a canary rollout that must roll back "
                             "when the canary trips the primary breaker")
+    smoke.add_argument("--chaos", action="store_true",
+                       help="seeded chaos drill against the "
+                            "self-healing replicated cluster: a "
+                            "deterministic fault schedule SIGKILLs and "
+                            "stalls replicas under paced load; "
+                            "replicated shards must lose zero "
+                            "requests, accounting must hold at every "
+                            "checkpoint, and the supervisor must "
+                            "respawn every killed worker back to full "
+                            "capacity (the seed is printed for replay)")
     smoke.add_argument("--shards", type=int, default=3,
-                       help="(with --cluster) shard worker processes")
+                       help="(with --cluster/--chaos) shard key-ranges")
+    smoke.add_argument("--replicas", type=int, default=2,
+                       help="(with --chaos) replicas per shard")
+    smoke.add_argument("--faults", type=int, default=6,
+                       help="(with --chaos) scheduled faults")
     smoke.add_argument("--quiet", action="store_true")
     smoke.set_defaults(func=cmd_serve_smoke)
 

@@ -109,6 +109,25 @@ class ForkedWorkerPool:
             os.kill(process.pid, signal.SIGKILL)
         process.join(timeout=self._join_timeout)
 
+    def retire(self, worker: int) -> None:
+        """Reap one dead worker: join it and close the parent pipe end.
+
+        The index slot is kept — indices are stable handles handed out
+        by :meth:`spawn`, and supervisors (the serving cluster) key
+        their books on them — so ``alive(worker)`` keeps reporting
+        ``False`` and :meth:`stop` skips the closed pipe.  Call this
+        after a worker death so a respawned replacement does not leak
+        the dead worker's file descriptors for the process lifetime.
+        """
+        process = self.processes[worker]
+        if process.is_alive():  # pragma: no cover - defensive: retire
+            process.terminate()  # is for workers already observed dead
+        process.join(timeout=self._join_timeout)
+        try:
+            self.connections[worker].close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
     def stop(self) -> None:
         """Reap the whole pool: signal all, join all, escalate.
 
@@ -197,8 +216,15 @@ class ForkedWorkerPool:
     def wait_any(self, timeout: float) -> list[int]:
         """Indices of workers with a readable pipe, blocking up to
         ``timeout`` seconds for at least one (empty list on timeout)."""
+        open_connections = [
+            connection
+            for connection in self.connections
+            if not connection.closed
+        ]
+        if not open_connections:
+            return []
         ready = multiprocessing.connection.wait(
-            self.connections, timeout=timeout
+            open_connections, timeout=timeout
         )
         return [
             index

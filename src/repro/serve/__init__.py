@@ -11,11 +11,16 @@ degrade gracefully instead of falling over.  The pieces:
   guaranteed no-tape forwards, request micro-batching
   (:class:`MicroBatcher`), and an LRU :class:`ScoreCache` keyed on
   (model version, history suffix) with invalidation on hot-swap.
-- :class:`ServingCluster` — N shard worker processes (one full service
-  each, forked via :class:`repro.pool.ForkedWorkerPool`) behind a
+- :class:`ServingCluster` — self-healing shard replica groups (full
+  services forked via :class:`repro.pool.ForkedWorkerPool`) behind a
   :class:`ConsistentHashRing` user router, with admission control /
-  load shedding, dead-shard rerouting, canary rollout with automatic
+  load shedding, replica failover, supervised respawn with flap
+  breaking, heartbeat/stall probing, canary rollout with automatic
   rollback, and merged cross-shard accounting.
+- :mod:`repro.serve.chaos` — the seeded fault-schedule harness
+  (:func:`run_chaos`) that SIGKILLs, blacks out, and stalls workers
+  under paced load while asserting the accounting invariants and
+  recovery to full capacity.
 - :class:`CircuitBreaker` — closed/open/half-open rung guard.
 - :class:`RetryPolicy` — exponential backoff with seeded jitter.
 - :mod:`repro.serve.faults` — a seeded fault injector (latency spikes,
@@ -31,6 +36,7 @@ See ``docs/SERVING.md`` for the fault model and ladder semantics.
 
 from ..retrieval import IndexConfig
 from .breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from .chaos import ChaosConfig, run_chaos
 from .cluster import (
     ClusterConfig,
     ConsistentHashRing,
@@ -62,6 +68,7 @@ from .stats import LatencyTracker, RungStats, ServiceStats
 __all__ = [
     "AllRungsFailed",
     "CLOSED",
+    "ChaosConfig",
     "CheckpointError",
     "CircuitBreaker",
     "ClusterConfig",
@@ -91,6 +98,7 @@ __all__ = [
     "ServiceStats",
     "TransientError",
     "flip_byte",
+    "run_chaos",
     "safe_load_model",
     "truncate_file",
     "validate_finite_state",

@@ -1,6 +1,7 @@
-"""Sharded multi-process serving: the million-user cluster layer.
+"""Sharded multi-process serving: the self-healing million-user cluster.
 
-:class:`ServingCluster` runs N shard worker processes — each a full
+:class:`ServingCluster` runs N shard key-ranges, each served by a
+**replica group** of R forked worker processes — every worker a full
 :class:`repro.serve.RecommendService` (fallback chain, breakers,
 retries, cumulative deadlines, optionally an
 :class:`~repro.serve.engine.InferenceEngine` per rung) — behind a
@@ -11,39 +12,47 @@ consistent-hash user router in the parent:
   same user always lands on the same shard (cache/affinity) and a dead
   shard's keyspace redistributes evenly over the survivors instead of
   rolling over onto one neighbour.
-- **Workers** — shard processes come from
-  :class:`repro.pool.ForkedWorkerPool` (the machinery the parallel
-  trainer uses): ``fork`` inheritance hands every worker its replica of
-  the live rung models with zero pickling, and teardown signals all
-  workers before joining any against one shared deadline.
+- **Replica groups** — ``ClusterConfig(replicas_per_shard=R)`` forks R
+  workers per shard; batches round-robin across the group.  Serving is
+  stateless, so when one replica dies its in-flight and queued work is
+  **failed over** (replayed) to a surviving replica — a replicated
+  shard loses zero requests to a single SIGKILL, including mid-rollout.
+- **Supervised respawn** — worker death is detected by pipe EOF and by
+  an active health probe (:meth:`ServingCluster.maintain`): a stalled
+  batch or an unanswered heartbeat ping past ``stall_timeout`` gets the
+  wedged-but-alive worker killed instead of hanging the router.  Dead
+  workers are replaced via :meth:`repro.pool.ForkedWorkerPool.spawn`
+  with capped exponential backoff, warm-loaded with the committed
+  rollout state (canary models included), and the shard rejoins the
+  ring.  A crash-looping shard trips a **flap-breaker** after
+  ``flap_threshold`` deaths inside ``flap_window`` seconds and degrades
+  to shed-at-admission instead of fork-bombing the box.
 - **Admission control** — the router tracks per-shard queue depth and
   an EWMA of service time; a request whose predicted wait exceeds the
   deadline budget (times ``shed_margin``), or that would overflow
   ``max_queue``, is **shed** at the door — a fast typed rejection
-  instead of a doomed queue entry (the shard's own cumulative deadline
-  accounting would only reject it later, after it wasted queue time).
-- **Failure** — a shard that dies (SIGKILL drill, OOM) is detected by
-  pipe EOF: its in-flight requests are counted ``failed``, its unsent
-  queue reroutes through the updated ring, and the ring drops it so new
-  traffic flows to survivors.  The cluster never hangs on a dead shard.
+  instead of a doomed queue entry.
+- **Total loss** — when a whole replica group is gone (and respawn is
+  off or flapped), in-flight work is counted ``failed``, queued work
+  reroutes through the shrunken ring, and an empty ring fails requests
+  at admission.  The cluster never hangs: :meth:`ServingCluster.drain`
+  guarantees every submitted request reaches a terminal state.
 - **Canary rollout** — :meth:`ServingCluster.rollout` hot-swaps a new
-  model (object or checkpoint path, via the engine's ``set_model``
-  version bump) one shard at a time, sends probe traffic, and declares
-  the shard unhealthy unless every probe is served *by the swapped
-  rung* with zero new breaker trips — on failure every already-swapped
-  shard rolls back to its pre-canary model, in reverse order.
+  model one shard at a time (every replica in the group), probes each
+  replica, and rolls every already-swapped shard back on any failure.
+  A fully-successful rollout is **committed**: replicas drop their
+  rollback stash and respawned workers warm-load the new model.
 - **Accounting** — the parent keeps the cluster invariant
   ``submitted == completed + shed + failed (+ in-flight)`` while each
   shard keeps the single-process invariant; :meth:`ServingCluster.stats`
-  merges the shard ``ServiceStats`` (:meth:`ServiceStats.merge`) so the
+  merges the worker ``ServiceStats`` (:meth:`ServiceStats.merge`) so the
   fleet-wide snapshot satisfies ``accounted()`` exactly like one
-  process would.
+  process would.  Deadline SLO attainment (fraction of submissions
+  completing inside ``deadline``) is tracked alongside.
 
-The open-loop load harness lives in :meth:`ServingCluster.run_load`:
-it replays a seeded arrival schedule (e.g.
-:func:`repro.data.synthetic.zipf_traffic` at 1M users) without waiting
-for completions — arrivals keep coming whether or not the cluster keeps
-up, which is what makes the measured p99 and shed rate honest.
+The open-loop load harness lives in :meth:`ServingCluster.run_load`;
+the seeded fault-injection harness that proves the self-healing story
+lives in :mod:`repro.serve.chaos`.
 """
 
 from __future__ import annotations
@@ -53,6 +62,7 @@ import os
 import time
 import traceback
 from bisect import bisect_right
+from collections import deque
 from dataclasses import dataclass, field
 from multiprocessing import connection as _mpc
 
@@ -77,7 +87,10 @@ class ConsistentHashRing:
     node owns ``replicas`` points on the ring; removing a node hands
     its arcs to the *next* points clockwise, which — with enough
     virtual nodes — spreads the orphaned keyspace over all survivors
-    roughly evenly.
+    roughly evenly.  Because points are a pure function of the node
+    name, a removed node that is later re-added reclaims **exactly**
+    the arcs it owned before — rejoin churn is bounded to the keys the
+    node originally served.
     """
 
     def __init__(self, nodes=(), replicas: int = 64):
@@ -133,28 +146,52 @@ class ConsistentHashRing:
 
 @dataclass
 class ClusterConfig:
-    """Router policy knobs.
+    """Router and supervisor policy knobs.
 
     Args:
-        num_shards: shard worker processes to fork.
+        num_shards: shard key-ranges on the ring.
         replicas: virtual nodes per shard on the hash ring.
         max_queue: hard cap on per-shard outstanding requests (queued +
-            in flight); submissions beyond it are shed.
-        deadline: the per-request budget the *router* sheds against
-            (``None`` disables predicted-wait shedding; the shards'
-            own ``ServiceConfig.deadline`` still applies in-service).
+            in flight across the replica group); submissions beyond it
+            are shed.
+        deadline: the per-request budget the *router* sheds against and
+            scores SLO attainment with (``None`` disables both; the
+            shards' own ``ServiceConfig.deadline`` still applies
+            in-service).
         shed_margin: shed when ``predicted_wait > shed_margin *
             deadline`` — < 1 sheds conservatively early, > 1 tolerates
             brief overloads.
         batch_size: requests coalesced into one pipe message per shard
             (shard-side micro-batching then applies within the
             service's engine, when configured).
-        worker_timeout: seconds a control message may wait on a shard
-            before the shard is declared hung.
+        worker_timeout: seconds a control message may wait on a worker
+            before the worker is declared hung.
         top_n: ranking length forwarded with every request (``None`` =
             the shard service's default).
         ewma_alpha: smoothing for the per-shard service-time estimate
             driving predicted-wait shedding.
+        replicas_per_shard: worker processes per shard key-range.  With
+            R >= 2 a single worker death fails over in-flight work to a
+            surviving replica instead of failing it.
+        respawn: supervise worker deaths and fork replacements (warm
+            loading committed rollout state, rejoining the ring).  Off,
+            a dead group's capacity is gone for the process lifetime —
+            the pre-self-healing behaviour, kept for kill drills.
+        respawn_backoff: base seconds before a replacement fork; doubles
+            per recent death on the shard (capped at
+            ``respawn_backoff_max``).
+        respawn_backoff_max: cap on the exponential respawn backoff.
+        flap_window: seconds over which worker deaths on one shard are
+            counted against ``flap_threshold``.
+        flap_threshold: deaths within ``flap_window`` that trip the
+            flap-breaker: the shard stops respawning and degrades to
+            shed/fail-at-admission instead of fork-bombing.
+        stall_timeout: enables active health probing when set — a
+            worker whose oldest outstanding batch (or heartbeat ping)
+            is older than this many seconds is declared wedged and
+            killed.  ``None`` (default) keeps probing off.
+        heartbeat_interval: idle seconds before an idle worker is sent
+            a heartbeat ping (only with ``stall_timeout`` set).
     """
 
     num_shards: int = 2
@@ -166,6 +203,14 @@ class ClusterConfig:
     worker_timeout: float = 30.0
     top_n: int | None = None
     ewma_alpha: float = 0.2
+    replicas_per_shard: int = 1
+    respawn: bool = True
+    respawn_backoff: float = 0.05
+    respawn_backoff_max: float = 2.0
+    flap_window: float = 30.0
+    flap_threshold: int = 5
+    stall_timeout: float | None = None
+    heartbeat_interval: float = 1.0
 
     def __post_init__(self):
         if self.num_shards < 1:
@@ -184,6 +229,22 @@ class ClusterConfig:
             raise ValueError("worker_timeout must be positive")
         if not 0.0 < self.ewma_alpha <= 1.0:
             raise ValueError("ewma_alpha must be in (0, 1]")
+        if self.replicas_per_shard < 1:
+            raise ValueError("replicas_per_shard must be >= 1")
+        if self.respawn_backoff <= 0:
+            raise ValueError("respawn_backoff must be positive")
+        if self.respawn_backoff_max < self.respawn_backoff:
+            raise ValueError(
+                "respawn_backoff_max must be >= respawn_backoff"
+            )
+        if self.flap_window <= 0:
+            raise ValueError("flap_window must be positive")
+        if self.flap_threshold < 1:
+            raise ValueError("flap_threshold must be >= 1")
+        if self.stall_timeout is not None and self.stall_timeout <= 0:
+            raise ValueError("stall_timeout must be positive (or None)")
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
 
 
 @dataclass
@@ -218,16 +279,25 @@ def _serve_batch(service, entries, top_n):
     return replies
 
 
-def _shard_loop(index, conn, service_factory, registry) -> None:
+def _shard_loop(
+    index, conn, service_factory, registry, engine_override=None
+) -> None:
     """Body of one shard worker (runs in the forked child).
 
     The service — and every rung model it wraps — is built/inherited
-    *inside* the child, so shards are fully independent replicas.
+    *inside* the child, so workers are fully independent replicas.
     ``stash`` keeps each rung's pre-canary model so a ``rollback``
-    message can restore it without shipping models back over the pipe.
+    message can restore it without shipping models back over the pipe;
+    ``commit`` drops the stash once a rollout has fully succeeded, so a
+    later rollback never resurrects a model from *before* an already
+    accepted rollout.  ``ping`` answers the supervisor's liveness
+    probe; ``stall`` is the chaos hook that wedges the worker without
+    killing it.
     """
     try:
         service = service_factory()
+        if engine_override is not None:
+            service.set_engine_config(engine_override)
         stash: dict = {}
         while True:
             message = conn.recv()
@@ -240,6 +310,12 @@ def _shard_loop(index, conn, service_factory, registry) -> None:
                 conn.send(
                     ("probed", _serve_batch(service, message[1], message[2]))
                 )
+            elif kind == "ping":
+                conn.send(("pong", message[1]))
+            elif kind == "stall":
+                # Chaos hook: wedged-but-alive.  No reply — from the
+                # router's side the worker simply goes quiet.
+                time.sleep(message[1])
             elif kind == "stats":
                 conn.send(("stats", service.raw_stats(), service.stats()))
             elif kind == "describe":
@@ -252,9 +328,9 @@ def _shard_loop(index, conn, service_factory, registry) -> None:
                         service.reload_rung(rung, payload, registry or {})
                     else:
                         service.swap_model(rung, payload)
-                    # Keep the *oldest* pre-canary model: two swaps
-                    # without a rollback still roll back to the model
-                    # that predates the whole rollout.
+                    # Keep the *oldest* uncommitted model: two swaps
+                    # without a commit/rollback still roll back to the
+                    # model that predates the whole rollout.
                     stash.setdefault(rung, previous)
                     conn.send(("swapped", service.describe_rungs()[rung]))
                 except Exception as error:  # noqa: BLE001 — report, don't die
@@ -267,6 +343,9 @@ def _shard_loop(index, conn, service_factory, registry) -> None:
                     service.swap_model(rung, model)
                 stash.clear()
                 conn.send(("rolled_back", service.describe_rungs()))
+            elif kind == "commit":
+                stash.clear()
+                conn.send(("committed",))
             elif kind == "stop":
                 return
             else:  # pragma: no cover - protocol guard
@@ -281,30 +360,38 @@ def _shard_loop(index, conn, service_factory, registry) -> None:
 
 
 class _Inflight:
-    __slots__ = ("user", "submitted")
+    __slots__ = ("user", "history", "submitted")
 
-    def __init__(self, user, submitted: float):
+    def __init__(self, user, history, submitted: float):
         self.user = user
+        self.history = history
         self.submitted = submitted
 
 
 class ServingCluster:
-    """N shard services behind a consistent-hash router.
+    """N shard replica groups behind a consistent-hash router.
 
     Args:
         service_factory: zero-argument callable building one
             :class:`~repro.serve.RecommendService`; called *inside*
-            each forked shard, so models built before construction are
+            each forked worker, so models built before construction are
             inherited copy-on-write (never pickled).
-        config: :class:`ClusterConfig` router policy.
+        config: :class:`ClusterConfig` router/supervisor policy.
         registry: ``{class_name: class}`` map for checkpoint-path
             rollouts (forwarded to ``reload_rung``).
         clock: injectable wall clock (latency accounting).
+        engine_overrides: optional ``{shard: EngineConfig}`` map giving
+            individual shards a different engine configuration than the
+            factory default (e.g. a retrieval index or a bigger cache
+            on hot shards only).  Applied inside every worker of that
+            shard's replica group via ``set_engine_config``.
 
     Data plane: :meth:`submit` routes/sheds/queues one request,
-    :meth:`pump` drains ready replies, :meth:`drain` settles everything
-    outstanding.  Control plane: :meth:`stats`, :meth:`rollout`,
-    :meth:`kill_shard` (fault drill), :meth:`close`.
+    :meth:`pump` drains ready replies (and runs one supervisor tick),
+    :meth:`drain` settles everything outstanding.  Control plane:
+    :meth:`stats`, :meth:`rollout`, :meth:`maintain`, :meth:`close`.
+    Fault drills: :meth:`kill_shard`, :meth:`kill_replica`,
+    :meth:`stall_replica`.
     """
 
     def __init__(
@@ -313,25 +400,57 @@ class ServingCluster:
         config: ClusterConfig | None = None,
         registry: dict | None = None,
         clock=time.monotonic,
+        engine_overrides: dict | None = None,
     ):
         self.config = config or ClusterConfig()
         self._clock = clock
+        self._factory = service_factory
+        self._registry = registry
+        self.engine_overrides = dict(engine_overrides or {})
+        for shard in self.engine_overrides:
+            if not 0 <= shard < self.config.num_shards:
+                raise ValueError(
+                    f"engine_overrides keys must be shard ids in "
+                    f"[0, {self.config.num_shards}); got {shard!r}"
+                )
         self.pool = ForkedWorkerPool(role="shard worker")
-        for _ in range(self.config.num_shards):
-            self.pool.spawn(_shard_loop, service_factory, registry)
         shard_ids = list(range(self.config.num_shards))
+        # Worker-level books, keyed by pool index (stable across the
+        # process lifetime; respawned replacements get fresh indices).
+        self._worker_shard: dict[int, int] = {}
+        self._inflight: dict[int, dict] = {}
+        self._dispatches: dict[int, deque] = {}
+        self._last_contact: dict[int, float] = {}
+        self._ping_at: dict[int, float | None] = {}
+        self._live_workers: set[int] = set()
+        # Shard-level books.
+        self._groups: dict[int, list[int]] = {s: [] for s in shard_ids}
+        self._pending: dict[int, list] = {s: [] for s in shard_ids}
+        self._ewma: dict[int, float | None] = {s: None for s in shard_ids}
+        self._rr: dict[int, int] = {s: 0 for s in shard_ids}
+        self._deaths: dict[int, list[float]] = {s: [] for s in shard_ids}
+        self._respawn_at: dict[int, float | None] = {
+            s: None for s in shard_ids
+        }
+        self._flapped: set[int] = set()
+        # Committed rollout payloads per shard, replayed into respawned
+        # workers so replacements serve the same model versions as
+        # their peers (the pipe pickles these exactly like a swap).
+        self._swaps: dict[int, dict] = {s: {} for s in shard_ids}
+        for shard in shard_ids:
+            for _ in range(self.config.replicas_per_shard):
+                self._spawn_worker(shard)
         self.ring = ConsistentHashRing(
             shard_ids, replicas=self.config.replicas
         )
-        self._live: set[int] = set(shard_ids)
-        self._pending: dict[int, list] = {s: [] for s in shard_ids}
-        self._inflight: dict[int, dict] = {s: {} for s in shard_ids}
-        self._ewma: dict[int, float | None] = {s: None for s in shard_ids}
         self._next_id = 0
         self.submitted = 0
         self.completed = 0
         self.shed = 0
         self.failed = 0
+        self.slo_met = 0
+        self.respawns = 0
+        self.events: list[dict] = []
         self.latency = LatencyTracker(capacity=65536)
         self.records: list[tuple] = []
         self.keep_records = True
@@ -346,18 +465,54 @@ class ServingCluster:
         self.close()
 
     def close(self) -> None:
-        """Tear the shard pool down (signal-all, shared join deadline)."""
+        """Tear the worker pool down (signal-all, shared join deadline)."""
         self.pool.stop()
-        self._live.clear()
+        self._live_workers.clear()
+        for group in self._groups.values():
+            group.clear()
+
+    def _spawn_worker(self, shard: int) -> int:
+        worker = self.pool.spawn(
+            _shard_loop,
+            self._factory,
+            self._registry,
+            self.engine_overrides.get(shard),
+        )
+        self._worker_shard[worker] = shard
+        self._groups[shard].append(worker)
+        self._inflight[worker] = {}
+        self._dispatches[worker] = deque()
+        self._last_contact[worker] = self._clock()
+        self._ping_at[worker] = None
+        self._live_workers.add(worker)
+        return worker
 
     @property
     def live_shards(self) -> list[int]:
-        return sorted(self._live)
+        """Shards with at least one live replica."""
+        return sorted(s for s, group in self._groups.items() if group)
+
+    @property
+    def live_workers(self) -> list[int]:
+        return sorted(self._live_workers)
+
+    def replica_count(self, shard: int) -> int:
+        return len(self._groups[shard])
+
+    def full_capacity(self) -> bool:
+        """Every shard has a full replica group and owns ring arcs —
+        the recovery target the chaos harness waits for."""
+        return all(
+            len(self._groups[shard]) >= self.config.replicas_per_shard
+            and shard in self.ring.nodes
+            for shard in range(self.config.num_shards)
+        )
 
     @property
     def inflight(self) -> int:
-        return sum(len(entries) for entries in self._inflight.values()) + \
-            sum(len(entries) for entries in self._pending.values())
+        return sum(
+            len(entries) for entries in self._inflight.values()
+        ) + sum(len(entries) for entries in self._pending.values())
 
     def accounted(self) -> bool:
         """The cluster-level invariant: every submission is completed,
@@ -365,6 +520,16 @@ class ServingCluster:
         return self.submitted == (
             self.completed + self.shed + self.failed + self.inflight
         )
+
+    def slo_attainment(self) -> float | None:
+        """Fraction of terminal requests that completed inside the
+        router deadline (``None`` without a deadline or traffic)."""
+        if self.config.deadline is None:
+            return None
+        terminal = self.completed + self.shed + self.failed
+        if terminal == 0:
+            return None
+        return self.slo_met / terminal
 
     # ------------------------------------------------------------------
     # Data plane
@@ -375,8 +540,12 @@ class ServingCluster:
 
         Shedding happens *here*, at admission: a request that would
         overflow the shard's queue, or whose predicted wait
-        (queue depth × EWMA service time) already exceeds the deadline
-        budget, is refused immediately instead of queued to die.
+        (queue depth × EWMA service time, spread over the replica
+        group) already exceeds the deadline budget, is refused
+        immediately instead of queued to die.  A flapped (crash-loop)
+        shard has left the ring, so its keyspace degrades to the
+        survivors — or to fast admission failures once no shard is
+        left — rather than hanging.
         """
         self.submitted += 1
         shard = self.ring.lookup(user)
@@ -384,7 +553,10 @@ class ServingCluster:
             self.failed += 1
             self._record(None, user, "failed", None, None)
             return "failed"
-        depth = len(self._pending[shard]) + len(self._inflight[shard])
+        group = self._groups[shard]
+        depth = len(self._pending[shard]) + sum(
+            len(self._inflight[worker]) for worker in group
+        )
         config = self.config
         if depth >= config.max_queue:
             self.shed += 1
@@ -394,114 +566,166 @@ class ServingCluster:
         if (
             config.deadline is not None
             and ewma is not None
-            and (depth + 1) * ewma > config.shed_margin * config.deadline
+            and (depth + 1) * ewma / max(len(group), 1)
+            > config.shed_margin * config.deadline
         ):
             self.shed += 1
             self._record(shard, user, "shed", None, None)
             return "shed"
         request_id = self._next_id
         self._next_id += 1
-        self._pending[shard].append((request_id, user, history))
+        # ``None`` start time = not yet dispatched; failover replays
+        # keep the original dispatch time so latency stays honest.
+        self._pending[shard].append((request_id, user, history, None))
         if len(self._pending[shard]) >= config.batch_size:
             self._flush_shard(shard)
         return "queued"
 
     def flush(self) -> None:
-        """Send every queued request to its shard."""
-        for shard in list(self._live):
-            if self._pending[shard]:
+        """Send every queued request to its shard's replica group."""
+        for shard, pending in self._pending.items():
+            if pending and self._groups[shard]:
                 self._flush_shard(shard)
 
     def pump(self, timeout: float = 0.0) -> int:
-        """Drain ready shard replies; returns completions processed."""
+        """Run one supervisor tick, then drain ready worker replies;
+        returns completions processed."""
         before = self.completed + self.failed
-        for shard in self._wait_ready(timeout):
-            self._read_shard(shard)
+        self.maintain()
+        for worker in self._wait_ready(timeout):
+            self._read_worker(worker)
         return (self.completed + self.failed) - before
 
     def drain(self, timeout: float = 30.0) -> None:
         """Flush and settle every outstanding request.
 
-        A shard that stops answering within ``timeout`` is declared
-        dead (its in-flight requests become ``failed``) — the cluster
-        sheds rather than hangs.
+        A worker that stops answering within ``timeout`` is killed and
+        declared dead; whatever still isn't terminal after that
+        escalation is force-failed — ``drain`` returns with **every**
+        submitted request terminal, even after a total cluster death.
         """
         self.flush()
         deadline = self._clock() + timeout
         while self.inflight and self._clock() < deadline:
             self.flush()
-            if not self.pump(timeout=0.05):
-                # Nothing arrived: check for silently-dead shards.
-                for shard in list(self._live):
-                    if not self.pool.alive(shard):
-                        self._shard_died(shard)
-        if self.inflight:  # pragma: no cover - hung-shard escalation
-            for shard in list(self._live):
-                if self._inflight[shard] or self._pending[shard]:
-                    self.pool.kill(shard)
-                    self._shard_died(shard)
+            self.pump(timeout=0.05)
+        if self.inflight:
+            # Escalation: kill whatever still holds in-flight work.
+            for worker in sorted(self._live_workers):
+                if self._inflight.get(worker):
+                    self.pool.kill(worker)
+                    self._reap(worker, cause="drain timeout")
+            self.flush()
+            self.pump(timeout=0.1)
+        if self.inflight:
+            # Belt-and-braces: force-fail anything left (e.g. queued
+            # work on a shard whose whole group died with respawn off).
+            for shard, pending in self._pending.items():
+                if not pending:
+                    continue
+                self._pending[shard] = []
+                for _, user, _, _ in pending:
+                    self.failed += 1
+                    self._record(shard, user, "failed", None, None)
+            for worker in sorted(self._live_workers):
+                entries = self._inflight.get(worker)
+                if not entries:
+                    continue
+                self._inflight[worker] = {}
+                self._dispatches[worker].clear()
+                shard = self._worker_shard[worker]
+                for entry in entries.values():
+                    self.failed += 1
+                    self._record(shard, entry.user, "failed", None, None)
 
     def _flush_shard(self, shard: int) -> None:
         batch = self._pending[shard]
-        if not batch:
+        group = self._groups[shard]
+        if not batch or not group:
             return
         self._pending[shard] = []
+        worker = group[self._rr[shard] % len(group)]
+        self._rr[shard] += 1
         now = self._clock()
-        entries = [(rid, history) for rid, _, history in batch]
-        for rid, user, _ in batch:
-            self._inflight[shard][rid] = _Inflight(user, now)
-        try:
-            self.pool.send(
-                shard, ("batch", entries, self.config.top_n)
+        entries = [(rid, history) for rid, _, history, _ in batch]
+        for rid, user, history, started in batch:
+            self._inflight[worker][rid] = _Inflight(
+                user, history, now if started is None else started
             )
+        try:
+            self.pool.send(worker, ("batch", entries, self.config.top_n))
+            self._dispatches[worker].append(now)
         except WorkerError:
-            self._shard_died(shard)
+            self._worker_died(worker, cause="send failed")
 
     def _wait_ready(self, timeout: float) -> list[int]:
         by_conn = {
-            self.pool.connections[shard]: shard
-            for shard in sorted(self._live)
+            self.pool.connections[worker]: worker
+            for worker in sorted(self._live_workers)
         }
         if not by_conn:
             return []
         ready = _mpc.wait(list(by_conn), timeout=timeout)
         return [by_conn[conn] for conn in ready]
 
-    def _read_shard(self, shard: int) -> None:
+    def _read_worker(self, worker: int) -> None:
         try:
-            message = self.pool.connections[shard].recv()
+            message = self.pool.connections[worker].recv()
         except (EOFError, OSError):
-            self._shard_died(shard)
+            # recv hit EOF, so the pipe buffer is already empty: no
+            # buffered results to salvage before declaring death.
+            self._worker_died(worker, cause="pipe EOF")
             return
-        self._dispatch(shard, message)
+        self._on_message(worker, message)
 
-    def _dispatch(self, shard: int, message) -> None:
+    def _on_message(self, worker: int, message) -> None:
         kind = message[0]
+        self._last_contact[worker] = self._clock()
         if kind == "results":
-            self._absorb_results(shard, message[1])
+            dispatches = self._dispatches.get(worker)
+            if dispatches:
+                dispatches.popleft()
+            self._absorb_results(worker, message[1])
+        elif kind == "pong":
+            self._ping_at[worker] = None
         elif kind == "error":
-            # The shard's loop itself broke: nothing more will come.
-            self.pool.kill(shard)
-            self._shard_died(shard)
+            # The worker's loop itself broke: nothing more will come.
+            self.pool.kill(worker)
+            self._worker_died(worker, cause="raised")
             raise WorkerError(
-                f"shard worker {shard} raised:\n{message[1]}"
+                f"shard worker {worker} raised:\n{message[1]}"
             )
+        elif kind in (
+            "swapped", "swap_failed", "rolled_back", "committed",
+            "probed", "stats", "described",
+        ):
+            # A control reply outliving its timed-out control call —
+            # drop it rather than wedge the data plane.
+            pass
         else:  # pragma: no cover - protocol guard
             raise WorkerError(
-                f"shard worker {shard} sent unexpected {kind!r}"
+                f"shard worker {worker} sent unexpected {kind!r}"
             )
 
-    def _absorb_results(self, shard: int, replies) -> None:
+    def _absorb_results(self, worker: int, replies) -> None:
         now = self._clock()
         config = self.config
+        shard = self._worker_shard[worker]
         for request_id, ok, payload in replies:
-            entry = self._inflight[shard].pop(request_id, None)
-            if entry is None:  # pragma: no cover - protocol guard
+            entry = self._inflight[worker].pop(request_id, None)
+            if entry is None:
+                # Late reply for a request already failed over or
+                # force-failed — the replay owns its accounting now.
                 continue
             self.completed += 1
             round_trip = now - entry.submitted
             self.latency.add(round_trip)
             if ok:
+                if (
+                    config.deadline is not None
+                    and round_trip <= config.deadline
+                ):
+                    self.slo_met += 1
                 # EWMA on the *service-side* latency (payload[2]):
                 # round-trip includes queueing, which would feed back
                 # into the shed predictor and over-shed.
@@ -520,103 +744,317 @@ class ServingCluster:
                     round_trip,
                 )
 
-    def _shard_died(self, shard: int) -> None:
-        if shard not in self._live:
-            return
-        self._live.discard(shard)
-        self.ring.remove(shard)
-        # In-flight work died with the shard.
-        for request_id, entry in self._inflight[shard].items():
-            self.failed += 1
-            self._record(shard, entry.user, "failed", None, None)
-        self._inflight[shard].clear()
-        # Unsent work never left the router: reroute via the new ring.
-        orphans = self._pending[shard]
-        self._pending[shard] = []
-        for request_id, user, history in orphans:
-            self.submitted -= 1  # re-submission will recount it
-            self.submit(user, history)
-
     def _record(self, shard, user, status, rung, latency) -> None:
         if self.keep_records:
             self.records.append((shard, user, status, rung, latency))
 
     # ------------------------------------------------------------------
-    # Fault drill
+    # Supervisor: death, failover, respawn, health probing
+    # ------------------------------------------------------------------
+    def _worker_died(self, worker: int, cause: str) -> None:
+        """Bookkeep one worker death.
+
+        With surviving replicas, the dead worker's in-flight requests
+        are **failed over**: re-queued at the front of the shard's
+        pending list (original dispatch times preserved) and
+        immediately re-dispatched — serving is stateless, so the replay
+        is safe and the requests are never counted failed.  When the
+        death empties the replica group, in-flight work is failed, the
+        shard leaves the ring, queued work reroutes, and — respawn
+        permitting — a replacement fork is scheduled with backoff.
+        """
+        if worker not in self._live_workers:
+            return
+        self._live_workers.discard(worker)
+        shard = self._worker_shard[worker]
+        group = self._groups[shard]
+        if worker in group:
+            group.remove(worker)
+        self.pool.retire(worker)
+        now = self._clock()
+        self._event("worker_died", shard, worker=worker, cause=cause)
+        entries = self._inflight[worker]
+        self._inflight[worker] = {}
+        self._dispatches[worker].clear()
+        self._ping_at[worker] = None
+        if group:
+            replay = [
+                (rid, entry.user, entry.history, entry.submitted)
+                for rid, entry in sorted(entries.items())
+            ]
+            if replay:
+                self._pending[shard][:0] = replay
+                self._event(
+                    "failover", shard, worker=worker,
+                    requests=len(replay),
+                )
+            self._flush_shard(shard)
+        else:
+            for entry in entries.values():
+                self.failed += 1
+                self._record(shard, entry.user, "failed", None, None)
+            self.ring.remove(shard)
+            self._event("blackout", shard, failed=len(entries))
+            # Unsent work never left the router: reroute via the new
+            # ring (the dead shard's list is detached first, so a
+            # cascade of further deaths during rerouting still
+            # terminates with every request terminal).
+            orphans = self._pending[shard]
+            self._pending[shard] = []
+            for _, user, history, _ in orphans:
+                self.submitted -= 1  # re-submission recounts it
+                self.submit(user, history)
+        deaths = self._deaths[shard]
+        deaths.append(now)
+        cutoff = now - self.config.flap_window
+        while deaths and deaths[0] < cutoff:
+            deaths.pop(0)
+        if not self.config.respawn or shard in self._flapped:
+            return
+        if len(deaths) >= self.config.flap_threshold:
+            self._flapped.add(shard)
+            self._respawn_at[shard] = None
+            self._event("flap_tripped", shard, deaths=len(deaths))
+            return
+        backoff = min(
+            self.config.respawn_backoff * (2 ** (len(deaths) - 1)),
+            self.config.respawn_backoff_max,
+        )
+        self._respawn_at[shard] = now + backoff
+
+    def _reap(self, worker: int, cause: str) -> None:
+        """Declare one worker dead, first draining any replies it
+        managed to write before dying (SIGKILL leaves written pipe data
+        readable), so completed work is not miscounted as failed."""
+        connection = self.pool.connections[worker]
+        try:
+            while connection.poll(0):
+                self._on_message(worker, connection.recv())
+        except (EOFError, OSError):
+            pass
+        self._worker_died(worker, cause)
+
+    def maintain(self) -> None:
+        """One supervisor tick: reap exited workers, probe for stalls,
+        fork due respawns.  Runs inside every :meth:`pump`; loops that
+        wait out of band (pacing, chaos recovery) call it directly."""
+        now = self._clock()
+        config = self.config
+        for worker in sorted(self._live_workers):
+            if worker not in self._live_workers:
+                continue  # died during this very tick
+            if not self.pool.alive(worker):
+                self._reap(worker, cause="exit")
+                continue
+            if config.stall_timeout is None:
+                continue
+            dispatches = self._dispatches[worker]
+            if dispatches and now - dispatches[0] > config.stall_timeout:
+                # Wedged mid-batch: without this probe the batch would
+                # hang until its caller's timeout.  Kill → failover.
+                self.pool.kill(worker)
+                self._reap(worker, cause="stalled batch")
+                continue
+            ping_sent = self._ping_at[worker]
+            if ping_sent is not None:
+                if now - ping_sent > config.stall_timeout:
+                    self.pool.kill(worker)
+                    self._reap(worker, cause="unanswered ping")
+                continue
+            if (
+                not dispatches
+                and now - self._last_contact[worker]
+                > config.heartbeat_interval
+            ):
+                try:
+                    self.pool.send(worker, ("ping", now))
+                    self._ping_at[worker] = now
+                except WorkerError:
+                    self._worker_died(worker, cause="send failed")
+        for shard, due in list(self._respawn_at.items()):
+            if due is not None and now >= due:
+                self._respawn_replica(shard)
+
+    def _respawn_replica(self, shard: int) -> None:
+        """Fork one replacement worker for ``shard``, warm-load the
+        committed rollout state, and rejoin the ring."""
+        self._respawn_at[shard] = None
+        if not self.config.respawn or shard in self._flapped:
+            return
+        if len(self._groups[shard]) >= self.config.replicas_per_shard:
+            return
+        worker = self._spawn_worker(shard)
+        rejoining = shard not in self.ring.nodes
+        try:
+            for rung, payload in self._swaps[shard].items():
+                reply = self._control_worker(
+                    worker, ("swap", rung, payload),
+                    ("swapped", "swap_failed"),
+                )
+                if reply[0] == "swap_failed":
+                    self.pool.kill(worker)
+                    self._worker_died(worker, cause="warm-load failed")
+                    return
+            if self._swaps[shard]:
+                # A fresh worker's stash holds its factory models;
+                # commit so a future rollback stops at the warm-loaded
+                # state, exactly like its peers.
+                self._control_worker(worker, ("commit",), ("committed",))
+        except ClusterError:
+            return  # died during warm-load; books already settled
+        self.respawns += 1
+        self._event("respawned", shard, worker=worker)
+        if rejoining:
+            self.ring.add(shard)
+            self._event("rejoined", shard)
+        if len(self._groups[shard]) < self.config.replicas_per_shard:
+            self._respawn_at[shard] = (
+                self._clock() + self.config.respawn_backoff
+            )
+
+    def _event(self, kind: str, shard: int | None, **details) -> None:
+        event = {"t": self._clock(), "kind": kind, "shard": shard}
+        event.update(details)
+        self.events.append(event)
+
+    def recovery_spans(self) -> list[dict]:
+        """Death → replacement-serving spans, from the event log:
+        one entry per completed respawn, oldest unmatched death first."""
+        spans = []
+        open_deaths: dict[int, list[float]] = {}
+        for event in self.events:
+            if event["kind"] == "worker_died":
+                open_deaths.setdefault(event["shard"], []).append(
+                    event["t"]
+                )
+            elif event["kind"] == "respawned":
+                queue = open_deaths.get(event["shard"])
+                if queue:
+                    died = queue.pop(0)
+                    spans.append({
+                        "shard": event["shard"],
+                        "seconds": event["t"] - died,
+                    })
+        return spans
+
+    # ------------------------------------------------------------------
+    # Fault drills
     # ------------------------------------------------------------------
     def kill_shard(self, shard: int) -> None:
-        """SIGKILL one shard worker mid-run (drill hook).  Discovery is
-        left to the data path: the next read sees EOF, fails the
-        shard's in-flight requests, reroutes its queue, and shrinks the
-        ring — exactly what a real OOM kill would exercise."""
-        self.pool.kill(shard)
+        """SIGKILL every replica of one shard mid-run (blackout drill).
+        Discovery is left to the supervisor/data path: the next pump
+        sees the deaths, fails in-flight work, reroutes the queue,
+        shrinks the ring — and, respawn permitting, refills the group."""
+        for worker in list(self._groups[shard]):
+            self.pool.kill(worker)
+
+    def kill_replica(self, shard: int, which: int = 0) -> int:
+        """SIGKILL one replica of ``shard`` (failover drill); returns
+        the killed worker's pool index."""
+        group = self._groups[shard]
+        if not group:
+            raise ClusterError(f"shard {shard} has no live replica")
+        worker = group[which % len(group)]
+        self.pool.kill(worker)
+        return worker
+
+    def stall_replica(
+        self, shard: int, seconds: float, which: int = 0
+    ) -> int:
+        """Wedge one replica of ``shard`` for ``seconds`` without
+        killing it (stall-probe drill); returns the worker index."""
+        group = self._groups[shard]
+        if not group:
+            raise ClusterError(f"shard {shard} has no live replica")
+        worker = group[which % len(group)]
+        self.pool.send(worker, ("stall", seconds))
+        return worker
 
     # ------------------------------------------------------------------
     # Control plane
     # ------------------------------------------------------------------
-    def _control(self, shard: int, message, expected: tuple):
+    def _control_worker(self, worker: int, message, expected: tuple):
         """Send a control message and wait for its reply, absorbing any
-        interleaved data-plane results (pipes are FIFO)."""
+        interleaved data-plane traffic (pipes are FIFO)."""
         try:
-            self.pool.send(shard, message)
+            self.pool.send(worker, message)
         except WorkerError:
-            self._shard_died(shard)
+            self._worker_died(worker, cause="send failed")
             raise ClusterError(
-                f"shard {shard} died before {message[0]!r}"
+                f"shard worker {worker} died before {message[0]!r}"
             ) from None
         deadline = self._clock() + self.config.worker_timeout
-        connection = self.pool.connections[shard]
+        connection = self.pool.connections[worker]
         while self._clock() < deadline:
             if not connection.poll(0.05):
-                if not self.pool.alive(shard):
-                    self._shard_died(shard)
+                if not self.pool.alive(worker):
+                    self._reap(worker, cause="died during control")
                     raise ClusterError(
-                        f"shard {shard} died during {message[0]!r}"
+                        f"shard worker {worker} died during "
+                        f"{message[0]!r}"
                     )
                 continue
             try:
                 reply = connection.recv()
             except (EOFError, OSError):
-                self._shard_died(shard)
+                self._worker_died(worker, cause="pipe EOF")
                 raise ClusterError(
-                    f"shard {shard} died during {message[0]!r}"
+                    f"shard worker {worker} died during {message[0]!r}"
                 ) from None
-            if reply[0] == "results":
-                self._absorb_results(shard, reply[1])
-                continue
             if reply[0] in expected:
+                self._last_contact[worker] = self._clock()
                 return reply
-            if reply[0] == "error":
-                self.pool.kill(shard)
-                self._shard_died(shard)
-                raise WorkerError(
-                    f"shard worker {shard} raised:\n{reply[1]}"
-                )
-            raise ClusterError(  # pragma: no cover - protocol guard
-                f"shard {shard} sent {reply[0]!r}, expected {expected}"
-            )
+            self._on_message(worker, reply)
         raise ClusterError(
-            f"shard {shard} sent no {expected} reply within "
+            f"shard worker {worker} sent no {expected} reply within "
             f"{self.config.worker_timeout:.0f}s"
         )
 
+    def _control_shard(self, shard: int, message, expected: tuple):
+        """Control round-trip against the shard's first live replica,
+        failing over to the next group member when the leader turns out
+        to be dead (a SIGKILL the router has not observed yet)."""
+        while True:
+            group = self._groups[shard]
+            if not group:
+                raise ClusterError(f"shard {shard} has no live replica")
+            leader = group[0]
+            try:
+                return self._control_worker(leader, message, expected)
+            except ClusterError:
+                # _control_worker already ran the death bookkeeping; if
+                # the group lost its leader but survives, retry on the
+                # next replica — otherwise the shard really is down.
+                if leader in self._groups[shard] or not self._groups[shard]:
+                    raise
+
     def describe(self) -> dict[int, dict]:
-        """Per-shard, per-rung model identity (class name + version)."""
+        """Per-shard, per-rung model identity (class name + version +
+        engine summary), read from the group's first replica —
+        replicas are kept in lockstep by rollout/commit/warm-load."""
         return {
-            shard: self._control(shard, ("describe",), ("described",))[1]
-            for shard in sorted(self._live)
+            shard: self._control_shard(shard, ("describe",), ("described",))[1]
+            for shard in self.live_shards
         }
 
     def stats(self) -> dict:
         """Cluster-wide snapshot: router accounting plus the merged
-        shard ``ServiceStats`` (which must satisfy the same
-        ``accounted()`` invariant as a single process)."""
+        worker ``ServiceStats`` (which must satisfy the same
+        ``accounted()`` invariant as a single process would)."""
         merged = ServiceStats([])
         per_shard = {}
-        for shard in sorted(self._live):
-            reply = self._control(shard, ("stats",), ("stats",))
-            merged.merge(reply[1])
-            per_shard[shard] = reply[2]
+        for shard in self.live_shards:
+            shard_merged = ServiceStats([])
+            for worker in list(self._groups[shard]):
+                try:
+                    reply = self._control_worker(
+                        worker, ("stats",), ("stats",)
+                    )
+                except ClusterError:
+                    continue  # its books died with it
+                merged.merge(reply[1])
+                shard_merged.merge(reply[1])
+            per_shard[shard] = shard_merged.snapshot()
         return {
             "cluster": {
                 "submitted": self.submitted,
@@ -625,7 +1063,15 @@ class ServingCluster:
                 "failed": self.failed,
                 "inflight": self.inflight,
                 "accounted": self.accounted(),
+                "slo_attainment": self.slo_attainment(),
                 "live_shards": self.live_shards,
+                "replicas": {
+                    shard: len(self._groups[shard])
+                    for shard in range(self.config.num_shards)
+                },
+                "respawns": self.respawns,
+                "flapped_shards": sorted(self._flapped),
+                "full_capacity": self.full_capacity(),
                 "latency": self.latency.summary(),
             },
             "service": merged.snapshot(),
@@ -633,10 +1079,17 @@ class ServingCluster:
         }
 
     def merged_service_stats(self) -> ServiceStats:
-        """The raw merged :class:`ServiceStats` across live shards."""
+        """The raw merged :class:`ServiceStats` across live workers."""
         merged = ServiceStats([])
-        for shard in sorted(self._live):
-            merged.merge(self._control(shard, ("stats",), ("stats",))[1])
+        for shard in self.live_shards:
+            for worker in list(self._groups[shard]):
+                try:
+                    reply = self._control_worker(
+                        worker, ("stats",), ("stats",)
+                    )
+                except ClusterError:
+                    continue
+                merged.merge(reply[1])
         return merged
 
     # ------------------------------------------------------------------
@@ -651,32 +1104,40 @@ class ServingCluster:
     ) -> RolloutReport:
         """Rolling canary hot-swap of ``rung`` across all live shards.
 
-        One shard at a time: swap (object or checkpoint path — the
-        engine's ``set_model`` version bump invalidates that shard's
-        score cache), then replay ``probes_per_shard`` probe requests
-        directly at the shard.  The shard is healthy only if **every**
-        probe is served *by the swapped rung* (no degraded fallbacks)
-        and the rung's breaker records **zero new trips**.  Any
-        unhealthy shard aborts the rollout and rolls every
-        already-swapped shard back to its pre-canary model, in reverse
-        order.  Probe traffic is accounted shard-side like any other
+        One shard at a time: swap every replica in the group (object or
+        checkpoint path — the engine's ``set_model`` version bump
+        invalidates that worker's score cache), then replay
+        ``probes_per_shard`` probe requests at each replica.  The shard
+        is healthy only if **every** probe is served *by the swapped
+        rung* (no degraded fallbacks) and no replica's breaker records
+        new trips.  Any unhealthy shard aborts the rollout and rolls
+        every already-swapped shard back to its pre-canary model, in
+        reverse order.  A fully-successful rollout is **committed**:
+        replicas drop their rollback stash, and the payload is recorded
+        so respawned workers warm-load it — a replica that dies and
+        respawns mid-canary-lifetime serves the same model as its
+        peers.  Probe traffic is accounted worker-side like any other
         traffic but does not touch the router's counters.
         """
         probe_histories = list(probe_histories)
         if not probe_histories:
             raise ValueError("rollout needs at least one probe history")
         report = RolloutReport(ok=True, rung=rung)
-        for shard in sorted(self._live):
-            reply = self._control(
-                shard, ("swap", rung, model_or_path),
-                ("swapped", "swap_failed"),
-            )
-            if reply[0] == "swap_failed":
-                report.ok = False
-                report.failed_shard = shard
-                report.reason = f"swap failed: {reply[1]}"
+        for shard in self.live_shards:
+            for worker in list(self._groups[shard]):
+                reply = self._control_worker(
+                    worker, ("swap", rung, model_or_path),
+                    ("swapped", "swap_failed"),
+                )
+                if shard not in report.swapped:
+                    report.swapped.append(shard)
+                if reply[0] == "swap_failed":
+                    report.ok = False
+                    report.failed_shard = shard
+                    report.reason = f"swap failed: {reply[1]}"
+                    break
+            if not report.ok:
                 break
-            report.swapped.append(shard)
             healthy, reason = self._probe_shard(
                 shard, rung, probe_histories, probes_per_shard
             )
@@ -687,22 +1148,52 @@ class ServingCluster:
                 break
         if not report.ok and report.swapped:
             for shard in reversed(report.swapped):
-                if shard in self._live:
-                    self._control(shard, ("rollback",), ("rolled_back",))
+                for worker in list(self._groups[shard]):
+                    try:
+                        self._control_worker(
+                            worker, ("rollback",), ("rolled_back",)
+                        )
+                    except ClusterError:
+                        continue
             report.rolled_back = True
+        if report.ok:
+            for shard in self.live_shards:
+                for worker in list(self._groups[shard]):
+                    try:
+                        self._control_worker(
+                            worker, ("commit",), ("committed",)
+                        )
+                    except ClusterError:
+                        continue
+            # Recorded for *every* shard — a shard that is down right
+            # now warm-loads the committed model when it respawns.
+            for shard in range(self.config.num_shards):
+                self._swaps[shard][rung] = model_or_path
         return report
 
     def _probe_shard(
         self, shard: int, rung: str, probe_histories, probes: int
     ) -> tuple[bool, str | None]:
-        before = self._control(shard, ("stats",), ("stats",))[2]
+        for worker in list(self._groups[shard]):
+            healthy, reason = self._probe_worker(
+                worker, shard, rung, probe_histories, probes
+            )
+            if not healthy:
+                return healthy, reason
+        return True, None
+
+    def _probe_worker(
+        self, worker: int, shard: int, rung: str, probe_histories,
+        probes: int,
+    ) -> tuple[bool, str | None]:
+        before = self._control_worker(worker, ("stats",), ("stats",))[2]
         trips_before = self._breaker_trips(before, rung)
         entries = [
             (index, probe_histories[index % len(probe_histories)])
             for index in range(probes)
         ]
-        reply = self._control(
-            shard, ("probe", entries, self.config.top_n), ("probed",)
+        reply = self._control_worker(
+            worker, ("probe", entries, self.config.top_n), ("probed",)
         )
         for _, ok, payload in reply[1]:
             if not ok:
@@ -715,7 +1206,7 @@ class ServingCluster:
                     f"probe degraded past the canary on shard {shard}: "
                     f"served by {payload[1]!r}, expected {rung!r}"
                 )
-        after = self._control(shard, ("stats",), ("stats",))[2]
+        after = self._control_worker(worker, ("stats",), ("stats",))[2]
         trips_after = self._breaker_trips(after, rung)
         if trips_after > trips_before:
             return False, (
@@ -748,23 +1239,40 @@ class ServingCluster:
         its scheduled time (when ``pace`` is true; as fast as possible
         otherwise), the router sheds what the fleet cannot absorb, and
         replies are drained opportunistically between submissions.
+        Pacing sleeps in short slices with the pump in between, so the
+        supervisor keeps reaping/respawning while the line is idle.
 
         Returns a report with sustained throughput (completions /
         wall-clock), the round-trip latency summary (p50/p95/p99), shed
-        and failure counts, and both accounting invariants.
+        and failure counts, both accounting invariants, and — with a
+        router deadline configured — this run's SLO attainment (the
+        fraction of this run's terminal requests completed inside the
+        deadline at the offered rate).
         """
         started = self._clock()
         offered = 0
+        terminal_before = self.completed + self.shed + self.failed
+        slo_before = self.slo_met
         for user, history, arrival in traffic:
             if pace:
-                lag = arrival - (self._clock() - started)
-                if lag > 0:
-                    sleep(lag)
+                while True:
+                    lag = arrival - (self._clock() - started)
+                    if lag <= 0:
+                        break
+                    sleep(min(lag, 0.02))
+                    self.pump(timeout=0.0)
             self.submit(user, history)
             offered += 1
             self.pump(timeout=0.0)
         self.drain(timeout=drain_timeout)
         wall = max(self._clock() - started, 1e-9)
+        terminal = (
+            self.completed + self.shed + self.failed - terminal_before
+        )
+        if self.config.deadline is None or terminal == 0:
+            slo = None
+        else:
+            slo = round((self.slo_met - slo_before) / terminal, 4)
         merged = self.merged_service_stats()
         return {
             "offered": offered,
@@ -774,6 +1282,8 @@ class ServingCluster:
             "completed": self.completed,
             "shed": self.shed,
             "failed": self.failed,
+            "slo_attainment": slo,
+            "respawns": self.respawns,
             "latency": self.latency.summary(),
             "cluster_accounted": self.accounted(),
             "service_accounted": merged.accounted(),

@@ -487,6 +487,29 @@ class RecommendService:
             rung.model = model
         rung.breaker.reset()
 
+    def set_engine_config(self, engine: EngineConfig | bool | None) -> None:
+        """Re-wrap every rung for a different engine configuration.
+
+        Shard workers use this to apply a per-shard
+        :class:`EngineConfig` override after the (shared) factory has
+        built the service — e.g. a retrieval index or a bigger score
+        cache on hot shards only.  Each rung's *current* model is kept;
+        engines are rebuilt around it (fresh cache/batcher), and
+        ``None`` unwraps back to direct model calls.
+        """
+        if engine is True:
+            engine = EngineConfig()
+        engine = engine or None
+        self.engine_config = engine
+        for rung in self._rungs:
+            model = (
+                rung.engine.model if rung.engine is not None else rung.model
+            )
+            rung.model = (
+                InferenceEngine(model, config=engine, clock=self._clock)
+                if engine else model
+            )
+
     def current_model(self, name: str):
         """The model currently serving rung ``name`` (unwrapping the
         engine when the rung routes through one) — what a canary
@@ -497,9 +520,11 @@ class RecommendService:
 
     def describe_rungs(self) -> dict:
         """Per-rung model identity: class name plus the engine's model
-        version (``None`` for direct model calls).  The cluster's canary
-        rollout uses this to assert which model generation each shard is
-        actually serving."""
+        version and a summary of its configuration (both ``None`` for
+        direct model calls).  The cluster's canary rollout uses this to
+        assert which model generation each shard is actually serving;
+        the engine summary is how heterogeneous per-shard overrides
+        stay observable from the router."""
         description = {}
         for rung in self._rungs:
             engine = rung.engine
@@ -508,6 +533,14 @@ class RecommendService:
                 "model": type(model).__name__,
                 "version": (
                     engine.model_version if engine is not None else None
+                ),
+                "engine": (
+                    {
+                        "max_batch": engine.config.max_batch,
+                        "cache_capacity": engine.config.cache_capacity,
+                        "retrieval": engine.config.index is not None,
+                    }
+                    if engine is not None else None
                 ),
             }
         return description

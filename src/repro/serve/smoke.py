@@ -40,7 +40,12 @@ from .loading import safe_load_model
 from .retry import RetryPolicy
 from .service import Recommendation, RecommendService, ServiceConfig
 
-__all__ = ["SmokeFailure", "run_cluster_smoke", "run_smoke"]
+__all__ = [
+    "SmokeFailure",
+    "run_chaos_smoke",
+    "run_cluster_smoke",
+    "run_smoke",
+]
 
 
 class SmokeFailure(AssertionError):
@@ -386,11 +391,17 @@ def run_cluster_smoke(
     1. **Load** — replay seeded Zipf traffic (1M-user population) open
        loop through ``num_shards`` forked shard services; every arrival
        must land in exactly one outcome bucket, cluster-side and in the
-       merged shard :class:`~repro.serve.ServiceStats`.
-    2. **Kill drill** — SIGKILL one shard while its queue is full.  The
-       drain must return (shed/failed, never hung), accounting must stay
-       exact, and rerouted traffic for the dead shard's users must be
-       served by the survivors.
+       merged shard :class:`~repro.serve.ServiceStats`.  A second,
+       **paced** replay then runs closed to the arrival schedule and
+       must report >= 90% SLO attainment (completions inside the router
+       deadline at the offered rate), with the same metric visible in
+       ``stats()``.
+    2. **Kill drill** — SIGKILL one shard while its queue is full
+       (respawn pinned off: this drill proves graceful *degradation*;
+       the self-healing path has its own chaos drill).  The drain must
+       return (shed/failed, never hung), accounting must stay exact,
+       and rerouted traffic for the dead shard's users must be served
+       by the survivors.
     3. **Canary rollback** — roll out a canary that trips the primary
        breaker during probes; the rollout must abort, roll every swapped
        shard back, and ``describe()`` must show the prior model
@@ -457,7 +468,10 @@ def run_cluster_smoke(
         factory,
         config=ClusterConfig(num_shards=num_shards, batch_size=8,
                              max_queue=64, deadline=2.0,
-                             worker_timeout=20.0),
+                             worker_timeout=20.0,
+                             # Phase 2 asserts graceful degradation —
+                             # the killed shard must *stay* dead.
+                             respawn=False),
     ) as cluster:
         log(f"cluster: {num_shards} shards, "
             f"{traffic_config.num_users:,} simulated users")
@@ -476,6 +490,40 @@ def run_cluster_smoke(
         log(f"  sustained {report['sustained_rps']:.0f} req/s, "
             f"p99 {report['latency'].get('p99_ms', 0.0):.1f} ms, "
             f"{report['shed']} shed, {report['failed']} failed")
+
+        # -- Phase 1b: paced closed-SLO run ----------------------------
+        paced_requests = max(requests // 3, 50)
+        paced_rate = min(rate, 400.0)
+        log(f"phase 1b: {paced_requests} arrivals paced at "
+            f"{paced_rate:.0f} req/s (closed to schedule, SLO = "
+            f"deadline {cluster.config.deadline}s)")
+        paced = cluster.run_load(
+            zipf_traffic(
+                ZipfTrafficConfig(
+                    num_users=traffic_config.num_users,
+                    num_items=num_items,
+                    num_requests=paced_requests, rate=paced_rate,
+                    max_length=18,
+                ),
+                seed + 3,
+            ),
+            pace=True,
+            drain_timeout=20.0,
+        )
+        _require(paced["cluster_accounted"],
+                 f"cluster accounting drifted under paced load: {paced}")
+        _require(paced["slo_attainment"] is not None,
+                 "paced run reported no SLO attainment despite a "
+                 "router deadline")
+        _require(paced["slo_attainment"] >= 0.9,
+                 f"SLO attainment {paced['slo_attainment']:.2%} < 90% "
+                 f"at the offered rate ({paced_rate:.0f} req/s)")
+        _require(
+            cluster.stats()["cluster"]["slo_attainment"] is not None,
+            "stats() does not report slo_attainment",
+        )
+        log(f"  SLO attainment {paced['slo_attainment']:.1%} at "
+            f"{paced_rate:.0f} req/s offered")
 
         # -- Phase 2: kill one shard mid-run ---------------------------
         victim = cluster.live_shards[0]
@@ -554,5 +602,148 @@ def run_cluster_smoke(
             f"{cluster.submitted} served, {cluster.shed} shed, "
             f"{cluster.failed} failed with the killed shard, canary "
             f"rolled back on breaker trip"
+        )
+    return 0
+
+
+def run_chaos_smoke(
+    requests: int = 240,
+    num_shards: int = 3,
+    replicas_per_shard: int = 2,
+    faults: int = 6,
+    seed: int = 0,
+    rate: float = 240.0,
+    verbose: bool = True,
+) -> int:
+    """Seeded chaos drill against the self-healing cluster; 0 on success.
+
+    Replays paced Zipf traffic through ``num_shards`` replica groups
+    while a seeded schedule SIGKILLs and stalls workers
+    (:func:`repro.serve.chaos.run_chaos` asserts the accounting
+    invariants at every checkpoint), then requires:
+
+    - at least 5 faults actually fired;
+    - **zero failed requests** — every fault hit a replicated shard, so
+      in-flight work failed over instead of dying;
+    - availability (completed/submitted) >= 90% despite the faults;
+    - full recovery — every killed worker respawned, every shard back
+      on the ring with a full replica group, and every shard serving
+      both a control round-trip and data-plane probe traffic.
+
+    The seed is printed even in quiet mode so a CI failure is
+    replayable bit-for-bit with ``serve-smoke --chaos --seed N``.
+    """
+    from types import SimpleNamespace
+
+    from ..core import VSAN
+    from ..data.synthetic import (
+        ChaosScheduleConfig,
+        ZipfCatalogConfig,
+        ZipfTrafficConfig,
+        chaos_schedule,
+        zipf_histories,
+        zipf_traffic,
+    )
+    from ..models import POP
+    from .chaos import ChaosConfig, run_chaos
+    from .cluster import ClusterConfig, ServingCluster
+
+    log = print if verbose else (lambda *args, **kwargs: None)
+
+    traffic_config = ZipfTrafficConfig(
+        num_users=1_000_000, num_items=200, num_requests=requests,
+        rate=rate, max_length=18,
+    )
+    num_items = traffic_config.num_items
+    schedule = chaos_schedule(
+        ChaosScheduleConfig(
+            num_requests=requests, num_faults=faults,
+            kinds=("kill", "stall"),
+        ),
+        seed,
+    )
+    # Printed even in quiet mode: the one line that makes a CI failure
+    # replayable.
+    print(f"chaos drill: seed={seed}, {len(schedule)} scheduled faults "
+          f"(replay: serve-smoke --chaos --seed {seed})")
+
+    primary = VSAN(num_items=num_items, max_length=20, dim=16,
+                   h1=1, h2=1, k=1, seed=seed)
+    pop = POP(num_items).fit(SimpleNamespace(
+        num_items=num_items,
+        sequences=zipf_histories(
+            ZipfCatalogConfig(num_users=32, num_items=num_items), seed
+        ),
+    ))
+
+    def factory():
+        return RecommendService(
+            [("VSAN", primary), ("POP", pop)],
+            num_items=num_items,
+            config=ServiceConfig(top_n=10, deadline=2.0),
+        )
+
+    with ServingCluster(
+        factory,
+        config=ClusterConfig(
+            num_shards=num_shards,
+            replicas_per_shard=replicas_per_shard,
+            batch_size=4, max_queue=256, deadline=2.0,
+            worker_timeout=20.0,
+            respawn=True, respawn_backoff=0.05,
+            stall_timeout=0.3, heartbeat_interval=0.1,
+        ),
+    ) as cluster:
+        log(f"cluster: {num_shards} shards x {replicas_per_shard} "
+            f"replicas, {traffic_config.num_users:,} simulated users; "
+            f"stall probe at 0.3s")
+        report = run_chaos(
+            cluster,
+            zipf_traffic(traffic_config, seed),
+            schedule,
+            ChaosConfig(stall_seconds=0.9,
+                        checkpoint_every=max(10, requests // 12)),
+            log=log,
+        )
+        _require(report["faults_applied"] >= 5,
+                 f"only {report['faults_applied']} faults fired; the "
+                 f"drill needs >= 5 to mean anything")
+        _require(report["failed"] == 0,
+                 f"{report['failed']} requests failed — replica "
+                 f"failover should have replayed them")
+        _require(report["availability"] >= 0.9,
+                 f"availability {report['availability']:.2%} < 90% "
+                 f"under chaos")
+        _require(report["recovered"],
+                 "cluster did not recover full capacity after the "
+                 f"faults: {cluster.stats()['cluster']}")
+        _require(
+            report["serving_shards"] == list(range(num_shards)),
+            f"not every shard serves control traffic after recovery: "
+            f"{report['serving_shards']}",
+        )
+        _require(report["probe_completed"] > 0,
+                 "healed cluster served no probe traffic")
+        _require(report["respawns"] >= 1,
+                 "faults fired but the supervisor never respawned")
+        _require(
+            report["goodput"]["dip_depth"] is not None
+            and report["goodput"]["dip_depth"] < 1.0,
+            f"goodput fully stalled during the drill: "
+            f"{report['goodput']}",
+        )
+        log(json.dumps(
+            {key: report[key] for key in (
+                "availability", "slo_attainment", "goodput", "respawns",
+                "max_recovery_seconds", "wall_seconds",
+            )},
+            indent=2, sort_keys=True, default=str,
+        ))
+        # The one-line verdict is printed even in quiet mode.
+        print(
+            f"serve-smoke chaos OK: {report['faults_applied']} faults, "
+            f"{report['completed']}/{report['submitted']} served, "
+            f"0 failed, {report['respawns']} respawns, recovered in "
+            f"<= {report['max_recovery_seconds']:.2f}s per death"
         )
     return 0

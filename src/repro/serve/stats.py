@@ -44,6 +44,15 @@ class LatencyTracker:
         )
         self._samples = deque(combined, maxlen=capacity)
 
+    def fraction_under(self, seconds: float) -> float | None:
+        """Fraction of retained samples at or under ``seconds`` —
+        the SLO-attainment view of the reservoir (``None`` when no
+        samples are retained)."""
+        if not self._samples:
+            return None
+        values = np.asarray(self._samples, dtype=np.float64)
+        return float(np.mean(values <= seconds))
+
     def summary(self) -> dict:
         """count/mean/p50/p95/p99/max over the retained window, in ms."""
         if not self._samples:

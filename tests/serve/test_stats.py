@@ -36,6 +36,15 @@ class TestLatencyMerge:
         assert len(a) == 1
         assert a.summary()["p50_ms"] == 250.0
 
+    def test_fraction_under_is_the_slo_view(self):
+        tracker = LatencyTracker()
+        assert tracker.fraction_under(1.0) is None  # no samples yet
+        for value in (0.05, 0.1, 0.2, 0.4):
+            tracker.add(value)
+        assert tracker.fraction_under(0.2) == pytest.approx(0.75)
+        assert tracker.fraction_under(0.01) == 0.0
+        assert tracker.fraction_under(1.0) == 1.0
+
 
 class TestRungMerge:
     def test_counters_sum_and_failures_pool(self):

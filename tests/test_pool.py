@@ -84,6 +84,46 @@ class TestMessaging:
                 pool.receive(0, "pong", timeout=0.2)
 
 
+class TestRetire:
+    def test_retire_reaps_one_dead_worker_and_quiets_wait_any(self):
+        # The supervisor path: a replica dies, the router retires just
+        # that slot (join + close its pipe) while the rest keep serving
+        # — and wait_any must stop reporting the closed connection.
+        with ForkedWorkerPool(role="shard worker") as pool:
+            pool.spawn(_echo_loop)
+            pool.spawn(_echo_loop)
+            pool.kill(0)
+            pool.retire(0)
+            assert pool.connections[0].closed
+            pool.send(1, ("ping", 3))
+            deadline = time.monotonic() + 10.0
+            ready = []
+            while not ready and time.monotonic() < deadline:
+                ready = pool.wait_any(timeout=0.5)
+            assert ready == [1]
+            assert pool.receive(1, "pong", timeout=10.0)[2] == 3
+        assert _no_orphans()
+
+    def test_respawn_after_retire_fills_a_new_slot(self):
+        with ForkedWorkerPool() as pool:
+            pool.spawn(_echo_loop)
+            pool.kill(0)
+            pool.retire(0)
+            replacement = pool.spawn(_echo_loop)
+            assert replacement == 1
+            pool.send(replacement, ("ping", 9))
+            assert pool.receive(replacement, "pong",
+                                timeout=10.0)[2] == 9
+        assert _no_orphans()
+
+    def test_wait_any_with_every_connection_closed_returns_empty(self):
+        with ForkedWorkerPool() as pool:
+            pool.spawn(_echo_loop)
+            pool.kill(0)
+            pool.retire(0)
+            assert pool.wait_any(timeout=0.1) == []
+
+
 class TestTeardown:
     def test_kill_drill_and_death_reporting(self):
         pool = ForkedWorkerPool(role="shard worker")
