@@ -1,7 +1,7 @@
 # Convenience targets for the VSAN reproduction.
 
 .PHONY: install test bench bench-serve bench-train bench-retrieval \
-	bench-cluster bench-full experiments examples clean resume-smoke \
+	bench-compile bench-cluster bench-full experiments examples clean resume-smoke \
 	serve-smoke chaos-smoke
 
 install:
@@ -54,6 +54,19 @@ bench-retrieval:
 	PYTHONPATH=src pytest benchmarks/test_retrieval.py \
 		-k "speedup_gate or recall_curve" -q -s
 	python benchmarks/compare_bench.py BENCH_retrieval.json --threshold 0.6
+
+# Compiled-execution benchmarks: trace-and-replay vs eager for the VSAN
+# training step and the batch-1 uncached engine forward, then the hard
+# speedup gates (interleaved eager/compiled timing; skipped under
+# --benchmark-only, so they run second).  Loose regression threshold for
+# the same reason as bench-retrieval: sub-ms rounds drift on a busy
+# single-core runner.
+bench-compile:
+	PYTHONPATH=src pytest benchmarks/test_compile.py \
+		--benchmark-only --benchmark-json=BENCH_compile.json
+	PYTHONPATH=src pytest benchmarks/test_compile.py \
+		-k speedup_gate -q -s
+	python benchmarks/compare_bench.py BENCH_compile.json --threshold 0.6
 
 # Sharded-cluster benchmarks: open-loop Zipf replay from a 1M-user
 # population through 1 and 2 shard worker processes, then the gates —

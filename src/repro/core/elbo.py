@@ -26,9 +26,11 @@ from ..tensor import (
     cross_entropy,
     cross_entropy_reference,
     gaussian_kl_standard_normal,
+    get_default_dtype,
     multi_hot_cross_entropy,
     multi_hot_cross_entropy_reference,
 )
+from ..tensor.compile import record_feed, tracing
 
 __all__ = ["ELBOTerms", "elbo_terms", "reconstruction_targets"]
 
@@ -47,6 +49,15 @@ class ELBOTerms:
         model has no latent variable)."""
         if self.kl is None or self.beta == 0.0:
             return self.reconstruction
+        if tracing():
+            # β changes every step under annealing, so a compiled program
+            # takes it as a named feed instead of freezing it into the
+            # graph.  (The β == 0 branch above is structural: the trainer
+            # keys programs on it and retraces when a schedule crosses
+            # zero.)
+            beta_arr = np.asarray(self.beta, dtype=get_default_dtype())
+            record_feed("beta", beta_arr)
+            return self.reconstruction + Tensor(beta_arr) * self.kl
         return self.reconstruction + self.beta * self.kl
 
     @property

@@ -44,6 +44,7 @@ from ..models.base import NeuralSequentialRecommender
 from ..models.common import SequenceEmbedding
 from ..nn import LayerNorm, Linear, SelfAttentionStack
 from ..tensor import Tensor
+from ..tensor.compile import record_host, tracing
 from ..tensor.random import spawn_rngs
 from ..train.annealing import BetaSchedule, KLAnnealing
 from .elbo import ELBOTerms, elbo_terms, reconstruction_targets
@@ -228,7 +229,13 @@ class VSAN(NeuralSequentialRecommender):
         """Latent Variable Layer (Eq. 13): reparameterized sample or mean."""
         if not sample:
             return mu
-        noise = Tensor(self._noise_rng.standard_normal(mu.shape))
+        rng = self._noise_rng
+        noise = Tensor(rng.standard_normal(mu.shape))
+        if tracing():
+            # RNG tap: replay draws from the same generator object, so the
+            # reparameterization stream advances exactly as eager would.
+            buf, shape = noise.data, mu.shape
+            record_host(lambda: np.copyto(buf, rng.standard_normal(shape)))
         return mu + sigma * noise
 
     def generative_layer(
@@ -380,3 +387,26 @@ class VSAN(NeuralSequentialRecommender):
 
     def training_loss(self, padded: np.ndarray) -> Tensor:
         return self.training_elbo(padded).loss
+
+    # ------------------------------------------------------------------
+    # Compiled-execution hooks (repro.tensor.compile)
+    # ------------------------------------------------------------------
+    def compile_beta_zero(self) -> bool:
+        """Whether the *next* step's β is exactly zero (pure peek).
+
+        ``ELBOTerms.loss`` drops the KL term structurally at β == 0, so
+        compiled training programs are keyed on this flag and retraced
+        when an annealing schedule crosses zero.
+        """
+        return self.annealing.beta(self._step) == 0.0
+
+    def compile_step_feeds(self) -> dict[str, float]:
+        """Per-step feed values for a replayed training program.
+
+        Performs the out-of-graph bookkeeping a traced ``training_elbo``
+        did internally: computes this step's β and advances ``_step``.
+        """
+        beta = self.annealing.beta(self._step)
+        if self.training:
+            self._step += 1
+        return {"beta": beta}

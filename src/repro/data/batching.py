@@ -22,6 +22,7 @@ from collections.abc import Iterator
 import numpy as np
 
 from ..tensor import get_default_dtype
+from ..tensor.compile import record_host, tracing
 from .interactions import PAD_ID
 
 __all__ = [
@@ -136,6 +137,12 @@ def shift_targets(
     inputs = padded[:, :-1]
     targets = padded[:, 1:]
     weights = (targets != PAD_ID).astype(_target_dtype(dtype))
+    if tracing():
+        # inputs/targets are views of the (feed-refreshed) padded batch;
+        # only the weight mask needs an explicit replay step.  not_equal
+        # into a float out writes exact 0.0/1.0 — bitwise what the astype
+        # of the bool produced.
+        record_host(lambda: np.not_equal(targets, PAD_ID, out=weights))
     return inputs, targets, weights
 
 
@@ -195,6 +202,24 @@ def next_k_multi_hot(
         multi_hot[rows, cols, future[rows, cols]] = 1.0
     multi_hot[:, :, PAD_ID] = 0.0
     weights = (multi_hot.sum(axis=-1) > 0).astype(dtype)
+    if tracing():
+        # The scatter uses data-dependent *indices* into fixed-shape
+        # buffers, so it replays as one host step that refills the dense
+        # target and weight mask from the refreshed padded batch.
+        def refill():
+            multi_hot[...] = 0.0
+            for offset in range(1, k + 1):
+                stop = padded.shape[1] - offset
+                if stop <= 0:
+                    continue
+                stop = min(stop, length)
+                future = padded[:, offset:offset + stop]
+                rows, cols = np.nonzero(future != PAD_ID)
+                multi_hot[rows, cols, future[rows, cols]] = 1.0
+            multi_hot[:, :, PAD_ID] = 0.0
+            np.greater(multi_hot.sum(axis=-1), 0, out=weights)
+
+        record_host(refill)
     return inputs, multi_hot, weights
 
 

@@ -25,7 +25,8 @@ import numpy as np
 from ..data.batching import build_training_matrix, pad_left, pad_left_into
 from ..data.interactions import SequenceCorpus
 from ..nn.module import Module
-from ..tensor import Tensor, no_grad
+from ..tensor import Tensor, get_default_dtype, no_grad
+from ..tensor.compile import record_feed, run_compiled
 
 __all__ = ["Recommender", "NeuralSequentialRecommender"]
 
@@ -168,6 +169,19 @@ class NeuralSequentialRecommender(Module, Recommender):
     #: column trimming never drops a supervised position.
     target_window: int = 1
 
+    #: Whether the model's training step may be compiled into a
+    #: trace-and-replay program (:mod:`repro.tensor.compile`).  Models
+    #: whose step has data-dependent shapes set this False (Caser) and
+    #: always train eagerly; everything else is proven traceable by the
+    #: bitwise parity suite.  Consumed by ``repro.train``.
+    compile_training: bool = True
+
+    #: Whether eval-mode scoring forwards (``score_batch`` /
+    #: ``hidden_last``) replay compiled no-grad programs over the
+    #: preallocated buffer arena.  ``EngineConfig.compile`` and the
+    #: ``--no-compile`` CLI flag toggle this per instance.
+    compile_scoring: bool = True
+
     def __init__(self, num_items: int, max_length: int):
         Module.__init__(self)
         if num_items < 1:
@@ -255,13 +269,35 @@ class NeuralSequentialRecommender(Module, Recommender):
             object.__setattr__(self, "_scoring_buffer", buffer)
         return buffer[:batch]
 
+    def _compiled_eval(self, kind: str, fn, padded: np.ndarray) -> Tensor:
+        """Eval-mode ``fn(padded)`` through the compiled replay path.
+
+        The first batch of each ``(kind, shape, dtype)`` bucket traces a
+        no-grad eager forward; later batches replay its op program into
+        the retained arena with ``padded`` copied in as the only feed —
+        zero tensor construction, zero arena growth, bitwise-identical
+        logits.  Untraceable forwards pin the key DYNAMIC and stay eager.
+        """
+        if self.training or not self.compile_scoring:
+            return fn(padded)
+        key = (kind, padded.shape, np.dtype(get_default_dtype()))
+
+        def build():
+            record_feed("padded", padded)
+            return fn(padded)
+
+        result, _ = run_compiled(
+            self, key, build, feed_values={"padded": padded}
+        )
+        return result
+
     def score_batch(self, histories: list[np.ndarray]) -> np.ndarray:
         self.eval()
         padded = self._padded_buffer(len(histories))
         for row, history in zip(padded, histories):
             pad_left_into(np.asarray(history, dtype=np.int64), row)
         with no_grad():
-            logits = self.forward_last(padded)
+            logits = self._compiled_eval("last", self.forward_last, padded)
         scores = logits.numpy().copy()
         scores[:, 0] = -np.inf
         return scores
@@ -285,8 +321,12 @@ class NeuralSequentialRecommender(Module, Recommender):
         for row, history in zip(padded, histories):
             pad_left_into(np.asarray(history, dtype=np.int64), row)
         with no_grad():
-            hidden = self.forward_last_hidden(padded)
-        return hidden.numpy()
+            hidden = self._compiled_eval(
+                "hidden", self.forward_last_hidden, padded
+            )
+        # Copy: a replayed program returns its retained arena tensor,
+        # which the next batch will overwrite in place.
+        return hidden.numpy().copy()
 
     def score_last(
         self,

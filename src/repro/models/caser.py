@@ -26,6 +26,7 @@ from ..nn import (
     VerticalConvolution,
 )
 from ..tensor import Tensor, concatenate, cross_entropy
+from ..tensor.compile import mark_dynamic, record_host, tracing
 from ..tensor.random import spawn_rngs
 from .base import NeuralSequentialRecommender
 
@@ -40,6 +41,11 @@ class Caser(NeuralSequentialRecommender):
     """
 
     name = "Caser"
+
+    # Training gathers a data-dependent number of supervised windows
+    # (np.nonzero below), so the training step cannot be compiled into a
+    # fixed-shape program; the trainer keeps Caser on the eager path.
+    compile_training = False
 
     def __init__(
         self,
@@ -94,6 +100,8 @@ class Caser(NeuralSequentialRecommender):
         evaluation can read the last position exactly like the attention
         models.
         """
+        if tracing():
+            mark_dynamic("Caser forward_scores rebuilds sliding windows")
         padded = np.asarray(padded, dtype=np.int64)
         batch, length = padded.shape
         extended = np.concatenate(
@@ -131,11 +139,13 @@ class Caser(NeuralSequentialRecommender):
 
     def _last_window(self, padded: np.ndarray) -> np.ndarray:
         """The ``(batch, window)`` id slice ending at the final item."""
+        source = padded
         padded = np.asarray(padded, dtype=np.int64)
         batch, length = padded.shape
         if length >= self.window:
+            # A view of the (feed-refreshed) batch: replay-transparent.
             return padded[:, -self.window:]
-        return np.concatenate(
+        window = np.concatenate(
             [
                 np.full((batch, self.window - length), PAD_ID,
                         dtype=np.int64),
@@ -143,6 +153,17 @@ class Caser(NeuralSequentialRecommender):
             ],
             axis=1,
         )
+        if tracing():
+            if padded is not source:
+                mark_dynamic("padded id batch required a dtype copy")
+            else:
+                pad_width = self.window - length
+
+                def refresh():
+                    window[:, pad_width:] = padded
+
+                record_host(refresh)
+        return window
 
     def forward_last_hidden(self, padded: np.ndarray) -> Tensor:
         return self._window_hidden(self._last_window(padded))
@@ -159,6 +180,8 @@ class Caser(NeuralSequentialRecommender):
         Rather than running every position (most are padding for short
         sequences), gather only windows whose target is a real item.
         """
+        if tracing():
+            mark_dynamic("Caser gathers a data-dependent window count")
         padded = np.asarray(padded, dtype=np.int64)
         batch = padded.shape[0]
         extended = np.concatenate(

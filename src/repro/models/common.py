@@ -13,7 +13,8 @@ from ..data.interactions import PAD_ID
 from ..nn import Dropout, Embedding, Parameter
 from ..nn.module import Module
 from ..nn.positional import sinusoidal_positions
-from ..tensor import Tensor
+from ..tensor import Tensor, get_default_dtype
+from ..tensor.compile import mark_dynamic, record_host, tracing
 
 __all__ = ["SequenceEmbedding"]
 
@@ -87,6 +88,7 @@ class SequenceEmbedding(Module):
             is {0,1} float with 1 at real positions, and
             ``key_padding_mask`` is boolean with True at padded positions.
         """
+        source = padded
         padded = np.asarray(padded, dtype=np.int64)
         if padded.ndim != 2 or not 1 <= padded.shape[1] <= self.max_length:
             raise ValueError(
@@ -95,7 +97,19 @@ class SequenceEmbedding(Module):
             )
         length = padded.shape[1]
         key_padding_mask = padded == PAD_ID
-        timeline_mask = (~key_padding_mask).astype(np.float64)
+        # Default dtype (not hard-coded float64): the values are exactly
+        # 0/1 either way, downstream float32 consumers skip a casting
+        # copy, and under a trace the mask buffers stay live views.
+        timeline_mask = (~key_padding_mask).astype(get_default_dtype())
+        if tracing():
+            if padded is not source:
+                mark_dynamic("padded id batch required a dtype copy")
+            else:
+                def refresh_masks():
+                    np.equal(padded, PAD_ID, out=key_padding_mask)
+                    np.logical_not(key_padding_mask, out=timeline_mask)
+
+                record_host(refresh_masks)
         embedded = self.item_embedding(padded) * self.scale
         positions = (
             self.position_embedding

@@ -18,6 +18,7 @@ from ..core.elbo import elbo_terms, reconstruction_targets
 from ..data.interactions import PAD_ID
 from ..nn import GRU, Dropout, Embedding, Linear
 from ..tensor import Tensor
+from ..tensor.compile import record_host, tracing
 from ..tensor.random import spawn_rngs
 from ..train.annealing import BetaSchedule, KLAnnealing
 from .base import NeuralSequentialRecommender
@@ -108,7 +109,13 @@ class SVAE(NeuralSequentialRecommender):
         return self.decoder_out(hidden)
 
     def _sample(self, mu: Tensor, sigma: Tensor) -> Tensor:
-        noise = Tensor(self._noise_rng.standard_normal(mu.shape))
+        rng = self._noise_rng
+        noise = Tensor(rng.standard_normal(mu.shape))
+        if tracing():
+            # RNG tap: replay draws from the same generator object (see
+            # the matching note in repro.core.vsan.latent_layer).
+            buf, shape = noise.data, mu.shape
+            record_host(lambda: np.copyto(buf, rng.standard_normal(shape)))
         return mu + sigma * noise
 
     # ------------------------------------------------------------------
@@ -173,3 +180,18 @@ class SVAE(NeuralSequentialRecommender):
         return elbo_terms(
             logits, targets, weights, mu, sigma, beta, multi_hot
         ).loss
+
+    # ------------------------------------------------------------------
+    # Compiled-execution hooks (repro.tensor.compile)
+    # ------------------------------------------------------------------
+    def compile_beta_zero(self) -> bool:
+        """Whether the next step's β is exactly zero (pure peek) — see
+        the matching note on :meth:`repro.core.vsan.VSAN.compile_beta_zero`."""
+        return self.annealing.beta(self._step) == 0.0
+
+    def compile_step_feeds(self) -> dict[str, float]:
+        """β feed + step bump for a replayed training program."""
+        beta = self.annealing.beta(self._step)
+        if self.training:
+            self._step += 1
+        return {"beta": beta}

@@ -23,6 +23,7 @@ from functools import lru_cache
 import numpy as np
 
 from ..tensor import Tensor, fused_attention, masked_fill_value, softmax
+from ..tensor.compile import mark_dynamic, record_host, tracing
 from . import init
 from .module import Module, Parameter
 
@@ -109,11 +110,21 @@ class CausalSelfAttention(Module):
             buffer = np.empty(shape, dtype=bool)
             if reusable:
                 self._mask_scratch = buffer
-        np.copyto(buffer, causal_mask(length)[None, None, :, :])
-        buffer |= pad[:, None, None, :]
-        # Keep the diagonal attendable to avoid all-masked (NaN) rows.
+        causal = causal_mask(length)[None, None, :, :]
         diagonal = np.arange(length)
-        buffer[:, :, diagonal, diagonal] = False
+
+        def fill():
+            np.copyto(buffer, causal)
+            np.bitwise_or(buffer, pad[:, None, None, :], out=buffer)
+            # Keep the diagonal attendable to avoid all-masked (NaN) rows.
+            buffer[:, :, diagonal, diagonal] = False
+
+        fill()
+        if tracing():
+            if pad is not key_padding_mask:
+                mark_dynamic("key_padding_mask required a bool copy")
+            else:
+                record_host(fill)
         return buffer
 
     def forward(
@@ -179,6 +190,8 @@ class CausalSelfAttention(Module):
             full_mask = np.broadcast_to(
                 mask, (batch, heads, length, length)
             ).copy()
+            if tracing() and key_padding_mask is not None:
+                record_host(lambda: np.copyto(full_mask, mask))
             scores = scores.masked_fill(
                 full_mask, masked_fill_value(scores.dtype)
             )

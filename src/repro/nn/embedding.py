@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..tensor import Tensor
+from ..tensor.compile import mark_dynamic, record_host, tracing
 from . import init
 from .module import Module, Parameter
 
@@ -42,13 +43,23 @@ class Embedding(Module):
         self.weight = Parameter(table)
 
     def forward(self, indices: np.ndarray) -> Tensor:
+        source = indices
         indices = np.asarray(indices, dtype=np.int64)
         if indices.min() < 0 or indices.max() >= self.num_embeddings:
             raise IndexError(
                 f"embedding index out of range [0, {self.num_embeddings})"
             )
+        # Replay note: the range validation above runs at trace time only;
+        # replayed programs reuse this gather with refreshed indices.
+        if tracing() and indices is not source:
+            mark_dynamic("embedding indices required a dtype copy")
         rows = self.weight.take_rows(indices)
         if self.padding_idx is not None:
             keep = (indices != self.padding_idx).astype(rows.dtype)
+            if tracing():
+                pidx = self.padding_idx
+                record_host(
+                    lambda: np.not_equal(indices, pidx, out=keep)
+                )
             rows = rows * Tensor(keep[..., None])
         return rows

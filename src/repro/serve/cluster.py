@@ -338,6 +338,10 @@ def _shard_loop(
                         "swap_failed",
                         f"{type(error).__name__}: {error}",
                     ))
+            elif kind == "warm":
+                # Pre-trace compiled scoring programs for the router's
+                # hot batch sizes before this replica takes traffic.
+                conn.send(("warmed", service.warm_programs(message[1])))
             elif kind == "rollback":
                 for rung, model in stash.items():
                     service.swap_model(rung, model)
@@ -437,6 +441,12 @@ class ServingCluster:
         # workers so replacements serve the same model versions as
         # their peers (the pipe pickles these exactly like a swap).
         self._swaps: dict[int, dict] = {s: {} for s in shard_ids}
+        # Flush-size histogram per shard: the router's view of which
+        # shape buckets are hot, replayed into respawned workers so
+        # they pre-trace those compiled programs before taking traffic.
+        self._hot_batches: dict[int, dict[int, int]] = {
+            s: {} for s in shard_ids
+        }
         for shard in shard_ids:
             for _ in range(self.config.replicas_per_shard):
                 self._spawn_worker(shard)
@@ -644,6 +654,11 @@ class ServingCluster:
         if not batch or not group:
             return
         self._pending[shard] = []
+        hot = self._hot_batches[shard]
+        hot[len(batch)] = hot.get(len(batch), 0) + 1
+        if len(hot) > 8:
+            # Keep the histogram tiny: drop the coldest size.
+            del hot[min(hot, key=hot.get)]
         worker = group[self._rr[shard] % len(group)]
         self._rr[shard] += 1
         now = self._clock()
@@ -697,7 +712,7 @@ class ServingCluster:
             )
         elif kind in (
             "swapped", "swap_failed", "rolled_back", "committed",
-            "probed", "stats", "described",
+            "probed", "stats", "described", "warmed",
         ):
             # A control reply outliving its timed-out control call —
             # drop it rather than wedge the data plane.
@@ -900,10 +915,21 @@ class ServingCluster:
                 # commit so a future rollback stops at the warm-loaded
                 # state, exactly like its peers.
                 self._control_worker(worker, ("commit",), ("committed",))
+            # Replica-aware cache warming: replay the shard's hot flush
+            # sizes so the replacement pre-traces its compiled scoring
+            # programs now, not on its first live batches.
+            hot = sorted(self._hot_batches[shard])
+            warmed = 0
+            if hot:
+                warmed = self._control_worker(
+                    worker, ("warm", hot), ("warmed",)
+                )[1]
         except ClusterError:
             return  # died during warm-load; books already settled
         self.respawns += 1
-        self._event("respawned", shard, worker=worker)
+        self._event(
+            "respawned", shard, worker=worker, warmed_programs=warmed
+        )
         if rejoining:
             self.ring.add(shard)
             self._event("rejoined", shard)

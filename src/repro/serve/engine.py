@@ -78,12 +78,20 @@ class EngineConfig:
             two-stage IVF retrieve + exact re-rank path.  Models without
             retrieval hooks fall back to dense scoring silently (the
             fallback is visible in :meth:`InferenceEngine.snapshot`).
+        compile: route the wrapped neural model's scoring forwards
+            through the trace-and-replay compiled path
+            (:mod:`repro.tensor.compile`): the first flush of each batch
+            shape traces a no-grad program, later flushes replay it over
+            the preallocated buffer arena.  ``False`` forces eager
+            forwards (the ``--no-compile`` CLI flag); non-neural models
+            ignore the knob.
     """
 
     max_batch: int = 32
     cache_capacity: int = 4096
     max_delay: float = 0.0
     index: IndexConfig | None = None
+    compile: bool = True
 
     def __post_init__(self):
         if self.max_batch < 1:
@@ -308,6 +316,7 @@ class InferenceEngine:
                  clock=time.monotonic):
         self.config = config or EngineConfig()
         self._model = model
+        self._apply_compile()
         self.model_version = 0
         self._retrieval: RetrievalEngine | None = None
         self._retrieval_unsupported = False
@@ -325,6 +334,12 @@ class InferenceEngine:
     # ------------------------------------------------------------------
     # Model management (cache-invalidation rule lives here)
     # ------------------------------------------------------------------
+    def _apply_compile(self) -> None:
+        """Push the ``compile`` knob onto the wrapped model (neural
+        models read ``compile_scoring`` in their ``score_batch``)."""
+        if hasattr(self._model, "compile_scoring"):
+            self._model.compile_scoring = self.config.compile
+
     @property
     def model(self):
         return self._model
@@ -346,6 +361,7 @@ class InferenceEngine:
         never rank on behalf of a swapped-in model.
         """
         self._model = model
+        self._apply_compile()
         self.model_version += 1
         self._retrieval = None
         self._retrieval_unsupported = False

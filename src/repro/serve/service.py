@@ -518,6 +518,49 @@ class RecommendService:
         engine = rung.engine
         return engine.model if engine is not None else rung.model
 
+    def warm_programs(self, batch_sizes) -> int:
+        """Pre-trace compiled scoring programs for ``batch_sizes``.
+
+        A respawned cluster replica calls this before rejoining the
+        ring: for each rung whose model compiles its scoring forwards
+        (:mod:`repro.tensor.compile`), one probe ``score_batch`` runs
+        per hot batch size, so the replica's first real flushes *replay*
+        programs instead of paying the trace.  Sizes are translated to
+        the model-level shapes the engine's micro-batcher will actually
+        produce (``max_batch`` chunks plus the ragged remainder); probes
+        call the model directly, so no score cache or stats counter
+        moves.  Returns how many programs were traced.
+        """
+        from ..tensor.compile import programs_for
+
+        warmed = 0
+        for rung in self._rungs:
+            engine = rung.engine
+            model = engine.model if engine is not None else rung.model
+            if not getattr(model, "compile_scoring", False):
+                continue
+            if getattr(model, "max_length", None) is None:
+                continue
+            chunk_sizes: set[int] = set()
+            for size in batch_sizes:
+                size = int(size)
+                if size < 1:
+                    continue
+                if engine is not None:
+                    full, remainder = divmod(size, engine.config.max_batch)
+                    if full:
+                        chunk_sizes.add(engine.config.max_batch)
+                    if remainder:
+                        chunk_sizes.add(remainder)
+                else:
+                    chunk_sizes.add(size)
+            probe = np.array([1], dtype=np.int64)
+            for size in sorted(chunk_sizes):
+                before = len(programs_for(model))
+                model.score_batch([probe] * size)
+                warmed += len(programs_for(model)) - before
+        return warmed
+
     def describe_rungs(self) -> dict:
         """Per-rung model identity: class name plus the engine's model
         version and a summary of its configuration (both ``None`` for

@@ -110,6 +110,7 @@ def run_smoke(
     verbose: bool = True,
     engine: bool = False,
     retrieval: bool = False,
+    compile: bool = True,
 ) -> int:
     """Run the smoke scenario; returns 0 on success.
 
@@ -151,6 +152,7 @@ def run_smoke(
 
     trainer = Trainer(TrainerConfig(
         epochs=epochs, batch_size=64, verbose=False, seed=seed,
+        compile=compile,
     ))
 
     with tempfile.TemporaryDirectory() as scratch:
@@ -178,6 +180,10 @@ def run_smoke(
                         seed=seed)
         trainer.fit(sasrec, corpus)
         pop = POP(num_items).fit(corpus)
+        if not compile:
+            # Direct (engine-less) rungs read the per-instance knob.
+            primary.compile_scoring = False
+            sasrec.compile_scoring = False
 
         injector = FaultInjector(
             error_rate=error_rate,
@@ -205,6 +211,7 @@ def run_smoke(
             engine=(
                 EngineConfig(
                     max_batch=16,
+                    compile=compile,
                     index=(
                         # Deliberately approximate: half the lists
                         # probed, so exact-mode short-circuiting cannot

@@ -10,8 +10,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from .compile import mark_dynamic, record_host, tracing
 from .fused import fused_cross_entropy, fused_multi_hot_cross_entropy
-from .tensor import Tensor
+from .tensor import Tensor, get_default_dtype
 
 __all__ = [
     "softmax",
@@ -149,7 +150,23 @@ def gaussian_kl_standard_normal(
     total = float(weights.sum())
     if total <= 0:
         raise ValueError("gaussian_kl weights sum to zero")
-    return (per_position * Tensor(weights)).sum() * (1.0 / total)
+    weight_leaf = Tensor(weights)
+    # The averaging coefficient 1/total depends on the (per-step) weight
+    # mask, so under a trace it lives in a replay-refreshed 0-d buffer
+    # instead of being frozen into the graph as a python float.
+    inv = np.asarray(1.0 / total, dtype=get_default_dtype())
+    if tracing():
+        if weight_leaf.data is not weights:
+            mark_dynamic("gaussian_kl weights dtype differs from default")
+
+        def refresh():
+            t = float(weights.sum())
+            if t <= 0:
+                raise ValueError("gaussian_kl weights sum to zero")
+            inv[...] = 1.0 / t
+
+        record_host(refresh)
+    return (per_position * weight_leaf).sum() * Tensor(inv)
 
 
 def dropout(x: Tensor, rate: float, rng: np.random.Generator,
@@ -164,8 +181,27 @@ def dropout(x: Tensor, rate: float, rng: np.random.Generator,
     if not 0.0 <= rate < 1.0:
         raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
     keep = 1.0 - rate
-    mask = (rng.random(x.shape) < keep) / keep
-    return x * Tensor(mask.astype(x.dtype))
+    mask_leaf = Tensor(((rng.random(x.shape) < keep) / keep).astype(x.dtype))
+    if tracing():
+        # Replay must consume the generator exactly as eager would: the
+        # closure captures the generator object itself (its state advances
+        # in place) and rewrites the retained mask buffer.  All scratch is
+        # preallocated — ``Generator.random(out=)`` draws the identical
+        # stream as ``random(shape)``, and ``np.less``/``np.divide`` are
+        # the ufuncs behind ``<`` and ``/``, so replays stay bitwise equal
+        # to eager while allocating nothing.
+        dst, shape = mask_leaf.data, x.shape
+        draw_buf = np.empty(shape, dtype=np.float64)
+        mask_buf = np.empty(shape, dtype=np.bool_)
+
+        def refresh():
+            rng.random(out=draw_buf)
+            np.less(draw_buf, keep, out=mask_buf)
+            np.divide(mask_buf, keep, out=draw_buf)
+            np.copyto(dst, draw_buf)
+
+        record_host(refresh)
+    return x * mask_leaf
 
 
 def relu(x: Tensor) -> Tensor:

@@ -95,23 +95,57 @@ def fused_attention(
     weights = scores  # the single retained buffer
     out = weights @ v
 
+    def forward():
+        # ``out=`` forms, not augmented assignment: the latter would
+        # rebind ``weights`` as a closure-local and never refresh the
+        # retained buffer.
+        np.matmul(q, np.swapaxes(k, -1, -2), out=weights)
+        np.multiply(weights, scale, out=weights)
+        if mask is not None:
+            np.copyto(weights, masked_fill_value(weights.dtype), where=mask)
+        np.subtract(
+            weights, weights.max(axis=-1, keepdims=True), out=weights
+        )
+        np.exp(weights, out=weights)
+        np.divide(
+            weights, weights.sum(axis=-1, keepdims=True), out=weights
+        )
+        np.matmul(weights, v, out=out)
+
+    # Closure-cached backward buffers — replayed programs rerun this
+    # closure every step, and its GEMM products / softmax temporaries are
+    # the largest attention allocations.  Same ufuncs in the same order
+    # as the expression form, so gradients stay bitwise identical.
+    grad_bufs = [None] * 4
+
+    def gemm(slot, a, b):
+        buf = grad_bufs[slot]
+        if buf is not None and buf.shape == a.shape[:-1] + b.shape[-1:]:
+            return np.matmul(a, b, out=buf)
+        grad_bufs[slot] = out = a @ b
+        return out
+
     def backward(grad):
         if values.requires_grad:
-            values._accumulate(np.swapaxes(weights, -1, -2) @ grad)
+            values._accumulate_owned(
+                gemm(0, np.swapaxes(weights, -1, -2), grad)
+            )
         if queries.requires_grad or keys.requires_grad:
-            d_weights = grad @ np.swapaxes(v, -1, -2)
+            d_weights = gemm(1, grad, np.swapaxes(v, -1, -2))
             # Softmax backward; masked entries have weight exactly 0
             # (the fill underflows in exp), so d_scores is 0 there.
-            d_scores = weights * (
-                d_weights - (d_weights * weights).sum(axis=-1, keepdims=True)
-            )
-            d_scores *= scale
+            inner = (d_weights * weights).sum(axis=-1, keepdims=True)
+            d_scores = np.subtract(d_weights, inner, out=d_weights)
+            np.multiply(weights, d_scores, out=d_scores)
+            np.multiply(d_scores, scale, out=d_scores)
             if queries.requires_grad:
-                queries._accumulate(d_scores @ k)
+                queries._accumulate_owned(gemm(2, d_scores, k))
             if keys.requires_grad:
-                keys._accumulate(np.swapaxes(d_scores, -1, -2) @ q)
+                keys._accumulate_owned(
+                    gemm(3, np.swapaxes(d_scores, -1, -2), q)
+                )
 
-    result = Tensor._make(out, (queries, keys, values), backward)
+    result = Tensor._make(out, (queries, keys, values), backward, forward)
     if return_weights:
         return result, Tensor(weights)
     return result
@@ -135,6 +169,16 @@ def _position_scale(
     return weights / total
 
 
+def _refresh_coeff(weights_src, coeff, dtype, message: str) -> None:
+    """Recompute averaging coefficients in place from the (host-refreshed)
+    source weights — the replay counterpart of :func:`_position_scale`."""
+    flat = np.asarray(weights_src, dtype=dtype).reshape(-1)
+    total = float(flat.sum())
+    if total <= 0:
+        raise ValueError(message)
+    np.divide(flat, total, out=coeff)
+
+
 def fused_cross_entropy(
     logits: Tensor,
     targets: np.ndarray,
@@ -147,7 +191,10 @@ def fused_cross_entropy(
     weights.  Matches :func:`repro.tensor.functional.cross_entropy`
     (the composed reference) to float64 round-off.
     """
+    targets_src = targets
+    weights_src = weights
     targets = np.asarray(targets, dtype=np.int64).reshape(-1)
+    targets_copied = not np.shares_memory(targets, targets_src)
     flat, num_classes = _flatten_logits(logits)
     rows = np.arange(flat.shape[0])
     shifted = flat - flat.max(axis=-1, keepdims=True)
@@ -157,17 +204,39 @@ def fused_cross_entropy(
     picked = shifted[rows, targets] - np.log(denom[:, 0])
     coeff = _position_scale(weights, flat.shape[0], flat.dtype)
     loss = -float((picked * coeff).sum())
+    out = np.asarray(loss, dtype=logits.dtype)
+
+    def forward():
+        if targets_copied:
+            targets[...] = np.asarray(
+                targets_src, dtype=np.int64
+            ).reshape(-1)
+        np.subtract(flat, flat.max(axis=-1, keepdims=True), out=shifted)
+        np.exp(shifted, out=exps)
+        np.sum(exps, axis=-1, keepdims=True, out=denom)
+        if weights_src is not None:
+            _refresh_coeff(weights_src, coeff, flat.dtype,
+                           "cross_entropy weights sum to zero")
+        picked = shifted[rows, targets] - np.log(denom[:, 0])
+        out[...] = -((picked * coeff).sum())
+
+    # The softmax grad matrix is (batch*positions, vocab) — by far the
+    # largest backward temporary.  Cache it on the closure so replayed
+    # programs rewrite it in place instead of re-allocating every step.
+    grad_bufs = [None]
 
     def backward(grad):
         scalar = float(np.asarray(grad))
-        softmax = exps / denom
+        buf = grad_bufs[0]
+        if buf is not None and buf.shape == exps.shape:
+            softmax = np.divide(exps, denom, out=buf)
+        else:
+            softmax = grad_bufs[0] = exps / denom
         softmax[rows, targets] -= 1.0
         softmax *= (scalar * coeff)[:, None]
-        logits._accumulate(softmax.reshape(logits.shape))
+        logits._accumulate_owned(softmax.reshape(logits.shape))
 
-    return Tensor._make(
-        np.asarray(loss, dtype=logits.dtype), (logits,), backward
-    )
+    return Tensor._make(out, (logits,), backward, forward)
 
 
 def fused_multi_hot_cross_entropy(
@@ -183,8 +252,11 @@ def fused_multi_hot_cross_entropy(
     :func:`repro.tensor.functional.multi_hot_cross_entropy`.
     """
     flat, num_classes = _flatten_logits(logits)
+    target_src = target_multi_hot
+    weights_src = weights
     target = np.asarray(target_multi_hot, dtype=flat.dtype)
     target = np.broadcast_to(target, logits.shape).reshape(-1, num_classes)
+    target_copied = not np.shares_memory(target, target_src)
     shifted = flat - flat.max(axis=-1, keepdims=True)
     exps = np.exp(shifted)
     denom = exps.sum(axis=-1, keepdims=True)
@@ -196,18 +268,42 @@ def fused_multi_hot_cross_entropy(
     except ValueError:
         raise ValueError("multi_hot_cross_entropy weights sum to zero")
     loss = float((per_position * coeff).sum())
+    out = np.asarray(loss, dtype=logits.dtype)
+    logits_shape = logits.shape
+
+    def forward():
+        if target_copied:
+            target[...] = np.broadcast_to(
+                np.asarray(target_src, dtype=flat.dtype), logits_shape
+            ).reshape(-1, num_classes)
+        np.subtract(flat, flat.max(axis=-1, keepdims=True), out=shifted)
+        np.exp(shifted, out=exps)
+        np.sum(exps, axis=-1, keepdims=True, out=denom)
+        lse = np.log(denom[:, 0])
+        np.sum(target, axis=-1, out=target_mass)
+        per_position = target_mass * lse - (target * shifted).sum(axis=-1)
+        if weights_src is not None:
+            _refresh_coeff(weights_src, coeff, flat.dtype,
+                           "multi_hot_cross_entropy weights sum to zero")
+        out[...] = (per_position * coeff).sum()
+
+    # Same buffer-caching as fused_cross_entropy: the softmax grad matrix
+    # dominates backward allocations on replayed programs.
+    grad_bufs = [None]
 
     def backward(grad):
         scalar = float(np.asarray(grad))
-        softmax = exps / denom
+        buf = grad_bufs[0]
+        if buf is not None and buf.shape == exps.shape:
+            softmax = np.divide(exps, denom, out=buf)
+        else:
+            softmax = grad_bufs[0] = exps / denom
         softmax *= target_mass[:, None]
         softmax -= target
         softmax *= (scalar * coeff)[:, None]
-        logits._accumulate(softmax.reshape(logits.shape))
+        logits._accumulate_owned(softmax.reshape(logits.shape))
 
-    return Tensor._make(
-        np.asarray(loss, dtype=logits.dtype), (logits,), backward
-    )
+    return Tensor._make(out, (logits,), backward, forward)
 
 
 def fused_layer_norm(
@@ -230,20 +326,49 @@ def fused_layer_norm(
     normalized = centered * inv_std  # retained for the backward
     out = normalized * gamma.data + beta.data
 
+    def forward():
+        np.subtract(data, data.mean(axis=-1, keepdims=True), out=centered)
+        variance = np.mean(centered * centered, axis=-1, keepdims=True)
+        np.divide(1.0, np.sqrt(variance + eps), out=inv_std)
+        np.multiply(centered, inv_std, out=normalized)
+        np.multiply(normalized, gamma.data, out=out)
+        np.add(out, beta.data, out=out)
+
+    # Closure-cached backward temporaries: replayed programs run this
+    # backward every step, and the (batch, ..., dim) products dominate
+    # its allocations.  All rewrites below are the same ufuncs in the
+    # same order as the expression form, so gradients stay bitwise equal.
+    grad_bufs = [None, None]
+
+    def cached(slot, a, b):
+        buf = grad_bufs[slot]
+        if buf is not None and buf.shape == a.shape:
+            return np.multiply(a, b, out=buf)
+        grad_bufs[slot] = out = a * b
+        return out
+
     def backward(grad):
         reduce_axes = tuple(range(grad.ndim - 1))
         if gamma.requires_grad:
-            gamma._accumulate((grad * normalized).sum(axis=reduce_axes))
+            gamma._accumulate_owned(
+                cached(0, grad, normalized).sum(axis=reduce_axes)
+            )
         if beta.requires_grad:
-            beta._accumulate(grad.sum(axis=reduce_axes))
+            beta._accumulate_owned(grad.sum(axis=reduce_axes))
         if x.requires_grad:
-            d_normalized = grad * gamma.data
+            d_normalized = cached(1, grad, gamma.data)
             term_mean = d_normalized.mean(axis=-1, keepdims=True)
             term_proj = np.mean(
-                d_normalized * normalized, axis=-1, keepdims=True
+                cached(0, d_normalized, normalized), axis=-1, keepdims=True
             )
-            x._accumulate(
-                (d_normalized - term_mean - normalized * term_proj) * inv_std
+            np.subtract(d_normalized, term_mean, out=d_normalized)
+            np.subtract(
+                d_normalized,
+                np.multiply(normalized, term_proj, out=grad_bufs[0]),
+                out=d_normalized,
+            )
+            x._accumulate_owned(
+                np.multiply(d_normalized, inv_std, out=d_normalized)
             )
 
-    return Tensor._make(out, (x, gamma, beta), backward)
+    return Tensor._make(out, (x, gamma, beta), backward, forward)

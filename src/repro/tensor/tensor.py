@@ -99,6 +99,14 @@ def is_grad_enabled() -> bool:
 
 _TAPE_NODES = 0
 
+# Active trace recorder (see repro.tensor.compile).  When set, every op
+# constructed through :meth:`Tensor._make` reports its output, parents,
+# and a *refire* closure — a zero-argument callable that recomputes the
+# output array in place from the parents' current data.  The recorder
+# turns one eager execution into a flat replayable program; when it is
+# None (the default) the hook is a single attribute check per op.
+_TRACER = None
+
 
 def tape_node_count() -> int:
     """Total graph nodes (tensors carrying a backward closure) allocated
@@ -153,6 +161,25 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
+def _cached_product(bufs, a, b):
+    """``a * b`` into a closure-cached buffer when the shape still fits.
+
+    Backward closures retained by a compiled program (see
+    :mod:`repro.tensor.compile`) run every replayed step; routing their
+    gradient products through a per-closure buffer removes the per-step
+    allocation.  Eager nodes run their backward once and simply take the
+    allocating path.  ``np.multiply`` with ``out=`` is the same ufunc as
+    ``*``, so results stay bitwise identical.
+    """
+    buf = bufs[0]
+    if buf is not None and buf.shape == a.shape:
+        return np.multiply(a, b, out=buf)
+    out = a * b
+    if isinstance(out, np.ndarray):  # 0-d products are numpy scalars
+        bufs[0] = out
+    return out
+
+
 def _as_array(value, dtype=None) -> np.ndarray:
     dtype = dtype or DEFAULT_DTYPE
     array = np.asarray(value)
@@ -166,7 +193,10 @@ def _as_array(value, dtype=None) -> np.ndarray:
 class Tensor:
     """A numpy-backed array node in a reverse-mode autodiff graph."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+    __slots__ = (
+        "data", "grad", "requires_grad", "_backward", "_parents",
+        "_grad_buf",
+    )
 
     def __init__(self, data, requires_grad: bool = False, dtype=None):
         self.data = _as_array(data, dtype=dtype)
@@ -174,6 +204,10 @@ class Tensor:
         self.requires_grad = bool(requires_grad)
         self._backward = None
         self._parents: tuple[Tensor, ...] = ()
+        # Reusable gradient buffer: the first _accumulate of a backward
+        # pass fills this in place instead of allocating, so parameters
+        # and replayed-program nodes reach a zero-allocation steady state.
+        self._grad_buf: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -220,6 +254,7 @@ class Tensor:
         data: np.ndarray,
         parents: tuple["Tensor", ...],
         backward,
+        forward=None,
     ) -> "Tensor":
         """Construct a graph node from an op result.
 
@@ -227,6 +262,13 @@ class Tensor:
         ``parent._accumulate(...)`` for each parent needing a gradient.
         When gradients are globally disabled, or no parent requires a
         gradient, a detached leaf is returned instead.
+
+        ``forward`` is the op's *refire*: a zero-argument callable that
+        recomputes ``data`` in place from the parents' current arrays.
+        It is only consulted by an active trace recorder
+        (:mod:`repro.tensor.compile`); eager execution never calls it.
+        An op that cannot be refired passes ``None``, which makes any
+        program being traced through it bail to eager permanently.
         """
         requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
         out = Tensor(data)
@@ -236,6 +278,14 @@ class Tensor:
             out.requires_grad = True
             out._parents = parents
             out._backward = backward
+        if _TRACER is not None:
+            if forward is not None and out.data is not data:
+                # _as_array copied (dtype cast or numpy-scalar result): the
+                # refire closure captured an array the node does not own,
+                # so replaying it would refresh a dead buffer.  Drop the
+                # refire; the tracer bails this program to eager.
+                forward = None
+            _TRACER.record_op(out, parents, forward)
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
@@ -245,12 +295,64 @@ class Tensor:
             # First contribution: one copy instead of a zero-fill + add.
             # A copy (not an alias) because op backwards may hand the same
             # buffer to several parents.  Shape-mismatched contributions
-            # (broadcast scalars) fall back to the add path.
+            # (broadcast scalars) fall back to the add path.  The copy
+            # lands in a per-tensor reusable buffer so repeated backward
+            # passes (parameters, replayed programs) allocate nothing.
+            buf = self._grad_buf
             if grad.shape == self.shape:
-                self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
+                if (
+                    buf is not None
+                    and buf.shape == grad.shape
+                    and buf.dtype == self.data.dtype
+                ):
+                    np.copyto(buf, grad)
+                    self.grad = buf
+                else:
+                    self.grad = self._grad_buf = np.array(
+                        grad, dtype=self.data.dtype, copy=True
+                    )
                 return
-            self.grad = np.zeros_like(self.data)
+            if (
+                buf is not None
+                and buf.shape == self.shape
+                and buf.dtype == self.data.dtype
+            ):
+                buf[...] = 0.0
+                self.grad = buf
+            else:
+                self.grad = self._grad_buf = np.zeros_like(self.data)
         self.grad += grad
+
+    def _accumulate_owned(self, grad: np.ndarray) -> None:
+        """:meth:`_accumulate` for a contribution whose buffer this tensor
+        may take over by reference instead of copying.  Two call sites
+        qualify:
+
+        * a buffer the caller exclusively owns (a fresh temporary or a
+          closure-cached product buffer that is fully rewritten before
+          any reuse), or
+        * the raw child gradient handed to *exactly one* parent per
+          closure (``add``'s left operand, single-parent view ops,
+          disjoint ``concatenate`` slices).  Backward runs in reverse
+          topological order, so by the time later contributions mutate
+          the alias in place the child that produced it is already
+          processed — at most one *live* reference exists at any time,
+          and the next replay's first contribution overwrites the buffer
+          wholesale via ``np.copyto``.
+
+        Aliasing the same array from two parents of one closure, or a
+        user-supplied ``backward`` seed, would break these invariants —
+        those sites must keep the copying :meth:`_accumulate`.
+        """
+        if (
+            self.grad is None
+            and self.requires_grad
+            and grad.shape == self.shape
+            and grad.dtype == self.data.dtype
+        ):
+            self.grad = grad
+            return
+        self._accumulate(grad)
 
     def backward(self, grad=None) -> None:
         """Backpropagate from this tensor through the recorded graph.
@@ -260,6 +362,7 @@ class Tensor:
         """
         if not self.requires_grad:
             raise RuntimeError("backward() called on a tensor without grad")
+        default_seed = grad is None
         if grad is None:
             if self.size != 1:
                 raise RuntimeError(
@@ -290,13 +393,20 @@ class Tensor:
                 if parent.requires_grad and id(parent) not in seen:
                     stack.append((parent, False))
 
+        # Under an active trace the closures and topology are retained —
+        # they become the program's backward plan, replayed in this exact
+        # order against the refreshed arena (see repro.tensor.compile).
+        capture = _TRACER is not None and _TRACER.capture_backward(
+            self, order, default_seed
+        )
         self._accumulate(grad)
         for node in reversed(order):
             if node._backward is not None and node.grad is not None:
                 node._backward(node.grad)
-                # Free the tape as we go; leaves keep their grads.
-                node._backward = None
-                node._parents = ()
+                if not capture:
+                    # Free the tape as we go; leaves keep their grads.
+                    node._backward = None
+                    node._parents = ()
                 # Interior nodes do not need to keep their gradient.
 
     def zero_grad(self) -> None:
@@ -311,21 +421,35 @@ class Tensor:
 
     def __add__(self, other) -> "Tensor":
         other = self._coerce(other)
-        data = self.data + other.data
+        sa, oa = self.data, other.data
+        # np.asarray: 0-d results come back as numpy scalars; the refire
+        # closure must capture the very ndarray the node will own.
+        data = np.asarray(sa + oa)
 
         def backward(grad):
-            self._accumulate(_unbroadcast(grad, self.shape))
+            # Only one operand may take ``grad`` by reference (see
+            # _accumulate_owned); the other must copy.
+            self._accumulate_owned(_unbroadcast(grad, self.shape))
             other._accumulate(_unbroadcast(grad, other.shape))
 
-        return Tensor._make(data, (self, other), backward)
+        def forward():
+            np.add(sa, oa, out=data)
+
+        return Tensor._make(data, (self, other), backward, forward)
 
     __radd__ = __add__
 
     def __neg__(self) -> "Tensor":
-        def backward(grad):
-            self._accumulate(-grad)
+        sa = self.data
+        data = np.asarray(-sa)
 
-        return Tensor._make(-self.data, (self,), backward)
+        def backward(grad):
+            self._accumulate_owned(-grad)
+
+        def forward():
+            np.negative(sa, out=data)
+
+        return Tensor._make(data, (self,), backward, forward)
 
     def __sub__(self, other) -> "Tensor":
         return self + (-self._coerce(other))
@@ -335,27 +459,56 @@ class Tensor:
 
     def __mul__(self, other) -> "Tensor":
         other = self._coerce(other)
-        data = self.data * other.data
+        sa, oa = self.data, other.data
+        data = np.asarray(sa * oa)
+
+        # As with matmul, cache the grad-product buffers so replayed
+        # backward passes rewrite them in place instead of allocating.
+        prod_bufs = [None, None]
+
+        def grad_product(slot, grad, operand):
+            buf = prod_bufs[slot]
+            if buf is not None and buf.shape == grad.shape:
+                return np.multiply(grad, operand, out=buf)
+            out = grad * operand
+            if isinstance(out, np.ndarray):  # 0-d products come back as
+                prod_bufs[slot] = out        # numpy scalars: don't cache
+            return out
 
         def backward(grad):
-            self._accumulate(_unbroadcast(grad * other.data, self.shape))
-            other._accumulate(_unbroadcast(grad * self.data, other.shape))
+            if self.requires_grad:
+                self._accumulate_owned(
+                    _unbroadcast(grad_product(0, grad, other.data),
+                                 self.shape)
+                )
+            if other.requires_grad:
+                other._accumulate_owned(
+                    _unbroadcast(grad_product(1, grad, self.data),
+                                 other.shape)
+                )
 
-        return Tensor._make(data, (self, other), backward)
+        def forward():
+            np.multiply(sa, oa, out=data)
+
+        return Tensor._make(data, (self, other), backward, forward)
 
     __rmul__ = __mul__
 
     def __truediv__(self, other) -> "Tensor":
         other = self._coerce(other)
-        data = self.data / other.data
+        sa, oa = self.data, other.data
+        data = np.asarray(sa / oa)
 
         def backward(grad):
-            self._accumulate(_unbroadcast(grad / other.data, self.shape))
-            other._accumulate(
+            self._accumulate_owned(_unbroadcast(grad / other.data, self.shape))
+            other._accumulate_owned(
                 _unbroadcast(-grad * self.data / (other.data**2), other.shape)
             )
 
-        return Tensor._make(data, (self, other), backward)
+        def forward():
+            np.divide(sa, oa, out=data)
+
+        return Tensor._make(data, (self, other), backward, forward)
 
     def __rtruediv__(self, other) -> "Tensor":
         return self._coerce(other) / self
@@ -363,12 +516,16 @@ class Tensor:
     def __pow__(self, exponent: float) -> "Tensor":
         if isinstance(exponent, Tensor):
             raise TypeError("tensor exponents are not supported; use exp/log")
-        data = self.data**exponent
+        sa = self.data
+        data = np.asarray(sa**exponent)
 
         def backward(grad):
-            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+            self._accumulate_owned(grad * exponent * self.data ** (exponent - 1))
 
-        return Tensor._make(data, (self,), backward)
+        def forward():
+            np.power(sa, exponent, out=data)
+
+        return Tensor._make(data, (self,), backward, forward)
 
     def __matmul__(self, other) -> "Tensor":
         other = self._coerce(other)
@@ -378,6 +535,21 @@ class Tensor:
         # promotion so one general rule covers every arity.
         left_vector = self.data.ndim == 1
         right_vector = other.data.ndim == 1
+
+        # The two grad GEMM products are the largest backward temporaries.
+        # An eager node runs its backward once, but a node retained in a
+        # compiled program replays backward every step — caching the
+        # product buffers on the closure turns those steady-state replays
+        # allocation-free (np.matmul into the retained buffer is the same
+        # kernel as `@`, so results stay bitwise identical).
+        prod_bufs = [None, None]
+
+        def grad_product(slot, a, b):
+            buf = prod_bufs[slot]
+            if buf is not None and buf.shape == a.shape[:-1] + b.shape[-1:]:
+                return np.matmul(a, b, out=buf)
+            prod_bufs[slot] = out = a @ b
+            return out
 
         def backward(grad):
             left = self.data[None, :] if left_vector else self.data
@@ -389,114 +561,203 @@ class Tensor:
                 full_grad = np.expand_dims(full_grad, -1)
             if self.requires_grad:
                 grad_left = _unbroadcast(
-                    full_grad @ np.swapaxes(right, -1, -2), left.shape
+                    grad_product(
+                        0, full_grad, np.swapaxes(right, -1, -2)
+                    ),
+                    left.shape,
                 )
-                self._accumulate(grad_left.reshape(self.shape))
+                self._accumulate_owned(grad_left.reshape(self.shape))
             if other.requires_grad:
                 grad_right = _unbroadcast(
-                    np.swapaxes(left, -1, -2) @ full_grad, right.shape
+                    grad_product(
+                        1, np.swapaxes(left, -1, -2), full_grad
+                    ),
+                    right.shape,
                 )
-                other._accumulate(grad_right.reshape(other.shape))
+                other._accumulate_owned(grad_right.reshape(other.shape))
 
-        return Tensor._make(data, (self, other), backward)
+        sa, oa = self.data, other.data
+        if left_vector or right_vector:
+            # 1-D promotion: recompute out of place, then copy in.
+            def forward():
+                data[...] = sa @ oa
+        else:
+            def forward():
+                np.matmul(sa, oa, out=data)
+
+        return Tensor._make(data, (self, other), backward, forward)
 
     # ------------------------------------------------------------------
     # Elementwise functions
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
-        data = np.exp(self.data)
+        sa = self.data
+        data = np.exp(sa)
+
+        bufs = [None]
 
         def backward(grad):
-            self._accumulate(grad * data)
+            self._accumulate_owned(_cached_product(bufs, grad, data))
 
-        return Tensor._make(data, (self,), backward)
+        def forward():
+            np.exp(sa, out=data)
+
+        return Tensor._make(data, (self,), backward, forward)
 
     def log(self) -> "Tensor":
-        data = np.log(self.data)
+        sa = self.data
+        data = np.log(sa)
 
         def backward(grad):
-            self._accumulate(grad / self.data)
+            self._accumulate_owned(grad / self.data)
 
-        return Tensor._make(data, (self,), backward)
+        def forward():
+            np.log(sa, out=data)
+
+        return Tensor._make(data, (self,), backward, forward)
 
     def sqrt(self) -> "Tensor":
-        data = np.sqrt(self.data)
+        sa = self.data
+        data = np.sqrt(sa)
 
         def backward(grad):
-            self._accumulate(grad * 0.5 / data)
+            self._accumulate_owned(grad * 0.5 / data)
 
-        return Tensor._make(data, (self,), backward)
+        def forward():
+            np.sqrt(sa, out=data)
+
+        return Tensor._make(data, (self,), backward, forward)
 
     def tanh(self) -> "Tensor":
-        data = np.tanh(self.data)
+        sa = self.data
+        data = np.tanh(sa)
+
+        bufs = [None]
 
         def backward(grad):
-            self._accumulate(grad * (1.0 - data**2))
+            self._accumulate_owned(_cached_product(bufs, grad, 1.0 - data**2))
 
-        return Tensor._make(data, (self,), backward)
+        def forward():
+            np.tanh(sa, out=data)
+
+        return Tensor._make(data, (self,), backward, forward)
 
     def sigmoid(self) -> "Tensor":
         # Numerically stable logistic via tanh.
-        data = 0.5 * (np.tanh(0.5 * self.data) + 1.0)
+        sa = self.data
+        data = 0.5 * (np.tanh(0.5 * sa) + 1.0)
+
+        bufs = [None]
 
         def backward(grad):
-            self._accumulate(grad * data * (1.0 - data))
+            prod = _cached_product(bufs, grad, data)
+            self._accumulate_owned(np.multiply(prod, 1.0 - data, out=prod))
 
-        return Tensor._make(data, (self,), backward)
+        def forward():
+            # Same op sequence as the eager expression, in place.
+            np.multiply(sa, 0.5, out=data)
+            np.tanh(data, out=data)
+            np.add(data, 1.0, out=data)
+            np.multiply(data, 0.5, out=data)
+
+        return Tensor._make(data, (self,), backward, forward)
 
     def relu(self) -> "Tensor":
-        mask = self.data > 0
-        data = np.where(mask, self.data, 0.0)
+        sa = self.data
+        mask = sa > 0
+        data = np.where(mask, sa, 0.0)
+
+        bufs = [None]
 
         def backward(grad):
-            self._accumulate(grad * mask)
+            self._accumulate_owned(_cached_product(bufs, grad, mask))
 
-        return Tensor._make(data, (self,), backward)
+        def forward():
+            np.greater(sa, 0, out=mask)
+            # np.where semantics in place (a multiply would produce -0.0
+            # for negative inputs, breaking bitwise parity).
+            data[...] = 0.0
+            np.copyto(data, sa, where=mask)
+
+        return Tensor._make(data, (self,), backward, forward)
 
     def softplus(self) -> "Tensor":
         # log(1 + exp(x)) computed stably.
-        data = np.logaddexp(0.0, self.data)
+        sa = self.data
+        data = np.logaddexp(0.0, sa)
 
         def backward(grad):
-            self._accumulate(grad * 0.5 * (np.tanh(0.5 * self.data) + 1.0))
+            self._accumulate_owned(grad * 0.5 * (np.tanh(0.5 * self.data) + 1.0))
 
-        return Tensor._make(data, (self,), backward)
+        def forward():
+            np.logaddexp(0.0, sa, out=data)
+
+        return Tensor._make(data, (self,), backward, forward)
 
     def abs(self) -> "Tensor":
-        data = np.abs(self.data)
+        sa = self.data
+        data = np.abs(sa)
 
         def backward(grad):
-            self._accumulate(grad * np.sign(self.data))
+            self._accumulate_owned(grad * np.sign(self.data))
 
-        return Tensor._make(data, (self,), backward)
+        def forward():
+            np.abs(sa, out=data)
+
+        return Tensor._make(data, (self,), backward, forward)
 
     def clip(self, low: float | None, high: float | None) -> "Tensor":
         """Clamp values; gradient flows only through unclamped entries."""
-        data = np.clip(self.data, low, high)
-        mask = np.ones_like(self.data, dtype=bool)
+        sa = self.data
+        data = np.clip(sa, low, high)
+        mask = np.ones_like(sa, dtype=bool)
         if low is not None:
-            mask &= self.data >= low
+            mask &= sa >= low
         if high is not None:
-            mask &= self.data <= high
+            mask &= sa <= high
+
+        bufs = [None]
 
         def backward(grad):
-            self._accumulate(grad * mask)
+            self._accumulate_owned(_cached_product(bufs, grad, mask))
 
-        return Tensor._make(data, (self,), backward)
+        def forward():
+            np.clip(sa, low, high, out=data)
+            mask[...] = True
+            if low is not None:
+                np.logical_and(mask, sa >= low, out=mask)
+            if high is not None:
+                np.logical_and(mask, sa <= high, out=mask)
+
+        return Tensor._make(data, (self,), backward, forward)
 
     # ------------------------------------------------------------------
     # Reductions
     # ------------------------------------------------------------------
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
-        data = self.data.sum(axis=axis, keepdims=keepdims)
+        sa = self.data
+        data = np.asarray(sa.sum(axis=axis, keepdims=keepdims))
+        bufs = [None]
 
         def backward(grad):
             g = grad
             if axis is not None and not keepdims:
                 g = np.expand_dims(g, axis)
-            self._accumulate(np.broadcast_to(g, self.shape).copy())
+            buf = bufs[0]
+            if buf is not None and buf.shape == self.shape:
+                np.copyto(buf, g)
+                self._accumulate_owned(buf)
+            else:
+                bufs[0] = out = np.broadcast_to(g, self.shape).copy()
+                self._accumulate_owned(out)
 
-        return Tensor._make(data, (self,), backward)
+        def forward():
+            if data.ndim:
+                np.sum(sa, axis=axis, keepdims=keepdims, out=data)
+            else:
+                data[...] = sa.sum(axis=axis, keepdims=keepdims)
+
+        return Tensor._make(data, (self,), backward, forward)
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -509,7 +770,11 @@ class Tensor:
         return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
-        data = self.data.max(axis=axis, keepdims=keepdims)
+        sa = self.data
+        data = np.asarray(sa.max(axis=axis, keepdims=keepdims))
+
+        def forward():
+            data[...] = sa.max(axis=axis, keepdims=keepdims)
 
         def backward(grad):
             g = grad
@@ -522,9 +787,9 @@ class Tensor:
             # that keeps gradcheck stable away from exact ties.
             counts = mask.sum(axis=axis if axis is not None else None,
                               keepdims=True)
-            self._accumulate(np.where(mask, g / counts, 0.0))
+            self._accumulate_owned(np.where(mask, g / counts, 0.0))
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._make(data, (self,), backward, forward)
 
     def var(self, axis=None, keepdims: bool = False) -> "Tensor":
         """Biased variance (divide by N), as used by layer normalization."""
@@ -537,69 +802,97 @@ class Tensor:
     def reshape(self, *shape) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
-        data = self.data.reshape(shape)
+        sa = self.data
+        data = sa.reshape(shape)
+
+        def forward():
+            data[...] = sa.reshape(shape)
 
         def backward(grad):
-            self._accumulate(grad.reshape(self.shape))
+            self._accumulate_owned(grad.reshape(self.shape))
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._make(data, (self,), backward, forward)
 
     def transpose(self, *axes) -> "Tensor":
         if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
             axes = tuple(axes[0])
         if not axes:
             axes = tuple(reversed(range(self.ndim)))
-        data = self.data.transpose(axes)
+        sa = self.data
+        data = sa.transpose(axes)
         inverse = np.argsort(axes)
 
-        def backward(grad):
-            self._accumulate(grad.transpose(inverse))
+        def forward():
+            data[...] = sa.transpose(axes)
 
-        return Tensor._make(data, (self,), backward)
+        def backward(grad):
+            self._accumulate_owned(grad.transpose(inverse))
+
+        return Tensor._make(data, (self,), backward, forward)
 
     def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
-        data = np.swapaxes(self.data, axis1, axis2)
+        sa = self.data
+        data = np.swapaxes(sa, axis1, axis2)
+
+        def forward():
+            data[...] = np.swapaxes(sa, axis1, axis2)
 
         def backward(grad):
-            self._accumulate(np.swapaxes(grad, axis1, axis2))
+            self._accumulate_owned(np.swapaxes(grad, axis1, axis2))
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._make(data, (self,), backward, forward)
 
     def expand_dims(self, axis: int) -> "Tensor":
-        data = np.expand_dims(self.data, axis)
+        sa = self.data
+        data = np.expand_dims(sa, axis)
+
+        def forward():
+            data[...] = np.expand_dims(sa, axis)
 
         def backward(grad):
-            self._accumulate(np.squeeze(grad, axis=axis))
+            self._accumulate_owned(np.squeeze(grad, axis=axis))
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._make(data, (self,), backward, forward)
 
     def squeeze(self, axis: int) -> "Tensor":
-        data = np.squeeze(self.data, axis=axis)
+        sa = self.data
+        data = np.squeeze(sa, axis=axis)
+
+        def forward():
+            data[...] = np.squeeze(sa, axis=axis)
 
         def backward(grad):
-            self._accumulate(np.expand_dims(grad, axis))
+            self._accumulate_owned(np.expand_dims(grad, axis))
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._make(data, (self,), backward, forward)
 
     def broadcast_to(self, shape: tuple[int, ...]) -> "Tensor":
-        data = np.broadcast_to(self.data, shape).copy()
+        sa = self.data
+        data = np.broadcast_to(sa, shape).copy()
+
+        def forward():
+            np.copyto(data, sa)
 
         def backward(grad):
             self._accumulate(_unbroadcast(grad, self.shape))
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._make(data, (self,), backward, forward)
 
     def __getitem__(self, index) -> "Tensor":
         if isinstance(index, Tensor):
             index = index.data.astype(np.int64)
-        data = self.data[index]
+        sa = self.data
+        data = np.asarray(sa[index])
+
+        def forward():
+            data[...] = sa[index]
 
         def backward(grad):
             full = np.zeros_like(self.data)
             np.add.at(full, index, grad)
             self._accumulate(full)
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._make(data, (self,), backward, forward)
 
     def take_rows(self, indices: np.ndarray) -> "Tensor":
         """Gather rows (embedding lookup): result[..., :] = self[indices].
@@ -608,7 +901,11 @@ class Tensor:
         ``indices.shape + self.shape[1:]``.  The gradient scatter-adds.
         """
         indices = np.asarray(indices, dtype=np.int64)
-        data = self.data[indices]
+        sa = self.data
+        data = sa[indices]
+
+        def forward():
+            data[...] = sa[indices]
 
         def backward(grad):
             full = np.zeros_like(self.data)
@@ -616,18 +913,23 @@ class Tensor:
                       grad.reshape(-1, *self.shape[1:]))
             self._accumulate(full)
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._make(data, (self,), backward, forward)
 
     def masked_fill(self, mask: np.ndarray, value: float) -> "Tensor":
         """Replace entries where ``mask`` is True with ``value`` (no grad
         flows through filled positions)."""
         mask = np.asarray(mask, dtype=bool)
-        data = np.where(mask, value, self.data)
+        sa = self.data
+        data = np.where(mask, value, sa)
+
+        def forward():
+            np.copyto(data, sa)
+            np.copyto(data, value, where=mask)
 
         def backward(grad):
-            self._accumulate(np.where(mask, 0.0, grad))
+            self._accumulate_owned(np.where(mask, 0.0, grad))
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._make(data, (self,), backward, forward)
 
     # Convenience aliases -------------------------------------------------
     def dot(self, other) -> "Tensor":
@@ -670,29 +972,37 @@ def arange(*args, requires_grad: bool = False) -> Tensor:
 def concatenate(tensors: list[Tensor], axis: int = 0) -> Tensor:
     """Concatenate tensors along ``axis`` with gradient splitting."""
     tensors = [Tensor._coerce(t) for t in tensors]
-    data = np.concatenate([t.data for t in tensors], axis=axis)
+    arrays = [t.data for t in tensors]
+    data = np.concatenate(arrays, axis=axis)
     sizes = [t.shape[axis] for t in tensors]
     offsets = np.cumsum([0] + sizes)
+
+    def forward():
+        np.concatenate(arrays, axis=axis, out=data)
 
     def backward(grad):
         for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
             slicer = [slice(None)] * grad.ndim
             slicer[axis] = slice(start, stop)
-            t._accumulate(grad[tuple(slicer)])
+            t._accumulate_owned(grad[tuple(slicer)])
 
-    return Tensor._make(data, tuple(tensors), backward)
+    return Tensor._make(data, tuple(tensors), backward, forward)
 
 
 def stack(tensors: list[Tensor], axis: int = 0) -> Tensor:
     """Stack tensors along a new axis with gradient unstacking."""
     tensors = [Tensor._coerce(t) for t in tensors]
-    data = np.stack([t.data for t in tensors], axis=axis)
+    arrays = [t.data for t in tensors]
+    data = np.stack(arrays, axis=axis)
+
+    def forward():
+        data[...] = np.stack(arrays, axis=axis)
 
     def backward(grad):
         for i, t in enumerate(tensors):
-            t._accumulate(np.take(grad, i, axis=axis))
+            t._accumulate_owned(np.take(grad, i, axis=axis))
 
-    return Tensor._make(data, tuple(tensors), backward)
+    return Tensor._make(data, tuple(tensors), backward, forward)
 
 
 def where(condition: np.ndarray, a, b) -> Tensor:
@@ -705,24 +1015,41 @@ def where(condition: np.ndarray, a, b) -> Tensor:
     b = Tensor._coerce(b)
     data = np.where(condition, a.data, b.data)
 
-    def backward(grad):
-        a._accumulate(_unbroadcast(np.where(condition, grad, 0.0), a.shape))
-        b._accumulate(_unbroadcast(np.where(condition, 0.0, grad), b.shape))
+    def forward():
+        np.copyto(data, b.data)
+        np.copyto(data, np.broadcast_to(a.data, data.shape),
+                  where=condition)
 
-    return Tensor._make(data, (a, b), backward)
+    def backward(grad):
+        a._accumulate_owned(_unbroadcast(np.where(condition, grad, 0.0), a.shape))
+        b._accumulate_owned(_unbroadcast(np.where(condition, 0.0, grad), b.shape))
+
+    return Tensor._make(data, (a, b), backward, forward)
+
+
+def _extremum(a, b, compare) -> Tensor:
+    a = Tensor._coerce(a)
+    b = Tensor._coerce(b)
+    take_a = compare(a.data, b.data)
+    data = np.where(take_a, a.data, b.data)
+
+    def forward():
+        compare(a.data, b.data, out=take_a)
+        np.copyto(data, b.data)
+        np.copyto(data, np.broadcast_to(a.data, data.shape), where=take_a)
+
+    def backward(grad):
+        a._accumulate_owned(_unbroadcast(np.where(take_a, grad, 0.0), a.shape))
+        b._accumulate_owned(_unbroadcast(np.where(take_a, 0.0, grad), b.shape))
+
+    return Tensor._make(data, (a, b), backward, forward)
 
 
 def maximum(a, b) -> Tensor:
     """Elementwise maximum; ties send gradient to the first argument."""
-    a = Tensor._coerce(a)
-    b = Tensor._coerce(b)
-    take_a = a.data >= b.data
-    return where(take_a, a, b)
+    return _extremum(a, b, np.greater_equal)
 
 
 def minimum(a, b) -> Tensor:
     """Elementwise minimum; ties send gradient to the first argument."""
-    a = Tensor._coerce(a)
-    b = Tensor._coerce(b)
-    take_a = a.data <= b.data
-    return where(take_a, a, b)
+    return _extremum(a, b, np.less_equal)

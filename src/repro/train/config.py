@@ -70,6 +70,16 @@ class TrainerConfig:
     Requires ``bucket_by_length=True``; the epoch count — not wall time —
     drives the switch, so resumed runs schedule identically."""
 
+    compile: bool = True
+    """Route training steps through the trace-and-replay compiled path
+    (:mod:`repro.tensor.compile`).  The first step of each shape bucket
+    runs eagerly under the trace recorder; subsequent steps replay the
+    recorded op program into preallocated buffers — zero per-step tape
+    construction, bitwise-identical losses and gradients.  Models that
+    cannot be traced (data-dependent shapes, e.g. Caser) fall back to
+    eager automatically; ``False`` forces eager everywhere (the
+    ``--no-compile`` CLI flag)."""
+
     worker_timeout: float = 120.0
     """Seconds the parent waits on a gradient worker before declaring it
     dead (only used with ``num_workers > 1``).  A killed or hung worker

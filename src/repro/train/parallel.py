@@ -57,7 +57,7 @@ import numpy as np
 
 from ..optim import clip_grad_norm
 from ..pool import ForkedWorkerPool, WorkerError
-from .trainer import Trainer, _EpochTotals
+from .trainer import Trainer, _EpochTotals, training_step_values
 
 __all__ = ["ParallelTrainer", "WorkerError", "supervision_weight_sum"]
 
@@ -145,6 +145,7 @@ def _worker_loop(
     seed: int,
     trim_enabled: bool,
     trim_margin: int,
+    compile_enabled: bool,
     fault_after: int | None,
 ) -> None:
     """Body of one gradient worker (runs in the forked child)."""
@@ -185,16 +186,16 @@ def _worker_loop(
                         rows, lengths[shard], margin=trim_margin
                     )
                 model.zero_grad()
-                if tracks_elbo:
-                    terms = model.training_elbo(rows)
-                    loss = terms.loss
-                    reconstruction = terms.reconstruction_value
-                    kl = terms.kl_value
-                    beta = terms.beta
-                else:
-                    loss = model.training_loss(rows)
-                    reconstruction = kl = beta = None
-                loss.backward()
+                # Compiled path: each forked replica traces its own
+                # per-shard-shape program on first sight and replays it
+                # thereafter (programs are process-local state, never
+                # shipped over the pipe).  Finiteness of the combined
+                # loss is the parent's check, as before.
+                loss_value, reconstruction, kl, beta = (
+                    training_step_values(
+                        model, rows, compile_enabled=compile_enabled
+                    )
+                )
                 offset = 0
                 for param in parameters:
                     size = param.data.size
@@ -209,7 +210,7 @@ def _worker_loop(
                     getattr(model, "target_window", 1),
                 )
                 conn.send(
-                    ("grads", weight, loss.item(), reconstruction, kl, beta)
+                    ("grads", weight, loss_value, reconstruction, kl, beta)
                 )
             elif kind == "apply":
                 # The parent has reduced, clipped, and broadcast the
@@ -299,6 +300,7 @@ class ParallelTrainer(Trainer):
                 config.seed,
                 self._trim_enabled,
                 self._trim_margin,
+                config.compile,
                 fault_after,
             )
 

@@ -43,7 +43,15 @@ from ..data.interactions import SequenceCorpus
 from ..data.splits import FoldInUser
 from ..eval.evaluator import evaluate_recommender
 from ..optim import Adam, clip_grad_norm
-from ..tensor import default_dtype
+from ..tensor import default_dtype, get_default_dtype
+from ..tensor.compile import (
+    DYNAMIC,
+    build_program,
+    invalidate,
+    programs_for,
+    record_feed,
+    trace,
+)
 from ..tensor.random import make_rng
 from .checkpoint import (
     TrainingCheckpoint,
@@ -88,6 +96,96 @@ class _EpochTotals:
             self.beta = beta
         self.examples += batch_size
         self.num_batches += 1
+
+
+def _training_key(model, rows: np.ndarray):
+    """Program-cache key of one training step: shape bucket + dtype,
+    plus whether the β-annealing schedule currently sits at exactly zero
+    (the ELBO's β=0 branch is structural, so the zero-crossing retraces)."""
+    key = ("train", rows.shape, np.dtype(get_default_dtype()))
+    beta_zero = getattr(model, "compile_beta_zero", None)
+    if beta_zero is not None:
+        key = key + (beta_zero(),)
+    return key
+
+
+def training_step_values(
+    model, rows: np.ndarray, compile_enabled: bool = True,
+    check_finite=None,
+):
+    """One forward+backward over ``rows``, leaving gradients on the
+    parameters.
+
+    Routes through the compiled trace-and-replay path when
+    ``compile_enabled`` and the model allows it (``compile_training``):
+    the first batch of each ``(shape, dtype, β=0?)`` bucket traces an
+    eager step into a :class:`repro.tensor.compile.Program`, and every
+    later batch of that bucket replays it — no tape, no fresh arrays,
+    bitwise-identical numbers.  Untraceable models run eager forever.
+
+    ``check_finite`` (optional ``callable(loss_value)``) runs between
+    the forward and the backward, exactly where the eager loop checks.
+
+    Returns ``(loss_value, reconstruction, kl, beta)``; the last three
+    are ``None`` for models without ``training_elbo``.
+    """
+    tracks_elbo = hasattr(model, "training_elbo")
+
+    def eager_step():
+        if tracks_elbo:
+            terms = model.training_elbo(rows)
+            loss = terms.loss
+        else:
+            terms = None
+            loss = model.training_loss(rows)
+        loss_value = loss.item()
+        if check_finite is not None:
+            check_finite(loss_value)
+        loss.backward()
+        return loss, terms, loss_value
+
+    def stats(loss_value, terms):
+        if terms is None:
+            return loss_value, None, None, None
+        return (
+            loss_value,
+            terms.reconstruction_value,
+            terms.kl_value,
+            terms.beta,
+        )
+
+    if not (compile_enabled and getattr(model, "compile_training", True)):
+        _, terms, loss_value = eager_step()
+        return stats(loss_value, terms)
+
+    cache = programs_for(model)
+    key = _training_key(model, rows)
+    entry = cache.get(key)
+    if entry is DYNAMIC:
+        _, terms, loss_value = eager_step()
+        return stats(loss_value, terms)
+    if entry is not None:
+        program, terms = entry
+        feeds = {"rows": rows}
+        step_feeds = getattr(model, "compile_step_feeds", None)
+        if step_feeds is not None:
+            feeds.update(step_feeds())
+        loss = program.replay(feeds)
+        loss_value = loss.item()
+        if check_finite is not None:
+            check_finite(loss_value)
+        program.replay_backward()
+        if terms is not None:
+            # The replayed ELBO tensors were refreshed in place; only the
+            # python-float β needs to catch up for the history record.
+            terms.beta = feeds.get("beta", terms.beta)
+        return stats(loss_value, terms)
+    with trace() as tracer:
+        record_feed("rows", rows)
+        loss, terms, loss_value = eager_step()
+    program = build_program(tracer, loss, require_backward=True)
+    cache.put(key, DYNAMIC if program is None else (program, terms))
+    return stats(loss_value, terms)
 
 
 class Trainer:
@@ -144,6 +242,9 @@ class Trainer:
             for param in model.parameters():
                 if param.data.dtype != target:
                     param.data = param.data.astype(target)
+            # The cast rebinds parameter arrays; any program traced
+            # against the old arrays would refire into dead buffers.
+            invalidate(model)
             with default_dtype(target):
                 return self._fit(model, corpus, validation, resume_from)
         return self._fit(model, corpus, validation, resume_from)
@@ -179,24 +280,20 @@ class Trainer:
         config = self.config
         rows = self._batch_rows(padded, batch)
         optimizer.zero_grad()
-        if self._tracks_elbo:
-            terms = model.training_elbo(rows)
-            loss = terms.loss
-            reconstruction = terms.reconstruction_value
-            kl = terms.kl_value
-            beta = terms.beta
-        else:
-            loss = model.training_loss(rows)
-            reconstruction = kl = beta = None
-        loss_value = loss.item()
-        if not np.isfinite(loss_value):
-            raise RuntimeError(
-                f"non-finite training loss ({loss_value}) at epoch "
-                f"{epoch}, batch {totals.num_batches}: check the learning "
-                "rate / KL weight, or inspect the batch with "
-                "model.training_loss directly"
-            )
-        loss.backward()
+
+        def check_finite(loss_value: float) -> None:
+            if not np.isfinite(loss_value):
+                raise RuntimeError(
+                    f"non-finite training loss ({loss_value}) at epoch "
+                    f"{epoch}, batch {totals.num_batches}: check the "
+                    "learning rate / KL weight, or inspect the batch with "
+                    "model.training_loss directly"
+                )
+
+        loss_value, reconstruction, kl, beta = training_step_values(
+            model, rows, compile_enabled=config.compile,
+            check_finite=check_finite,
+        )
         grad_norm = clip_grad_norm(model.parameters(), config.clip_norm)
         if not np.isfinite(grad_norm):
             raise RuntimeError(

@@ -1,0 +1,327 @@
+"""Trace-and-replay compiled execution: bitwise parity with eager.
+
+The compiled path (``repro.tensor.compile``) records one instrumented
+eager run into a flat program over a retained buffer arena and replays
+it for every later step with the same shape bucket.  The acceptance bar
+is *bitwise* identity — loss, every gradient, every RNG stream — so the
+tests below compare twin models (same seed) stepped eagerly vs. through
+``training_step_values(compile_enabled=True)``, and full ``Trainer.fit``
+runs with ``compile=True`` vs. ``compile=False``.
+"""
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.core.vsan import VSAN
+from repro.data import SequenceCorpus
+from repro.models import Caser, GRU4Rec, SASRec
+from repro.models.svae import SVAE
+from repro.optim import Adam, clip_grad_norm
+from repro.tensor import default_dtype, tape_node_count
+from repro.tensor.compile import DYNAMIC, programs_for
+from repro.train import Trainer, TrainerConfig
+from repro.train.annealing import KLAnnealing
+from repro.train.trainer import _training_key, training_step_values
+
+NUM_ITEMS = 50
+WIDTH = 12
+
+
+MODEL_FACTORIES = {
+    # annealing crosses beta=0 within the first steps, so VSAN/SVAE also
+    # exercise the beta-zero cache-key split and the retrace at the
+    # zero-crossing.
+    "vsan": lambda: VSAN(
+        NUM_ITEMS, WIDTH, dim=16, seed=3,
+        annealing=KLAnnealing(target=0.2, warmup_steps=2, anneal_steps=4),
+    ),
+    "svae": lambda: SVAE(
+        NUM_ITEMS, WIDTH, dim=16, k=2, seed=3,
+        annealing=KLAnnealing(target=0.2, warmup_steps=2, anneal_steps=4),
+    ),
+    "sasrec": lambda: SASRec(NUM_ITEMS, WIDTH, dim=16, seed=3),
+    "gru4rec": lambda: GRU4Rec(NUM_ITEMS, WIDTH, dim=16, seed=3),
+}
+
+
+def make_batches(num_items, width, batch, n, seed=0):
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(n):
+        rows = np.zeros((batch, width), dtype=np.int64)
+        for r in range(batch):
+            length = rng.integers(2, width + 1)
+            rows[r, width - length:] = rng.integers(
+                1, num_items + 1, size=length
+            )
+        out.append(rows)
+    return out
+
+
+def grads_of(model):
+    return [
+        None if p.grad is None else np.asarray(p.grad).copy()
+        for p in model.parameters()
+    ]
+
+
+def assert_same_grads(a, b, context):
+    for i, (ga, gb) in enumerate(zip(a, b)):
+        assert (ga is None) == (gb is None), (context, i)
+        if ga is not None:
+            np.testing.assert_array_equal(ga, gb, err_msg=f"{context}[{i}]")
+
+
+def run_twin_steps(name, steps=5):
+    """Step eager and compiled twins in lockstep; return the compiled
+    model's program cache for inspection."""
+    eager = MODEL_FACTORIES[name]()
+    compiled = MODEL_FACTORIES[name]()
+    eager.train()
+    compiled.train()
+    opt_e = Adam(eager.parameters(), lr=1e-3)
+    opt_c = Adam(compiled.parameters(), lr=1e-3)
+    for i, rows in enumerate(
+        make_batches(NUM_ITEMS, WIDTH + 1, 8, steps)
+    ):
+        opt_e.zero_grad()
+        ve = training_step_values(eager, rows, compile_enabled=False)
+        opt_c.zero_grad()
+        before = tape_node_count()
+        vc = training_step_values(compiled, rows, compile_enabled=True)
+        tape_delta = tape_node_count() - before
+        cache = programs_for(compiled)
+        assert ve[0] == vc[0], (name, i, "loss", ve[0], vc[0])
+        for a, b in zip(ve[1:], vc[1:]):
+            assert (a is None) == (b is None) and (a is None or a == b), (
+                name, i, "stats", ve, vc
+            )
+        assert_same_grads(grads_of(eager), grads_of(compiled), (name, i))
+        clip_grad_norm(eager.parameters(), 5.0)
+        clip_grad_norm(compiled.parameters(), 5.0)
+        opt_e.step()
+        opt_c.step()
+        yield i, tape_delta, cache
+
+
+class TestTrainingStepParity:
+    @pytest.mark.parametrize("name", sorted(MODEL_FACTORIES))
+    def test_bitwise_parity_float64(self, name):
+        replayed = 0
+        for i, tape_delta, cache in run_twin_steps(name):
+            if cache.hits > replayed:
+                # Replays build no autograd tape at all.
+                assert tape_delta == 0, (name, i, tape_delta)
+                replayed = cache.hits
+        assert replayed >= 3, (name, "expected steady-state replays")
+        assert not any(
+            cache._programs[k] is DYNAMIC for k in cache.keys()
+        ), (name, "unexpected dynamic bail")
+
+    @pytest.mark.parametrize("name", ["vsan", "sasrec"])
+    def test_bitwise_parity_float32(self, name):
+        with default_dtype(np.float32):
+            replayed = 0
+            for i, tape_delta, cache in run_twin_steps(name):
+                if cache.hits > replayed:
+                    assert tape_delta == 0, (name, i, tape_delta)
+                    replayed = cache.hits
+            assert replayed >= 3
+
+    def test_beta_zero_crossing_splits_cache_key(self):
+        for _i, _delta, cache in run_twin_steps("vsan", steps=5):
+            pass
+        # warmup (beta == 0) and annealed (beta > 0) programs live under
+        # distinct keys — replaying the beta=0 program with beta>0 would
+        # silently skip the KL term's backward contribution.
+        assert len(cache.keys()) == 2, cache.keys()
+
+    def test_retained_arena_is_stable_across_replays(self):
+        model = MODEL_FACTORIES["sasrec"]()
+        model.train()
+        rows = make_batches(NUM_ITEMS, WIDTH + 1, 8, 1)[0]
+        training_step_values(model, rows)  # trace
+        cache = programs_for(model)
+        program, _terms = cache.get(_training_key(model, rows))
+        arena_ids = [id(node.data) for node in program.order]
+        result_buf = program.result.data
+        for _ in range(4):
+            for p in model.parameters():
+                p.grad = None
+            training_step_values(model, rows)
+        assert program.replays == 4
+        # Replay refreshes the same retained buffers in place; it never
+        # swaps in fresh arrays (grow-only arena, zero per-step graphs).
+        assert program.result.data is result_buf
+        assert [id(node.data) for node in program.order] == arena_ids
+
+
+class TestCaserFallback:
+    def test_caser_stays_eager_and_matches(self):
+        """Caser gathers a data-dependent number of supervised windows,
+        so it opts out via ``compile_training = False``; the compiled
+        entry point must silently take the eager path."""
+        eager = Caser(NUM_ITEMS, WIDTH, dim=16, seed=3)
+        compiled = Caser(NUM_ITEMS, WIDTH, dim=16, seed=3)
+        assert Caser.compile_training is False
+        for model in (eager, compiled):
+            model.train()
+        rows = make_batches(NUM_ITEMS, WIDTH + 1, 8, 1)[0]
+        ve = training_step_values(eager, rows, compile_enabled=False)
+        vc = training_step_values(compiled, rows, compile_enabled=True)
+        assert ve[0] == vc[0]
+        assert_same_grads(grads_of(eager), grads_of(compiled), "caser")
+        # No training program was traced or pinned.
+        cache = programs_for(compiled)
+        assert not [k for k in cache.keys() if k[0] == "train"]
+
+
+class TestEvalCompiled:
+    HISTORIES = [np.arange(1, 6), np.arange(3, 12), np.arange(2, 4)]
+
+    @pytest.mark.parametrize("name", sorted(MODEL_FACTORIES))
+    def test_score_batch_parity(self, name):
+        model = MODEL_FACTORIES[name]()
+        model.eval()
+        compiled_scores = [model.score_batch(self.HISTORIES)
+                           for _ in range(3)]
+        model.compile_scoring = False
+        eager_scores = model.score_batch(self.HISTORIES)
+        for got in compiled_scores:
+            np.testing.assert_array_equal(got, eager_scores)
+
+    def test_replays_build_zero_tape_nodes(self):
+        model = MODEL_FACTORIES["vsan"]()
+        model.eval()
+        model.score_batch(self.HISTORIES)  # trace
+        before = tape_node_count()
+        model.score_batch(self.HISTORIES)
+        assert tape_node_count() == before
+        assert programs_for(model).hits >= 1
+
+    def test_steady_state_memory_is_flat(self):
+        """After the trace, repeated forwards allocate only the returned
+        score matrix — the arena is reused, nothing accumulates."""
+        model = MODEL_FACTORIES["sasrec"]()
+        model.eval()
+        for _ in range(3):  # warm: trace + settle allocator pools
+            model.score_batch(self.HISTORIES)
+        scores = model.score_batch(self.HISTORIES)
+        per_call_floor = scores.nbytes
+        tracemalloc.start()
+        base, _ = tracemalloc.get_traced_memory()
+        for _ in range(20):
+            model.score_batch(self.HISTORIES)
+        now, _ = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        growth = now - base
+        # Generous ceiling: a couple of per-call result copies of slack,
+        # but nowhere near 20 fresh activations' worth.
+        assert growth < 4 * per_call_floor + (1 << 16), (
+            growth, per_call_floor
+        )
+
+    def test_cache_is_lru_bounded(self):
+        model = MODEL_FACTORIES["gru4rec"]()
+        model.eval()
+        for batch in range(1, 21):  # 20 distinct shape buckets
+            model.score_batch([np.arange(1, 4)] * batch)
+        assert len(programs_for(model).keys()) <= 16
+
+
+def make_corpus():
+    rng = np.random.default_rng(1)
+    sequences = []
+    for _ in range(40):
+        start = int(rng.integers(1, 11))
+        sequences.append(
+            np.array([(start + o - 1) % 10 + 1 for o in range(6)])
+        )
+    return SequenceCorpus(sequences=sequences, num_items=10)
+
+
+def make_fit_vsan(seed=0):
+    return VSAN(
+        10, 6, dim=12, h1=1, h2=1, seed=seed,
+        annealing=KLAnnealing(target=0.5, warmup_steps=4, anneal_steps=10),
+    )
+
+
+def assert_same_weights(a, b):
+    for (name, pa), (_, pb) in zip(
+        a.named_parameters(), b.named_parameters()
+    ):
+        np.testing.assert_array_equal(pa.data, pb.data, err_msg=name)
+
+
+class TestFullFitParity:
+    """Whole training runs — optimizer, clipping, beta schedule, RNG
+    streams — must be bitwise identical with and without compilation."""
+
+    def fit(self, model, corpus, **kwargs):
+        return Trainer(
+            TrainerConfig(batch_size=8, seed=9, **kwargs)
+        ).fit(model, corpus)
+
+    def test_fit_matches_eager_bitwise(self):
+        corpus = make_corpus()
+        eager = make_fit_vsan()
+        base = self.fit(eager, corpus, epochs=4, compile=False)
+        compiled = make_fit_vsan()
+        got = self.fit(compiled, corpus, epochs=4, compile=True)
+        assert got.losses == base.losses
+        assert got.reconstruction_losses == base.reconstruction_losses
+        assert got.kl_values == base.kl_values
+        assert got.betas == base.betas
+        assert got.grad_norms == base.grad_norms
+        assert_same_weights(eager, compiled)
+
+    def test_fit_float32_matches_eager_bitwise(self):
+        corpus = make_corpus()
+        kwargs = dict(epochs=3, compute_dtype="float32")
+        eager = make_fit_vsan()
+        base = self.fit(eager, corpus, compile=False, **kwargs)
+        compiled = make_fit_vsan()
+        got = self.fit(compiled, corpus, compile=True, **kwargs)
+        assert got.losses == base.losses
+        assert got.grad_norms == base.grad_norms
+        assert_same_weights(eager, compiled)
+
+    def test_resume_mid_beta_schedule_matches_straight_run(self, tmp_path):
+        corpus = make_corpus()
+        straight = make_fit_vsan()
+        full = self.fit(straight, corpus, epochs=6, compile=True)
+
+        half = make_fit_vsan()
+        Trainer(
+            TrainerConfig(
+                epochs=3, batch_size=8, seed=9, compile=True,
+                checkpoint_dir=str(tmp_path),
+            )
+        ).fit(half, corpus)
+        resumed_model = make_fit_vsan()
+        resumed = Trainer(
+            TrainerConfig(epochs=6, batch_size=8, seed=9, compile=True)
+        ).fit(resumed_model, corpus, resume_from=tmp_path)
+
+        # The resumed run re-traces from the checkpointed weights and
+        # RNG streams; beta-schedule state must carry across the trace.
+        assert resumed.losses == full.losses
+        assert resumed.betas == full.betas
+        assert resumed.grad_norms == full.grad_norms
+        assert_same_weights(straight, resumed_model)
+
+    def test_bucket_epochs_transition_matches_eager(self):
+        corpus = make_corpus()
+        kwargs = dict(
+            epochs=4, bucket_by_length=True, bucket_epochs=2
+        )
+        eager = make_fit_vsan()
+        base = self.fit(eager, corpus, compile=False, **kwargs)
+        compiled = make_fit_vsan()
+        got = self.fit(compiled, corpus, compile=True, **kwargs)
+        assert got.losses == base.losses
+        assert got.grad_norms == base.grad_norms
+        assert_same_weights(eager, compiled)
