@@ -2,8 +2,8 @@
 
 The tentpole claim of the retrieval stack, measured end to end on a
 100k-item synthetic catalogue: two-stage scoring (coarse probe →
-candidate scan → exact re-rank → full-width scatter) must beat the
-dense ``hidden @ W`` GEMM by **≥ 5× per request** while keeping
+candidate scan → exact re-rank) must beat the compiled dense
+``hidden @ W`` GEMM by **≥ 3× per request** while keeping
 **recall@10 ≥ 0.95** against the exact ranking.
 
 Setup notes:
@@ -25,17 +25,32 @@ Setup notes:
 curve to ``benchmarks/results/retrieval_recall.json``.  The recorded
 means are gated against ``benchmarks/BENCH_baseline.json`` by
 ``compare_bench.py`` (``make bench-retrieval``).
+
+Candidate-native gates (the narrow ``TopScores`` serving path):
+
+- ``test_narrow_serving_gate`` — warm-cache serving through
+  :class:`InferenceEngine` must be ≥ 2× faster narrow than full-width
+  at 100k items, with narrow cache entries ≤ 4 KB each.
+- ``test_narrow_cached_alloc_gate`` — the cached narrow path holds no
+  steady-state allocations (tracemalloc net growth ~0 across repeated
+  fully-cached calls).
+- ``test_incremental_update_gate`` — adopting a 1%-churn model via
+  :meth:`RetrievalEngine.refresh` must beat a from-scratch index build
+  by ≥ 10× at recall@10 within ±0.005 of the rebuild.
 """
 
+import gc
 import json
 import time
+import tracemalloc
 
 import numpy as np
 import pytest
 
 from repro.data import ZipfCatalogConfig, zipf_histories
 from repro.models import SASRec
-from repro.retrieval import IndexConfig, RetrievalEngine, recall_curve
+from repro.retrieval import IndexConfig, RetrievalEngine, TopScores, recall_curve
+from repro.serve import EngineConfig, InferenceEngine
 from repro.tensor import set_default_dtype
 from repro.tensor.topk import top_k_indices
 
@@ -132,9 +147,30 @@ def test_retrieval_ivf(benchmark, model, requests, exact_top10, config):
     assert recall >= 0.95
 
 
+def test_retrieval_narrow_topk(benchmark, model, requests, exact_top10):
+    """The candidate-native fast path: same two-stage scoring, but the
+    (NUM_REQUESTS, |I|+1) ``-inf`` scatter is never materialized —
+    ``score_topk`` returns packed ``(ids, scores)`` at C=64."""
+    engine = RetrievalEngine(model, GATE_CONFIG)
+    top = benchmark(lambda: engine.score_topk(requests))
+    assert isinstance(top, TopScores)
+    assert top.ids.shape == (NUM_REQUESTS, GATE_CONFIG.candidates)
+    recall = _recall_at_10(top.to_dense(), exact_top10)
+    benchmark.extra_info["recall_at_10"] = round(recall, 4)
+    benchmark.extra_info["bytes_per_request"] = top.nbytes // len(top)
+    assert recall >= 0.95
+
+
 def test_retrieval_speedup_gate(model, requests, exact_top10):
-    """The PR's acceptance bar: ≥ 5× per-request speedup over dense
-    scoring at recall@10 ≥ 0.95 on the 100k-item catalogue.
+    """The acceptance bar: ≥ 3× per-request speedup over dense scoring
+    at recall@10 ≥ 0.95 on the 100k-item catalogue.
+
+    The bar was ≥ 5× when recorded against *eager* dense scoring
+    (measured ~7.5× at 812µs/req dense); compiled batch scoring then
+    made the dense baseline itself ~1.6× faster (~500µs/req), and the
+    bar is re-anchored against that honest, faster baseline.  The IVF
+    path is unchanged (~110µs/req) — what this gate catches is the
+    two-stage fast path regressing, not the baseline improving.
 
     Timed as *interleaved* (dense, ivf) pairs with the median per-pair
     ratio as the verdict: this host is a shared VM whose effective CPU
@@ -169,9 +205,168 @@ def test_retrieval_speedup_gate(model, requests, exact_top10):
     assert recall >= 0.95, (
         f"recall@10 {recall:.3f} < 0.95 at the gate operating point"
     )
-    assert speedup >= 5.0, (
+    assert speedup >= 3.0, (
         f"IVF path is only {speedup:.2f}x dense scoring; the two-stage "
         f"fast path has regressed"
+    )
+
+
+def test_narrow_serving_gate(model, requests):
+    """Candidate-native acceptance bar: warm-cache serving must be
+    ≥ 2× faster narrow than full-width at 100k items, and narrow cache
+    entries must stay ≤ 4 KB each.
+
+    Both engines run the identical two-stage retrieval; the only
+    difference is the representation carried between the index and the
+    caller.  Full-width pays a ~400 KB row copy per cache hit (clone on
+    ``get``) plus the ``np.stack`` over 64 such rows; narrow clones and
+    stacks ~768 B per request.  Interleaved pairs + median ratio for
+    the same drift reasons as ``test_retrieval_speedup_gate``.
+    """
+    narrow_engine = InferenceEngine(
+        model, EngineConfig(max_batch=NUM_REQUESTS, index=GATE_CONFIG,
+                            narrow=True),
+    )
+    wide_engine = InferenceEngine(
+        model, EngineConfig(max_batch=NUM_REQUESTS, index=GATE_CONFIG,
+                            narrow=False),
+    )
+    top = narrow_engine.score_batch(requests)      # cold: fills caches
+    rows = wide_engine.score_batch(requests)
+    # Same index, same candidates: the narrow batch scatters bitwise
+    # into the full-width contract.
+    np.testing.assert_array_equal(top.to_dense(), rows)
+    del top, rows
+
+    for _ in range(2):                             # warm-path shakeout
+        narrow_engine.score_batch(requests)
+        wide_engine.score_batch(requests)
+    assert narrow_engine.cache.snapshot()["hits"] > 0
+    assert wide_engine.cache.snapshot()["hits"] > 0
+
+    ratios, wide_times, narrow_times = [], [], []
+    for _ in range(9):
+        start = time.perf_counter()
+        wide_engine.score_batch(requests)
+        mid = time.perf_counter()
+        narrow_engine.score_batch(requests)
+        end = time.perf_counter()
+        wide_times.append(mid - start)
+        narrow_times.append(end - mid)
+        ratios.append((mid - start) / (end - mid))
+    speedup = float(np.median(ratios))
+    cache = narrow_engine.cache.snapshot()
+    print(
+        f"\nwide {float(np.median(wide_times)) / NUM_REQUESTS * 1e6:.0f}"
+        f"us/req, narrow "
+        f"{float(np.median(narrow_times)) / NUM_REQUESTS * 1e6:.0f}us/req, "
+        f"speedup {speedup:.1f}x, "
+        f"{cache['bytes_per_entry']:.0f} B/entry cached"
+    )
+    assert cache["bytes_per_entry"] <= 4096, (
+        f"narrow cache entries cost {cache['bytes_per_entry']:.0f} B "
+        f"each; the candidate-native representation has leaked width"
+    )
+    assert speedup >= 2.0, (
+        f"narrow warm-cache serving is only {speedup:.2f}x full-width; "
+        f"the candidate-native path has regressed"
+    )
+
+
+def test_narrow_cached_alloc_gate(model, requests):
+    """Zero steady-state allocation on the fully-cached narrow path.
+
+    Per-call transients (entry clones, the stacked result) are freed
+    before the next call; nothing may *accumulate*.  The 64 KB slack
+    absorbs allocator noise but is well under one retained narrow batch
+    per iteration (5 × 64 req × 776 B ≈ 242 KB) — and three orders of
+    magnitude under a single leaked full-width row batch (~25 MB).
+    """
+    engine = InferenceEngine(
+        model, EngineConfig(max_batch=NUM_REQUESTS, index=GATE_CONFIG),
+    )
+    for _ in range(3):  # fill the cache, then exercise the hit path
+        engine.score_batch(requests)
+    gc.collect()
+    tracemalloc.start()
+    gc.collect()
+    before = tracemalloc.get_traced_memory()[0]
+    for _ in range(5):
+        engine.score_batch(requests)
+    gc.collect()
+    after = tracemalloc.get_traced_memory()[0]
+    tracemalloc.stop()
+    growth = after - before
+    print(f"\ncached narrow path: {growth} B net allocation over 5 calls")
+    assert engine.cache.snapshot()["hits"] >= 5 * len(requests)
+    assert growth <= 64 * 1024, (
+        f"cached narrow serving accumulated {growth} B over 5 calls; "
+        f"the hit path should hold no steady-state allocations"
+    )
+
+
+def _churned_clone(model, frac=0.01, seed=7):
+    """A same-architecture clone of ``model`` with ``frac`` of the item
+    columns perturbed — the shape of a routine embedding-refresh
+    rollout.  Identical construction seed keeps every non-head
+    parameter bitwise equal, so the two models agree on queries and
+    differ only in the item table."""
+    clone = SASRec(
+        NUM_ITEMS, MAX_LENGTH, dim=DIM, num_blocks=1, seed=0,
+        tie_weights=False,
+    )
+    clone.eval()
+    clone.output.weight.data[...] = model.output.weight.data
+    rng = np.random.default_rng(seed)
+    cols = rng.choice(
+        np.arange(1, NUM_ITEMS + 1), size=int(NUM_ITEMS * frac),
+        replace=False,
+    )
+    clone.output.weight.data[:, cols] += (
+        0.5 * PLANTED_NOISE
+        * rng.standard_normal((DIM, cols.size)).astype(np.float32)
+    )
+    return clone, cols.size
+
+
+def test_incremental_update_gate(model, requests):
+    """Hot-swap acceptance bar: adopting a 1%-churn model through
+    :meth:`RetrievalEngine.refresh` (assign-only ``IVFIndex.update``)
+    must be ≥ 10× faster than building the index from scratch, and give
+    recall@10 within ±0.005 of the full rebuild — stale centroids on
+    1% drift must not cost measurable candidate coverage."""
+    clone, churned = _churned_clone(model)
+    update_times, build_times = [], []
+    refreshed = rebuilt = None
+    for _ in range(3):
+        refreshed = RetrievalEngine(model, GATE_CONFIG)
+        start = time.perf_counter()
+        report = refreshed.refresh(clone)
+        update_times.append(time.perf_counter() - start)
+        assert report["mode"] == "update"
+        assert report["changed"] == churned
+        start = time.perf_counter()
+        rebuilt = RetrievalEngine(clone, GATE_CONFIG)
+        build_times.append(time.perf_counter() - start)
+    update_time = float(np.median(update_times))
+    build_time = float(np.median(build_times))
+    speedup = build_time / update_time
+
+    exact = top_k_indices(clone.score_batch(requests), 10)
+    recall_update = _recall_at_10(refreshed.score_batch(requests), exact)
+    recall_rebuild = _recall_at_10(rebuilt.score_batch(requests), exact)
+    print(
+        f"\nupdate {update_time * 1e3:.1f}ms vs rebuild "
+        f"{build_time * 1e3:.1f}ms ({speedup:.1f}x), recall@10 "
+        f"update {recall_update:.4f} / rebuild {recall_rebuild:.4f}"
+    )
+    assert speedup >= 10.0, (
+        f"incremental update is only {speedup:.1f}x a full rebuild at "
+        f"1% churn; the assign-only path has regressed"
+    )
+    assert abs(recall_update - recall_rebuild) <= 0.005, (
+        f"incremental update recall {recall_update:.4f} drifted more "
+        f"than 0.005 from rebuild recall {recall_rebuild:.4f}"
     )
 
 

@@ -14,8 +14,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..data.splits import FoldInUser
+from ..retrieval.narrow import TopScores
 from ..tensor import no_grad
-from .metrics import metrics_batch, rank_items_batch
+from .metrics import metrics_batch, rank_items_batch, rank_top_scores
 
 __all__ = ["EvaluationResult", "evaluate_recommender"]
 
@@ -82,21 +83,35 @@ def evaluate_recommender(
             scores = recommender.score_batch(
                 [user.fold_in for user in chunk]
             )
-        scores = np.asarray(scores, dtype=np.float64)
         # Ranking and metric accumulation are vectorized over the whole
         # scored chunk — one argpartition/argsort and one relevance
-        # lookup instead of a per-user Python loop.
+        # lookup instead of a per-user Python loop.  A candidate-native
+        # recommender (narrow InferenceEngine) returns packed
+        # ``TopScores`` instead of a full-width matrix; ranking then
+        # stays O(C log C) per user, and the 0-padded tail of a short
+        # candidate list scores identically to the dense path's
+        # unrankable ``-inf`` tail (neither can hit a target).
         exclude = (
             [user.fold_in for user in chunk] if exclude_fold_in else None
         )
-        ranked = rank_items_batch(
-            scores, max_cutoff, exclude=exclude, check_finite=check_finite
-        )
+        if isinstance(scores, TopScores):
+            width = scores.width
+            ranked = rank_top_scores(
+                scores, max_cutoff, exclude=exclude,
+                check_finite=check_finite,
+            )
+        else:
+            scores = np.asarray(scores, dtype=np.float64)
+            width = scores.shape[1]
+            ranked = rank_items_batch(
+                scores, max_cutoff, exclude=exclude,
+                check_finite=check_finite,
+            )
         per_user = metrics_batch(
             ranked,
             [user.targets for user in chunk],
             cutoffs,
-            scores.shape[1],
+            width,
         )
         for key, values in per_user.items():
             parts[key].append(values)

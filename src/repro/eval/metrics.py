@@ -21,6 +21,7 @@ __all__ = [
     "ndcg_at_n",
     "rank_items",
     "rank_items_batch",
+    "rank_top_scores",
     "metrics_batch",
 ]
 
@@ -151,6 +152,81 @@ def rank_items_batch(
     candidate_scores = np.take_along_axis(negated, candidates, axis=1)
     order = np.argsort(candidate_scores, axis=1, kind="stable")
     return np.take_along_axis(candidates, order, axis=1)
+
+
+def rank_top_scores(
+    top,
+    top_n: int,
+    exclude: list[np.ndarray] | None = None,
+    check_finite: bool = True,
+) -> np.ndarray:
+    """Rank narrow candidate lists without materializing dense rows.
+
+    The candidate-native twin of :func:`rank_items_batch`: operates on a
+    :class:`repro.retrieval.TopScores` batch (C packed candidates per
+    request) instead of a full-width score matrix, so ranking costs
+    O(C log C) per request instead of O(|I|).  For distinct candidate
+    scores the ranked prefix is **identical** to running
+    :func:`rank_items_batch` on the equivalent scattered full-width row
+    (same float64 comparison values, same descending order); exact-score
+    ties are broken by ascending item id here, where the dense path's
+    tie order is partition-dependent — real model scores are continuous
+    and never tie, which the equivalence tests pin.
+
+    Args:
+        top: :class:`repro.retrieval.TopScores` batch (``-1`` marks
+            unused candidate slots).
+        top_n: list length.
+        exclude: optional per-request item-id arrays to remove (e.g.
+            each user's own history / fold-in items).
+        check_finite: raise :class:`NonFiniteScoresError` when any real
+            candidate score is NaN or ``+inf`` — the same poison the
+            dense path rejects, checked *before* exclusion masking so a
+            degraded forward cannot hide behind an excluded candidate.
+
+    Returns:
+        ``(B, top_n)`` int64 ranked item ids, best first.  Slots beyond
+        a request's rankable candidates carry ``0`` (the PAD id, which
+        is never a real recommendation — callers strip or ignore it,
+        exactly as they strip the dense path's ``-inf`` tail).
+    """
+    ids = top.ids
+    num_rows = ids.shape[0]
+    valid = ids >= 1
+    scores = np.where(valid, top.scores, -np.inf).astype(np.float64)
+    if check_finite:
+        invalid = np.isnan(scores) | (scores == np.inf)
+        if invalid.any():
+            rows = np.unique(np.nonzero(invalid)[0])
+            raise NonFiniteScoresError(
+                f"scores contain {int(invalid.sum())} NaN/+inf entries "
+                f"(rows {rows[:5].tolist()}"
+                f"{'…' if len(rows) > 5 else ''}); pass "
+                "check_finite=False to rank anyway"
+            )
+    if exclude is not None:
+        if len(exclude) != num_rows:
+            raise ValueError(
+                f"need one exclude list per request: {len(exclude)} != "
+                f"{num_rows}"
+            )
+        for row, items in enumerate(exclude):
+            if len(items):
+                scores[row, np.isin(ids[row], items)] = -np.inf
+    # Primary key: descending score; secondary: ascending item id.  -1
+    # padding and exclusions sit at -inf and sink to the back, where the
+    # 0-fill below marks them unrankable.
+    order = np.lexsort((ids, -scores))
+    ranked = np.take_along_axis(ids, order, axis=1)
+    ranked[np.take_along_axis(scores, order, axis=1) == -np.inf] = 0
+    top_n = int(top_n)
+    if top_n < 1:
+        raise ValueError(f"top_n must be >= 1, got {top_n}")
+    if ranked.shape[1] >= top_n:
+        return np.ascontiguousarray(ranked[:, :top_n])
+    padded = np.zeros((num_rows, top_n), dtype=np.int64)
+    padded[:, :ranked.shape[1]] = ranked
+    return padded
 
 
 def metrics_batch(

@@ -10,12 +10,14 @@ so ranking error is confined to candidate misses — measured directly by
 
 from .engine import RetrievalEngine
 from .index import IndexConfig, IVFIndex, kmeans
+from .narrow import TopScores
 from .recall import candidate_recall, recall_curve
 
 __all__ = [
     "IVFIndex",
     "IndexConfig",
     "RetrievalEngine",
+    "TopScores",
     "candidate_recall",
     "kmeans",
     "recall_curve",

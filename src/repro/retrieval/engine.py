@@ -8,11 +8,22 @@
    copy of the model's output head (arithmetically the model's own
    ``score_candidates``, laid out for sequential gathers).
 
-The output keeps the repo-wide score contract: a full-width
-``(B, num_items + 1)`` row with ``-inf`` at every non-candidate position
-(the same "excluded item" sentinel ``rank_items_batch`` already
-understands), so the micro-batcher, score cache, service ranking, and
-evaluation all compose without modification.
+Two output contracts are offered:
+
+- :meth:`RetrievalEngine.score_topk` — the **narrow** candidate-native
+  result (:class:`~repro.retrieval.narrow.TopScores`: C packed ids +
+  exact scores per request, ~768 bytes at C=64).  This is what the
+  serving stack consumes end to end since the candidate-native path
+  landed: micro-batcher fan-out, byte-budget score cache, and service
+  ranking all operate on the packed pair, and the ~400 KB-per-row
+  full-width scatter never happens on the hot path.
+- :meth:`RetrievalEngine.score_batch` — the legacy **full-width**
+  ``(B, num_items + 1)`` row with ``-inf`` at every non-candidate
+  position (the "excluded item" sentinel ``rank_items_batch``
+  understands), kept for exact mode, non-retrieval models, and callers
+  that opt out of the narrow path.  The scattered row carries *exactly*
+  the ids/scores of the narrow result, which is what the bitwise
+  equivalence tests pin.
 
 Bias handling uses the classic MIPS augmentation: an output head
 ``h·w_i + b_i`` becomes a pure inner product by appending ``b_i`` as an
@@ -33,6 +44,7 @@ import sys
 import numpy as np
 
 from .index import IndexConfig, IVFIndex
+from .narrow import TopScores
 
 __all__ = ["RetrievalEngine"]
 
@@ -53,23 +65,9 @@ class RetrievalEngine:
     """
 
     def __init__(self, model, config: IndexConfig):
-        if not getattr(model, "supports_retrieval", False):
-            raise ValueError(
-                f"{getattr(model, 'name', type(model).__name__)} does not "
-                "support retrieval (supports_retrieval is falsy)"
-            )
         self._model = model
         self.config = config
-        weights, bias = model.output_head()
-        # Rows 1..N of the transposed head are the item vectors; index 0
-        # is PAD and must never be retrievable.
-        items = np.ascontiguousarray(weights.T[1:], dtype=np.float32)
-        self._has_bias = bias is not None
-        if self._has_bias:
-            items = np.concatenate(
-                [items, np.asarray(bias, dtype=np.float32)[1:, None]],
-                axis=1,
-            )
+        items, self._has_bias = self._item_table(model)
         self.num_items = items.shape[0]
         # Kept contiguous for the re-rank: gathering C rows per query
         # from this table touches C·d sequential floats, whereas going
@@ -83,12 +81,16 @@ class RetrievalEngine:
         if nlist is None:
             nlist = max(1, int(round(np.sqrt(self.num_items))))
         nlist = min(nlist, self.num_items)
+        self._nlist = nlist
         self.exact = (
             config.nprobe >= nlist
             and config.quantize is None
             and config.candidates >= self.num_items
         )
         self.passthroughs = 0
+        self.narrow_batches = 0
+        self.refreshes = 0
+        self.rebuilds = 0
         self._out_pool: np.ndarray | None = None
         self._dirty: np.ndarray | None = None
         if self.exact:
@@ -96,6 +98,34 @@ class RetrievalEngine:
             self.index = None
         else:
             self.index = IVFIndex.build(items, ids, config)
+
+    @staticmethod
+    def _item_table(model) -> tuple[np.ndarray, bool]:
+        """The (bias-augmented) item-vector table of ``model``'s output
+        head — what the index partitions and the re-rank gathers from.
+
+        Raises:
+            ValueError: if the model lacks the retrieval hooks (callers
+                that want graceful fallback check ``supports_retrieval``
+                first — :class:`repro.serve.engine.InferenceEngine`
+                does).
+        """
+        if not getattr(model, "supports_retrieval", False):
+            raise ValueError(
+                f"{getattr(model, 'name', type(model).__name__)} does not "
+                "support retrieval (supports_retrieval is falsy)"
+            )
+        weights, bias = model.output_head()
+        # Rows 1..N of the transposed head are the item vectors; index 0
+        # is PAD and must never be retrievable.
+        items = np.ascontiguousarray(weights.T[1:], dtype=np.float32)
+        has_bias = bias is not None
+        if has_bias:
+            items = np.concatenate(
+                [items, np.asarray(bias, dtype=np.float32)[1:, None]],
+                axis=1,
+            )
+        return items, has_bias
 
     def score_batch(self, histories) -> np.ndarray:
         """Full-width score rows, ``-inf`` outside the candidates.
@@ -112,24 +142,52 @@ class RetrievalEngine:
         if self.exact:
             self.passthroughs += len(histories)
             return self._model.score_batch(histories)
+        top = self.score_topk(histories)
+        out = self._rows_buffer(len(top), top.scores.dtype)
+        # Candidate ids are >= 1 and column 0 (PAD) is -inf by contract,
+        # so -1 slots can scatter into column 0 branch-free: the column
+        # is re-masked right after, and un-scattering it is a no-op.
+        safe = np.maximum(top.ids, 0)
+        np.put_along_axis(out, safe, top.scores, axis=1)
+        out[:, 0] = -np.inf
+        self._dirty = safe
+        return out
+
+    def score_topk(self, histories) -> TopScores:
+        """Narrow candidate-native scores: C packed ids + exact scores
+        per request, no full-width materialization.
+
+        The returned arrays are freshly allocated (tiny: ``C`` int64 +
+        ``C`` float32 per request) and owned by the caller — unlike
+        :meth:`score_batch` there is no buffer pool to respect.  The
+        scores are exactly what :meth:`score_batch` would scatter into
+        its full-width row: same gather, same GEMV, same dtype — the
+        two contracts are bitwise-consistent by construction.
+
+        Raises:
+            ValueError: in exact mode — exact retrieval short-circuits
+                to the model's dense ``score_batch`` and has no narrow
+                form (callers branch on :attr:`exact`, as
+                :class:`repro.serve.engine.InferenceEngine` does).
+        """
+        if self.exact:
+            raise ValueError(
+                "exact mode serves dense rows; the narrow contract "
+                "applies to approximate retrieval only"
+            )
         hidden = self._model.hidden_last(histories)
         queries = self.augment_queries(hidden)
         cand = self.index.search(queries)
         # Exact re-rank: the candidates' rows of the (bias-augmented)
         # head, one batched (C, d) @ (d,) product per query.  -1 marks
         # slots whose probed lists held fewer than C items; they gather
-        # row 0 here and are routed to the PAD column below.
+        # row 0 here and are masked to -inf below so no consumer can
+        # ever rank (or cache-poison on) a padding slot's garbage.
         gathered = self._items[np.maximum(cand - 1, 0)]
         scores = np.matmul(gathered, queries[:, :, None])[:, :, 0]
-        out = self._rows_buffer(cand.shape[0], scores.dtype)
-        # Candidate ids are >= 1 and column 0 (PAD) is -inf by contract,
-        # so -1 slots can scatter into column 0 branch-free: the column
-        # is re-masked right after, and un-scattering it is a no-op.
-        safe = np.maximum(cand, 0)
-        np.put_along_axis(out, safe, scores, axis=1)
-        out[:, 0] = -np.inf
-        self._dirty = safe
-        return out
+        scores[cand < 1] = -np.inf
+        self.narrow_batches += len(histories)
+        return TopScores(cand, scores, self.num_items + 1)
 
     def _rows_buffer(self, batch: int, dtype) -> np.ndarray:
         """An all ``-inf`` ``(batch, num_items + 1)`` row block.
@@ -174,15 +232,92 @@ class RetrievalEngine:
             axis=1,
         )
 
+    def refresh(self, model) -> dict:
+        """Adopt a hot-swapped model without a full index rebuild.
+
+        Pulls the new model's output head, diffs it row-by-row against
+        the table currently indexed, and reassigns only the changed item
+        vectors to their nearest existing centroids
+        (:meth:`IVFIndex.update`) — a rollout at catalogue scale pays
+        O(changed) assignment work instead of a k-means re-run.  Once
+        cumulative churn since the last build reaches
+        ``config.rebuild_threshold`` (the staleness knob), the full
+        rebuild runs instead, re-training centroids (and the int8
+        quantizer) on the current geometry.  Deterministic either way:
+        the diff, the assignment, and the rebuild all derive from the
+        model weights and ``config.seed`` alone.
+
+        Args:
+            model: the replacement model (same catalogue width and head
+                structure as the one this engine was built from).
+
+        Returns:
+            ``{"mode": "noop" | "update" | "rebuild" | "exact",
+            "changed": int}`` describing what happened.
+
+        Raises:
+            ValueError: when the new model cannot be adopted in place —
+                no retrieval hooks, a different catalogue size, head
+                dimension, or bias structure.  Callers then build a
+                fresh engine (as :meth:`InferenceEngine.set_model`
+                does).
+        """
+        items, has_bias = self._item_table(model)
+        if has_bias != self._has_bias:
+            raise ValueError(
+                "output head bias structure changed across the swap; "
+                "a fresh index build is required"
+            )
+        if items.shape != self._items.shape:
+            raise ValueError(
+                f"item table changed shape across the swap "
+                f"({self._items.shape} -> {items.shape}); a fresh "
+                "index build is required"
+            )
+        if self.exact:
+            # No index to patch: exact mode always scores through the
+            # live model, so adopting it is the whole refresh.
+            self._model = model
+            self._items = items
+            return {"mode": "exact", "changed": 0}
+        changed = np.flatnonzero(np.any(items != self._items, axis=1))
+        self._model = model
+        self._items = items
+        if changed.size == 0:
+            return {"mode": "noop", "changed": 0}
+        projected = self.index.updates_since_build + changed.size
+        if projected >= self.config.rebuild_threshold * self.num_items:
+            ids = np.arange(1, self.num_items + 1, dtype=np.int64)
+            self.index = IVFIndex.build(items, ids, self.config)
+            self.rebuilds += 1
+            return {"mode": "rebuild", "changed": int(changed.size)}
+        self.index.update(items[changed], changed + 1)
+        self.refreshes += 1
+        return {"mode": "update", "changed": int(changed.size)}
+
     def snapshot(self) -> dict:
-        """Counters + effective configuration for observability."""
+        """Counters + *effective* configuration for observability.
+
+        ``nprobe`` reports the value searches actually use —
+        ``min(config.nprobe, nlist)`` — not the raw config (a config
+        asking for more probes than lists exist is silently clamped by
+        :meth:`IVFIndex.search`, and dashboards should see the truth).
+        """
+        index = self.index
         return {
             "exact": self.exact,
-            "nlist": self.index.nlist if self.index is not None else 0,
-            "nprobe": self.config.nprobe,
+            "nlist": index.nlist if index is not None else 0,
+            "nprobe": min(self.config.nprobe, self._nlist),
             "candidates": self.config.candidates,
             "quantize": self.config.quantize,
-            "searches": self.index.searches if self.index else 0,
-            "scanned": self.index.scanned if self.index else 0,
+            "searches": index.searches if index else 0,
+            "scanned": index.scanned if index else 0,
             "passthroughs": self.passthroughs,
+            "narrow_batches": self.narrow_batches,
+            "staleness": round(index.staleness, 6) if index else 0.0,
+            "updates_since_build": (
+                index.updates_since_build if index else 0
+            ),
+            "refreshes": self.refreshes,
+            "rebuilds": self.rebuilds,
         }

@@ -69,6 +69,13 @@ class IndexConfig:
         kmeans_iters: Lloyd iterations for the coarse quantizer.
         train_sample: at most this many vectors train the quantizer
             (assignment still runs over all of them).
+        rebuild_threshold: staleness fraction at which
+            :meth:`repro.retrieval.RetrievalEngine.refresh` stops
+            patching the index incrementally (:meth:`IVFIndex.update`)
+            and pays a full rebuild instead — once this fraction of the
+            catalogue has been reassigned against centroids (and, for
+            int8, a quantizer) trained on old vectors, re-training them
+            is what keeps recall honest.
     """
 
     nlist: int | None = None
@@ -78,6 +85,7 @@ class IndexConfig:
     seed: int = 0
     kmeans_iters: int = 8
     train_sample: int = 16384
+    rebuild_threshold: float = 0.5
 
     def __post_init__(self) -> None:
         if self.nlist is not None and self.nlist < 1:
@@ -99,6 +107,11 @@ class IndexConfig:
         if self.train_sample < 1:
             raise ValueError(
                 f"train_sample must be >= 1, got {self.train_sample}"
+            )
+        if not 0.0 < self.rebuild_threshold <= 1.0:
+            raise ValueError(
+                f"rebuild_threshold must be in (0, 1], got "
+                f"{self.rebuild_threshold}"
             )
 
 
@@ -167,12 +180,18 @@ def kmeans(
 
 
 class IVFIndex:
-    """Inverted-file index over a fixed set of item vectors.
+    """Inverted-file index over a set of item vectors.
 
     Build once from the embedding table (see
     :class:`repro.retrieval.RetrievalEngine`), then :meth:`search`
-    batches of query vectors.  The index is immutable — model hot-swaps
-    build a fresh one (engine-level versioning mirrors ``ScoreCache``).
+    batches of query vectors.  The coarse quantizer (centroids) is
+    immutable after :meth:`build`; the *lists* are not: :meth:`update`
+    reassigns changed or new vectors to their nearest existing
+    centroids, so a model hot-swap patches the index in O(changed)
+    assignment work instead of re-running k-means over the catalogue.
+    Cumulative churn is tracked in :attr:`updates_since_build` /
+    :attr:`staleness` and bounded by
+    :attr:`IndexConfig.rebuild_threshold` at the engine level.
     """
 
     def __init__(
@@ -193,11 +212,20 @@ class IVFIndex:
         self.num_vectors = int(len(sorted_ids))
         self.searches = 0
         self.scanned = 0
+        self.updates = 0
+        self.updates_since_build = 0
         self._scratch: dict[str, np.ndarray] = {}
 
     @property
     def nlist(self) -> int:
         return self.centroids.shape[0]
+
+    @property
+    def staleness(self) -> float:
+        """Fraction of the catalogue reassigned since the last full
+        build — how far the lists have drifted from the geometry the
+        centroids (and quantizer) were trained on."""
+        return self.updates_since_build / max(self.num_vectors, 1)
 
     @property
     def list_ids(self) -> list[np.ndarray]:
@@ -276,6 +304,80 @@ class IVFIndex:
             config,
             quant,
         )
+
+    def update(self, vectors: np.ndarray, ids: np.ndarray) -> int:
+        """Reassign changed/new vectors to their nearest *existing*
+        centroids — the incremental half of a model hot-swap.
+
+        Only the ``m`` updated vectors pay a centroid-assignment GEMM;
+        the k-means training loop (the expensive part of :meth:`build`)
+        never re-runs.  Storage is then repacked in one stable
+        counting-sort pass, so the contiguous partition-sorted layout —
+        and therefore per-query scan cost — is exactly what a fresh
+        build with these assignments would produce.  Ids already in the
+        index are replaced; unseen ids are inserted (their partitions'
+        lists grow).
+
+        With int8 lists the updated vectors are encoded under the
+        *existing* global affine quantizer, clipping values outside its
+        trained range — one reason :attr:`staleness` exists: once
+        cumulative churn crosses ``config.rebuild_threshold``, the
+        engine pays a full rebuild to re-train centroids and re-fit the
+        quantizer.
+
+        Args:
+            vectors: ``(m, d)`` replacement vectors.
+            ids: ``(m,)`` integer ids (duplicates keep the last
+                occurrence).
+
+        Returns:
+            How many distinct ids were updated or inserted.
+        """
+        vectors = np.ascontiguousarray(vectors, dtype=np.float32)
+        ids = np.asarray(ids, dtype=np.int64)
+        if vectors.ndim != 2:
+            raise ValueError(f"vectors must be 2-D, got {vectors.shape}")
+        if ids.shape != (vectors.shape[0],):
+            raise ValueError(
+                f"ids shape {ids.shape} does not match "
+                f"{vectors.shape[0]} vectors"
+            )
+        if vectors.shape[1] != self.centroids.shape[1]:
+            raise ValueError(
+                f"vector dim {vectors.shape[1]} does not match index "
+                f"dim {self.centroids.shape[1]}"
+            )
+        if len(ids) == 0:
+            return 0
+        # Duplicate ids within one update batch: last write wins.
+        _, rev_first = np.unique(ids[::-1], return_index=True)
+        last = np.sort(len(ids) - 1 - rev_first)
+        ids, vectors = ids[last], vectors[last]
+        assign = _assign(vectors, self.centroids)
+        if self.quant is None:
+            stored = vectors
+        else:
+            q_min, q_step = self.quant
+            stored = np.clip(
+                np.rint((vectors - q_min) / q_step), 0, 255
+            ).astype(np.uint8)
+        part_old = np.repeat(
+            np.arange(self.nlist, dtype=np.int64), np.diff(self._bounds)
+        )
+        keep = ~np.isin(self._ids, ids)
+        all_ids = np.concatenate([self._ids[keep], ids])
+        all_parts = np.concatenate([part_old[keep], assign])
+        all_stored = np.concatenate([self._vectors[keep], stored])
+        order = np.argsort(all_parts, kind="stable")
+        self._ids = all_ids[order]
+        self._vectors = np.ascontiguousarray(all_stored[order])
+        self._bounds = np.searchsorted(
+            all_parts[order], np.arange(self.nlist + 1)
+        ).astype(np.int64)
+        self.num_vectors = int(len(self._ids))
+        self.updates += 1
+        self.updates_since_build += int(len(ids))
+        return int(len(ids))
 
     def search(
         self,

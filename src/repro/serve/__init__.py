@@ -34,7 +34,7 @@ degrade gracefully instead of falling over.  The pieces:
 See ``docs/SERVING.md`` for the fault model and ladder semantics.
 """
 
-from ..retrieval import IndexConfig
+from ..retrieval import IndexConfig, TopScores
 from .breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
 from .chaos import ChaosConfig, run_chaos
 from .cluster import (
@@ -96,6 +96,7 @@ __all__ = [
     "ServeError",
     "ServiceConfig",
     "ServiceStats",
+    "TopScores",
     "TransientError",
     "flip_byte",
     "run_chaos",

@@ -1099,6 +1099,17 @@ class ServingCluster:
                 "flapped_shards": sorted(self._flapped),
                 "full_capacity": self.full_capacity(),
                 "latency": self.latency.summary(),
+                # Fleet-wide health of the candidate-native path: how
+                # much served traffic ranked straight from narrow
+                # candidate lists vs. paid a dense full-width fallback.
+                # A sinking ratio means exclusion lists are outgrowing
+                # the candidate budget somewhere in the fleet.
+                "narrow_ranked": merged.narrow_ranked,
+                "dense_fallbacks": merged.dense_fallbacks,
+                "narrow_ratio": (
+                    round(merged.narrow_ranked / merged.total_served, 4)
+                    if merged.total_served else None
+                ),
             },
             "service": merged.snapshot(),
             "per_shard": per_shard,

@@ -17,11 +17,25 @@ works on top of it unchanged):
   deterministic (FIFO submission order, chunked at ``max_batch``), and a
   flush is *due* once the queue is full or the oldest ticket has waited
   ``max_delay`` seconds, so latency stays bounded under light load.
-- **:class:`ScoreCache`** — an LRU of finite score rows keyed on
+- **:class:`ScoreCache`** — an LRU of finite score entries keyed on
   ``(model version, most-recent-window suffix)``.  Two users whose
   histories agree on the model's attention window share one entry; a
   model hot-swap bumps the version, which invalidates every old entry
-  at once (see :meth:`InferenceEngine.set_model`).
+  at once (see :meth:`InferenceEngine.set_model`).  Entries are either
+  full-width rows or narrow :class:`repro.retrieval.TopScores` packs,
+  and eviction honours an optional **byte budget**
+  (``cache_capacity_bytes``) on top of the entry count — at 100k items
+  a narrow entry is ~768 bytes against ~400 KB for a full row, so the
+  same memory holds ~500× more users.
+
+When approximate retrieval is configured (``EngineConfig(index=...)``)
+and ``narrow`` is on (the default), the engine serves the candidate-
+native contract end to end: ``score_batch`` returns a ``TopScores``
+batch, the micro-batcher fans narrow rows out to tickets, the cache
+stores the packed pairs, and :class:`repro.serve.RecommendService`
+ranks straight from the candidate list — the full-width ``-inf`` row is
+never materialized on the hot path.  ``narrow=False`` (or exact mode,
+or a model without retrieval hooks) keeps the legacy full-width rows.
 
 Equivalence is pinned bitwise: for a row-deterministic BLAS the batched
 engine returns exactly the scores of one-at-a-time ``score_batch`` calls
@@ -37,23 +51,29 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..retrieval import IndexConfig, RetrievalEngine
+from ..retrieval import IndexConfig, RetrievalEngine, TopScores
 from ..tensor import no_grad
 
 __all__ = ["EngineConfig", "InferenceEngine", "MicroBatcher", "ScoreCache"]
 
 
-def _cacheable(row: np.ndarray) -> bool:
-    """Whether a score row may enter the cache.
+def _cacheable(entry) -> bool:
+    """Whether a score entry may enter the cache.
 
     NaN or +inf marks a degraded forward (the same poison
     ``rank_items_batch`` rejects) — a transient burst must not become a
     sticky entry that re-fails every hit.  ``-inf`` is the legitimate
     "item excluded" sentinel (the padding slot always carries it, and
-    approximate retrieval masks every non-candidate with it), so rows
-    containing it cache normally.
+    approximate retrieval masks every non-candidate with it), so
+    entries containing it cache normally.  Narrow
+    :class:`~repro.retrieval.TopScores` entries apply the same rule to
+    their real candidate slots (``-1`` padding carries ``-inf`` by
+    contract and is skipped).
     """
-    rest = row[1:]
+    if isinstance(entry, TopScores):
+        real = entry.scores[entry.ids >= 1]
+        return not (np.isnan(real).any() or np.isposinf(real).any())
+    rest = entry[1:]
     return not (np.isnan(rest).any() or np.isposinf(rest).any())
 
 
@@ -68,6 +88,13 @@ class EngineConfig:
             while the batch fills; 8–32 is the useful range here.
         cache_capacity: LRU entries held by the :class:`ScoreCache`
             (``0`` disables caching entirely).
+        cache_capacity_bytes: optional byte budget for the cache on top
+            of the entry count — eviction runs until both limits hold.
+            The knob that matters at catalogue scale: full-width rows
+            cost ``(num_items + 1) * 4`` bytes each (~1.6 GB for the
+            default 4096 entries at 100k items), narrow entries ~12
+            bytes per candidate (~3 MB for the same 4096 entries at
+            C=64).  ``None`` leaves bytes uncapped.
         max_delay: seconds the oldest queued request may wait before a
             flush is *due* (``0`` = a flush is due as soon as anything is
             queued; only streaming callers that poll
@@ -78,6 +105,14 @@ class EngineConfig:
             two-stage IVF retrieve + exact re-rank path.  Models without
             retrieval hooks fall back to dense scoring silently (the
             fallback is visible in :meth:`InferenceEngine.snapshot`).
+        narrow: serve the candidate-native contract
+            (:class:`repro.retrieval.TopScores`) when approximate
+            retrieval is active — ``score_batch`` returns packed
+            ids/scores, the cache stores narrow entries, and the
+            service ranks from the candidate list.  ``False`` restores
+            the legacy full-width scattered rows (the equivalence
+            reference).  Ignored without an ``index`` (dense models
+            always serve full rows) and in exact mode.
         compile: route the wrapped neural model's scoring forwards
             through the trace-and-replay compiled path
             (:mod:`repro.tensor.compile`): the first flush of each batch
@@ -89,8 +124,10 @@ class EngineConfig:
 
     max_batch: int = 32
     cache_capacity: int = 4096
+    cache_capacity_bytes: int | None = None
     max_delay: float = 0.0
     index: IndexConfig | None = None
+    narrow: bool = True
     compile: bool = True
 
     def __post_init__(self):
@@ -98,24 +135,46 @@ class EngineConfig:
             raise ValueError("max_batch must be >= 1")
         if self.cache_capacity < 0:
             raise ValueError("cache_capacity must be >= 0")
+        if (
+            self.cache_capacity_bytes is not None
+            and self.cache_capacity_bytes < 1
+        ):
+            raise ValueError(
+                "cache_capacity_bytes must be >= 1 (or None for no "
+                "byte cap)"
+            )
         if self.max_delay < 0:
             raise ValueError("max_delay must be >= 0")
 
 
 class ScoreCache:
-    """LRU cache of per-request score rows with full accounting.
+    """LRU cache of per-request score entries with full accounting.
 
     Keys are opaque (the engine uses ``(model_version, suffix bytes)``);
-    values are 1-D score arrays.  ``hits`` / ``misses`` / ``evictions`` /
-    ``invalidations`` are monotone counters surfaced through
-    :meth:`snapshot` into :class:`repro.serve.ServiceStats`.
+    values are 1-D full-width score rows or narrow
+    :class:`~repro.retrieval.TopScores` packs.  Eviction enforces an
+    entry-count cap and, when ``capacity_bytes`` is set, a byte budget
+    (``bytes`` tracks the exact payload held) — the budget is what lets
+    a catalogue-scale cache be sized in memory rather than entries,
+    where one full-width row costs as much as ~500 narrow ones.
+    ``hits`` / ``misses`` / ``evictions`` / ``invalidations`` are
+    monotone counters surfaced through :meth:`snapshot` into
+    :class:`repro.serve.ServiceStats`.
     """
 
-    def __init__(self, capacity: int = 4096):
+    def __init__(
+        self, capacity: int = 4096, capacity_bytes: int | None = None
+    ):
         if capacity < 0:
             raise ValueError("capacity must be >= 0")
+        if capacity_bytes is not None and capacity_bytes < 1:
+            raise ValueError(
+                "capacity_bytes must be >= 1 (or None for no byte cap)"
+            )
         self.capacity = capacity
-        self._entries: OrderedDict[object, np.ndarray] = OrderedDict()
+        self.capacity_bytes = capacity_bytes
+        self._entries: OrderedDict[object, object] = OrderedDict()
+        self.bytes = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -129,38 +188,67 @@ class ScoreCache:
         by prefetch, which must not inflate the hit/miss counters)."""
         return key in self._entries
 
-    def get(self, key) -> np.ndarray | None:
-        """The cached row for ``key`` (marked most-recently-used), or
+    @staticmethod
+    def _clone(entry):
+        if isinstance(entry, TopScores):
+            return entry.copy()
+        return np.array(entry, copy=True)
+
+    def get(self, key):
+        """The cached entry for ``key`` (marked most-recently-used), or
         ``None``.  Returns a copy so callers can never poison the cache."""
-        row = self._entries.get(key)
-        if row is None:
+        entry = self._entries.get(key)
+        if entry is None:
             self.misses += 1
             return None
         self._entries.move_to_end(key)
         self.hits += 1
-        return row.copy()
+        return self._clone(entry)
 
-    def put(self, key, row: np.ndarray) -> None:
+    def put(self, key, entry) -> None:
+        """Insert or **refresh** the entry for ``key``.
+
+        A re-put of an existing key replaces the stored payload (and its
+        byte accounting) — the scenario is a row recomputed around a
+        ``set_model``-adjacent race, where keeping the stale array would
+        serve old scores for as long as the entry stays hot.
+        """
         if self.capacity == 0:
             return
-        if key in self._entries:
-            self._entries.move_to_end(key)
+        stored = self._clone(entry)
+        size = stored.nbytes
+        if self.capacity_bytes is not None and size > self.capacity_bytes:
+            # One entry over the whole budget would evict everything and
+            # still violate it; refuse admission instead.
             return
-        if len(self._entries) >= self.capacity:
-            self._entries.popitem(last=False)
+        previous = self._entries.pop(key, None)
+        if previous is not None:
+            self.bytes -= previous.nbytes
+        self._entries[key] = stored
+        self.bytes += size
+        while len(self._entries) > self.capacity or (
+            self.capacity_bytes is not None
+            and self.bytes > self.capacity_bytes
+        ):
+            _, evicted = self._entries.popitem(last=False)
+            self.bytes -= evicted.nbytes
             self.evictions += 1
-        self._entries[key] = np.array(row, copy=True)
 
     def clear(self) -> None:
         """Drop every entry (counted as one invalidation event)."""
         self.invalidations += 1
         self._entries.clear()
+        self.bytes = 0
 
     def snapshot(self) -> dict:
         total = self.hits + self.misses
+        size = len(self._entries)
         return {
-            "size": len(self._entries),
+            "size": size,
             "capacity": self.capacity,
+            "capacity_bytes": self.capacity_bytes,
+            "bytes": self.bytes,
+            "bytes_per_entry": round(self.bytes / size, 1) if size else 0.0,
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
@@ -198,8 +286,11 @@ class MicroBatcher:
     """Coalesce queued scoring requests into batched forwards.
 
     Args:
-        score_batch: ``callable(list[np.ndarray]) -> (n, num_items+1)``
-            — the underlying scorer (one padded batched forward).
+        score_batch: the underlying scorer (one padded batched forward):
+            ``callable(list[np.ndarray])`` returning ``(n, num_items+1)``
+            full-width rows or an ``n``-row narrow
+            :class:`~repro.retrieval.TopScores` batch, fanned out to
+            tickets as row views either way.
         max_batch: flush chunk size; reaching it triggers an auto-flush.
         max_delay: seconds before a waiting ticket makes a flush *due*.
         clock: monotonic time source (injectable for tests).
@@ -267,14 +358,20 @@ class MicroBatcher:
                     ticket._error = error
                     ticket._done = True
             else:
-                scores = np.asarray(scores)
-                if scores.shape[0] != len(chunk):
+                narrow = isinstance(scores, TopScores)
+                if not narrow:
+                    scores = np.asarray(scores)
+                if len(scores) != len(chunk):
                     mismatch = ValueError(
-                        f"scorer returned {scores.shape[0]} rows for a "
+                        f"scorer returned {len(scores)} rows for a "
                         f"{len(chunk)}-request chunk"
                     )
                     for ticket in chunk:
                         ticket._error = mismatch
+                        ticket._done = True
+                elif narrow:
+                    for position, ticket in enumerate(chunk):
+                        ticket._scores = scores.row(position)
                         ticket._done = True
                 else:
                     for ticket, row in zip(chunk, scores):
@@ -320,8 +417,12 @@ class InferenceEngine:
         self.model_version = 0
         self._retrieval: RetrievalEngine | None = None
         self._retrieval_unsupported = False
+        self.dense_fallbacks = 0
         self.cache = (
-            ScoreCache(self.config.cache_capacity)
+            ScoreCache(
+                self.config.cache_capacity,
+                capacity_bytes=self.config.cache_capacity_bytes,
+            )
             if self.config.cache_capacity else None
         )
         self.batcher = MicroBatcher(
@@ -355,15 +456,25 @@ class InferenceEngine:
         The invalidation rule on reload: the version in every cache key
         is bumped (so stale entries can never be served) *and* the cache
         is cleared eagerly (so their memory is released now, not via
-        LRU churn).  The retrieval index is versioned the same way: it
-        is dropped here and lazily rebuilt from the *new* model's
-        embedding table on the next scored request, so a stale index can
-        never rank on behalf of a swapped-in model.
+        LRU churn).  The retrieval index refreshes **incrementally**:
+        :meth:`repro.retrieval.RetrievalEngine.refresh` reassigns only
+        the changed item vectors to their nearest existing centroids
+        (escalating to a full rebuild past the staleness threshold), so
+        a hot-swap costs an m-row assignment instead of a k-means run —
+        candidate re-scoring always uses the *new* model's output head,
+        so stale geometry can cost candidate recall but never score
+        correctness.  A structurally incompatible swap (different item
+        count or bias layout, or no retrieval hooks) drops the index and
+        rebuilds lazily on the next scored request, exactly as before.
         """
+        if self._retrieval is not None:
+            try:
+                self._retrieval.refresh(model)
+            except ValueError:
+                self._retrieval = None
         self._model = model
         self._apply_compile()
         self.model_version += 1
-        self._retrieval = None
         self._retrieval_unsupported = False
         if self.cache is not None:
             self.cache.clear()
@@ -401,11 +512,20 @@ class InferenceEngine:
                 )
         return self._retrieval
 
-    def _score_chunk(self, histories: list[np.ndarray]) -> np.ndarray:
-        """One batched forward, guaranteed tape-free."""
+    def _score_chunk(self, histories: list[np.ndarray]):
+        """One batched forward, guaranteed tape-free.
+
+        Returns a narrow :class:`~repro.retrieval.TopScores` batch on
+        the candidate-native path (approximate retrieval with
+        ``narrow=True``), full-width rows everywhere else — exact mode
+        re-scores the whole catalogue anyway, so there is nothing
+        narrow to return.
+        """
         retrieval = self._ensure_retrieval()
         with no_grad():
             if retrieval is not None:
+                if self.config.narrow and not retrieval.exact:
+                    return retrieval.score_topk(histories)
                 return retrieval.score_batch(histories)
             return self._model.score_batch(histories)
 
@@ -415,9 +535,16 @@ class InferenceEngine:
     def score_last(self, histories: list[np.ndarray]) -> np.ndarray:
         return self.score_batch(histories)
 
-    def score_batch(self, histories: list[np.ndarray]) -> np.ndarray:
+    def score_batch(self, histories: list[np.ndarray]):
         """Scores for every history — served from cache where possible,
-        micro-batched forwards for the misses, scattered back in order.
+        micro-batched forwards for the misses, reassembled in order.
+
+        On the candidate-native path the result is one narrow
+        :class:`~repro.retrieval.TopScores` batch; otherwise a
+        ``(n, num_items + 1)`` full-width matrix.  A single call never
+        mixes the two: the serving mode is fixed by config + model, and
+        a model swap that changes it also bumps the cache version, so
+        stale entries of the other shape are unreachable.
 
         Raises the underlying model's error if a needed chunk failed
         (cached requests are unaffected; the caller's retry/fallback
@@ -426,7 +553,7 @@ class InferenceEngine:
         histories = [
             np.asarray(history, dtype=np.int64) for history in histories
         ]
-        results: list[np.ndarray | None] = [None] * len(histories)
+        results: list = [None] * len(histories)
         pending: list[tuple[int, object, _Ticket]] = []
         for index, history in enumerate(histories):
             key = self._key(history)
@@ -443,7 +570,25 @@ class InferenceEngine:
             if self.cache is not None and _cacheable(row):
                 self.cache.put(key, row)
             results[index] = row
+        if results and isinstance(results[0], TopScores):
+            return TopScores.stack(results)
         return np.stack(results)
+
+    def score_batch_dense(self, histories: list[np.ndarray]) -> np.ndarray:
+        """Full-width rows straight from the wrapped model — the escape
+        hatch for callers the narrow contract cannot serve (a request
+        whose exclusions swallow every retrieved candidate).  Bypasses
+        the cache and batcher: dense rows at catalogue scale are exactly
+        the allocations the narrow path exists to avoid, so they must
+        not displace narrow entries, and fallbacks are rare enough that
+        coalescing them buys nothing.  Counted in ``dense_fallbacks``.
+        """
+        self.dense_fallbacks += len(histories)
+        histories = [
+            np.asarray(history, dtype=np.int64) for history in histories
+        ]
+        with no_grad():
+            return np.asarray(self._model.score_batch(histories))
 
     def prefetch(self, histories: list[np.ndarray]) -> int:
         """Warm the cache with one coalesced pass over ``histories``.
@@ -487,6 +632,8 @@ class InferenceEngine:
                 self._model, "name", type(self._model).__name__
             ),
             "model_version": self.model_version,
+            "narrow": self.config.narrow,
+            "dense_fallbacks": self.dense_fallbacks,
             "cache": (
                 self.cache.snapshot() if self.cache is not None else None
             ),

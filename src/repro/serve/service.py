@@ -41,7 +41,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..eval.metrics import NonFiniteScoresError, rank_items_batch
+from ..eval.metrics import (
+    NonFiniteScoresError,
+    rank_items_batch,
+    rank_top_scores,
+)
+from ..retrieval import TopScores
 from .breaker import CircuitBreaker
 from .engine import EngineConfig, InferenceEngine
 from .errors import (
@@ -347,7 +352,10 @@ class RecommendService:
                 )
                 return None
             try:
-                ranked = self._rank(scores, history, top_n)
+                if isinstance(scores, TopScores):
+                    ranked = self._rank_narrow(rung, scores, history, top_n)
+                else:
+                    ranked = self._rank(scores, history, top_n)
             except (NonFiniteScoresError, ValueError) as error:
                 rung.breaker.record_failure()
                 rstats.failures["non_finite"] += 1
@@ -445,6 +453,48 @@ class RecommendService:
         ranked = ranked[masked[ranked] > -np.inf]
         if ranked.size == 0:
             raise ValueError("no rankable items after exclusions")
+        return ranked
+
+    def _rank_narrow(
+        self, rung: _Rung, top: TopScores, history: np.ndarray, top_n: int
+    ) -> np.ndarray:
+        """Rank a candidate-native response without densifying it.
+
+        The narrow twin of :meth:`_rank`: O(C log C) over the packed
+        candidate list instead of O(|I|) over a scattered row, with the
+        same exclusion semantics (history ids masked out, the 0-pad tail
+        stripped exactly like the dense path's ``-inf`` tail).  When the
+        exclusions swallow *every* retrieved candidate the request falls
+        back to one true dense forward through the rung's engine
+        (``score_batch_dense``) — the full catalogue can still be ranked,
+        it just costs the allocation the narrow path normally avoids.
+        Both outcomes are counted in the service stats
+        (``narrow_ranked`` / ``dense_fallbacks``).
+        """
+        if len(top) != 1:
+            raise ValueError(
+                f"expected a 1-row narrow response, got {len(top)} rows"
+            )
+        if top.width != self.num_items + 1:
+            raise ValueError(
+                f"narrow width {top.width} does not match the service "
+                f"vocabulary ({self.num_items + 1})"
+            )
+        exclude = [history] if self.config.exclude_history else None
+        ranked = rank_top_scores(
+            top, top_n, exclude=exclude, check_finite=True
+        )[0]
+        ranked = ranked[ranked != 0]
+        if ranked.size == 0:
+            dense = getattr(rung.model, "score_batch_dense", None)
+            if dense is None:
+                raise ValueError(
+                    "no rankable candidates after exclusions and the "
+                    "rung has no dense fallback"
+                )
+            self._stats.dense_fallbacks += 1
+            return self._rank(dense([history]), history, top_n)
+        self._stats.narrow_ranked += 1
         return ranked
 
     # ------------------------------------------------------------------
@@ -581,7 +631,10 @@ class RecommendService:
                     {
                         "max_batch": engine.config.max_batch,
                         "cache_capacity": engine.config.cache_capacity,
+                        "cache_capacity_bytes":
+                            engine.config.cache_capacity_bytes,
                         "retrieval": engine.config.index is not None,
+                        "narrow": engine.config.narrow,
                     }
                     if engine is not None else None
                 ),

@@ -346,10 +346,31 @@ def run_smoke(
                     "retrieval index built but no request was served "
                     "through it",
                 )
+                _require(
+                    retr["narrow_batches"] > 0,
+                    "approximate retrieval served traffic but the "
+                    "candidate-native (narrow) path never ran",
+                )
+                _require(
+                    stats["narrow_ranked"] > 0,
+                    "narrow scores were produced but no request was "
+                    "ranked straight from its candidate list",
+                )
+                cache_bytes = snap["cache"]["bytes_per_entry"]
+                # The memory win only materializes at catalogue scale
+                # (gated hard in benchmarks/test_retrieval.py); at toy
+                # sizes just require the byte accounting to be live.
+                _require(
+                    cache_bytes > 0,
+                    "narrow entries cached but the byte accounting "
+                    "stayed at zero",
+                )
                 log(
                     f"retrieval OK: {retr['searches']} searches over "
                     f"nlist={retr['nlist']} nprobe={retr['nprobe']}, "
-                    f"{retr['scanned']} vectors scanned"
+                    f"{retr['scanned']} vectors scanned, "
+                    f"{stats['narrow_ranked']} narrow-ranked requests, "
+                    f"{cache_bytes:.0f} cache bytes/entry"
                 )
         log("phase 2 OK: breaker re-closed, primary restored")
         log(json.dumps(stats, indent=2, sort_keys=True))

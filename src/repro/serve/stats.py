@@ -113,6 +113,11 @@ class ServiceStats:
         self.deadline_exceeded = 0
         self.served: Counter[str] = Counter()
         self.fallbacks = 0
+        # Candidate-native accounting: requests ranked straight from a
+        # narrow candidate list, vs. requests whose exclusions exhausted
+        # the candidates and forced one dense full-width forward.
+        self.narrow_ranked = 0
+        self.dense_fallbacks = 0
         self.rungs = {name: RungStats() for name in rung_names}
 
     @property
@@ -142,6 +147,8 @@ class ServiceStats:
         self.deadline_exceeded += other.deadline_exceeded
         self.served.update(other.served)
         self.fallbacks += other.fallbacks
+        self.narrow_ranked += other.narrow_ranked
+        self.dense_fallbacks += other.dense_fallbacks
         for name, rstats in other.rungs.items():
             if name in self.rungs:
                 self.rungs[name].merge(rstats)
@@ -173,6 +180,8 @@ class ServiceStats:
             "exhausted": self.exhausted,
             "deadline_exceeded": self.deadline_exceeded,
             "fallbacks": self.fallbacks,
+            "narrow_ranked": self.narrow_ranked,
+            "dense_fallbacks": self.dense_fallbacks,
             "accounted": self.accounted(),
             "rungs": rungs,
         }

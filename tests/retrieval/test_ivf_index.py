@@ -141,11 +141,128 @@ class TestIndexConfigValidation:
             dict(quantize="int4"),
             dict(kmeans_iters=0),
             dict(train_sample=0),
+            dict(rebuild_threshold=0.0),
+            dict(rebuild_threshold=1.5),
         ],
     )
     def test_rejects_bad_values(self, kwargs):
         with pytest.raises(ValueError):
             IndexConfig(**kwargs)
+
+
+class TestIndexUpdate:
+    """Incremental reassignment: the hot-swap path that skips k-means."""
+
+    def _index(self, vectors, ids, **kwargs):
+        return IVFIndex.build(
+            vectors, ids, IndexConfig(nlist=8, seed=5, **kwargs)
+        )
+
+    def test_update_matches_fresh_assignment(self, vectors, ids):
+        # Updating m vectors must leave storage exactly as if the index
+        # had been built from the patched table with the SAME centroids:
+        # every partition holds the nearest-centroid members, in the
+        # same contiguous partition-sorted layout.
+        index = self._index(vectors, ids)
+        rng = make_rng(3)
+        changed = rng.choice(len(ids), size=25, replace=False)
+        patched = vectors.copy()
+        patched[changed] += rng.standard_normal(
+            (25, vectors.shape[1])
+        ).astype(np.float32)
+        assert index.update(patched[changed], ids[changed]) == 25
+
+        reference = self._index(vectors, ids)
+        from repro.retrieval.index import _assign
+        want_assign = _assign(patched, reference.centroids)
+        for part in range(index.nlist):
+            want = np.sort(ids[want_assign == part])
+            np.testing.assert_array_equal(
+                np.sort(index.list_ids[part]), want
+            )
+            # Stored vectors follow their ids.
+            got_order = np.argsort(index.list_ids[part])
+            np.testing.assert_array_equal(
+                index.list_vectors[part][got_order],
+                patched[np.sort(index.list_ids[part]) - 1],
+            )
+        assert index.num_vectors == len(ids)
+
+    def test_search_serves_updated_vectors(self, vectors, ids):
+        index = self._index(vectors, ids)
+        # Move item 42 onto a far-away direction; a query along that
+        # direction must now retrieve it.
+        spike = np.zeros(vectors.shape[1], dtype=np.float32)
+        spike[0] = 50.0
+        index.update(spike[None, :], np.array([42]))
+        got = index.search(spike[None, :], nprobe=8, count=5)
+        assert 42 in got[0]
+
+    def test_counters_and_staleness(self, vectors, ids):
+        index = self._index(vectors, ids)
+        assert index.staleness == 0.0
+        index.update(vectors[:10], ids[:10])
+        index.update(vectors[10:15], ids[10:15])
+        assert index.updates == 2
+        assert index.updates_since_build == 15
+        assert index.staleness == pytest.approx(15 / len(ids))
+
+    def test_duplicate_ids_last_write_wins(self, vectors, ids):
+        index = self._index(vectors, ids)
+        a = np.zeros(vectors.shape[1], dtype=np.float32)
+        b = np.full(vectors.shape[1], 9.0, dtype=np.float32)
+        count = index.update(
+            np.stack([a, b]), np.array([7, 7], dtype=np.int64)
+        )
+        assert count == 1
+        assert index.num_vectors == len(ids)
+        where = [7 in part for part in index.list_ids].index(True)
+        row = index.list_vectors[where][
+            np.flatnonzero(index.list_ids[where] == 7)[0]
+        ]
+        np.testing.assert_array_equal(row, b)
+
+    def test_unseen_ids_are_inserted(self, vectors, ids):
+        index = self._index(vectors, ids)
+        new = np.arange(
+            len(ids) + 1, len(ids) + 4, dtype=np.int64
+        )
+        index.update(vectors[:3] * 0.5, new)
+        assert index.num_vectors == len(ids) + 3
+        stored = np.concatenate(index.list_ids)
+        assert np.isin(new, stored).all()
+
+    def test_int8_updates_reuse_existing_quantizer(self, vectors, ids):
+        index = self._index(vectors, ids, quantize="int8")
+        q_min, q_step = index.quant
+        # A vector far outside the trained range must clip, not crash —
+        # the staleness counter is what bounds this kind of drift.
+        wild = (q_min + 300.0 * q_step * 255)[None, :]
+        index.update(wild.astype(np.float32), np.array([3]))
+        np.testing.assert_array_equal(index.quant[0], q_min)
+        np.testing.assert_array_equal(index.quant[1], q_step)
+        where = [3 in part for part in index.list_ids].index(True)
+        row = index.list_vectors[where][
+            np.flatnonzero(index.list_ids[where] == 3)[0]
+        ]
+        assert row.dtype == np.uint8
+        assert (row == 255).all()
+
+    def test_validation_and_empty_update(self, vectors, ids):
+        index = self._index(vectors, ids)
+        assert index.update(
+            np.empty((0, vectors.shape[1]), dtype=np.float32),
+            np.empty(0, dtype=np.int64),
+        ) == 0
+        assert index.updates == 0
+        with pytest.raises(ValueError, match="2-D"):
+            index.update(vectors[0], np.array([1]))
+        with pytest.raises(ValueError, match="ids shape"):
+            index.update(vectors[:2], np.array([1]))
+        with pytest.raises(ValueError, match="dim"):
+            index.update(
+                np.zeros((1, 3), dtype=np.float32), np.array([1])
+            )
 
 
 class TestSearch:

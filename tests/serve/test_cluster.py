@@ -589,7 +589,8 @@ class TestPerShardEngines:
             described = cluster.describe()
             engine = described[0]["primary"]["engine"]
             assert engine == {"max_batch": 8, "cache_capacity": 16,
-                              "retrieval": False}
+                              "cache_capacity_bytes": None,
+                              "retrieval": False, "narrow": True}
             assert described[0]["pop"]["engine"] == engine
             assert described[1]["primary"]["engine"] is None
             # Heterogeneous shards still serve the same traffic.

@@ -84,6 +84,79 @@ class TestScoreCache:
         assert snap["hits"] == 1 and snap["misses"] == 1
         assert snap["hit_rate"] == 0.5
 
+    def test_put_refreshes_existing_key(self):
+        # Regression (satellite fix): a re-put of a live key used to
+        # keep the OLD payload, silently serving stale scores for as
+        # long as the entry stayed hot.
+        cache = ScoreCache(capacity=2)
+        cache.put("a", np.zeros(3))
+        cache.put("a", np.ones(3))
+        assert len(cache) == 1
+        np.testing.assert_array_equal(cache.get("a"), np.ones(3))
+
+    def test_put_refresh_updates_byte_accounting(self):
+        cache = ScoreCache(capacity=4, capacity_bytes=1024)
+        cache.put("a", np.zeros(4))   # 32 bytes
+        assert cache.bytes == 32
+        cache.put("a", np.zeros(16))  # 128 bytes, replaces
+        assert cache.bytes == 128 and len(cache) == 1
+
+    def test_byte_budget_evicts_lru_until_under(self):
+        cache = ScoreCache(capacity=100, capacity_bytes=100)
+        cache.put("a", np.zeros(5))  # 40 bytes
+        cache.put("b", np.zeros(5))  # 80 bytes total
+        cache.get("a")               # 'a' becomes MRU
+        cache.put("c", np.zeros(5))  # 120 -> evict 'b' (LRU)
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.bytes == 80 and cache.evictions == 1
+
+    def test_oversized_entry_refused_not_churned(self):
+        cache = ScoreCache(capacity=10, capacity_bytes=64)
+        cache.put("a", np.zeros(4))   # 32 bytes, fits
+        cache.put("big", np.zeros(100))  # 800 bytes, can never fit
+        assert "big" not in cache
+        assert "a" in cache  # nothing was evicted for a hopeless entry
+        assert cache.evictions == 0
+
+    def test_narrow_entries_accounted_and_cloned(self):
+        from repro.retrieval import TopScores
+
+        entry = TopScores(
+            np.array([[3, 5]]), np.array([[1.0, 2.0]], dtype=np.float32),
+            width=11,
+        )
+        cache = ScoreCache(capacity=4, capacity_bytes=1024)
+        cache.put("a", entry)
+        assert cache.bytes == entry.nbytes
+        # Mutating what the caller handed in (or got back) never
+        # touches the stored entry.
+        entry.scores[0, 0] = 99.0
+        got = cache.get("a")
+        assert got.scores[0, 0] == 1.0
+        got.scores[0, 0] = -5.0
+        assert cache.get("a").scores[0, 0] == 1.0
+
+    def test_clear_resets_bytes(self):
+        cache = ScoreCache(capacity=4, capacity_bytes=1024)
+        cache.put("a", np.zeros(8))
+        cache.clear()
+        assert cache.bytes == 0
+
+    def test_byte_snapshot_fields(self):
+        cache = ScoreCache(capacity=4, capacity_bytes=500)
+        cache.put("a", np.zeros(5))
+        cache.put("b", np.zeros(5))
+        snap = cache.snapshot()
+        assert snap["capacity_bytes"] == 500
+        assert snap["bytes"] == 80
+        assert snap["bytes_per_entry"] == 40.0
+
+    def test_capacity_bytes_validated(self):
+        with pytest.raises(ValueError, match="capacity_bytes"):
+            ScoreCache(capacity=4, capacity_bytes=0)
+        with pytest.raises(ValueError, match="capacity_bytes"):
+            EngineConfig(cache_capacity_bytes=-1)
+
 
 # ----------------------------------------------------------------------
 # MicroBatcher

@@ -2,21 +2,26 @@
 
 Pins the ISSUE-level guarantees: exact-mode output is *bitwise*
 identical to dense scoring (alone, under the micro-batcher, and under
-fault degradation), the approximate path keeps the full-width score
-contract, and a `set_model` hot-swap atomically invalidates both the
-score cache and the retrieval index (stale-index serving impossible).
+fault degradation), the approximate path serves the candidate-native
+narrow contract whose ranking is bitwise-identical to ranking the
+full-width scattered row, and a `set_model` hot-swap refreshes the
+index incrementally while atomically invalidating the score cache
+(stale-score serving impossible; stale centroids can only cost
+candidate recall, never score correctness).
 """
 
 import numpy as np
 import pytest
 
 from repro.models import SASRec
-from repro.retrieval import IndexConfig, RetrievalEngine
+from repro.retrieval import IndexConfig, RetrievalEngine, TopScores
 from repro.serve import (
     EngineConfig,
     FaultInjector,
     FaultyRecommender,
     InferenceEngine,
+    RecommendService,
+    ServiceConfig,
 )
 from repro.tensor import set_default_dtype
 
@@ -184,6 +189,307 @@ class TestApproximatePath:
         assert engine.snapshot()["retrieval"] is None
 
 
+class TestNarrowBitwise:
+    """The tentpole guarantee: ranking the narrow candidate list is
+    bitwise-identical to ranking the full-width scattered row, through
+    every serving composition."""
+
+    def _services(self, model, narrow_extra=None, **engine_kwargs):
+        """A narrow-path service and its full-width twin."""
+        def build(narrow, extra):
+            return RecommendService(
+                [("primary", extra(model) if extra else model)],
+                num_items=NUM_ITEMS,
+                config=ServiceConfig(deadline=None, top_n=5),
+                engine=EngineConfig(
+                    max_batch=4, index=APPROX, narrow=narrow,
+                    **engine_kwargs,
+                ),
+            )
+        return (
+            build(True, narrow_extra), build(False, narrow_extra)
+        )
+
+    def test_scatter_of_topk_is_bitwise_score_batch(
+        self, model, histories
+    ):
+        top = RetrievalEngine(model, APPROX).score_topk(histories)
+        rows = RetrievalEngine(model, APPROX).score_batch(histories)
+        assert isinstance(top, TopScores)
+        np.testing.assert_array_equal(top.to_dense(), rows)
+
+    def test_exact_mode_has_no_narrow_form(self, model, histories):
+        engine = RetrievalEngine(model, EXACT)
+        with pytest.raises(ValueError, match="exact mode"):
+            engine.score_topk(histories)
+
+    def test_engine_serves_narrow_batches(self, model, histories):
+        engine = InferenceEngine(
+            model, EngineConfig(max_batch=4, index=APPROX)
+        )
+        top = engine.score_batch(histories)
+        assert isinstance(top, TopScores)
+        assert len(top) == len(histories)
+        # Micro-batched fan-out + restacking reproduces the direct
+        # narrow call bitwise.
+        direct = RetrievalEngine(model, APPROX).score_topk(histories)
+        np.testing.assert_array_equal(top.ids, direct.ids)
+        np.testing.assert_array_equal(top.scores, direct.scores)
+
+    def test_plain_requests_match_full_width(self, model, histories):
+        narrow, wide = self._services(model)
+        for history in histories:
+            a = narrow.recommend(history)
+            b = wide.recommend(history)
+            np.testing.assert_array_equal(a.items, b.items)
+            assert a.rung == b.rung
+        assert narrow.stats()["narrow_ranked"] == len(histories)
+
+    def test_cached_requests_match_full_width(self, model, histories):
+        narrow, wide = self._services(model)
+        first = [narrow.recommend(h).items for h in histories]
+        cache = narrow._rungs[0].engine.cache
+        hits_before = cache.hits
+        for history, want in zip(histories, first):
+            np.testing.assert_array_equal(
+                narrow.recommend(history).items, want
+            )
+            np.testing.assert_array_equal(
+                wide.recommend(history).items, want
+            )
+        assert cache.hits > hits_before
+        assert cache.bytes > 0
+
+    def test_recommend_many_matches_recommend_loop(
+        self, model, histories
+    ):
+        narrow, wide = self._services(model)
+        batched = narrow.recommend_many(histories)
+        for history, result in zip(histories, batched):
+            np.testing.assert_array_equal(
+                result.items, wide.recommend(history).items
+            )
+
+    def test_fault_degraded_requests_match_full_width(
+        self, model, histories
+    ):
+        # Same injector seed both sides: the NaN schedule hits the same
+        # requests, so degradation decisions — and every served ranking
+        # — must agree between the narrow and full-width paths.
+        def extra(inner):
+            return FaultyRecommender(
+                inner, FaultInjector(nan_rate=0.4, seed=13)
+            )
+
+        narrow, wide = self._services(model, narrow_extra=extra)
+        for history in histories:
+            outcomes = []
+            for service in (narrow, wide):
+                try:
+                    outcomes.append(service.recommend(history).items)
+                except Exception as error:  # noqa: BLE001
+                    outcomes.append(type(error).__name__)
+            if isinstance(outcomes[0], str):
+                assert outcomes[0] == outcomes[1]
+            else:
+                np.testing.assert_array_equal(*outcomes)
+
+    def test_evaluator_parity(self, model):
+        # The offline evaluator consumes the narrow contract natively;
+        # metrics must equal the full-width engine's bitwise.
+        from repro.data.splits import FoldInUser
+        from repro.eval import evaluate_recommender
+
+        rng = np.random.default_rng(5)
+        users = []
+        for _ in range(12):
+            items = rng.choice(
+                np.arange(1, NUM_ITEMS + 1), size=10, replace=False
+            )
+            users.append(
+                FoldInUser(
+                    user_id=len(users),
+                    fold_in=items[:7].astype(np.int64),
+                    targets=items[7:].astype(np.int64),
+                )
+            )
+        narrow_engine = InferenceEngine(
+            model, EngineConfig(index=APPROX, narrow=True)
+        )
+        wide_engine = InferenceEngine(
+            model, EngineConfig(index=APPROX, narrow=False)
+        )
+        a = evaluate_recommender(narrow_engine, users, cutoffs=(5,))
+        b = evaluate_recommender(wide_engine, users, cutoffs=(5,))
+        assert a.values == b.values
+
+
+class _FixedQueryModel:
+    """Retrieval-capable stub whose query ignores history content — the
+    candidate set is therefore knowable in advance, which lets a test
+    construct a history that excludes every candidate."""
+
+    name = "fixed-query"
+    max_length = MAX_LENGTH
+    supports_retrieval = True
+
+    def __init__(self, seed=0, dim=8):
+        rng = np.random.default_rng(seed)
+        self.weights = rng.standard_normal(
+            (dim, NUM_ITEMS + 1)
+        ).astype(np.float32)
+        self.query = rng.standard_normal(dim).astype(np.float32)
+
+    def output_head(self):
+        return self.weights, None
+
+    def hidden_last(self, histories):
+        return np.tile(self.query, (len(histories), 1))
+
+    def score_batch(self, histories):
+        rows = np.tile(
+            self.query @ self.weights, (len(histories), 1)
+        ).astype(np.float32)
+        rows[:, 0] = -np.inf
+        return rows
+
+
+class TestNarrowExclusionFallback:
+    """Exhausting the candidate set falls back to one dense forward."""
+
+    CONFIG = IndexConfig(nlist=2, nprobe=2, candidates=4, seed=0)
+
+    def _service(self):
+        return RecommendService(
+            [("primary", _FixedQueryModel())],
+            num_items=NUM_ITEMS,
+            config=ServiceConfig(deadline=None, top_n=5),
+            engine=EngineConfig(index=self.CONFIG),
+        )
+
+    def test_dense_fallback_when_exclusions_exhaust_candidates(self):
+        model = _FixedQueryModel()
+        top4 = np.argsort(
+            -(model.query @ model.weights)[1:]
+        )[:4] + 1  # the fixed query's entire candidate set
+
+        service = self._service()
+        rec = service.recommend(top4.astype(np.int64))
+        # Every candidate was the user's own history: the narrow list
+        # empties, one dense forward serves instead — and the result
+        # still honours the exclusions.
+        assert rec.rung == "primary" and not rec.degraded
+        assert not np.isin(rec.items, top4).any()
+        stats = service.stats()
+        assert stats["dense_fallbacks"] == 1
+        assert stats["narrow_ranked"] == 0
+        engine_snap = stats["rungs"]["primary"]["engine"]
+        assert engine_snap["dense_fallbacks"] == 1
+        # The dense ranking equals ranking the stub's full row with the
+        # same exclusions.
+        from repro.eval.metrics import rank_items_batch
+        want = rank_items_batch(
+            model.score_batch([top4]).astype(np.float64), 5,
+            exclude=[top4],
+        )[0]
+        np.testing.assert_array_equal(rec.items, want)
+
+    def test_normal_requests_stay_narrow(self):
+        service = self._service()
+        rec = service.recommend(np.array([50, 51], dtype=np.int64))
+        assert rec.items.size > 0
+        stats = service.stats()
+        assert stats["narrow_ranked"] == 1
+        assert stats["dense_fallbacks"] == 0
+
+
+class TestRowsBufferPool:
+    """Satellite: the full-width output pool under adversarial callers.
+
+    The documented contract: results are pooled; holding any reference
+    (including a view) blocks reuse, and a released buffer is recycled
+    with only its previously-scattered entries reset.
+    """
+
+    def test_released_buffer_is_reused(self, model, histories):
+        engine = RetrievalEngine(model, APPROX)
+        first = engine.score_batch(histories[:4])
+        pool_id = id(first)
+        expected = first.copy()
+        del first
+        second = engine.score_batch(histories[:4])
+        assert id(second.base if second.base is not None else second) \
+            == pool_id
+        # Recycling reset exactly the dirty entries: the reused rows
+        # are bitwise what a fresh engine computes.
+        np.testing.assert_array_equal(second, expected)
+
+    def test_caller_holding_a_view_blocks_reuse(self, model, histories):
+        engine = RetrievalEngine(model, APPROX)
+        first = engine.score_batch(histories[:4])
+        view = first[1]
+        snapshot = view.copy()
+        del first  # the view keeps the buffer alive
+        second = engine.score_batch(histories[4:8])
+        assert not np.shares_memory(second, view)
+        np.testing.assert_array_equal(view, snapshot)
+
+    def test_mutate_scattered_cells_then_release(self, model, histories):
+        engine = RetrievalEngine(model, APPROX)
+        first = engine.score_batch(histories[:4])
+        # Adversarial-but-legal caller: scribbles over the finite
+        # (scattered) entries in place, then releases.  The recycler
+        # must reset them from the dirty mask, not trust their values.
+        first[np.isfinite(first)] = 1e9
+        del first
+        second = engine.score_batch(histories[:4])
+        np.testing.assert_array_equal(
+            second, RetrievalEngine(model, APPROX).score_batch(
+                histories[:4]
+            ),
+        )
+
+    def test_dtype_change_mid_stream_reallocates(self, model, histories):
+        engine = RetrievalEngine(model, APPROX)
+        first = engine.score_batch(histories[:2])
+        assert first.dtype == np.float32
+        del first
+        fresh = engine._rows_buffer(2, np.float64)
+        assert fresh.dtype == np.float64
+        assert np.isneginf(fresh).all()
+
+    def test_smaller_batch_reuses_prefix(self, model, histories):
+        engine = RetrievalEngine(model, APPROX)
+        first = engine.score_batch(histories[:6])
+        del first
+        second = engine.score_batch(histories[:3])
+        assert second.shape[0] == 3
+        np.testing.assert_array_equal(
+            second, RetrievalEngine(model, APPROX).score_batch(
+                histories[:3]
+            ),
+        )
+
+
+class TestSnapshotObservability:
+    def test_effective_nprobe_reported(self, model):
+        # Satellite: a config probing more lists than exist is clamped
+        # by the search; the snapshot must report the clamped truth.
+        config = IndexConfig(nlist=4, nprobe=32, candidates=16, seed=0)
+        engine = RetrievalEngine(model, config)
+        snap = engine.snapshot()
+        assert snap["nprobe"] == 4
+        assert snap["nlist"] == 4
+
+    def test_narrow_counters(self, model, histories):
+        engine = RetrievalEngine(model, APPROX)
+        engine.score_topk(histories)
+        snap = engine.snapshot()
+        assert snap["narrow_batches"] == len(histories)
+        assert snap["staleness"] == 0.0
+        assert snap["refreshes"] == 0 and snap["rebuilds"] == 0
+
+
 class TestVersionCoupling:
     """Satellite: hot-swap must atomically invalidate cache AND index."""
 
@@ -196,33 +502,76 @@ class TestVersionCoupling:
             model, EngineConfig(max_batch=4, index=APPROX)
         )
 
-    def test_set_model_drops_cache_and_index(self, histories):
+    def test_set_model_refreshes_index_and_drops_cache(self, histories):
         model, engine = self._engine()
         before = engine.score_batch(histories)
         assert engine.cache.hits + engine.cache.misses > 0
-        old_index = engine._retrieval
-        assert old_index is not None
+        old_retrieval = engine._retrieval
+        assert old_retrieval is not None
 
         replacement = SASRec(
             NUM_ITEMS, MAX_LENGTH, dim=16, num_blocks=1, seed=99,
             tie_weights=False,
         )
         engine.set_model(replacement)
-        assert engine._retrieval is None
+        # The retrieval engine is *kept* and refreshed in place (no
+        # lazy rebuild from scratch); the cache is still atomically
+        # invalidated.
+        assert engine._retrieval is old_retrieval
         assert len(engine.cache) == 0
         assert engine.cache.invalidations == 1
+        # Every item vector changed (a fully different seed), which
+        # trips the staleness threshold: the refresh escalates to a
+        # deterministic full rebuild rather than patching 100% churn.
+        snap = engine._retrieval.snapshot()
+        assert snap["rebuilds"] == 1 and snap["refreshes"] == 0
+        assert snap["updates_since_build"] == 0
 
         after = engine.score_batch(histories)
-        # A fresh index was built from the NEW model's table...
-        assert engine._retrieval is not None
-        assert engine._retrieval is not old_index
-        # ...and what gets served is the new model's scoring, not any
-        # stale cached/indexed artifact of the old weights.
-        expected = RetrievalEngine(replacement, APPROX).score_batch(
+        # What gets served is the new model's scoring — identical to a
+        # fresh engine built from the replacement (the rebuild re-ran
+        # k-means on the new table with the same config/seed).
+        expected = RetrievalEngine(replacement, APPROX).score_topk(
             histories
         )
-        np.testing.assert_array_equal(after, expected)
-        assert not np.array_equal(before, after)
+        np.testing.assert_array_equal(after.ids, expected.ids)
+        np.testing.assert_array_equal(after.scores, expected.scores)
+        assert not np.array_equal(before.scores, after.scores)
+
+    def test_set_model_small_churn_updates_in_place(self, histories):
+        model, engine = self._engine()
+        engine.score_batch(histories)
+        old_retrieval = engine._retrieval
+        old_index = old_retrieval.index
+
+        # Perturb one item vector: well under the rebuild threshold, so
+        # the hot-swap must take the incremental-assignment path and
+        # keep the built index object.
+        replacement = SASRec(
+            NUM_ITEMS, MAX_LENGTH, dim=16, num_blocks=1, seed=1,
+            tie_weights=False,
+        )
+        replacement.output.weight.data[:, 8] += 0.25
+        engine.set_model(replacement)
+        assert engine._retrieval is old_retrieval
+        assert engine._retrieval.index is old_index
+        snap = engine._retrieval.snapshot()
+        assert snap["refreshes"] == 1 and snap["rebuilds"] == 0
+        assert snap["updates_since_build"] == 1
+        assert snap["staleness"] > 0
+
+        # Served scores are the NEW model's exact re-rank (the stale
+        # centroids can only affect which candidates are probed).
+        after = engine.score_batch(histories)
+        dense = replacement.score_batch(histories)
+        mask = after.ids >= 1
+        np.testing.assert_allclose(
+            after.scores[mask],
+            np.take_along_axis(
+                dense, np.maximum(after.ids, 0), axis=1
+            )[mask],
+            rtol=0, atol=1e-5,
+        )
 
     def test_swap_resets_unsupported_flag(self, histories):
         class Dense:

@@ -104,6 +104,18 @@ class TestServiceStatsMerge:
         a.merge(b)
         assert a.rungs["canary"].attempts == 3
 
+    def test_narrow_counters_sum_and_snapshot(self):
+        a = ServiceStats(["primary"])
+        b = ServiceStats(["primary"])
+        a.narrow_ranked, a.dense_fallbacks = 10, 1
+        b.narrow_ranked, b.dense_fallbacks = 4, 2
+        a.merge(b)
+        assert a.narrow_ranked == 14
+        assert a.dense_fallbacks == 3
+        snap = a.snapshot()
+        assert snap["narrow_ranked"] == 14
+        assert snap["dense_fallbacks"] == 3
+
     def test_service_stats_round_trip_through_pickle(self):
         # Shards ship their ServiceStats over a pipe; the object must
         # survive pickling with the accounting intact.
